@@ -1,0 +1,37 @@
+//! Figures 13-18: NoC and memory bandwidth sweeps, per-query memory
+//! profiles, and the stacked bandwidth-limit study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_core::SimConfig;
+use q100_experiments::comm;
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("bandwidth");
+    g.sample_size(10);
+    g.bench_function("fig13_noc_sweep", |b| {
+        b.iter(|| black_box(comm::bandwidth_sweep(&workload, "NoC", &[5.0, 10.0, 15.0, 20.0]).max_slowdown()));
+    });
+    g.bench_function("fig14_mem_read_profile", |b| {
+        b.iter(|| black_box(comm::mem_profile(&workload, &SimConfig::pareto(), "read").per_query.len()));
+    });
+    g.bench_function("fig15_mem_write_profile", |b| {
+        b.iter(|| black_box(comm::mem_profile(&workload, &SimConfig::pareto(), "write").per_query.len()));
+    });
+    g.bench_function("fig16_mem_read_sweep", |b| {
+        b.iter(|| black_box(comm::bandwidth_sweep(&workload, "MemRead", &[10.0, 20.0, 30.0, 40.0]).max_slowdown()));
+    });
+    g.bench_function("fig17_mem_write_sweep", |b| {
+        b.iter(|| black_box(comm::bandwidth_sweep(&workload, "MemWrite", &[5.0, 10.0, 15.0, 20.0]).max_slowdown()));
+    });
+    g.bench_function("fig18_limit_stack", |b| {
+        b.iter(|| black_box(comm::limit_stack(&workload).rows.len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figures 19-22: the scheduler comparison (naive / data-aware /
+//! semi-exhaustive) across the three paper designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_core::SimConfig;
+use q100_experiments::sched_study;
+
+fn bench_sched(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("sched");
+    g.sample_size(10);
+    g.bench_function("fig19_21_lowpower_study", |b| {
+        b.iter(|| {
+            let s = sched_study::study(&workload, "LowPower", &SimConfig::low_power());
+            black_box((s.avg_runtime_vs_naive(1), s.avg_spill_vs_naive(2)))
+        });
+    });
+    g.bench_function("fig20_22_all_designs", |b| {
+        b.iter(|| black_box(sched_study::study_all_designs(&workload).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figures 23-26: Q100 vs modeled MonetDB single thread, including the
+//! 100x data-scaling study (run at a reduced absolute scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_experiments::software_cmp;
+
+fn bench_software(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("software_cmp");
+    g.sample_size(10);
+    g.bench_function("fig23_24_compare", |b| {
+        b.iter(|| {
+            let cmp = software_cmp::compare(&workload);
+            black_box((cmp.mean_speedup(2), cmp.mean_energy_gain(0)))
+        });
+    });
+    g.bench_function("fig25_26_scaled_100x", |b| {
+        b.iter(|| {
+            // base 0.0002 -> 100x = SF 0.02 end to end (generation,
+            // planning, functional run, simulation).
+            let cmp = software_cmp::compare_scaled(0.0002);
+            black_box(cmp.mean_speedup(0))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_software);
+criterion_main!(benches);

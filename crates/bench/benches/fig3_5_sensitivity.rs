@@ -1,0 +1,28 @@
+//! Figures 3-5: tile-count sensitivity sweeps (aggregator, ALU,
+//! sorter).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_core::TileKind;
+use q100_experiments::sensitivity;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    for (fig, kind) in [
+        ("fig3_aggregator", TileKind::Aggregator),
+        ("fig4_alu", TileKind::Alu),
+        ("fig5_sorter", TileKind::Sorter),
+    ] {
+        g.bench_function(fig, |b| {
+            b.iter(|| black_box(sensitivity::sweep(&workload, kind)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

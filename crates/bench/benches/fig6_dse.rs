@@ -1,0 +1,23 @@
+//! Figure 6: the 150-configuration design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_experiments::dse;
+
+fn bench_dse(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("dse");
+    g.sample_size(10);
+    g.bench_function("fig6_explore_150_configs", |b| {
+        b.iter(|| {
+            let space = dse::explore(&workload);
+            black_box((space.low_power().runtime_ms, space.pareto().power_w))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

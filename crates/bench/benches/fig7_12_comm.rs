@@ -1,0 +1,26 @@
+//! Figures 7-12: connection-count and peak-bandwidth heat maps for the
+//! three paper designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_experiments::{comm, paper_designs};
+
+fn bench_comm(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("comm");
+    g.sample_size(10);
+    for (i, (name, config)) in paper_designs().into_iter().enumerate() {
+        g.bench_function(format!("fig{}_connections_{name}", 7 + i), |b| {
+            b.iter(|| black_box(comm::connection_counts(&workload, &config).total()));
+        });
+        g.bench_function(format!("fig{}_peak_bandwidth_{name}", 10 + i), |b| {
+            b.iter(|| black_box(comm::peak_bandwidth(&workload, &config).total()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Substrate micro-benchmarks: the building blocks every figure rests
+//! on — data generation, functional tile execution, scheduling, and the
+//! fluid timing simulation — measured per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::{bench_workload, BENCH_SCALE};
+use q100_core::{schedule, SchedulerKind, SimConfig, Simulator};
+use q100_tpch::{queries, TpchData};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(10);
+
+    g.bench_function("tpch_generate", |b| {
+        b.iter(|| black_box(TpchData::generate(BENCH_SCALE).bytes()));
+    });
+
+    let db = TpchData::generate(BENCH_SCALE);
+    g.bench_function("plan_q21", |b| {
+        let q = queries::by_name("q21").unwrap();
+        b.iter(|| black_box((q.q100)(&db).unwrap().len()));
+    });
+    g.bench_function("functional_q1", |b| {
+        let q = queries::by_name("q1").unwrap();
+        let graph = (q.q100)(&db).unwrap();
+        b.iter(|| black_box(q100_core::execute(&graph, &db).unwrap().profile.input_bytes()));
+    });
+    g.bench_function("software_q1", |b| {
+        let q = queries::by_name("q1").unwrap();
+        let plan = (q.software)();
+        b.iter(|| black_box(q100_dbms::run(&plan, &db).unwrap().1));
+    });
+
+    let workload = bench_workload();
+    for kind in [SchedulerKind::Naive, SchedulerKind::DataAware, SchedulerKind::SemiExhaustive] {
+        g.bench_function(format!("schedule_q21_{kind}"), |b| {
+            let p = workload.queries.iter().find(|p| p.query.name == "q21").unwrap();
+            b.iter(|| {
+                let s = schedule(kind, &p.graph, &SimConfig::low_power().mix, &p.functional.profile).unwrap();
+                black_box(s.stages())
+            });
+        });
+    }
+    g.bench_function("timing_sim_q21_lowpower", |b| {
+        let p = workload.queries.iter().find(|p| p.query.name == "q21").unwrap();
+        let sim = Simulator::new(SimConfig::low_power());
+        b.iter(|| black_box(sim.run_profiled(&p.graph, &p.functional).unwrap().cycles));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Tables 1–4: the constant models and the Table 2 pruning
+//! computation.
+//!
+//! Tables 1, 3 and 4 render from published constants; Table 2's
+//! maximum-useful-count rule requires a per-tile sensitivity sweep, the
+//! kernel benchmarked here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_core::{power, TileKind};
+use q100_experiments::sensitivity;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+
+    g.bench_function("table1_render", |b| {
+        b.iter(|| black_box(power::render_table1()));
+    });
+    g.bench_function("table3_render", |b| {
+        b.iter(|| black_box(power::render_table3()));
+    });
+    g.bench_function("table4_render", |b| {
+        b.iter(|| black_box(q100_dbms::render_table4()));
+    });
+
+    let workload = bench_workload();
+    g.sample_size(10);
+    g.bench_function("table2_max_useful_count_aggregator", |b| {
+        b.iter(|| {
+            let s = sensitivity::sweep(&workload, TileKind::Aggregator);
+            black_box(s.max_useful_count(0.01))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! # `q100-bench`: benchmark support for the Q100 evaluation
+//!
+//! The Criterion benches in `benches/` regenerate every table and
+//! figure of the paper at a reduced scale factor (see `EXPERIMENTS.md`
+//! for full-scale runs via the `q100-experiments` binary). This library
+//! crate only hosts the shared fixtures.
+
+use q100_experiments::Workload;
+
+/// Scale factor used by the Criterion benches: small enough that the
+/// measured kernels iterate quickly, large enough to exercise multiple
+/// temporal instructions per query.
+pub const BENCH_SCALE: f64 = 0.005;
+
+/// A reduced query set covering the interesting behaviours: heavy
+/// aggregation (q1), pure streaming (q6), join pipelines (q3, q5),
+/// scattered group-by with sorts (q10), predicate trees (q19), and the
+/// biggest query (q21).
+pub const BENCH_QUERIES: [&str; 7] = ["q1", "q3", "q5", "q6", "q10", "q19", "q21"];
+
+/// Prepares the shared benchmark workload.
+#[must_use]
+pub fn bench_workload() -> Workload {
+    Workload::prepare_subset(BENCH_SCALE, &BENCH_QUERIES)
+}

@@ -1,0 +1,72 @@
+//! Catalogs: named collections of base tables.
+
+use crate::table::Table;
+
+/// A source of base tables for query execution.
+///
+/// Implemented by `q100_tpch::TpchData` and by any ad-hoc database a
+/// caller assembles (see [`MemoryCatalog`]).
+pub trait Catalog {
+    /// Looks up a base table by name.
+    fn base_table(&self, name: &str) -> Option<&Table>;
+}
+
+/// A trivial in-memory catalog: a list of named tables.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::{Catalog, Column, MemoryCatalog, Table};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sales = Table::new(vec![Column::from_ints("qty", [1, 2])])?;
+/// let catalog = MemoryCatalog::new(vec![("sales".to_string(), sales)]);
+/// assert!(catalog.base_table("sales").is_some());
+/// assert!(catalog.base_table("missing").is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryCatalog {
+    tables: Vec<(String, Table)>,
+}
+
+impl MemoryCatalog {
+    /// Creates a catalog from `(name, table)` pairs.
+    #[must_use]
+    pub fn new(tables: Vec<(String, Table)>) -> Self {
+        MemoryCatalog { tables }
+    }
+
+    /// Adds a table.
+    pub fn insert(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.push((name.into(), table));
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn base_table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+}
+
+impl<C: Catalog + ?Sized> Catalog for &C {
+    fn base_table(&self, name: &str) -> Option<&Table> {
+        (**self).base_table(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = MemoryCatalog::default();
+        c.insert("t", Table::new(vec![Column::from_ints("a", [1])]).unwrap());
+        assert!(c.base_table("t").is_some());
+        let by_ref: &dyn Catalog = &c;
+        assert!((&by_ref).base_table("t").is_some());
+    }
+}

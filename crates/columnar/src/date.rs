@@ -1,0 +1,149 @@
+//! Proleptic Gregorian date arithmetic on day numbers.
+//!
+//! Dates are stored as `i32` days since 1970-01-01, matching the fixed
+//! 4-byte date encoding used by the Q100 bandwidth accounting. The
+//! conversion routines implement the standard civil-calendar algorithms
+//! (Howard Hinnant's `days_from_civil`/`civil_from_days`).
+
+use crate::error::{ColumnarError, Result};
+
+/// A calendar date broken into its components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DateParts {
+    /// Calendar year, e.g. 1998.
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+/// Converts a civil date to days since 1970-01-01.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::date_to_days;
+/// assert_eq!(date_to_days(1970, 1, 1), 0);
+/// assert_eq!(date_to_days(1970, 1, 2), 1);
+/// ```
+#[must_use]
+pub fn date_to_days(year: i32, month: u8, day: u8) -> i32 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+/// Converts days since 1970-01-01 back to a civil date.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::{date_to_days, days_to_date};
+/// let d = date_to_days(1998, 12, 1);
+/// let parts = days_to_date(d);
+/// assert_eq!((parts.year, parts.month, parts.day), (1998, 12, 1));
+/// ```
+#[must_use]
+pub fn days_to_date(days: i32) -> DateParts {
+    let z = i64::from(days) + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    DateParts {
+        year: (y + i64::from(m <= 2)) as i32,
+        month: m as u8,
+        day: d as u8,
+    }
+}
+
+/// Parses an ISO `YYYY-MM-DD` date literal into a day number.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::InvalidDate`] when the literal is malformed
+/// or denotes a day that does not exist in the civil calendar.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::parse_date;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let shipdate_cutoff = parse_date("1998-09-02")?;
+/// assert!(shipdate_cutoff > parse_date("1998-01-01")?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_date(text: &str) -> Result<i32> {
+    let invalid = || ColumnarError::InvalidDate(text.to_string());
+    let mut parts = text.split('-');
+    let year: i32 = parts.next().ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+    let month: u8 = parts.next().ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+    let day: u8 = parts.next().ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(invalid());
+    }
+    let days = date_to_days(year, month, day);
+    let roundtrip = days_to_date(days);
+    if (roundtrip.year, roundtrip.month, roundtrip.day) != (year, month, day) {
+        return Err(invalid());
+    }
+    Ok(days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(date_to_days(1970, 1, 1), 0);
+        assert_eq!(days_to_date(0), DateParts { year: 1970, month: 1, day: 1 });
+    }
+
+    #[test]
+    fn tpch_date_range_roundtrips() {
+        // TPC-H dates span 1992-01-01 .. 1998-12-31.
+        let start = date_to_days(1992, 1, 1);
+        let end = date_to_days(1998, 12, 31);
+        assert_eq!(end - start + 1, 2557); // 7 years incl. leap days 1992 & 1996
+        for d in start..=end {
+            let p = days_to_date(d);
+            assert_eq!(date_to_days(p.year, p.month, p.day), d);
+        }
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert_eq!(date_to_days(1996, 3, 1) - date_to_days(1996, 2, 28), 2);
+        assert_eq!(date_to_days(1900, 3, 1) - date_to_days(1900, 2, 28), 1);
+        assert_eq!(date_to_days(2000, 3, 1) - date_to_days(2000, 2, 28), 2);
+    }
+
+    #[test]
+    fn parse_accepts_valid_rejects_invalid() {
+        assert_eq!(parse_date("1998-12-01").unwrap(), date_to_days(1998, 12, 1));
+        assert!(parse_date("1998-13-01").is_err());
+        assert!(parse_date("1998-02-30").is_err());
+        assert!(parse_date("not-a-date").is_err());
+        assert!(parse_date("1998-12").is_err());
+        assert!(parse_date("1998-12-01-05").is_err());
+    }
+
+    #[test]
+    fn dates_before_epoch_work() {
+        let d = date_to_days(1969, 12, 31);
+        assert_eq!(d, -1);
+        assert_eq!(days_to_date(-1), DateParts { year: 1969, month: 12, day: 31 });
+    }
+}

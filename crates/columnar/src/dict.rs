@@ -1,0 +1,150 @@
+//! Shared string dictionaries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An append-only string dictionary mapping strings to dense `u32` codes.
+///
+/// String columns in this substrate are dictionary encoded: the column
+/// stores codes while the dictionary owns the strings. Dictionaries are
+/// shared between columns via `Arc`, so a `ColSelect` of a string column
+/// is a cheap copy.
+///
+/// Codes are assigned in insertion order, so **code order is not
+/// lexicographic order**; operations that need lexicographic comparisons
+/// (sorting a string column) must resolve through the dictionary.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::Dictionary;
+///
+/// let mut dict = Dictionary::new();
+/// let a = dict.intern("ASIA");
+/// let b = dict.intern("EUROPE");
+/// assert_ne!(a, b);
+/// assert_eq!(dict.intern("ASIA"), a);
+/// assert_eq!(dict.resolve(b), Some("EUROPE"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its code (existing or newly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = u32::try_from(self.strings.len()).expect("dictionary exceeds u32 codes");
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), code);
+        code
+    }
+
+    /// Looks up the code of `s` without inserting.
+    #[must_use]
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a code back to its string.
+    #[must_use]
+    pub fn resolve(&self, code: u32) -> Option<&str> {
+        self.strings.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct strings interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(code, string)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+
+    /// Compares two codes by the lexicographic order of their strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either code is not present in the dictionary.
+    #[must_use]
+    pub fn cmp_codes(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        let sa = self.resolve(a).expect("code `a` not in dictionary");
+        let sb = self.resolve(b).expect("code `b` not in dictionary");
+        sa.cmp(sb)
+    }
+}
+
+impl fmt::Display for Dictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dictionary({} strings)", self.strings.len())
+    }
+}
+
+impl<'a> FromIterator<&'a str> for Dictionary {
+    fn from_iter<T: IntoIterator<Item = &'a str>>(iter: T) -> Self {
+        let mut dict = Dictionary::new();
+        for s in iter {
+            dict.intern(s);
+        }
+        dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("x");
+        assert_eq!(d.intern("x"), a);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn resolve_inverse_of_intern() {
+        let mut d = Dictionary::new();
+        for s in ["alpha", "beta", "gamma"] {
+            let c = d.intern(s);
+            assert_eq!(d.resolve(c), Some(s));
+        }
+        assert_eq!(d.resolve(99), None);
+    }
+
+    #[test]
+    fn cmp_codes_is_lexicographic() {
+        let mut d = Dictionary::new();
+        let z = d.intern("zebra");
+        let a = d.intern("aardvark");
+        assert_eq!(d.cmp_codes(a, z), std::cmp::Ordering::Less);
+        assert_eq!(d.cmp_codes(z, z), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let d: Dictionary = ["a", "b", "a"].into_iter().collect();
+        assert_eq!(d.len(), 2);
+    }
+}

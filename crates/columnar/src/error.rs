@@ -1,0 +1,87 @@
+//! Error type shared by the columnar substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+/// Errors raised by columnar containers and conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// A table was assembled from columns of differing lengths.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length of the offending column.
+        actual: usize,
+        /// Length established by the first column.
+        expected: usize,
+    },
+    /// A column name was not found in a table.
+    UnknownColumn(String),
+    /// Two columns in one table share a name.
+    DuplicateColumn(String),
+    /// A date literal failed to parse.
+    InvalidDate(String),
+    /// An operation received a column of the wrong logical type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// The type it actually received.
+        actual: String,
+    },
+    /// A column width exceeds the Q100's 32-byte maximum.
+    WidthExceeded {
+        /// Name of the offending column.
+        column: String,
+        /// Declared width in bytes.
+        width: u32,
+    },
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::LengthMismatch { column, actual, expected } => write!(
+                f,
+                "column `{column}` has {actual} rows but the table has {expected}"
+            ),
+            ColumnarError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            ColumnarError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            ColumnarError::InvalidDate(text) => write!(f, "invalid date literal `{text}`"),
+            ColumnarError::TypeMismatch { expected, actual } => {
+                write!(f, "expected a {expected} column, got {actual}")
+            }
+            ColumnarError::WidthExceeded { column, width } => write!(
+                f,
+                "column `{column}` is {width} bytes wide, exceeding the 32-byte maximum"
+            ),
+        }
+    }
+}
+
+impl Error for ColumnarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = ColumnarError::UnknownColumn("l_foo".into());
+        assert_eq!(e.to_string(), "unknown column `l_foo`");
+        let e = ColumnarError::LengthMismatch {
+            column: "a".into(),
+            actual: 2,
+            expected: 3,
+        };
+        assert!(e.to_string().contains("2 rows"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ColumnarError>();
+    }
+}

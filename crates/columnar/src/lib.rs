@@ -1,0 +1,52 @@
+//! Columnar data substrate for the Q100 DPU reproduction.
+//!
+//! The Q100 (Wu et al., ASPLOS 2014) manipulates database primitives —
+//! columns and tables — as streams of fixed-width records. This crate
+//! provides that data layer: logical types with fixed-width physical
+//! encodings, dictionary-encoded strings, [`Column`] and [`Table`]
+//! containers, and [`Schema`] descriptions. Byte widths are tracked
+//! explicitly on every column because all of the Q100 bandwidth models
+//! (NoC links, memory stream buffers) are denominated in bytes.
+//!
+//! # Physical encoding
+//!
+//! Every value is stored as an `i64` *physical* value whose interpretation
+//! depends on the column's [`LogicalType`]:
+//!
+//! * `Int` — the value itself.
+//! * `Decimal` — fixed point scaled by 100 (the paper's Q100 has no
+//!   floating point unit and applies exactly this constant-scaling
+//!   workaround, Section 3.1).
+//! * `Date` — days since 1970-01-01.
+//! * `Str` — an index into the column's [`Dictionary`].
+//! * `Bool` — 0 or 1.
+//!
+//! # Example
+//!
+//! ```
+//! use q100_columnar::{Column, LogicalType, Table};
+//!
+//! let qty = Column::from_ints("quantity", [3, 5, 8]);
+//! let price = Column::from_decimals("price", [1.25, 0.80, 2.10]);
+//! let table = Table::new(vec![qty, price]).unwrap();
+//! assert_eq!(table.row_count(), 3);
+//! assert_eq!(table.column("price").unwrap().ty(), LogicalType::Decimal);
+//! ```
+
+mod catalog;
+mod column;
+mod date;
+mod dict;
+mod error;
+mod schema;
+mod table;
+mod value;
+
+pub use catalog::{Catalog, MemoryCatalog};
+pub use column::Column;
+pub use date::{date_to_days, days_to_date, parse_date, DateParts};
+pub use dict::Dictionary;
+pub use error::{ColumnarError, Result};
+pub use schema::{ColumnSpec, Schema};
+pub use table::Table;
+pub use value::{LogicalType, Value, DECIMAL_SCALE};

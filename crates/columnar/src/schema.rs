@@ -1,0 +1,216 @@
+//! Schema descriptions for tables.
+
+use std::fmt;
+
+use crate::error::{ColumnarError, Result};
+use crate::table::Table;
+use crate::value::LogicalType;
+
+/// The name, type and byte width of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub ty: LogicalType,
+    /// Physical width in bytes (≤ 32, the Q100 column-width cap).
+    pub width: u32,
+}
+
+impl ColumnSpec {
+    /// Creates a spec with the type's default width.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ty: LogicalType) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            ty,
+            width: ty.default_width(),
+        }
+    }
+
+    /// Overrides the byte width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::WidthExceeded`] for widths outside
+    /// `1..=32` — the paper vertically splits wider attributes
+    /// (Section 3.1), so a spec may never exceed the cap.
+    pub fn with_width(mut self, width: u32) -> Result<Self> {
+        if width == 0 || width > 32 {
+            return Err(ColumnarError::WidthExceeded {
+                column: self.name,
+                width,
+            });
+        }
+        self.width = width;
+        Ok(self)
+    }
+}
+
+impl fmt::Display for ColumnSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({}B)", self.name, self.ty, self.width)
+    }
+}
+
+/// An ordered list of column specs describing a table layout.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::{ColumnSpec, LogicalType, Schema};
+///
+/// let schema = Schema::new(vec![
+///     ColumnSpec::new("o_orderkey", LogicalType::Int),
+///     ColumnSpec::new("o_orderdate", LogicalType::Date),
+/// ]);
+/// assert_eq!(schema.record_width(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnSpec>,
+}
+
+impl Schema {
+    /// Creates a schema from specs.
+    #[must_use]
+    pub fn new(columns: Vec<ColumnSpec>) -> Self {
+        Schema { columns }
+    }
+
+    /// Derives the schema of an existing table.
+    #[must_use]
+    pub fn from_table(table: &Table) -> Self {
+        Schema {
+            columns: table
+                .columns()
+                .iter()
+                .map(|c| ColumnSpec {
+                    name: c.name().to_string(),
+                    ty: c.ty(),
+                    width: c.width(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The specs in order.
+    #[must_use]
+    pub fn columns(&self) -> &[ColumnSpec] {
+        &self.columns
+    }
+
+    /// Number of columns described.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema describes zero columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Looks up a spec by name.
+    #[must_use]
+    pub fn spec(&self, name: &str) -> Option<&ColumnSpec> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Per-row width in bytes.
+    #[must_use]
+    pub fn record_width(&self) -> u32 {
+        self.columns.iter().map(|c| c.width).sum()
+    }
+
+    /// Verifies that `table` matches this schema exactly (names, types,
+    /// widths, order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ColumnarError`] naming the first discrepancy.
+    pub fn check(&self, table: &Table) -> Result<()> {
+        if table.column_count() != self.columns.len() {
+            return Err(ColumnarError::TypeMismatch {
+                expected: "same-arity",
+                actual: format!(
+                    "schema has {} columns, table has {}",
+                    self.columns.len(),
+                    table.column_count()
+                ),
+            });
+        }
+        for (spec, col) in self.columns.iter().zip(table.columns()) {
+            if spec.name != col.name() {
+                return Err(ColumnarError::UnknownColumn(col.name().to_string()));
+            }
+            if spec.ty != col.ty() || spec.width != col.width() {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: "schema-conforming",
+                    actual: format!("column `{}` is {} ({}B)", col.name(), col.ty(), col.width()),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<ColumnSpec> for Schema {
+    fn from_iter<T: IntoIterator<Item = ColumnSpec>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn check_accepts_conforming_table() {
+        let t = Table::new(vec![Column::from_ints("a", [1, 2])]).unwrap();
+        let s = t.schema();
+        assert!(s.check(&t).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_wrong_name_type_or_arity() {
+        let t = Table::new(vec![Column::from_ints("a", [1])]).unwrap();
+        let s = Schema::new(vec![ColumnSpec::new("b", LogicalType::Int)]);
+        assert!(s.check(&t).is_err());
+        let s = Schema::new(vec![ColumnSpec::new("a", LogicalType::Date)]);
+        assert!(s.check(&t).is_err());
+        let s = Schema::new(vec![]);
+        assert!(s.check(&t).is_err());
+    }
+
+    #[test]
+    fn record_width_and_spec_lookup() {
+        let s = Schema::new(vec![
+            ColumnSpec::new("k", LogicalType::Int),
+            ColumnSpec::new("n", LogicalType::Str).with_width(10).unwrap(),
+        ]);
+        assert_eq!(s.record_width(), 18);
+        assert_eq!(s.spec("n").unwrap().width, 10);
+        assert!(s.spec("zzz").is_none());
+    }
+
+    #[test]
+    fn width_cap_enforced() {
+        assert!(ColumnSpec::new("wide", LogicalType::Str).with_width(33).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// Errors raised while lowering a plan to Q100 instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A plan construct the Q100 lowering does not (yet) support.
+    Unsupported(String),
+    /// A referenced column is absent from the subplan's schema.
+    UnknownColumn(String),
+    /// The statistics pre-execution failed.
+    Stats(String),
+    /// Graph construction failed.
+    Core(q100_core::CoreError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            CompileError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            CompileError::Stats(msg) => write!(f, "statistics pre-execution failed: {msg}"),
+            CompileError::Core(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<q100_core::CoreError> for CompileError {
+    fn from(e: q100_core::CoreError) -> Self {
+        CompileError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = CompileError::Unsupported("CountDistinct".into());
+        assert!(e.to_string().contains("CountDistinct"));
+        let e = CompileError::UnknownColumn("x".into());
+        assert!(e.to_string().contains("`x`"));
+    }
+}

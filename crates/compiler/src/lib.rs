@@ -1,0 +1,48 @@
+//! # `q100-compiler`: relational plans → Q100 spatial instructions
+//!
+//! The paper notes: *"As we do not yet have a compiler for the Q100, we
+//! have manually implemented each TPC-H query in the Q100 ISA."* This
+//! crate is that missing compiler for a practical subset of the
+//! relational algebra: it lowers [`q100_dbms::Plan`] trees — scans,
+//! filters, projections, inner/outer equijoins, single-key hash
+//! aggregations, and sorts — into [`q100_core::QueryGraph`]s.
+//!
+//! Like a DBMS optimizer (and like the paper's hand planner), the
+//! compiler consults **statistics**: it pre-executes subplans on the
+//! software executor to size range-partition bounds for sorts and
+//! scattered aggregations, choosing the paper's Figure 1 pattern
+//! (partition → aggregate → append, sort-free) when the group domain is
+//! small and partition → sort → aggregate otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use q100_columnar::{Column, MemoryCatalog, Table};
+//! use q100_compiler::compile;
+//! use q100_dbms::{AggKind, CmpKind, Expr, Plan};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = Table::new(vec![
+//!     Column::from_ints("g", vec![1, 2, 1, 2]),
+//!     Column::from_ints("v", vec![10, 20, 30, 40]),
+//! ])?;
+//! let catalog = MemoryCatalog::new(vec![("t".to_string(), t)]);
+//!
+//! let plan = Plan::scan("t", &["g", "v"])
+//!     .filter(Expr::col("v").cmp(CmpKind::Gt, Expr::int(15)))
+//!     .aggregate(&["g"], vec![("total", AggKind::Sum, Expr::col("v"))]);
+//!
+//! let graph = compile(&plan, &catalog)?;
+//! let run = q100_core::execute(&graph, &catalog)?;
+//! let result = run.result_table(&graph)?;
+//! assert_eq!(result.row_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod expr;
+mod lower;
+
+pub use error::{CompileError, Result};
+pub use lower::{compile, Compiler};

@@ -1,0 +1,604 @@
+//! Plan lowering: relational operators → spatial-instruction patterns.
+
+use q100_columnar::{Catalog, Table, Value};
+use q100_core::{AggOp, AluOp, GraphBuilder, PortRef, QueryGraph, SORTER_BATCH};
+use q100_dbms::{AggKind, Expr, JoinType, Plan};
+
+use crate::error::{CompileError, Result};
+use crate::expr::lower_expr;
+
+/// A compiled relation: the port of a table stream plus its column
+/// names in order.
+#[derive(Debug, Clone)]
+struct Rel {
+    table: PortRef,
+    columns: Vec<String>,
+}
+
+/// Compiles a relational plan into a Q100 query graph.
+///
+/// Equivalent to [`Compiler::new(catalog).compile(plan)`](Compiler).
+///
+/// # Errors
+///
+/// Returns [`CompileError::Unsupported`] for constructs outside the
+/// supported subset (semi/anti joins, `CountDistinct`, multi-column
+/// grouping or sorting keys — all expressible by pre-packing keys with
+/// a `Project`, as the hand-written TPC-H plans demonstrate).
+pub fn compile(plan: &Plan, catalog: &dyn Catalog) -> Result<QueryGraph> {
+    Compiler::new(catalog).compile(plan)
+}
+
+/// The plan compiler. Holds the catalog it consults for statistics
+/// (range-partition bounds are sized by pre-executing subplans on the
+/// software executor, standing in for optimizer cardinality estimates).
+pub struct Compiler<'a> {
+    catalog: &'a dyn Catalog,
+}
+
+impl<'a> Compiler<'a> {
+    /// Creates a compiler over a catalog.
+    #[must_use]
+    pub fn new(catalog: &'a dyn Catalog) -> Self {
+        Compiler { catalog }
+    }
+
+    /// Compiles `plan` to a query graph whose single sink produces the
+    /// plan's result table.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile`].
+    pub fn compile(&self, plan: &Plan) -> Result<QueryGraph> {
+        let mut b = QueryGraph::builder("compiled");
+        let _rel = self.lower(&mut b, plan)?;
+        b.finish().map_err(Into::into)
+    }
+
+    /// Pre-executes a subplan on the software executor to obtain the
+    /// statistics a real optimizer would estimate.
+    fn stats(&self, plan: &Plan) -> Result<Table> {
+        q100_dbms::run(plan, self.catalog)
+            .map(|(t, _)| t)
+            .map_err(|e| CompileError::Stats(e.to_string()))
+    }
+
+    fn lower(&self, b: &mut GraphBuilder, plan: &Plan) -> Result<Rel> {
+        match plan {
+            Plan::Scan { table, columns } => {
+                let ports: Vec<PortRef> = columns
+                    .iter()
+                    .map(|c| b.col_select_base(table.clone(), c.clone()))
+                    .collect();
+                let t = b.stitch(&ports);
+                Ok(Rel { table: t, columns: columns.clone() })
+            }
+            Plan::Filter { input, predicate } => {
+                let rel = self.lower(b, input)?;
+                let env = select_all(b, &rel);
+                let keep = lower_expr(b, &env, predicate)?;
+                let filtered: Vec<PortRef> =
+                    env.iter().map(|(_, port)| b.col_filter(*port, keep)).collect();
+                for ((name, _), port) in env.iter().zip(&filtered) {
+                    b.name_output(*port, name.clone());
+                }
+                let t = b.stitch(&filtered);
+                Ok(Rel { table: t, columns: rel.columns })
+            }
+            Plan::Project { input, exprs } => {
+                let rel = self.lower(b, input)?;
+                // Select only the columns computed expressions touch;
+                // unreferenced selections would dangle as extra sinks.
+                let mut referenced = Vec::new();
+                for (_, expr) in exprs {
+                    if !matches!(expr, Expr::Col(_)) {
+                        crate::expr::referenced_columns(expr, &mut referenced);
+                    }
+                }
+                let env = select_cols(b, &rel, &referenced)?;
+                let mut out_ports = Vec::with_capacity(exprs.len());
+                let mut out_names = Vec::with_capacity(exprs.len());
+                for (name, expr) in exprs {
+                    // Pass-through references get a fresh ColSelect so
+                    // each projection owns its output name.
+                    let port = if let Expr::Col(src) = expr {
+                        if !rel.columns.iter().any(|c| c == src) {
+                            return Err(CompileError::UnknownColumn(src.clone()));
+                        }
+                        b.col_select(rel.table, src.clone())
+                    } else {
+                        lower_expr(b, &env, expr)?
+                    };
+                    b.name_output(port, name.clone());
+                    out_ports.push(port);
+                    out_names.push(name.clone());
+                }
+                let t = b.stitch(&out_ports);
+                Ok(Rel { table: t, columns: out_names })
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, join_type } => {
+                self.lower_join(b, left, right, left_keys, right_keys, *join_type)
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                self.lower_aggregate(b, input, group_by, aggs)
+            }
+            Plan::Sort { input, keys } => self.lower_sort(b, input, keys),
+        }
+    }
+
+    fn lower_join(
+        &self,
+        b: &mut GraphBuilder,
+        left: &Plan,
+        right: &Plan,
+        left_keys: &[String],
+        right_keys: &[String],
+        join_type: JoinType,
+    ) -> Result<Rel> {
+        let outer = match join_type {
+            JoinType::Inner => false,
+            JoinType::LeftOuter => true,
+            JoinType::LeftSemi | JoinType::LeftAnti => {
+                return Err(CompileError::Unsupported(
+                    "semi/anti joins (rewrite as join against a deduplicated key table)".into(),
+                ))
+            }
+        };
+        let lrel = self.lower(b, left)?;
+        let rrel = self.lower(b, right)?;
+        for k in left_keys.iter() {
+            if !lrel.columns.iter().any(|c| c == k) {
+                return Err(CompileError::UnknownColumn(k.clone()));
+            }
+        }
+        for k in right_keys.iter() {
+            if !rrel.columns.iter().any(|c| c == k) {
+                return Err(CompileError::UnknownColumn(k.clone()));
+            }
+        }
+        match left_keys.len() {
+            1 => {
+                let joined = if outer {
+                    b.join_outer(lrel.table, left_keys[0].clone(), rrel.table, right_keys[0].clone())
+                } else {
+                    b.join(lrel.table, left_keys[0].clone(), rrel.table, right_keys[0].clone())
+                };
+                let columns = joined_columns(&lrel.columns, &rrel.columns);
+                Ok(Rel { table: joined, columns })
+            }
+            2 => {
+                // Composite keys via the concatenator (values must fit
+                // 31 bits, the tile's packing constraint).
+                let lk = rekey(b, &lrel, &left_keys[0], &left_keys[1], "__lk")?;
+                let rk = rekey(b, &rrel, &right_keys[0], &right_keys[1], "__rk")?;
+                let joined = if outer {
+                    b.join_outer(lk.table, "__lk", rk.table, "__rk")
+                } else {
+                    b.join(lk.table, "__lk", rk.table, "__rk")
+                };
+                // Drop the synthetic key columns again.
+                let all = joined_columns(&lk.columns, &rk.columns);
+                let keep: Vec<String> =
+                    all.into_iter().filter(|c| c != "__lk" && c != "__rk").collect();
+                let ports: Vec<PortRef> = keep
+                    .iter()
+                    .map(|c| {
+                        let p = b.col_select(joined, c.clone());
+                        b.name_output(p, c.clone());
+                        p
+                    })
+                    .collect();
+                let t = b.stitch(&ports);
+                Ok(Rel { table: t, columns: keep })
+            }
+            n => Err(CompileError::Unsupported(format!(
+                "{n}-column join keys (pre-pack them with a Project)"
+            ))),
+        }
+    }
+
+    fn lower_aggregate(
+        &self,
+        b: &mut GraphBuilder,
+        input: &Plan,
+        group_by: &[String],
+        aggs: &[(String, AggKind, Expr)],
+    ) -> Result<Rel> {
+        if group_by.len() > 1 {
+            return Err(CompileError::Unsupported(
+                "multi-column GROUP BY (pre-pack the key with a Project)".into(),
+            ));
+        }
+        let rel = self.lower(b, input)?;
+        // Select the group column plus whatever the aggregate arguments
+        // reference (unreferenced selections would dangle as sinks).
+        let mut referenced: Vec<String> = group_by.to_vec();
+        for (_, kind, expr) in aggs {
+            if !matches!(kind, AggKind::Count) {
+                crate::expr::referenced_columns(expr, &mut referenced);
+            }
+        }
+        if referenced.is_empty() {
+            referenced.push(
+                rel.columns
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| CompileError::Unsupported("aggregate over zero columns".into()))?,
+            );
+        }
+        let env = select_cols(b, &rel, &referenced)?;
+
+        // The grouping key: a real column, or a synthesized constant
+        // zero for global aggregation.
+        let (group_port, bounds, presort) = if let Some(g) = group_by.first() {
+            let gp = env
+                .iter()
+                .find(|(n, _)| n == g)
+                .map(|(_, p)| *p)
+                .ok_or_else(|| CompileError::UnknownColumn(g.clone()))?;
+            // Statistics: pre-execute the input to size the partitions.
+            let stats = self.stats(input)?;
+            let gcol = stats
+                .column(g)
+                .map_err(|e| CompileError::Stats(e.to_string()))?;
+            let mut distinct: Vec<i64> = gcol.data().to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() <= 64 {
+                // Figure 1 pattern: one partition per group value, no sort.
+                let bounds: Vec<i64> = distinct.into_iter().skip(1).collect();
+                (gp, bounds, false)
+            } else {
+                let mut values = gcol.data().to_vec();
+                values.sort_unstable();
+                let step = SORTER_BATCH / 2;
+                let mut bounds = Vec::new();
+                let mut i = step;
+                while i < values.len() {
+                    let bnd = values[i];
+                    if Some(&bnd) != bounds.last() {
+                        bounds.push(bnd);
+                    }
+                    i += step;
+                }
+                (gp, bounds, true)
+            }
+        } else {
+            let first = env
+                .first()
+                .map(|(_, p)| *p)
+                .ok_or_else(|| CompileError::Unsupported("aggregate over zero columns".into()))?;
+            let zero = b.alu_const(first, AluOp::Mul, Value::Int(0));
+            b.name_output(zero, "__zero");
+            (zero, Vec::new(), false)
+        };
+
+        // Argument columns, one per aggregation. Each argument gets a
+        // fresh ALU pass-through so it owns its `__a<i>` output name
+        // even when it aliases the group column or another argument.
+        let mut arg_ports = Vec::with_capacity(aggs.len());
+        for (i, (_, kind, expr)) in aggs.iter().enumerate() {
+            let src = match (kind, expr) {
+                // COUNT ignores its argument; count the group column.
+                (AggKind::Count, _) => group_port,
+                (AggKind::CountDistinct, _) => {
+                    return Err(CompileError::Unsupported(
+                        "COUNT(DISTINCT) (compose two aggregations, as TPC-H Q16 does)".into(),
+                    ))
+                }
+                (_, e) => lower_expr(b, &env, e)?,
+            };
+            let copy = b.alu_const(src, AluOp::Mul, Value::Int(1));
+            b.name_output(copy, format!("__a{i}"));
+            arg_ports.push(copy);
+        }
+
+        let gname = group_by.first().cloned().unwrap_or_else(|| "__zero".to_string());
+        let mut cols = vec![group_port];
+        cols.extend(&arg_ports);
+        let staged = b.stitch(&cols);
+
+        let parts = if bounds.is_empty() {
+            vec![staged]
+        } else {
+            b.partition(staged, gname.clone(), bounds)
+        };
+        let agg_op = |kind: &AggKind| match kind {
+            AggKind::Sum => AggOp::Sum,
+            AggKind::Min => AggOp::Min,
+            AggKind::Max => AggOp::Max,
+            AggKind::Count => AggOp::Count,
+            AggKind::Avg => AggOp::Avg,
+            AggKind::CountDistinct => unreachable!("rejected above"),
+        };
+        // The aggregator tile names its output `<op>_<data column>`.
+        let agg_col_name =
+            |op: AggOp, i: usize| format!("{}_{}", op, format_args!("__a{i}")).to_lowercase();
+        let mut partials = Vec::with_capacity(parts.len());
+        for part in parts {
+            let part = if presort { b.sort(part, gname.clone()) } else { part };
+            let g = b.col_select(part, gname.clone());
+            let mut agg_tables = Vec::with_capacity(aggs.len());
+            for (i, (_, kind, _)) in aggs.iter().enumerate() {
+                let d = b.col_select(part, format!("__a{i}"));
+                agg_tables.push((b.aggregate(agg_op(kind), d, g), agg_op(kind), i));
+            }
+            // Re-stitch [group, agg0, agg1, ...]; the aggregates share
+            // group runs, so rows align.
+            let gout = b.col_select(agg_tables[0].0, gname.clone());
+            let mut out_cols = vec![gout];
+            for &(t, op, i) in &agg_tables {
+                let c = b.col_select(t, agg_col_name(op, i));
+                out_cols.push(c);
+            }
+            partials.push(b.stitch(&out_cols));
+        }
+        let combined = b.append_all(&partials);
+
+        // Final projection to the caller's column names; a global
+        // aggregate also drops the synthetic zero key (matching the
+        // software executor's output shape).
+        let mut final_ports = Vec::new();
+        let mut final_names = Vec::new();
+        if let Some(g) = group_by.first() {
+            let p = b.col_select(combined, g.clone());
+            b.name_output(p, g.clone());
+            final_ports.push(p);
+            final_names.push(g.clone());
+        }
+        for (i, (name, kind, _)) in aggs.iter().enumerate() {
+            let p = b.col_select(combined, agg_col_name(agg_op(kind), i));
+            b.name_output(p, name.clone());
+            final_ports.push(p);
+            final_names.push(name.clone());
+        }
+        let t = b.stitch(&final_ports);
+        Ok(Rel { table: t, columns: final_names })
+    }
+
+    fn lower_sort(
+        &self,
+        b: &mut GraphBuilder,
+        input: &Plan,
+        keys: &[(String, bool)],
+    ) -> Result<Rel> {
+        if keys.len() != 1 {
+            return Err(CompileError::Unsupported(
+                "multi-column ORDER BY (pre-pack the key with a Project)".into(),
+            ));
+        }
+        let (key, descending) = (&keys[0].0, keys[0].1);
+        let rel = self.lower(b, input)?;
+        if !rel.columns.iter().any(|c| c == key) {
+            return Err(CompileError::UnknownColumn(key.clone()));
+        }
+        let stats = self.stats(input)?;
+        let n = stats.row_count();
+        let sorted = if n <= SORTER_BATCH {
+            if descending {
+                b.sort_desc(rel.table, key.clone())
+            } else {
+                b.sort(rel.table, key.clone())
+            }
+        } else {
+            let kcol = stats
+                .column(key)
+                .map_err(|e| CompileError::Stats(e.to_string()))?;
+            let mut values = kcol.data().to_vec();
+            values.sort_unstable();
+            let step = SORTER_BATCH / 2;
+            let mut bounds = Vec::new();
+            let mut i = step;
+            while i < values.len() {
+                let bnd = values[i];
+                if Some(&bnd) != bounds.last() {
+                    bounds.push(bnd);
+                }
+                i += step;
+            }
+            let mut parts = b.partition(rel.table, key.clone(), bounds);
+            if descending {
+                parts.reverse();
+            }
+            let sorted: Vec<PortRef> = parts
+                .into_iter()
+                .map(|p| if descending { b.sort_desc(p, key.clone()) } else { b.sort(p, key.clone()) })
+                .collect();
+            b.append_all(&sorted)
+        };
+        Ok(Rel { table: sorted, columns: rel.columns })
+    }
+}
+
+/// Selects the named columns of a relation (deduplicated), returning
+/// the `(name, port)` environment expressions lower against.
+fn select_cols(
+    b: &mut GraphBuilder,
+    rel: &Rel,
+    names: &[String],
+) -> Result<Vec<(String, PortRef)>> {
+    let mut env = Vec::with_capacity(names.len());
+    for name in names {
+        if env.iter().any(|(n, _): &(String, PortRef)| n == name) {
+            continue;
+        }
+        if !rel.columns.iter().any(|c| c == name) {
+            return Err(CompileError::UnknownColumn(name.clone()));
+        }
+        env.push((name.clone(), b.col_select(rel.table, name.clone())));
+    }
+    Ok(env)
+}
+
+/// Selects every column of a relation, returning the `(name, port)`
+/// environment expressions lower against.
+fn select_all(b: &mut GraphBuilder, rel: &Rel) -> Vec<(String, PortRef)> {
+    rel.columns
+        .iter()
+        .map(|c| (c.clone(), b.col_select(rel.table, c.clone())))
+        .collect()
+}
+
+/// Prefixes a relation with a concatenated composite key column named
+/// `key_name` (the Concat tile's multi-attribute key pattern).
+fn rekey(b: &mut GraphBuilder, rel: &Rel, k1: &str, k2: &str, key_name: &str) -> Result<Rel> {
+    let a = b.col_select(rel.table, k1.to_string());
+    let c = b.col_select(rel.table, k2.to_string());
+    let key = b.concat(a, c);
+    b.name_output(key, key_name.to_string());
+    let mut ports = vec![key];
+    let mut names = vec![key_name.to_string()];
+    for col in &rel.columns {
+        let p = b.col_select(rel.table, col.clone());
+        b.name_output(p, col.clone());
+        ports.push(p);
+        names.push(col.clone());
+    }
+    let t = b.stitch(&ports);
+    Ok(Rel { table: t, columns: names })
+}
+
+/// The output column names of a join: left columns, then right columns
+/// with `_r` appended until unique — mirroring both engines' naming.
+fn joined_columns(left: &[String], right: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = left.to_vec();
+    for r in right {
+        let mut name = r.clone();
+        while out.contains(&name) {
+            name.push_str("_r");
+        }
+        out.push(name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q100_columnar::{Column, MemoryCatalog};
+    use q100_dbms::CmpKind;
+
+    fn catalog() -> MemoryCatalog {
+        let orders = Table::new(vec![
+            Column::from_ints("o_key", (1..=50).collect::<Vec<_>>()),
+            Column::from_ints("o_cust", (1..=50).map(|k| k % 7).collect::<Vec<_>>()),
+        ])
+        .unwrap();
+        let items = Table::new(vec![
+            Column::from_ints("i_order", (0..200).map(|i| i % 50 + 1).collect::<Vec<_>>()),
+            Column::from_ints("i_qty", (0..200).map(|i| i % 13).collect::<Vec<_>>()),
+        ])
+        .unwrap();
+        MemoryCatalog::new(vec![("orders".into(), orders), ("items".into(), items)])
+    }
+
+    /// Compiles, executes, and cross-checks a plan against the software
+    /// executor.
+    fn check(plan: &Plan) {
+        let cat = catalog();
+        let graph = compile(plan, &cat).unwrap();
+        let run = q100_core::execute(&graph, &cat).unwrap();
+        let got = run.result_table(&graph).unwrap();
+        let (want, _) = q100_dbms::run(plan, &cat).unwrap();
+        let mut g: Vec<Vec<String>> = (0..got.row_count())
+            .map(|r| got.row(r).iter().map(ToString::to_string).collect())
+            .collect();
+        let mut w: Vec<Vec<String>> = (0..want.row_count())
+            .map(|r| want.row(r).iter().map(ToString::to_string).collect())
+            .collect();
+        g.sort();
+        w.sort();
+        assert_eq!(g, w, "compiled result diverges for {plan}");
+    }
+
+    #[test]
+    fn scan_filter_project_roundtrip() {
+        check(&Plan::scan("items", &["i_order", "i_qty"])
+            .filter(Expr::col("i_qty").cmp(CmpKind::Gte, Expr::int(5)))
+            .project(vec![
+                ("o", Expr::col("i_order")),
+                ("double", Expr::col("i_qty").arith(q100_dbms::ArithKind::Mul, Expr::int(2))),
+            ]));
+    }
+
+    #[test]
+    fn single_key_join_roundtrip() {
+        check(
+            &Plan::scan("orders", &["o_key", "o_cust"])
+                .join(Plan::scan("items", &["i_order", "i_qty"]), &["o_key"], &["i_order"]),
+        );
+    }
+
+    #[test]
+    fn outer_join_roundtrip() {
+        // Restrict items so some orders are unmatched.
+        let items = Plan::scan("items", &["i_order", "i_qty"])
+            .filter(Expr::col("i_order").cmp(CmpKind::Lte, Expr::int(10)));
+        check(&Plan::scan("orders", &["o_key", "o_cust"]).join_as(
+            items,
+            &["o_key"],
+            &["i_order"],
+            JoinType::LeftOuter,
+        ));
+    }
+
+    #[test]
+    fn small_domain_aggregate_uses_figure_1_pattern() {
+        let plan = Plan::scan("orders", &["o_key", "o_cust"]).aggregate(
+            &["o_cust"],
+            vec![
+                ("n", AggKind::Count, Expr::int(1)),
+                ("max_key", AggKind::Max, Expr::col("o_key")),
+            ],
+        );
+        let cat = catalog();
+        let graph = compile(&plan, &cat).unwrap();
+        // No sorter needed: the 7-value domain partitions exactly.
+        let hist = graph.kind_histogram();
+        assert_eq!(hist[q100_core::TileKind::Sorter as usize], 0);
+        check(&plan);
+    }
+
+    #[test]
+    fn global_aggregate_roundtrip() {
+        check(&Plan::scan("items", &["i_order", "i_qty"]).aggregate(
+            &[],
+            vec![("total", AggKind::Sum, Expr::col("i_qty"))],
+        ));
+    }
+
+    #[test]
+    fn sort_roundtrip() {
+        check(&Plan::scan("items", &["i_order", "i_qty"]).sort(&[("i_qty", false)]));
+        check(&Plan::scan("items", &["i_order", "i_qty"]).sort(&[("i_qty", true)]));
+    }
+
+    #[test]
+    fn composite_key_join_roundtrip() {
+        let l = Plan::scan("items", &["i_order", "i_qty"])
+            .aggregate(&["i_order"], vec![("q", AggKind::Max, Expr::col("i_qty"))])
+            .project(vec![("k1", Expr::col("i_order")), ("k2", Expr::col("q"))]);
+        let r = Plan::scan("items", &["i_order", "i_qty"]);
+        check(&l.join(r, &["k1", "k2"], &["i_order", "i_qty"]));
+    }
+
+    #[test]
+    fn unsupported_constructs_report_clearly() {
+        let cat = catalog();
+        let semi = Plan::scan("orders", &["o_key"]).join_as(
+            Plan::scan("items", &["i_order"]),
+            &["o_key"],
+            &["i_order"],
+            JoinType::LeftSemi,
+        );
+        assert!(matches!(compile(&semi, &cat), Err(CompileError::Unsupported(_))));
+
+        let cd = Plan::scan("items", &["i_order"])
+            .aggregate(&[], vec![("n", AggKind::CountDistinct, Expr::col("i_order"))]);
+        assert!(matches!(compile(&cd, &cat), Err(CompileError::Unsupported(_))));
+
+        let multi = Plan::scan("items", &["i_order", "i_qty"])
+            .sort(&[("i_order", false), ("i_qty", false)]);
+        assert!(matches!(compile(&multi, &cat), Err(CompileError::Unsupported(_))));
+    }
+}

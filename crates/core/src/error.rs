@@ -1,0 +1,108 @@
+//! Error type for the Q100 core.
+
+use std::error::Error;
+use std::fmt;
+
+use q100_columnar::ColumnarError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by graph construction, scheduling, and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An instruction referenced a node id that does not exist.
+    UnknownNode(usize),
+    /// An instruction referenced an output port its producer lacks.
+    UnknownPort {
+        /// Producer node id.
+        node: usize,
+        /// Requested port.
+        port: usize,
+        /// Ports the producer actually has.
+        available: usize,
+    },
+    /// An operator received the wrong number or shape of inputs.
+    BadOperands {
+        /// Node id of the offending instruction.
+        node: usize,
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// A base table named in the graph is absent from the catalog.
+    UnknownTable(String),
+    /// An error bubbled up from the columnar substrate.
+    Columnar(ColumnarError),
+    /// The scheduler could not place the graph on the given tile mix
+    /// (e.g. a required tile kind has zero instances).
+    Unschedulable {
+        /// The tile kind that is exhausted or absent.
+        kind: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// A simulation was asked to run with an invalid configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            CoreError::UnknownPort { node, port, available } => write!(
+                f,
+                "node {node} has {available} output ports, port {port} requested"
+            ),
+            CoreError::BadOperands { node, reason } => {
+                write!(f, "bad operands for node {node}: {reason}")
+            }
+            CoreError::UnknownTable(name) => write!(f, "unknown base table `{name}`"),
+            CoreError::Columnar(e) => write!(f, "columnar error: {e}"),
+            CoreError::Unschedulable { kind, reason } => {
+                write!(f, "cannot schedule: {kind} tiles insufficient ({reason})")
+            }
+            CoreError::BadConfig(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for CoreError {
+    fn from(e: ColumnarError) -> Self {
+        CoreError::Columnar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::UnknownPort { node: 3, port: 2, available: 1 };
+        assert!(e.to_string().contains("port 2"));
+        let e = CoreError::UnknownTable("sales".into());
+        assert!(e.to_string().contains("`sales`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn columnar_errors_convert() {
+        let inner = ColumnarError::UnknownColumn("x".into());
+        let e: CoreError = inner.clone().into();
+        assert_eq!(e, CoreError::Columnar(inner));
+    }
+}

@@ -1,0 +1,127 @@
+//! Streams flowing along query-graph edges, and the catalog of base
+//! tables they originate from.
+
+use std::fmt;
+
+use q100_columnar::{Column, Table};
+
+use crate::error::{CoreError, Result};
+
+/// The payload of one producer port: a column stream or a table stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Data {
+    /// A stream of column elements.
+    Col(Column),
+    /// A stream of table records.
+    Tab(Table),
+}
+
+impl Data {
+    /// Number of records in the stream.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        match self {
+            Data::Col(c) => c.len() as u64,
+            Data::Tab(t) => t.row_count() as u64,
+        }
+    }
+
+    /// Total bytes in the stream, as charged by every bandwidth model.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Data::Col(c) => c.bytes(),
+            Data::Tab(t) => t.bytes(),
+        }
+    }
+
+    /// Bytes per record (the stream's record width).
+    #[must_use]
+    pub fn record_width(&self) -> u32 {
+        match self {
+            Data::Col(c) => c.width(),
+            Data::Tab(t) => t.record_width(),
+        }
+    }
+
+    /// Borrows the column, failing on tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadOperands`] when the stream is a table.
+    pub fn as_col(&self, node: usize) -> Result<&Column> {
+        match self {
+            Data::Col(c) => Ok(c),
+            Data::Tab(_) => Err(CoreError::BadOperands {
+                node,
+                reason: "expected a column stream, got a table".into(),
+            }),
+        }
+    }
+
+    /// Borrows the table, failing on columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadOperands`] when the stream is a column.
+    pub fn as_tab(&self, node: usize) -> Result<&Table> {
+        match self {
+            Data::Tab(t) => Ok(t),
+            Data::Col(_) => Err(CoreError::BadOperands {
+                node,
+                reason: "expected a table stream, got a column".into(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Data {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Data::Col(c) => write!(f, "col {c}"),
+            Data::Tab(t) => write!(f, "tab {t}"),
+        }
+    }
+}
+
+impl From<Column> for Data {
+    fn from(c: Column) -> Self {
+        Data::Col(c)
+    }
+}
+
+impl From<Table> for Data {
+    fn from(t: Table) -> Self {
+        Data::Tab(t)
+    }
+}
+
+pub use q100_columnar::{Catalog, MemoryCatalog};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_accounting() {
+        let c = Column::from_ints("a", [1, 2, 3]);
+        let d = Data::from(c.clone());
+        assert_eq!(d.records(), 3);
+        assert_eq!(d.bytes(), 24);
+        assert_eq!(d.record_width(), 8);
+        let t = Table::new(vec![c, Column::from_dates("d", [0, 1, 2])]).unwrap();
+        let d = Data::from(t);
+        assert_eq!(d.record_width(), 12);
+        assert_eq!(d.bytes(), 36);
+    }
+
+    #[test]
+    fn as_col_and_as_tab_enforce_shape() {
+        let d = Data::from(Column::from_ints("a", [1]));
+        assert!(d.as_col(0).is_ok());
+        assert!(d.as_tab(0).is_err());
+        let d = Data::from(Table::empty());
+        assert!(d.as_tab(0).is_ok());
+        assert!(d.as_col(0).is_err());
+    }
+}

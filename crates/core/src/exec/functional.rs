@@ -1,0 +1,706 @@
+//! Functional execution of query graphs.
+//!
+//! Executes every spatial instruction, in topological order, on real
+//! columnar data — the exact semantics each Q100 tile implements in
+//! hardware. Alongside the results it records a [`GraphProfile`]: the
+//! record/byte volume on every edge, which both the data-aware scheduler
+//! (standing in for DBMS cardinality estimates) and the timing simulator
+//! consume.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use q100_columnar::{Column, LogicalType, Table};
+
+use crate::error::{CoreError, Result};
+use crate::exec::data::{Catalog, Data};
+use crate::isa::graph::{NodeId, QueryGraph, SpatialOp};
+use crate::isa::ops::{AggOp, AluOp, Operand};
+use crate::tiles::SORTER_BATCH;
+
+/// Per-instruction volume profile gathered during functional execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeProfile {
+    /// Records consumed per input edge.
+    pub in_records: Vec<u64>,
+    /// Bytes consumed per input edge.
+    pub in_bytes: Vec<u64>,
+    /// Records produced per output port.
+    pub out_records: Vec<u64>,
+    /// Bytes produced per output port.
+    pub out_bytes: Vec<u64>,
+    /// Bytes streamed directly from memory (base-table column reads).
+    pub mem_read_bytes: u64,
+    /// For sorters: number of 1024-record batches processed.
+    pub sorter_batches: u64,
+    /// True when a sorter input exceeded the 1024-record batch capacity.
+    /// The functional result is still fully sorted; the flag lets tests
+    /// and planners detect plans the real hardware would mis-sort.
+    pub capacity_violation: bool,
+}
+
+/// The volume profile of a whole graph, indexed by node id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphProfile {
+    /// Per-node profiles.
+    pub nodes: Vec<NodeProfile>,
+}
+
+impl GraphProfile {
+    /// Bytes flowing over the edge from `port` of its producer (equal to
+    /// the producer's output bytes on that port).
+    #[must_use]
+    pub fn edge_bytes(&self, node: NodeId, port: usize) -> u64 {
+        self.nodes
+            .get(node)
+            .and_then(|n| n.out_bytes.get(port))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes read from base tables.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.mem_read_bytes).sum()
+    }
+
+    /// Total sorter capacity violations across the graph.
+    #[must_use]
+    pub fn capacity_violations(&self) -> usize {
+        self.nodes.iter().filter(|n| n.capacity_violation).count()
+    }
+}
+
+/// The outcome of a functional run: per-port results plus the profile.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// `outputs[node][port]` is the stream produced on that port.
+    pub outputs: Vec<Vec<Arc<Data>>>,
+    /// Volume profile.
+    pub profile: GraphProfile,
+}
+
+impl FunctionalRun {
+    /// The streams produced by the graph's sink nodes (the query
+    /// results), in node-id order.
+    #[must_use]
+    pub fn results(&self, graph: &QueryGraph) -> Vec<Arc<Data>> {
+        graph
+            .sinks()
+            .into_iter()
+            .flat_map(|id| self.outputs[id].iter().cloned())
+            .collect()
+    }
+
+    /// The single table result of a graph with exactly one sink that
+    /// produces a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadOperands`] when the graph has more than
+    /// one sink or the sink is not a table.
+    pub fn result_table(&self, graph: &QueryGraph) -> Result<Table> {
+        let sinks = graph.sinks();
+        if sinks.len() != 1 || self.outputs[sinks[0]].len() != 1 {
+            return Err(CoreError::BadOperands {
+                node: *sinks.first().unwrap_or(&0),
+                reason: format!("expected one sink with one port, found {} sinks", sinks.len()),
+            });
+        }
+        match self.outputs[sinks[0]][0].as_ref() {
+            Data::Tab(t) => Ok(t.clone()),
+            Data::Col(c) => Table::new(vec![c.clone()]).map_err(Into::into),
+        }
+    }
+}
+
+/// Executes `graph` functionally against `catalog`, retaining every
+/// intermediate stream (useful for inspection and tests).
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] when the graph is structurally invalid,
+/// references unknown tables/columns, or feeds an operator a stream of
+/// the wrong shape.
+pub fn execute(graph: &QueryGraph, catalog: &dyn Catalog) -> Result<FunctionalRun> {
+    execute_inner(graph, catalog, true)
+}
+
+/// Memory-lean variant of [`execute`]: intermediate streams are freed
+/// as soon as their last consumer has run, keeping only the sink
+/// results (and the volume profile). Use this for large scale factors
+/// and configuration sweeps — the peak footprint becomes the largest
+/// single working set instead of the whole dataflow history.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_lean(graph: &QueryGraph, catalog: &dyn Catalog) -> Result<FunctionalRun> {
+    execute_inner(graph, catalog, false)
+}
+
+fn execute_inner(
+    graph: &QueryGraph,
+    catalog: &dyn Catalog,
+    retain_intermediates: bool,
+) -> Result<FunctionalRun> {
+    graph.validate()?;
+    let mut outputs: Vec<Vec<Arc<Data>>> = Vec::with_capacity(graph.len());
+    let mut profile = GraphProfile { nodes: Vec::with_capacity(graph.len()) };
+
+    // Remaining-consumer counts per node; sinks are pinned so their
+    // results survive.
+    let mut remaining = vec![0usize; graph.len()];
+    for (p, _) in graph.edges() {
+        remaining[p.node] += 1;
+    }
+    for id in graph.sinks() {
+        remaining[id] = usize::MAX;
+    }
+    let placeholder = Arc::new(Data::Col(Column::from_ints("freed", Vec::new())));
+
+    for (id, inst) in graph.nodes().iter().enumerate() {
+        let inputs: Vec<Arc<Data>> = inst
+            .inputs
+            .iter()
+            .map(|p| Arc::clone(&outputs[p.node][p.port]))
+            .collect();
+        let mut node_profile = NodeProfile {
+            in_records: inputs.iter().map(|d| d.records()).collect(),
+            in_bytes: inputs.iter().map(|d| d.bytes()).collect(),
+            ..NodeProfile::default()
+        };
+        let outs = eval(id, inst, &inputs, catalog, &mut node_profile)?;
+        node_profile.out_records = outs.iter().map(Data::records).collect();
+        node_profile.out_bytes = outs.iter().map(Data::bytes).collect();
+        outputs.push(outs.into_iter().map(Arc::new).collect());
+        profile.nodes.push(node_profile);
+
+        if !retain_intermediates {
+            drop(inputs); // release this node's borrowed Arcs first
+            for p in &inst.inputs {
+                if remaining[p.node] != usize::MAX {
+                    remaining[p.node] -= 1;
+                    if remaining[p.node] == 0 {
+                        for slot in &mut outputs[p.node] {
+                            *slot = Arc::clone(&placeholder);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(FunctionalRun { outputs, profile })
+}
+
+fn eval(
+    id: NodeId,
+    inst: &crate::isa::graph::SpatialInst,
+    inputs: &[Arc<Data>],
+    catalog: &dyn Catalog,
+    prof: &mut NodeProfile,
+) -> Result<Vec<Data>> {
+    let named = |col: Column| -> Column {
+        match &inst.output_name {
+            Some(name) => col.renamed(name.clone()),
+            None => col,
+        }
+    };
+    match &inst.op {
+        SpatialOp::ColSelect { base, column } => {
+            let col = match base {
+                Some(table_name) => {
+                    let table = catalog
+                        .base_table(table_name)
+                        .ok_or_else(|| CoreError::UnknownTable(table_name.clone()))?;
+                    let col = table.column(column)?.clone();
+                    prof.mem_read_bytes = col.bytes();
+                    col
+                }
+                None => inputs[0].as_tab(id)?.column(column)?.clone(),
+            };
+            Ok(vec![Data::Col(named(col))])
+        }
+        SpatialOp::BoolGen { cmp, rhs } => {
+            let a = inputs[0].as_col(id)?;
+            let bools: Vec<bool> = match rhs {
+                Operand::Const(v) => {
+                    // A constant absent from a string dictionary matches
+                    // no row (for EQ) / every row (for NEQ); encode_lookup
+                    // returning None is resolved against an impossible code.
+                    let rhs_phys = v
+                        .encode_lookup(a.dict().map(Arc::as_ref))
+                        .unwrap_or(i64::MIN);
+                    a.iter().map(|&x| cmp.eval(x, rhs_phys)).collect()
+                }
+                Operand::Column => {
+                    let b = inputs[1].as_col(id)?;
+                    if a.len() != b.len() {
+                        return Err(CoreError::BadOperands {
+                            node: id,
+                            reason: format!("BoolGen inputs differ: {} vs {}", a.len(), b.len()),
+                        });
+                    }
+                    a.iter().zip(b.iter()).map(|(&x, &y)| cmp.eval(x, y)).collect()
+                }
+            };
+            let out = Column::from_bools(format!("bool{id}"), bools);
+            Ok(vec![Data::Col(named(out))])
+        }
+        SpatialOp::ColFilter => {
+            let data = inputs[0].as_col(id)?;
+            let bools = inputs[1].as_col(id)?;
+            if data.len() != bools.len() {
+                return Err(CoreError::BadOperands {
+                    node: id,
+                    reason: format!("ColFilter inputs differ: {} vs {}", data.len(), bools.len()),
+                });
+            }
+            let keep: Vec<bool> = bools.iter().map(|&b| b != 0).collect();
+            Ok(vec![Data::Col(named(data.filter(&keep)))])
+        }
+        SpatialOp::Alu { op, rhs } => {
+            let a = inputs[0].as_col(id)?;
+            let data: Vec<i64> = if op.is_unary() {
+                a.iter().map(|&x| op.eval(x, 0)).collect()
+            } else {
+                match rhs {
+                    Operand::Const(v) => {
+                        let c = v.encode_lookup(a.dict().map(Arc::as_ref)).unwrap_or(0);
+                        a.iter().map(|&x| op.eval(x, c)).collect()
+                    }
+                    Operand::Column => {
+                        let b = inputs[1].as_col(id)?;
+                        if a.len() != b.len() {
+                            return Err(CoreError::BadOperands {
+                                node: id,
+                                reason: format!("ALU inputs differ: {} vs {}", a.len(), b.len()),
+                            });
+                        }
+                        a.iter().zip(b.iter()).map(|(&x, &y)| op.eval(x, y)).collect()
+                    }
+                }
+            };
+            // Arithmetic on dictionary codes / dates / booleans yields a
+            // plain integer (key packing, year extraction); only decimal
+            // arithmetic stays decimal. Logical operations yield booleans.
+            let ty = match op {
+                AluOp::And | AluOp::Or | AluOp::Not => LogicalType::Bool,
+                _ => {
+                    if a.ty() == LogicalType::Decimal {
+                        LogicalType::Decimal
+                    } else {
+                        LogicalType::Int
+                    }
+                }
+            };
+            let out = Column::from_physical(format!("alu{id}"), ty, data);
+            Ok(vec![Data::Col(named(out))])
+        }
+        SpatialOp::Joiner { left_key, right_key, outer } => {
+            let pk = inputs[0].as_tab(id)?;
+            let fk = inputs[1].as_tab(id)?;
+            Ok(vec![Data::Tab(join(id, pk, left_key, fk, right_key, *outer)?)])
+        }
+        SpatialOp::Partitioner { key, bounds } => {
+            let table = inputs[0].as_tab(id)?;
+            let keys = table.column(key)?;
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); bounds.len() + 1];
+            for (row, &k) in keys.iter().enumerate() {
+                // First bound greater than k picks the bucket.
+                let bucket = bounds.partition_point(|&b| b <= k);
+                buckets[bucket].push(row);
+            }
+            Ok(buckets.into_iter().map(|rows| Data::Tab(table.gather(&rows))).collect())
+        }
+        SpatialOp::Sorter { key, descending } => {
+            let table = inputs[0].as_tab(id)?;
+            let keys = table.column(key)?;
+            let n = table.row_count();
+            prof.sorter_batches = (n as u64).div_ceil(SORTER_BATCH as u64).max(1);
+            prof.capacity_violation = n > SORTER_BATCH;
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let ord = keys.cmp_rows(a, b);
+                if *descending { ord.reverse() } else { ord }
+            });
+            Ok(vec![Data::Tab(table.gather(&order))])
+        }
+        SpatialOp::Aggregator { op } => {
+            let data = inputs[0].as_col(id)?;
+            let group = inputs[1].as_col(id)?;
+            if data.len() != group.len() {
+                return Err(CoreError::BadOperands {
+                    node: id,
+                    reason: format!("Aggregator inputs differ: {} vs {}", data.len(), group.len()),
+                });
+            }
+            Ok(vec![Data::Tab(aggregate(*op, data, group)?)])
+        }
+        SpatialOp::Append => {
+            let mut first = inputs[0].as_tab(id)?.clone();
+            first.append(inputs[1].as_tab(id)?)?;
+            Ok(vec![Data::Tab(first)])
+        }
+        SpatialOp::Concat => {
+            let a = inputs[0].as_col(id)?;
+            let b = inputs[1].as_col(id)?;
+            if a.len() != b.len() {
+                return Err(CoreError::BadOperands {
+                    node: id,
+                    reason: format!("Concat inputs differ: {} vs {}", a.len(), b.len()),
+                });
+            }
+            let data: Vec<i64> = a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| {
+                    if !(0..1 << 31).contains(&x) || !(0..1 << 31).contains(&y) {
+                        return Err(CoreError::BadOperands {
+                            node: id,
+                            reason: format!("concat operands ({x}, {y}) exceed the 31-bit range"),
+                        });
+                    }
+                    Ok((x << 32) | y)
+                })
+                .collect::<Result<_>>()?;
+            let width = (a.width() + b.width()).min(32);
+            let out = Column::from_physical(format!("concat{id}"), LogicalType::Int, data)
+                .with_width(width)?;
+            Ok(vec![Data::Col(named(out))])
+        }
+        SpatialOp::Stitch => {
+            let mut cols: Vec<Column> = Vec::with_capacity(inputs.len());
+            for (i, input) in inputs.iter().enumerate() {
+                let col = input.as_col(id)?.clone();
+                // Deduplicate names so the stitched table stays valid.
+                let mut name = col.name().to_string();
+                let mut suffix = 2;
+                while cols.iter().any(|c| c.name() == name) {
+                    name = format!("{}_{suffix}", col.name());
+                    suffix += 1;
+                }
+                let col = if name == col.name() { col } else { col.renamed(name) };
+                if i > 0 && col.len() != cols[0].len() {
+                    return Err(CoreError::BadOperands {
+                        node: id,
+                        reason: format!("Stitch inputs differ: {} vs {}", cols[0].len(), col.len()),
+                    });
+                }
+                cols.push(col);
+            }
+            Ok(vec![Data::Tab(Table::new(cols)?)])
+        }
+    }
+}
+
+/// PK–FK equijoin: each foreign-key row joins the unique primary-key
+/// row with the matching key; FK rows without a match are dropped.
+/// Output preserves FK stream order, which is how the hardware streams
+/// the join. With `outer` set, unmatched primary-key rows follow the
+/// matched stream with zero-filled foreign-key columns.
+fn join(
+    id: NodeId,
+    pk: &Table,
+    left_key: &str,
+    fk: &Table,
+    right_key: &str,
+    outer: bool,
+) -> Result<Table> {
+    let pk_keys = pk.column(left_key)?;
+    let fk_keys = fk.column(right_key)?;
+    let mut index: HashMap<i64, usize> = HashMap::with_capacity(pk_keys.len());
+    for (row, &k) in pk_keys.iter().enumerate() {
+        if index.insert(k, row).is_some() {
+            return Err(CoreError::BadOperands {
+                node: id,
+                reason: format!("joiner primary-key side has duplicate key {k} in `{left_key}`"),
+            });
+        }
+    }
+    let mut pk_rows: Vec<usize> = Vec::new();
+    let mut fk_rows: Vec<usize> = Vec::new();
+    let mut pk_matched = vec![false; pk_keys.len()];
+    for (row, k) in fk_keys.iter().enumerate() {
+        if let Some(&pk_row) = index.get(k) {
+            pk_rows.push(pk_row);
+            fk_rows.push(row);
+            pk_matched[pk_row] = true;
+        }
+    }
+    let unmatched: Vec<usize> = if outer {
+        (0..pk_keys.len()).filter(|&r| !pk_matched[r]).collect()
+    } else {
+        Vec::new()
+    };
+    pk_rows.extend_from_slice(&unmatched);
+    let mut cols: Vec<Column> = pk.gather(&pk_rows).columns().to_vec();
+    for col in fk.gather(&fk_rows).columns() {
+        // Zero-fill the foreign-key columns of unmatched primary rows
+        // (the tile's NULL sentinel).
+        let col = if unmatched.is_empty() {
+            col.clone()
+        } else {
+            let mut data = col.data().to_vec();
+            data.extend(std::iter::repeat_n(0, unmatched.len()));
+            col.with_data(data)
+        };
+        let col = &col;
+        let mut name = col.name().to_string();
+        while cols.iter().any(|c| c.name() == name) {
+            name.push_str("_r");
+        }
+        let col = if name == col.name() { col.clone() } else { col.renamed(name) };
+        cols.push(col);
+    }
+    Table::new(cols).map_err(Into::into)
+}
+
+/// Run-based aggregation: closes an aggregate whenever consecutive
+/// group values differ, exactly as the hardware tile does. Input not
+/// grouped on the group column therefore yields fragmented runs — the
+/// same behaviour the real tile would exhibit.
+fn aggregate(op: AggOp, data: &Column, group: &Column) -> Result<Table> {
+    let mut group_out: Vec<i64> = Vec::new();
+    let mut agg_out: Vec<i64> = Vec::new();
+    let mut run: Vec<i64> = Vec::new();
+    let mut current: Option<i64> = None;
+    for (&g, &v) in group.iter().zip(data.iter()) {
+        if current != Some(g) {
+            if let Some(prev) = current {
+                group_out.push(prev);
+                agg_out.push(op.fold(&run));
+                run.clear();
+            }
+            current = Some(g);
+        }
+        run.push(v);
+    }
+    if let Some(prev) = current {
+        group_out.push(prev);
+        agg_out.push(op.fold(&run));
+    }
+    let group_col = group.with_data(group_out);
+    let agg_ty = match op {
+        AggOp::Count => LogicalType::Int,
+        _ => data.ty(),
+    };
+    let agg_col = Column::from_physical(format!("{}_{}", op, data.name()).to_lowercase(), agg_ty, agg_out);
+    Table::new(vec![group_col, agg_col]).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::data::MemoryCatalog;
+    use crate::isa::graph::QueryGraph;
+    use crate::isa::ops::CmpOp;
+    use q100_columnar::Value;
+
+    fn sales_catalog() -> MemoryCatalog {
+        let t = Table::new(vec![
+            Column::from_ints("qty", [5, 10, 3, 8]),
+            Column::from_ints("season", [1, 2, 1, 2]),
+        ])
+        .unwrap();
+        MemoryCatalog::new(vec![("sales".into(), t)])
+    }
+
+    #[test]
+    fn filter_pipeline_end_to_end() {
+        let mut b = QueryGraph::builder("t");
+        let qty = b.col_select_base("sales", "qty");
+        let keep = b.bool_gen_const(qty, CmpOp::Gte, Value::Int(5));
+        let out = b.col_filter(qty, keep);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &sales_catalog()).unwrap();
+        let col = run.outputs[out.node][0].as_col(0).unwrap().clone();
+        assert_eq!(col.data(), &[5, 10, 8]);
+        // Profile: ColSelect read 4*8 bytes from memory, filter dropped 1 row.
+        assert_eq!(run.profile.nodes[qty.node].mem_read_bytes, 32);
+        assert_eq!(run.profile.nodes[out.node].out_records, vec![3]);
+        assert_eq!(run.profile.input_bytes(), 32);
+    }
+
+    #[test]
+    fn aggregate_closes_runs_on_group_change() {
+        let data = Column::from_ints("v", [1, 2, 3, 4, 5]);
+        let group = Column::from_ints("g", [7, 7, 8, 8, 7]);
+        let t = aggregate(AggOp::Sum, &data, &group).unwrap();
+        // The trailing 7 is a *separate* run — hardware semantics.
+        assert_eq!(t.column("g").unwrap().data(), &[7, 8, 7]);
+        assert_eq!(t.column("sum_v").unwrap().data(), &[3, 7, 5]);
+    }
+
+    #[test]
+    fn join_is_pk_fk_inner() {
+        let pk = Table::new(vec![
+            Column::from_ints("k", [1, 2, 3]),
+            Column::from_ints("name", [10, 20, 30]),
+        ])
+        .unwrap();
+        let fk = Table::new(vec![
+            Column::from_ints("fk", [2, 9, 1, 2]),
+            Column::from_ints("v", [100, 200, 300, 400]),
+        ])
+        .unwrap();
+        let j = join(0, &pk, "k", &fk, "fk", false).unwrap();
+        assert_eq!(j.row_count(), 3); // fk=9 dropped
+        assert_eq!(j.column("name").unwrap().data(), &[20, 10, 20]);
+        assert_eq!(j.column("v").unwrap().data(), &[100, 300, 400]);
+
+        let dup = Table::new(vec![Column::from_ints("k", [1, 1])]).unwrap();
+        assert!(join(0, &dup, "k", &fk, "fk", false).is_err());
+    }
+
+    #[test]
+    fn outer_join_keeps_unmatched_pk_rows() {
+        let pk = Table::new(vec![
+            Column::from_ints("k", [1, 2, 3]),
+            Column::from_ints("name", [10, 20, 30]),
+        ])
+        .unwrap();
+        let fk = Table::new(vec![
+            Column::from_ints("fk", [2, 2]),
+            Column::from_ints("v", [100, 400]),
+        ])
+        .unwrap();
+        let j = join(0, &pk, "k", &fk, "fk", true).unwrap();
+        // Two matches for k=2, then unmatched k=1 and k=3 with zeroed
+        // foreign columns.
+        assert_eq!(j.row_count(), 4);
+        assert_eq!(j.column("k").unwrap().data(), &[2, 2, 1, 3]);
+        assert_eq!(j.column("v").unwrap().data(), &[100, 400, 0, 0]);
+    }
+
+    #[test]
+    fn builder_outer_join_wires_flag() {
+        let mut b = QueryGraph::builder("oj");
+        let k = b.col_select_base("sales", "qty");
+        let t1 = b.stitch(&[k]);
+        let s2 = b.col_select_base("sales", "season");
+        let t2 = b.stitch(&[s2]);
+        let j = b.join_outer(t1, "qty", t2, "season");
+        let g = b.finish().unwrap();
+        assert!(g.node(j.node).op.to_string().starts_with("OuterJoin"));
+    }
+
+    #[test]
+    fn lean_execution_matches_full_on_sinks_and_profile() {
+        let cat = sales_catalog();
+        let mut b = QueryGraph::builder("lean");
+        let qty = b.col_select_base("sales", "qty");
+        let season = b.col_select_base("sales", "season");
+        let keep = b.bool_gen_const(qty, CmpOp::Gte, Value::Int(5));
+        let qf = b.col_filter(qty, keep);
+        let sf = b.col_filter(season, keep);
+        let _t = b.stitch(&[sf, qf]);
+        let g = b.finish().unwrap();
+        let full = execute(&g, &cat).unwrap();
+        let lean = super::execute_lean(&g, &cat).unwrap();
+        assert_eq!(full.profile, lean.profile);
+        assert_eq!(
+            full.result_table(&g).unwrap(),
+            lean.result_table(&g).unwrap()
+        );
+        // Intermediates are gone in the lean run.
+        assert_eq!(lean.outputs[qty.node][0].records(), 0);
+        assert_ne!(full.outputs[qty.node][0].records(), 0);
+    }
+
+    #[test]
+    fn partition_respects_bounds() {
+        let mut b = QueryGraph::builder("p");
+        let qty = b.col_select_base("sales", "qty");
+        let tab = b.stitch(&[qty]);
+        let parts = b.partition(tab, "qty", vec![5, 9]);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &sales_catalog()).unwrap();
+        let p0 = run.outputs[parts[0].node][0].as_tab(0).unwrap().clone();
+        let p1 = run.outputs[parts[0].node][1].as_tab(0).unwrap().clone();
+        let p2 = run.outputs[parts[0].node][2].as_tab(0).unwrap().clone();
+        assert_eq!(p0.column("qty").unwrap().data(), &[3]); // < 5
+        assert_eq!(p1.column("qty").unwrap().data(), &[5, 8]); // 5..9
+        assert_eq!(p2.column("qty").unwrap().data(), &[10]); // >= 9
+    }
+
+    #[test]
+    fn sorter_orders_and_flags_capacity() {
+        let big: Vec<i64> = (0..2000).rev().collect();
+        let t = Table::new(vec![Column::from_ints("k", big)]).unwrap();
+        let cat = MemoryCatalog::new(vec![("t".into(), t)]);
+        let mut b = QueryGraph::builder("s");
+        let k = b.col_select_base("t", "k");
+        let tab = b.stitch(&[k]);
+        let sorted = b.sort(tab, "k");
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let out = run.outputs[sorted.node][0].as_tab(0).unwrap().clone();
+        let data = out.column("k").unwrap().data().to_vec();
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        assert!(run.profile.nodes[sorted.node].capacity_violation);
+        assert_eq!(run.profile.nodes[sorted.node].sorter_batches, 2);
+        assert_eq!(run.profile.capacity_violations(), 1);
+    }
+
+    #[test]
+    fn concat_packs_pairs_order_preserving() {
+        let a = Column::from_ints("a", [1, 1, 2]);
+        let bcol = Column::from_ints("b", [5, 9, 0]);
+        let t = Table::new(vec![a, bcol]).unwrap();
+        let cat = MemoryCatalog::new(vec![("t".into(), t)]);
+        let mut b = QueryGraph::builder("c");
+        let ca = b.col_select_base("t", "a");
+        let cb = b.col_select_base("t", "b");
+        let cc = b.concat(ca, cb);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let out = run.outputs[cc.node][0].as_col(0).unwrap().clone();
+        let d = out.data().to_vec();
+        assert!(d[0] < d[1] && d[1] < d[2], "packing preserves (a,b) order");
+        assert_eq!(out.width(), 16);
+    }
+
+    #[test]
+    fn stitch_dedups_names_and_append_combines() {
+        let mut b = QueryGraph::builder("s");
+        let a1 = b.col_select_base("sales", "qty");
+        let a2 = b.col_select_base("sales", "qty");
+        let t1 = b.stitch(&[a1, a2]);
+        let t2 = b.stitch(&[a1, a2]);
+        let all = b.append(t1, t2);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &sales_catalog()).unwrap();
+        let out = run.outputs[all.node][0].as_tab(0).unwrap().clone();
+        assert_eq!(out.row_count(), 8);
+        assert_eq!(out.column_at(1).name(), "qty_2");
+    }
+
+    #[test]
+    fn result_table_requires_single_sink() {
+        let mut b = QueryGraph::builder("multi");
+        let _a = b.col_select_base("sales", "qty");
+        let _b2 = b.col_select_base("sales", "season");
+        let g = b.finish().unwrap();
+        let run = execute(&g, &sales_catalog()).unwrap();
+        assert!(run.result_table(&g).is_err());
+        assert_eq!(run.results(&g).len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_and_column_error() {
+        let mut b = QueryGraph::builder("bad");
+        let _ = b.col_select_base("nope", "x");
+        let g = b.finish().unwrap();
+        assert!(matches!(
+            execute(&g, &sales_catalog()),
+            Err(CoreError::UnknownTable(_))
+        ));
+
+        let mut b = QueryGraph::builder("bad2");
+        let _ = b.col_select_base("sales", "missing");
+        let g = b.finish().unwrap();
+        assert!(execute(&g, &sales_catalog()).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Execution: functional semantics, timing model, and the simulator
+//! facade combining them.
+
+mod data;
+pub mod functional;
+pub mod report;
+pub mod timing;
+
+pub use data::{Catalog, Data, MemoryCatalog};
+pub use functional::{execute, execute_lean, FunctionalRun, GraphProfile, NodeProfile};
+pub use timing::{
+    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, BwStats,
+    ConnMatrix, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+};
+
+use std::sync::Arc;
+
+use q100_columnar::Table;
+
+use crate::config::SimConfig;
+use crate::error::Result;
+use crate::isa::graph::QueryGraph;
+use crate::power;
+use crate::sched::{self, Schedule};
+use crate::tiles::TileKind;
+
+/// The complete outcome of simulating one query on one Q100
+/// configuration: functional results, schedule, timing, and energy.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// End-to-end cycles at 315 MHz.
+    pub cycles: u64,
+    /// The schedule that was executed.
+    pub schedule: Schedule,
+    /// Detailed timing (bandwidth traces, busy cycles, spills).
+    pub timing: TimingResult,
+    /// The query's result streams (sink outputs).
+    pub results: Vec<Arc<Data>>,
+    /// The configuration simulated.
+    pub config: SimConfig,
+}
+
+impl SimOutcome {
+    /// Runtime in milliseconds.
+    #[must_use]
+    pub fn runtime_ms(&self) -> f64 {
+        self.timing.runtime_ms()
+    }
+
+    /// Energy in millijoules (tiles + NoC + stream buffers).
+    #[must_use]
+    pub fn energy_mj(&self) -> f64 {
+        power::energy_mj(&self.timing.busy_cycles, self.cycles, &self.config)
+    }
+
+    /// Average power in watts over the query (energy / runtime).
+    #[must_use]
+    pub fn avg_power_w(&self) -> f64 {
+        let ms = self.runtime_ms();
+        if ms <= 0.0 {
+            0.0
+        } else {
+            self.energy_mj() / ms
+        }
+    }
+
+    /// Renders a human-readable execution report (timeline, tile
+    /// activity, memory traffic, hottest links).
+    #[must_use]
+    pub fn render_report(&self, graph: &QueryGraph) -> String {
+        report::render_report(self, graph)
+    }
+
+    /// Spilled bytes relative to the query's input+output volume
+    /// (Figure 21's metric).
+    #[must_use]
+    pub fn spill_ratio(&self) -> f64 {
+        let io = self.timing.input_bytes + self.timing.output_bytes;
+        if io == 0 {
+            0.0
+        } else {
+            self.timing.spill_bytes as f64 / io as f64
+        }
+    }
+
+    /// The single-table result of a single-sink query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the query has multiple sinks (see
+    /// [`FunctionalRun::result_table`]).
+    pub fn result_table(&self, _graph: &QueryGraph) -> Result<Table> {
+        // Reconstruct via the stored sink streams.
+        if self.results.len() == 1 {
+            return match self.results[0].as_ref() {
+                Data::Tab(t) => Ok(t.clone()),
+                Data::Col(c) => {
+                    Ok(Table::new(vec![c.clone()])?)
+                }
+            };
+        }
+        Err(crate::error::CoreError::BadOperands {
+            node: 0,
+            reason: format!("query has {} result streams, expected 1", self.results.len()),
+        })
+    }
+}
+
+/// The Q100 simulator: functional execution, scheduling, and timing in
+/// one call.
+///
+/// # Example
+///
+/// ```
+/// use q100_columnar::{Column, Table, Value};
+/// use q100_core::{CmpOp, MemoryCatalog, QueryGraph, SimConfig, Simulator, TileMix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sales = Table::new(vec![Column::from_ints("qty", vec![5, 12, 7, 30])])?;
+/// let catalog = MemoryCatalog::new(vec![("sales".to_string(), sales)]);
+///
+/// let mut b = QueryGraph::builder("demo");
+/// let qty = b.col_select_base("sales", "qty");
+/// let big = b.bool_gen_const(qty, CmpOp::Gt, Value::Int(10));
+/// let _out = b.col_filter(qty, big);
+/// let graph = b.finish()?;
+///
+/// let outcome = Simulator::new(SimConfig::pareto()).run(&graph, &catalog)?;
+/// assert!(outcome.cycles > 0);
+/// assert!(outcome.energy_mj() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Functionally executes, schedules, and times `graph` against
+    /// `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation, execution, scheduling, and
+    /// configuration errors.
+    pub fn run(&self, graph: &QueryGraph, catalog: &dyn Catalog) -> Result<SimOutcome> {
+        // Lean execution: intermediates are dropped as consumed, so the
+        // peak footprint tracks the largest working set, not the whole
+        // dataflow history.
+        let functional = functional::execute_lean(graph, catalog)?;
+        self.run_profiled(graph, &functional)
+    }
+
+    /// Schedules and times a query whose functional run (and volume
+    /// profile) already exists — lets experiments sweep many
+    /// configurations while executing the data exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and configuration errors.
+    pub fn run_profiled(&self, graph: &QueryGraph, functional: &FunctionalRun) -> Result<SimOutcome> {
+        self.config.validate()?;
+        let schedule = sched::schedule(self.config.scheduler, graph, &self.config.mix, &functional.profile)?;
+        self.run_scheduled(graph, functional, schedule)
+    }
+
+    /// Times a query under an externally supplied schedule (used by the
+    /// scheduler-comparison experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule validation and configuration errors.
+    pub fn run_scheduled(
+        &self,
+        graph: &QueryGraph,
+        functional: &FunctionalRun,
+        schedule: Schedule,
+    ) -> Result<SimOutcome> {
+        schedule.validate(graph, &self.config.mix)?;
+        let timing = timing::simulate(graph, &schedule, &functional.profile, &self.config)?;
+        Ok(SimOutcome {
+            cycles: timing.cycles,
+            results: functional.results(graph),
+            schedule,
+            timing,
+            config: self.config.clone(),
+        })
+    }
+}
+
+/// Sum of busy cycles over all tile kinds (a coarse activity metric used
+/// by tests).
+#[must_use]
+pub fn total_busy_cycles(busy: &[f64; TileKind::COUNT]) -> f64 {
+    busy.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TileMix;
+    use crate::isa::ops::CmpOp;
+    use q100_columnar::{Column, Value};
+
+    fn fixture() -> (QueryGraph, MemoryCatalog) {
+        let t = Table::new(vec![Column::from_ints("x", (0..5000).collect::<Vec<_>>())]).unwrap();
+        let cat = MemoryCatalog::new(vec![("t".into(), t)]);
+        let mut b = QueryGraph::builder("pipe");
+        let x = b.col_select_base("t", "x");
+        let c = b.bool_gen_const(x, CmpOp::Lt, Value::Int(100));
+        let _f = b.col_filter(x, c);
+        (b.finish().unwrap(), cat)
+    }
+
+    #[test]
+    fn simulator_end_to_end() {
+        let (g, cat) = fixture();
+        let out = Simulator::new(SimConfig::pareto()).run(&g, &cat).unwrap();
+        assert!(out.cycles > 0);
+        assert!(out.energy_mj() > 0.0);
+        assert!(out.avg_power_w() > 0.0);
+        assert_eq!(out.results.len(), 1);
+        let t = out.result_table(&g).unwrap();
+        assert_eq!(t.row_count(), 100);
+    }
+
+    #[test]
+    fn faster_designs_never_slower() {
+        let (g, cat) = fixture();
+        let lp = Simulator::new(SimConfig::low_power()).run(&g, &cat).unwrap();
+        let hp = Simulator::new(SimConfig::high_perf()).run(&g, &cat).unwrap();
+        assert!(hp.cycles <= lp.cycles);
+    }
+
+    #[test]
+    fn run_profiled_reuses_functional_run() {
+        let (g, cat) = fixture();
+        let functional = functional::execute(&g, &cat).unwrap();
+        let a = Simulator::new(SimConfig::new(TileMix::uniform(4)))
+            .run_profiled(&g, &functional)
+            .unwrap();
+        let b = Simulator::new(SimConfig::new(TileMix::uniform(4))).run(&g, &cat).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn spill_ratio_zero_for_single_stage() {
+        let (g, cat) = fixture();
+        let out = Simulator::new(SimConfig::new(TileMix::uniform(8))).run(&g, &cat).unwrap();
+        assert_eq!(out.schedule.stages(), 1);
+        assert_eq!(out.spill_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Human-readable execution reports.
+//!
+//! Renders a [`SimOutcome`] the way an
+//! architect reads a simulation: the temporal-instruction timeline,
+//! per-tile-kind activity and energy, the communication summary, and
+//! the memory traffic balance.
+
+use std::fmt::Write as _;
+
+use crate::exec::{SimOutcome, MEMORY_ENDPOINT};
+use crate::isa::graph::QueryGraph;
+use crate::tiles::{TileKind, FREQUENCY_MHZ};
+
+/// Renders a full execution report for `outcome` of `graph`.
+#[must_use]
+pub fn render_report(outcome: &SimOutcome, graph: &QueryGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} on {} ({} scheduler)",
+        graph.name(),
+        outcome.config.mix,
+        outcome.config.scheduler
+    );
+    let _ = writeln!(
+        out,
+        "{} sinsts in {} temporal instructions; {} cycles = {:.4} ms at {:.0} MHz; {:.4} mJ ({:.3} W avg)",
+        graph.len(),
+        outcome.schedule.stages(),
+        outcome.cycles,
+        outcome.runtime_ms(),
+        FREQUENCY_MHZ,
+        outcome.energy_mj(),
+        outcome.avg_power_w(),
+    );
+
+    // Temporal instruction timeline.
+    let _ = writeln!(out, "\n## Temporal instructions");
+    for (i, (tinst, cycles)) in outcome
+        .schedule
+        .tinsts
+        .iter()
+        .zip(&outcome.timing.per_tinst_cycles)
+        .enumerate()
+    {
+        let mut kinds = [0u32; TileKind::COUNT];
+        for &n in &tinst.nodes {
+            kinds[graph.node(n).op.tile_kind() as usize] += 1;
+        }
+        let mix: Vec<String> = TileKind::ALL
+            .iter()
+            .filter(|&&k| kinds[k as usize] > 0)
+            .map(|&k| format!("{}x{}", kinds[k as usize], k))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  #{:<3} {:>10} cycles  {:>3} sinsts  [{}]",
+            i + 1,
+            cycles,
+            tinst.nodes.len(),
+            mix.join(", ")
+        );
+    }
+
+    // Tile activity.
+    let _ = writeln!(out, "\n## Tile activity (busy cycles x instances)");
+    for k in TileKind::ALL {
+        let busy = outcome.timing.busy_cycles[k as usize];
+        if busy > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12.0} busy-cycles  ({:.1}% of runtime per instance-equivalent)",
+                k.name(),
+                busy,
+                100.0 * busy / outcome.cycles.max(1) as f64
+            );
+        }
+    }
+
+    // Communication balance.
+    let t = &outcome.timing;
+    let _ = writeln!(out, "\n## Memory traffic");
+    let _ = writeln!(
+        out,
+        "  input {} B, output {} B, spills {} B ({:.2}x of I/O)",
+        t.input_bytes,
+        t.output_bytes,
+        t.spill_bytes,
+        outcome.spill_ratio()
+    );
+    let _ = writeln!(
+        out,
+        "  read  avg {:.2} GB/s (hi {:.2}), write avg {:.2} GB/s (hi {:.2})",
+        t.mem_read.avg_gbps, t.mem_read.hi_gbps, t.mem_write.avg_gbps, t.mem_write.hi_gbps
+    );
+
+    // Hottest links.
+    let mut links: Vec<(f64, usize, usize)> = Vec::new();
+    for src in 0..=MEMORY_ENDPOINT {
+        for dst in 0..=MEMORY_ENDPOINT {
+            let v = t.peak_gbps.get(src, dst);
+            if v > 0.0 {
+                links.push((v, src, dst));
+            }
+        }
+    }
+    links.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let _ = writeln!(out, "\n## Hottest links (peak GB/s)");
+    for (v, src, dst) in links.into_iter().take(5) {
+        let _ = writeln!(
+            out,
+            "  {:<12} -> {:<12} {:>8.1}",
+            crate::exec::endpoint_name(src),
+            crate::exec::endpoint_name(dst),
+            v
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::exec::Simulator;
+    use crate::isa::ops::CmpOp;
+    use q100_columnar::{Column, MemoryCatalog, Table, Value};
+
+    #[test]
+    fn report_covers_all_sections() {
+        let t = Table::new(vec![Column::from_ints("x", (0..5000).collect::<Vec<_>>())]).unwrap();
+        let cat = MemoryCatalog::new(vec![("t".into(), t)]);
+        let mut b = QueryGraph::builder("report-demo");
+        let x = b.col_select_base("t", "x");
+        let c = b.bool_gen_const(x, CmpOp::Lt, Value::Int(100));
+        let _f = b.col_filter(x, c);
+        let g = b.finish().unwrap();
+        let outcome = Simulator::new(SimConfig::pareto()).run(&g, &cat).unwrap();
+        let text = render_report(&outcome, &g);
+        assert!(text.contains("report-demo"));
+        assert!(text.contains("Temporal instructions"));
+        assert!(text.contains("Tile activity"));
+        assert!(text.contains("Memory traffic"));
+        assert!(text.contains("Hottest links"));
+        assert!(text.contains("ColSelect"));
+    }
+}

@@ -1,0 +1,7 @@
+//! The Q100 instruction set architecture (Section 2 of the paper).
+
+pub mod graph;
+pub mod ops;
+
+pub use graph::{GraphBuilder, NodeId, PortRef, QueryGraph, SpatialInst, SpatialOp};
+pub use ops::{AggOp, AluOp, CmpOp, Operand};

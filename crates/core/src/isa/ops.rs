@@ -1,0 +1,260 @@
+//! Operator parameter types of the Q100 ISA.
+
+use std::fmt;
+
+use q100_columnar::Value;
+
+/// The six SQL comparison operators supported by the boolean generator
+/// tile (Section 3.1: "Using just two hardware comparators, the tile
+/// provides all six comparisons used in SQL").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Neq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Lte,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Gte,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two physical values (already in a
+    /// common, order-preserving encoding).
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Lte => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Gte => a >= b,
+        }
+    }
+
+    /// The comparison with operand order flipped (`a op b` ⇔ `b op.flip() a`).
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Lte => CmpOp::Gte,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Gte => CmpOp::Lte,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "EQ",
+            CmpOp::Neq => "NEQ",
+            CmpOp::Lt => "LT",
+            CmpOp::Lte => "LTE",
+            CmpOp::Gt => "GT",
+            CmpOp::Gte => "GTE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic and logical operations of the ALU tile (Section 3.1:
+/// "ADD, SUB, MUL, DIV, AND, OR, and NOT, as well as constant
+/// multiplication and division").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication (fixed-point callers divide by the scale
+    /// afterwards, exactly the paper's floating-point workaround).
+    Mul,
+    /// Integer division (division by zero yields zero, the conventional
+    /// hardware saturation choice).
+    Div,
+    /// Logical AND of boolean columns.
+    And,
+    /// Logical OR of boolean columns.
+    Or,
+    /// Logical NOT (unary; the second operand is ignored).
+    Not,
+}
+
+impl AluOp {
+    /// Applies the operation to two physical values.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::And => i64::from(a != 0 && b != 0),
+            AluOp::Or => i64::from(a != 0 || b != 0),
+            AluOp::Not => i64::from(a == 0),
+        }
+    }
+
+    /// Whether the operation is unary (consumes one input column).
+    #[must_use]
+    pub fn is_unary(self) -> bool {
+        matches!(self, AluOp::Not)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "ADD",
+            AluOp::Sub => "SUB",
+            AluOp::Mul => "MUL",
+            AluOp::Div => "DIV",
+            AluOp::And => "AND",
+            AluOp::Or => "OR",
+            AluOp::Not => "NOT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregation operations of the aggregator tile (Section 3.1: "all
+/// aggregation operations in the SQL spec, namely MAX, MIN, COUNT, SUM,
+/// and AVG").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// Sum of the data column per group.
+    Sum,
+    /// Minimum per group.
+    Min,
+    /// Maximum per group.
+    Max,
+    /// Row count per group.
+    Count,
+    /// Integer average (sum / count) per group.
+    Avg,
+}
+
+impl AggOp {
+    /// Folds a run of values into the aggregate.
+    #[must_use]
+    pub fn fold(self, values: &[i64]) -> i64 {
+        match self {
+            AggOp::Sum => values.iter().sum(),
+            AggOp::Min => values.iter().copied().min().unwrap_or(0),
+            AggOp::Max => values.iter().copied().max().unwrap_or(0),
+            AggOp::Count => values.len() as i64,
+            AggOp::Avg => {
+                if values.is_empty() {
+                    0
+                } else {
+                    values.iter().sum::<i64>() / values.len() as i64
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggOp::Sum => "SUM",
+            AggOp::Min => "MIN",
+            AggOp::Max => "MAX",
+            AggOp::Count => "COUNT",
+            AggOp::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The second operand of a BoolGen or ALU instruction: either a constant
+/// baked into the instruction or a second input column (wired as the
+/// instruction's second input edge).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An immediate constant.
+    Const(Value),
+    /// The instruction's second input column.
+    Column,
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "const {v}"),
+            Operand::Column => f.write_str("column"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_covers_all_six() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Neq.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Lte.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Gte.eval(4, 4));
+        assert!(!CmpOp::Lt.eval(4, 4));
+    }
+
+    #[test]
+    fn flipped_preserves_truth() {
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Lte, CmpOp::Gt, CmpOp::Gte] {
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_eq!(op.eval(a, b), op.flipped().eval(b, a), "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_arithmetic_and_logic() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(2, 3), 6);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Div.eval(7, 0), 0, "division by zero saturates to 0");
+        assert_eq!(AluOp::And.eval(1, 0), 0);
+        assert_eq!(AluOp::Or.eval(1, 0), 1);
+        assert_eq!(AluOp::Not.eval(0, 99), 1);
+        assert!(AluOp::Not.is_unary());
+    }
+
+    #[test]
+    fn agg_folds() {
+        let vs = [4, 1, 7];
+        assert_eq!(AggOp::Sum.fold(&vs), 12);
+        assert_eq!(AggOp::Min.fold(&vs), 1);
+        assert_eq!(AggOp::Max.fold(&vs), 7);
+        assert_eq!(AggOp::Count.fold(&vs), 3);
+        assert_eq!(AggOp::Avg.fold(&vs), 4);
+        assert_eq!(AggOp::Min.fold(&[]), 0);
+        assert_eq!(AggOp::Avg.fold(&[]), 0);
+    }
+
+    #[test]
+    fn displays_match_paper_spelling() {
+        assert_eq!(CmpOp::Lte.to_string(), "LTE");
+        assert_eq!(AluOp::Mul.to_string(), "MUL");
+        assert_eq!(AggOp::Avg.to_string(), "AVG");
+    }
+}

@@ -1,0 +1,38 @@
+//! # `q100-core`: the Q100 database processing unit
+//!
+//! A full reimplementation of the Q100 DPU from *"Q100: The Architecture
+//! and Design of a Database Processing Unit"* (Wu, Lottarini, Paine, Kim,
+//! Ross — ASPLOS 2014):
+//!
+//! * the eleven-operator spatial-instruction [ISA](crate::isa) over
+//!   streams of columns and tables,
+//! * the [tile](crate::tiles) micro-models with the paper's 32 nm
+//!   physical characterization (Table 1),
+//! * a [functional + timing simulator](crate::exec) with NoC link and
+//!   memory bandwidth constraints (Section 3.3),
+//! * the three [scheduling algorithms](crate::sched) that slice query
+//!   graphs into temporal instructions (Section 3.4),
+//! * the [area/power/energy model](crate::power) (Tables 1 and 3).
+//!
+//! See [`Simulator`] for the one-call entry point and the crate-level
+//! example there.
+
+pub mod config;
+pub mod error;
+pub mod exec;
+pub mod isa;
+pub mod power;
+pub mod sched;
+pub mod tiles;
+
+pub use config::{Bandwidth, SchedulerKind, SimConfig, TileMix};
+pub use error::{CoreError, Result};
+pub use exec::report::render_report;
+pub use exec::{
+    execute, execute_lean, simulate, BwStats, Catalog, ConnMatrix, Data, FunctionalRun, GraphProfile,
+    MemoryCatalog, SimOutcome, Simulator, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+};
+pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
+pub use power::DesignBudget;
+pub use sched::{check_feasible, schedule, Schedule, Tinst};
+pub use tiles::{TileKind, TileSpec, FREQUENCY_MHZ, SORTER_BATCH};

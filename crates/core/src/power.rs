@@ -1,0 +1,270 @@
+//! Area, power, and energy accounting (Tables 1 and 3, Figure 24).
+//!
+//! The Q100's energy advantage over software comes from two factors:
+//! fixed-function tiles that dissipate milliwatts, and runtimes shortened
+//! by pipeline/data parallelism. This module turns a [`TileMix`](crate::config::TileMix) and a
+//! simulated execution into the paper's area/power/energy numbers.
+
+use std::fmt;
+
+use crate::config::SimConfig;
+use crate::tiles::{TileKind, FREQUENCY_MHZ};
+
+/// Estimated area of a single Xeon core in mm², back-derived from
+/// Table 1's "% Xeon" columns (e.g. the ALU's 0.091 mm² = 0.21%).
+pub const XEON_CORE_AREA_MM2: f64 = 42.7;
+
+/// Estimated non-idle power of a single Xeon core in W, back-derived
+/// from Table 1's "% Xeon" power column (e.g. the ALU's 12 mW = 0.24%).
+pub const XEON_CORE_POWER_W: f64 = 5.0;
+
+/// Fractional area/power overhead charged for the on-chip NoC, based on
+/// the TeraFlops mesh characteristics (Section 3.3: "We add an extra 30%
+/// area and power to the Q100 designs for the NoC").
+pub const NOC_OVERHEAD_FRACTION: f64 = 0.30;
+
+/// Area of one stream buffer in mm² (Section 3.3, from the streaming
+/// framework of Wu et al., ISCA 2013).
+pub const STREAM_BUFFER_AREA_MM2: f64 = 0.13;
+
+/// Power of one stream buffer in W.
+pub const STREAM_BUFFER_POWER_W: f64 = 0.1;
+
+/// Read bandwidth provided per inbound stream buffer, GB/s.
+pub const STREAM_BUFFER_GBPS: f64 = 5.0;
+
+/// Area and power of a Q100 design broken down by component, as in
+/// Table 3.
+///
+/// # Example
+///
+/// ```
+/// use q100_core::{DesignBudget, SimConfig};
+///
+/// let budget = DesignBudget::of(&SimConfig::low_power());
+/// assert!((budget.total_area_mm2() - 2.978).abs() < 0.02);
+/// assert!((budget.total_power_w() - 0.710).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignBudget {
+    /// Combined tile area, mm².
+    pub tile_area_mm2: f64,
+    /// NoC area (30% of tiles), mm².
+    pub noc_area_mm2: f64,
+    /// Stream buffer area, mm².
+    pub sb_area_mm2: f64,
+    /// Combined tile power, W.
+    pub tile_power_w: f64,
+    /// NoC power (30% of tiles), W.
+    pub noc_power_w: f64,
+    /// Stream buffer power, W.
+    pub sb_power_w: f64,
+}
+
+impl DesignBudget {
+    /// Computes the budget of a configuration.
+    ///
+    /// Table 3 charges the LowPower design for 4 stream buffers and the
+    /// Pareto/HighPerf designs for 6; we charge `read_buffers` (the
+    /// larger, bandwidth-relevant count) to match those rows exactly.
+    #[must_use]
+    pub fn of(config: &SimConfig) -> Self {
+        let tile_area = config.mix.tile_area_mm2();
+        let tile_power = config.mix.tile_power_w();
+        let sbs = f64::from(config.read_buffers);
+        DesignBudget {
+            tile_area_mm2: tile_area,
+            noc_area_mm2: tile_area * NOC_OVERHEAD_FRACTION,
+            sb_area_mm2: sbs * STREAM_BUFFER_AREA_MM2,
+            tile_power_w: tile_power,
+            noc_power_w: tile_power * NOC_OVERHEAD_FRACTION,
+            sb_power_w: sbs * STREAM_BUFFER_POWER_W,
+        }
+    }
+
+    /// Total design area, mm².
+    #[must_use]
+    pub fn total_area_mm2(&self) -> f64 {
+        self.tile_area_mm2 + self.noc_area_mm2 + self.sb_area_mm2
+    }
+
+    /// Total design power, W.
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.tile_power_w + self.noc_power_w + self.sb_power_w
+    }
+
+    /// Area as a fraction of a Xeon core (Table 3's "% Xeon" column).
+    #[must_use]
+    pub fn area_fraction_of_xeon(&self) -> f64 {
+        self.total_area_mm2() / XEON_CORE_AREA_MM2
+    }
+
+    /// Power as a fraction of a Xeon core.
+    #[must_use]
+    pub fn power_fraction_of_xeon(&self) -> f64 {
+        self.total_power_w() / XEON_CORE_POWER_W
+    }
+}
+
+impl fmt::Display for DesignBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} mm2 ({:.1}% Xeon), {:.3} W ({:.1}% Xeon)",
+            self.total_area_mm2(),
+            100.0 * self.area_fraction_of_xeon(),
+            self.total_power_w(),
+            100.0 * self.power_fraction_of_xeon()
+        )
+    }
+}
+
+/// Converts per-tile busy cycles into consumed energy in millijoules.
+///
+/// `busy_cycles[kind]` is the total number of cycles tiles of each kind
+/// spent actively streaming data (summed over instances), `runtime_cycles`
+/// the query's end-to-end cycle count. Tile energy is activity-based
+/// (idle tiles are clock-gated); NoC energy is charged as the 30%
+/// overhead of the *active* tile energy; stream-buffer energy is static
+/// over the runtime, as the buffers hold state for the whole query.
+#[must_use]
+pub fn energy_mj(
+    busy_cycles: &[f64; TileKind::COUNT],
+    runtime_cycles: u64,
+    config: &SimConfig,
+) -> f64 {
+    let cycle_s = 1e-6 / FREQUENCY_MHZ;
+    let tile_j: f64 = TileKind::ALL
+        .iter()
+        .map(|&k| busy_cycles[k as usize] * cycle_s * k.spec().power_mw / 1000.0)
+        .sum();
+    let noc_j = tile_j * NOC_OVERHEAD_FRACTION;
+    let sb_j = f64::from(config.read_buffers + config.write_buffers)
+        * STREAM_BUFFER_POWER_W
+        * runtime_cycles as f64
+        * cycle_s;
+    (tile_j + noc_j + sb_j) * 1000.0
+}
+
+/// Formats Table 3 (area and power of the three Q100 configurations) as
+/// aligned text.
+#[must_use]
+pub fn render_table3() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>7} {:>7} {:>8} {:>7}  {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "Design", "Tiles", "NoC", "SBs", "Total", "%Xeon", "Tiles", "NoC", "SBs", "Total", "%Xeon"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>7} {:>7} {:>8} {:>7}  {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "", "mm2", "mm2", "mm2", "mm2", "", "W", "W", "W", "W", ""
+    );
+    for (name, cfg) in [
+        ("LowPower", SimConfig::low_power()),
+        ("Pareto", SimConfig::pareto()),
+        ("HighPerf", SimConfig::high_perf()),
+    ] {
+        let b = DesignBudget::of(&cfg);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7.3} {:>7.3} {:>7.3} {:>8.3} {:>6.1}%  {:>7.3} {:>7.3} {:>7.3} {:>8.3} {:>6.1}%",
+            name,
+            b.tile_area_mm2,
+            b.noc_area_mm2,
+            b.sb_area_mm2,
+            b.total_area_mm2(),
+            100.0 * b.area_fraction_of_xeon(),
+            b.tile_power_w,
+            b.noc_power_w,
+            b.sb_power_w,
+            b.total_power_w(),
+            100.0 * b.power_fraction_of_xeon(),
+        );
+    }
+    out
+}
+
+/// Formats Table 1 (tile physical characteristics) as aligned text.
+#[must_use]
+pub fn render_table1() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "Tile", "mm2", "% Xeon", "mW", "% Xeon", "Tcrit ns"
+    );
+    for k in TileKind::ALL {
+        let s = k.spec();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8.3} {:>7.2}% {:>8.1} {:>7.2}% {:>10.2}",
+            s.name,
+            s.area_mm2,
+            100.0 * s.area_mm2 / XEON_CORE_AREA_MM2,
+            s.power_mw,
+            100.0 * s.power_mw / 1000.0 / XEON_CORE_POWER_W,
+            s.critical_path_ns,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals_reproduced() {
+        // Paper Table 3 totals: area 2.978 / 4.819 / 7.384 mm²,
+        // power 0.710 / 0.994 / 1.303 W. LowPower's SB column in the
+        // paper counts only its 4 buffers.
+        let lp = DesignBudget::of(&SimConfig::low_power());
+        assert!((lp.total_area_mm2() - 2.978).abs() < 0.02, "{lp:?}");
+        assert!((lp.total_power_w() - 0.710).abs() < 0.01);
+
+        let pareto = DesignBudget::of(&SimConfig::pareto());
+        assert!((pareto.total_area_mm2() - 4.819).abs() < 0.03);
+        assert!((pareto.total_power_w() - 0.994).abs() < 0.01);
+
+        let hp = DesignBudget::of(&SimConfig::high_perf());
+        assert!((hp.total_area_mm2() - 7.384).abs() < 0.03);
+        assert!((hp.total_power_w() - 1.303).abs() < 0.01);
+    }
+
+    #[test]
+    fn xeon_fractions_match_paper() {
+        // Paper: HighPerf takes 17.3% area and 26.1% power of a Xeon core.
+        let hp = DesignBudget::of(&SimConfig::high_perf());
+        assert!((hp.area_fraction_of_xeon() - 0.173).abs() < 0.005);
+        assert!((hp.power_fraction_of_xeon() - 0.261).abs() < 0.005);
+    }
+
+    #[test]
+    fn energy_scales_with_activity_and_runtime() {
+        let cfg = SimConfig::pareto();
+        let mut busy = [0.0; TileKind::COUNT];
+        busy[TileKind::Sorter as usize] = 1_000_000.0;
+        let e1 = energy_mj(&busy, 1_000_000, &cfg);
+        let e2 = energy_mj(&busy, 2_000_000, &cfg);
+        assert!(e2 > e1, "longer runtime costs more SB energy");
+        busy[TileKind::Sorter as usize] = 2_000_000.0;
+        let e3 = energy_mj(&busy, 2_000_000, &cfg);
+        assert!(e3 > e2, "more tile activity costs more energy");
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn renders_contain_key_rows() {
+        let t1 = render_table1();
+        assert!(t1.contains("Partitioner"));
+        assert!(t1.contains("3.17"));
+        let t3 = render_table3();
+        assert!(t3.contains("LowPower"));
+        assert!(t3.contains("HighPerf"));
+    }
+}

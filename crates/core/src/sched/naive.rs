@@ -1,0 +1,73 @@
+//! The naive scheduler.
+
+use crate::config::TileMix;
+use crate::isa::graph::QueryGraph;
+use crate::sched::{list_schedule, Schedule};
+
+/// Greedily packs instructions into temporal instructions in
+/// topological order, advancing when nothing more fits.
+///
+/// This is the paper's *naive* algorithm: it "presumes no knowledge of
+/// the volume of data flowing between instructions and therefore makes
+/// no effort to minimize data transfer between temporal instructions."
+#[must_use]
+pub fn schedule_naive(graph: &QueryGraph, mix: &TileMix) -> Schedule {
+    // Candidates arrive in ascending id (= topological) order; always
+    // take the first.
+    list_schedule(graph, mix, |candidates, _current| candidates[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::graph::QueryGraph;
+    use crate::isa::ops::CmpOp;
+    use crate::tiles::TileKind;
+    use q100_columnar::Value;
+
+    #[test]
+    fn packs_whole_graph_into_one_stage_when_it_fits() {
+        let mut b = QueryGraph::builder("small");
+        let a = b.col_select_base("t", "x");
+        let c = b.bool_gen_const(a, CmpOp::Lt, Value::Int(1));
+        let _ = b.col_filter(a, c);
+        let g = b.finish().unwrap();
+        let s = schedule_naive(&g, &TileMix::uniform(4));
+        assert_eq!(s.stages(), 1);
+    }
+
+    #[test]
+    fn splits_when_capacity_exhausted() {
+        // Four independent ColSelects on a 2-ColSelect mix -> 2 stages.
+        let mut b = QueryGraph::builder("wide");
+        for _ in 0..4 {
+            let _ = b.col_select_base("t", "x");
+        }
+        let g = b.finish().unwrap();
+        let mix = TileMix::uniform(8).with_count(TileKind::ColSelect, 2);
+        let s = schedule_naive(&g, &mix);
+        assert_eq!(s.stages(), 2);
+        assert_eq!(s.tinsts[0].nodes.len(), 2);
+        s.validate(&g, &mix).unwrap();
+    }
+
+    #[test]
+    fn respects_dependencies_across_stages() {
+        // chain of filters with a 1-ColFilter mix: each filter lands in
+        // its own stage, in order.
+        let mut b = QueryGraph::builder("deep");
+        let x = b.col_select_base("t", "x");
+        let cond = b.bool_gen_const(x, CmpOp::Gt, Value::Int(0));
+        let f1 = b.col_filter(x, cond);
+        let c2 = b.bool_gen_const(f1, CmpOp::Gt, Value::Int(1));
+        let f2 = b.col_filter(f1, c2);
+        let _c3 = b.bool_gen_const(f2, CmpOp::Gt, Value::Int(2));
+        let g = b.finish().unwrap();
+        let mix = TileMix::uniform(1);
+        let s = schedule_naive(&g, &mix);
+        s.validate(&g, &mix).unwrap();
+        // 2 boolgens can't share stage 0 because the second depends on f1
+        // which depends on the first.
+        assert!(s.stage_of[3] >= s.stage_of[2]);
+    }
+}

@@ -1,0 +1,310 @@
+//! The eleven Q100 tile types and their physical characteristics.
+//!
+//! Numbers come directly from Table 1 of the paper: post-place-and-route
+//! area, power, and critical path of each tile in Synopsys 32 nm generic
+//! libraries, plus the design width constraints. The slowest tile — the
+//! partitioner at 3.17 ns — sets the Q100 clock at 315 MHz.
+
+use std::fmt;
+
+/// The eleven tile types, one per ISA operator.
+///
+/// The discriminants are dense so the enum can index fixed-size arrays
+/// (see [`TileKind::COUNT`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum TileKind {
+    /// Run-based aggregation (functional tile).
+    Aggregator = 0,
+    /// Arithmetic/logic on column pairs (functional tile).
+    Alu = 1,
+    /// Comparison to boolean column (functional tile).
+    BoolGen = 2,
+    /// Predicated row dropping (functional tile).
+    ColFilter = 3,
+    /// PK–FK inner equijoin (functional tile).
+    Joiner = 4,
+    /// Range partitioning (functional tile); the slowest tile, setting
+    /// the 315 MHz clock.
+    Partitioner = 5,
+    /// 1024-record bitonic sort (functional tile).
+    Sorter = 6,
+    /// Same-schema table append (auxiliary tile).
+    Append = 7,
+    /// Column extraction from a table (auxiliary tile).
+    ColSelect = 8,
+    /// Pairwise column concatenation (auxiliary tile).
+    Concat = 9,
+    /// Column-to-table stitching (auxiliary tile).
+    Stitch = 10,
+}
+
+impl TileKind {
+    /// Number of tile kinds.
+    pub const COUNT: usize = 11;
+
+    /// All kinds in Table 1 order.
+    pub const ALL: [TileKind; TileKind::COUNT] = [
+        TileKind::Aggregator,
+        TileKind::Alu,
+        TileKind::BoolGen,
+        TileKind::ColFilter,
+        TileKind::Joiner,
+        TileKind::Partitioner,
+        TileKind::Sorter,
+        TileKind::Append,
+        TileKind::ColSelect,
+        TileKind::Concat,
+        TileKind::Stitch,
+    ];
+
+    /// The tile's physical characterization (Table 1).
+    #[must_use]
+    pub fn spec(self) -> &'static TileSpec {
+        &TILE_SPECS[self as usize]
+    }
+
+    /// Whether the paper classifies this tile as *functional* (vs.
+    /// auxiliary helper).
+    #[must_use]
+    pub fn is_functional(self) -> bool {
+        (self as usize) <= TileKind::Sorter as usize
+    }
+
+    /// Whether the tile is "tiny" by the paper's design-space rule:
+    /// dissipating under 10 mW (Table 2). Tiny tiles are pinned at their
+    /// maximum useful count during the exploration.
+    #[must_use]
+    pub fn is_tiny(self) -> bool {
+        self.spec().power_mw < 10.0
+    }
+
+    /// Short display name matching the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+impl fmt::Display for TileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Physical design characteristics of one tile (one row of Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Post-place-and-route area in mm².
+    pub area_mm2: f64,
+    /// Power in mW under normal operating conditions.
+    pub power_mw: f64,
+    /// Critical path in ns (logic + clock network).
+    pub critical_path_ns: f64,
+    /// Record width in bits, where constrained.
+    pub record_bits: Option<u32>,
+    /// Column width in bits, where constrained.
+    pub column_bits: Option<u32>,
+    /// Comparator width in bits, where constrained.
+    pub comparator_bits: Option<u32>,
+    /// Streaming throughput in records per cycle once the pipeline is
+    /// primed. All Q100 tiles stream at one record per cycle; the
+    /// sorter's batching is modelled separately via [`SORTER_BATCH`].
+    pub records_per_cycle: f64,
+}
+
+/// The sorter processes batches of at most this many records (Table 1:
+/// "1024 entries at a time"); larger tables must be partitioned first.
+pub const SORTER_BATCH: usize = 1024;
+
+/// Pipelined depth of the 1024-entry bitonic network:
+/// `log2(1024) * (log2(1024)+1) / 2 = 55` compare-exchange stages.
+pub const SORTER_STAGES: u64 = 55;
+
+/// The Q100 clock frequency in MHz, set by the partitioner's 3.17 ns
+/// critical path (Table 1 note).
+pub const FREQUENCY_MHZ: f64 = 315.0;
+
+/// Uniform memory access latency modelled by the paper's simulator:
+/// 160 ns (Section 3.3), ≈ 50 cycles at 315 MHz.
+pub const MEMORY_LATENCY_NS: f64 = 160.0;
+
+/// Memory latency in Q100 cycles.
+#[must_use]
+pub fn memory_latency_cycles() -> u64 {
+    (MEMORY_LATENCY_NS * FREQUENCY_MHZ / 1000.0).round() as u64
+}
+
+/// Table 1 of the paper, in [`TileKind`] discriminant order.
+pub static TILE_SPECS: [TileSpec; TileKind::COUNT] = [
+    TileSpec {
+        name: "Aggregator",
+        area_mm2: 0.029,
+        power_mw: 7.1,
+        critical_path_ns: 1.95,
+        record_bits: None,
+        column_bits: Some(256),
+        comparator_bits: Some(256),
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "ALU",
+        area_mm2: 0.091,
+        power_mw: 12.0,
+        critical_path_ns: 0.29,
+        record_bits: None,
+        column_bits: Some(64),
+        comparator_bits: Some(64),
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "BoolGen",
+        area_mm2: 0.003,
+        power_mw: 0.2,
+        critical_path_ns: 0.41,
+        record_bits: None,
+        column_bits: Some(256),
+        comparator_bits: Some(256),
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "ColFilter",
+        area_mm2: 0.001,
+        power_mw: 0.1,
+        critical_path_ns: 0.23,
+        record_bits: None,
+        column_bits: Some(256),
+        comparator_bits: None,
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "Joiner",
+        area_mm2: 0.016,
+        power_mw: 2.6,
+        critical_path_ns: 0.51,
+        record_bits: Some(1024),
+        column_bits: Some(256),
+        comparator_bits: Some(64),
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "Partitioner",
+        area_mm2: 0.942,
+        power_mw: 28.8,
+        critical_path_ns: 3.17,
+        record_bits: Some(1024),
+        column_bits: Some(256),
+        comparator_bits: Some(64),
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "Sorter",
+        area_mm2: 0.188,
+        power_mw: 39.4,
+        critical_path_ns: 2.48,
+        record_bits: Some(1024),
+        column_bits: Some(256),
+        comparator_bits: Some(64),
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "Append",
+        area_mm2: 0.011,
+        power_mw: 5.4,
+        critical_path_ns: 0.37,
+        record_bits: Some(1024),
+        column_bits: Some(256),
+        comparator_bits: None,
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "ColSelect",
+        area_mm2: 0.049,
+        power_mw: 8.0,
+        critical_path_ns: 0.35,
+        record_bits: Some(1024),
+        column_bits: Some(256),
+        comparator_bits: None,
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "Concat",
+        area_mm2: 0.003,
+        power_mw: 1.2,
+        critical_path_ns: 0.28,
+        record_bits: None,
+        column_bits: Some(256),
+        comparator_bits: None,
+        records_per_cycle: 1.0,
+    },
+    TileSpec {
+        name: "Stitch",
+        area_mm2: 0.011,
+        power_mw: 5.4,
+        critical_path_ns: 0.37,
+        record_bits: None,
+        column_bits: Some(256),
+        comparator_bits: None,
+        records_per_cycle: 1.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_sets_the_clock() {
+        let slowest = TileKind::ALL
+            .iter()
+            .map(|k| k.spec().critical_path_ns)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(slowest, TileKind::Partitioner.spec().critical_path_ns);
+        // 1 / 3.17ns = 315 MHz.
+        assert!((1000.0 / slowest - FREQUENCY_MHZ).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiny_tiles_match_table_2() {
+        // Table 2 pins exactly the eight sub-10 mW tiles.
+        let tiny: Vec<TileKind> = TileKind::ALL.iter().copied().filter(|k| k.is_tiny()).collect();
+        assert_eq!(
+            tiny,
+            vec![
+                TileKind::Aggregator,
+                TileKind::BoolGen,
+                TileKind::ColFilter,
+                TileKind::Joiner,
+                TileKind::Append,
+                TileKind::ColSelect,
+                TileKind::Concat,
+                TileKind::Stitch,
+            ]
+        );
+        assert_eq!(tiny.len(), 8);
+    }
+
+    #[test]
+    fn functional_vs_auxiliary_split_matches_table_1() {
+        assert!(TileKind::Sorter.is_functional());
+        assert!(!TileKind::Append.is_functional());
+        let functional = TileKind::ALL.iter().filter(|k| k.is_functional()).count();
+        assert_eq!(functional, 7);
+    }
+
+    #[test]
+    fn memory_latency_is_about_50_cycles() {
+        assert_eq!(memory_latency_cycles(), 50);
+    }
+
+    #[test]
+    fn specs_indexable_by_discriminant() {
+        for k in TileKind::ALL {
+            assert_eq!(k.spec().name, TILE_SPECS[k as usize].name);
+        }
+        assert_eq!(TileKind::Sorter.spec().power_mw, 39.4);
+        assert_eq!(TileKind::Partitioner.spec().area_mm2, 0.942);
+    }
+}

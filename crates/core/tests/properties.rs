@@ -1,0 +1,230 @@
+//! Property-based tests of the Q100 functional tile semantics, the
+//! schedulers, and the timing model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use q100_columnar::{Column, MemoryCatalog, Table, Value};
+use q100_core::{
+    execute, schedule, AggOp, Bandwidth, CmpOp, GraphProfile, QueryGraph, SchedulerKind,
+    SimConfig, Simulator, TileKind, TileMix,
+};
+
+fn catalog_of(values: &[i64]) -> MemoryCatalog {
+    let t = Table::new(vec![
+        Column::from_ints("k", values.to_vec()),
+        Column::from_ints("v", values.iter().map(|&x| x.wrapping_mul(3)).collect::<Vec<_>>()),
+    ])
+    .unwrap();
+    MemoryCatalog::new(vec![("t".into(), t)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sorter's functional output is an ordered permutation of its
+    /// input.
+    #[test]
+    fn sorter_sorts_any_input(values in vec(-1000i64..1000, 0..300)) {
+        let cat = catalog_of(&values);
+        let mut b = QueryGraph::builder("p");
+        let k = b.col_select_base("t", "k");
+        let v = b.col_select_base("t", "v");
+        let tab = b.stitch(&[k, v]);
+        let s = b.sort(tab, "k");
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let out = run.outputs[s.node][0].as_tab(0).unwrap().clone();
+        let keys = out.column("k").unwrap().data().to_vec();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut sorted_in = values.clone();
+        sorted_in.sort_unstable();
+        prop_assert_eq!(keys, sorted_in);
+        // Row integrity: v stays glued to its k.
+        let vs = out.column("v").unwrap();
+        for r in 0..out.row_count() {
+            prop_assert_eq!(vs.get(r), out.column("k").unwrap().get(r).wrapping_mul(3));
+        }
+    }
+
+    /// Partitioning preserves the input multiset and respects range
+    /// bounds.
+    #[test]
+    fn partition_is_a_range_split(
+        values in vec(-1000i64..1000, 0..300),
+        mut bounds in vec(-1000i64..1000, 1..6),
+    ) {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let cat = catalog_of(&values);
+        let mut b = QueryGraph::builder("p");
+        let k = b.col_select_base("t", "k");
+        let tab = b.stitch(&[k]);
+        let parts = b.partition(tab, "k", bounds.clone());
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let mut reassembled = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            let t = run.outputs[p.node][i].as_tab(0).unwrap().clone();
+            let lo = if i == 0 { i64::MIN } else { bounds[i - 1] };
+            let hi = if i == bounds.len() { i64::MAX } else { bounds[i] };
+            for &x in t.column("k").unwrap().data() {
+                prop_assert!(x >= lo && x < hi, "value {x} outside [{lo}, {hi})");
+                reassembled.push(x);
+            }
+        }
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        reassembled.sort_unstable();
+        prop_assert_eq!(reassembled, expect);
+    }
+
+    /// Filtering with a predicate then summing equals the scalar
+    /// reference computation.
+    #[test]
+    fn filter_sum_matches_reference(values in vec(-500i64..500, 1..300), threshold in -500i64..500) {
+        let cat = catalog_of(&values);
+        let mut b = QueryGraph::builder("p");
+        let k = b.col_select_base("t", "k");
+        let keep = b.bool_gen_const(k, CmpOp::Gt, Value::Int(threshold));
+        let kf = b.col_filter(k, keep);
+        b.name_output(kf, "k");
+        let tab = b.stitch(&[kf]);
+        let kcol = b.col_select(tab, "k");
+        let a = b.aggregate(AggOp::Sum, kcol, kcol);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let out = run.outputs[a.node][0].as_tab(0).unwrap().clone();
+        let got: i64 = out.columns()[1].data().iter().sum();
+        let expect: i64 = values.iter().filter(|&&x| x > threshold).sum();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The joiner agrees with a reference nested-loop PK–FK join.
+    #[test]
+    fn joiner_matches_nested_loop(fk in vec(0i64..40, 0..200), n_pk in 1i64..40) {
+        let pk_table = Table::new(vec![
+            Column::from_ints("k", (0..n_pk).collect::<Vec<_>>()),
+            Column::from_ints("payload", (0..n_pk).map(|x| x * 100).collect::<Vec<_>>()),
+        ]).unwrap();
+        let fk_table = Table::new(vec![Column::from_ints("f", fk.clone())]).unwrap();
+        let cat = MemoryCatalog::new(vec![("pk".into(), pk_table), ("fk".into(), fk_table)]);
+        let mut b = QueryGraph::builder("j");
+        let k = b.col_select_base("pk", "k");
+        let p = b.col_select_base("pk", "payload");
+        let pkt = b.stitch(&[k, p]);
+        let f = b.col_select_base("fk", "f");
+        let fkt = b.stitch(&[f]);
+        let j = b.join(pkt, "k", fkt, "f");
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let out = run.outputs[j.node][0].as_tab(0).unwrap().clone();
+        let expect: Vec<i64> = fk.iter().filter(|&&x| x < n_pk).map(|&x| x * 100).collect();
+        prop_assert_eq!(out.column("payload").unwrap().data(), &expect[..]);
+    }
+
+    /// Aggregation conserves totals for SUM no matter how the groups
+    /// arrive.
+    #[test]
+    fn aggregate_sum_conserves_total(pairs in vec((0i64..10, -100i64..100), 1..300)) {
+        let groups: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let data: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let t = Table::new(vec![
+            Column::from_ints("g", groups),
+            Column::from_ints("d", data.clone()),
+        ]).unwrap();
+        let cat = MemoryCatalog::new(vec![("t".into(), t)]);
+        let mut b = QueryGraph::builder("a");
+        let d = b.col_select_base("t", "d");
+        let gcol = b.col_select_base("t", "g");
+        let a = b.aggregate(AggOp::Sum, d, gcol);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let out = run.outputs[a.node][0].as_tab(0).unwrap().clone();
+        let got: i64 = out.column("sum_d").unwrap().data().iter().sum();
+        prop_assert_eq!(got, data.iter().sum::<i64>());
+    }
+
+    /// Every scheduler produces legal schedules on arbitrary mixes, and
+    /// a single-stage-capable mix yields zero spills.
+    #[test]
+    fn schedulers_always_legal(
+        alus in 1u32..4, parts in 1u32..4, sorts in 1u32..4,
+        rows in 1usize..100,
+    ) {
+        let values: Vec<i64> = (0..rows as i64).collect();
+        let cat = catalog_of(&values);
+        let mut b = QueryGraph::builder("s");
+        let k = b.col_select_base("t", "k");
+        let v = b.col_select_base("t", "v");
+        let keep = b.bool_gen(k, CmpOp::Lt, v);
+        let kf = b.col_filter(k, keep);
+        let vf = b.col_filter(v, keep);
+        let tab = b.stitch(&[kf, vf]);
+        let sorted = b.sort(tab, "k");
+        let kk = b.col_select(sorted, "k");
+        let vv = b.col_select(sorted, "v");
+        let _agg = b.aggregate(AggOp::Max, vv, kk);
+        let g = b.finish().unwrap();
+        let run = execute(&g, &cat).unwrap();
+        let mix = TileMix::with_swept(alus, parts, sorts);
+        for kind in [SchedulerKind::Naive, SchedulerKind::DataAware, SchedulerKind::SemiExhaustive] {
+            let s = schedule(kind, &g, &mix, &run.profile).unwrap();
+            prop_assert!(s.validate(&g, &mix).is_ok());
+        }
+        let roomy = TileMix::uniform(16);
+        let s = schedule(SchedulerKind::DataAware, &g, &roomy, &run.profile).unwrap();
+        prop_assert_eq!(s.spill_bytes(&g, &run.profile), 0);
+    }
+
+    /// Tighter bandwidth caps never make a query faster (fluid-model
+    /// monotonicity).
+    #[test]
+    fn bandwidth_is_monotone(rows in 32usize..2000, cap_gbps in 1.0f64..40.0) {
+        let values: Vec<i64> = (0..rows as i64).collect();
+        let cat = catalog_of(&values);
+        let mut b = QueryGraph::builder("m");
+        let k = b.col_select_base("t", "k");
+        let keep = b.bool_gen_const(k, CmpOp::Gte, Value::Int(0));
+        let _f = b.col_filter(k, keep);
+        let g = b.finish().unwrap();
+
+        let base = SimConfig::new(TileMix::uniform(8));
+        let ideal = Simulator::new(base.clone()).run(&g, &cat).unwrap();
+        let capped_cfg = base.with_bandwidth(Bandwidth {
+            noc_gbps: Some(cap_gbps),
+            mem_read_gbps: Some(cap_gbps),
+            mem_write_gbps: Some(cap_gbps),
+        });
+        let capped = Simulator::new(capped_cfg).run(&g, &cat).unwrap();
+        prop_assert!(capped.cycles + 1 >= ideal.cycles,
+            "capped {} < ideal {}", capped.cycles, ideal.cycles);
+    }
+}
+
+/// Non-proptest sanity: profiles drive the schedulers, so an empty
+/// profile must still schedule legally (volumes default to zero).
+#[test]
+fn empty_profile_schedules() {
+    let mut b = QueryGraph::builder("e");
+    let a = b.col_select_base("t", "x");
+    let _s = b.stitch(&[a]);
+    let g = b.finish().unwrap();
+    let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };
+    for kind in [SchedulerKind::Naive, SchedulerKind::DataAware, SchedulerKind::SemiExhaustive] {
+        let s = schedule(kind, &g, &TileMix::uniform(1), &profile).unwrap();
+        assert!(s.validate(&g, &TileMix::uniform(1)).is_ok());
+    }
+}
+
+/// Energy accounting is consistent: more tiles of every kind cannot
+/// reduce a design's Table 3 power.
+#[test]
+fn design_power_monotone_in_tiles() {
+    for kind in TileKind::ALL {
+        let small = TileMix::uniform(1);
+        let big = small.with_count(kind, 4);
+        assert!(big.tile_power_w() >= small.tile_power_w());
+        assert!(big.tile_area_mm2() >= small.tile_area_mm2());
+    }
+}

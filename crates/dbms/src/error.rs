@@ -1,0 +1,61 @@
+//! Error type for the software DBMS baseline.
+
+use std::error::Error;
+use std::fmt;
+
+use q100_columnar::ColumnarError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DbmsError>;
+
+/// Errors raised by plan construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbmsError {
+    /// A plan referenced a base table absent from the catalog.
+    UnknownTable(String),
+    /// An expression or operator referenced a missing column.
+    UnknownColumn(String),
+    /// An expression was applied to operands of the wrong type.
+    TypeError(String),
+    /// An error bubbled up from the columnar substrate.
+    Columnar(ColumnarError),
+}
+
+impl fmt::Display for DbmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbmsError::UnknownTable(t) => write!(f, "unknown base table `{t}`"),
+            DbmsError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbmsError::TypeError(msg) => write!(f, "type error: {msg}"),
+            DbmsError::Columnar(e) => write!(f, "columnar error: {e}"),
+        }
+    }
+}
+
+impl Error for DbmsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbmsError::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for DbmsError {
+    fn from(e: ColumnarError) -> Self {
+        DbmsError::Columnar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DbmsError::UnknownColumn("l_x".into());
+        assert!(e.to_string().contains("l_x"));
+        let e: DbmsError = ColumnarError::UnknownColumn("y".into()).into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,449 @@
+//! The column-at-a-time executor and its operator-level cost counters.
+
+use std::collections::{HashMap, HashSet};
+
+use q100_columnar::{Catalog, Column, LogicalType, Table};
+
+use crate::error::{DbmsError, Result};
+use crate::expr::Expr;
+use crate::plan::{AggKind, JoinType, Plan};
+
+/// Work counters accumulated while executing a plan; the Xeon cost
+/// model converts them into cycles, seconds and joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostStats {
+    /// Values (tuples × columns) read from base tables.
+    pub scan_values: u64,
+    /// Expression-node passes × rows (each node is one vectorized pass).
+    pub expr_values: u64,
+    /// Rows flowing through filters.
+    pub filter_rows: u64,
+    /// Values materialized at operator outputs (MonetDB materializes
+    /// every intermediate).
+    pub materialized_values: u64,
+    /// Rows hashed into join build tables.
+    pub join_build_rows: u64,
+    /// Rows probed against join tables.
+    pub join_probe_rows: u64,
+    /// Rows produced by joins.
+    pub join_out_rows: u64,
+    /// Rows aggregated.
+    pub agg_rows: u64,
+    /// Key comparisons performed by sorts (`n log2 n`).
+    pub sort_comparisons: u64,
+}
+
+impl CostStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CostStats) {
+        self.scan_values += other.scan_values;
+        self.expr_values += other.expr_values;
+        self.filter_rows += other.filter_rows;
+        self.materialized_values += other.materialized_values;
+        self.join_build_rows += other.join_build_rows;
+        self.join_probe_rows += other.join_probe_rows;
+        self.join_out_rows += other.join_out_rows;
+        self.agg_rows += other.agg_rows;
+        self.sort_comparisons += other.sort_comparisons;
+    }
+}
+
+/// Executes `plan` against `catalog`, returning the result table and
+/// the accumulated cost counters.
+///
+/// # Errors
+///
+/// Returns a [`DbmsError`] for unknown tables/columns or malformed
+/// expressions.
+pub fn run(plan: &Plan, catalog: &dyn Catalog) -> Result<(Table, CostStats)> {
+    let mut stats = CostStats::default();
+    let table = exec(plan, catalog, &mut stats)?;
+    Ok((table, stats))
+}
+
+fn exec(plan: &Plan, catalog: &dyn Catalog, stats: &mut CostStats) -> Result<Table> {
+    match plan {
+        Plan::Scan { table, columns } => {
+            let base = catalog
+                .base_table(table)
+                .ok_or_else(|| DbmsError::UnknownTable(table.clone()))?;
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            let out = base.project(&names)?;
+            stats.scan_values += out.row_count() as u64 * out.column_count() as u64;
+            Ok(out)
+        }
+        Plan::Filter { input, predicate } => {
+            let t = exec(input, catalog, stats)?;
+            let bools = predicate.eval(&t)?;
+            stats.expr_values += predicate.node_count() * t.row_count() as u64;
+            stats.filter_rows += t.row_count() as u64;
+            let keep: Vec<bool> = bools.data.iter().map(|&b| b != 0).collect();
+            let out = t.filter(&keep);
+            stats.materialized_values += out.row_count() as u64 * out.column_count() as u64;
+            Ok(out)
+        }
+        Plan::Project { input, exprs } => {
+            let t = exec(input, catalog, stats)?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (name, e) in exprs {
+                let v = e.eval(&t)?;
+                stats.expr_values += e.node_count() * t.row_count() as u64;
+                let mut col = Column::from_physical(name.clone(), v.ty, v.data);
+                if let Some(dict) = v.dict {
+                    col = col.with_dict(dict);
+                }
+                // Preserve the source column's declared width for
+                // pass-through references so byte accounting matches.
+                if let Expr::Col(src) = e {
+                    if let Ok(src_col) = t.column(src) {
+                        col = col.with_width(src_col.width())?;
+                    }
+                }
+                cols.push(col);
+            }
+            let out = Table::new(cols)?;
+            stats.materialized_values += out.row_count() as u64 * out.column_count() as u64;
+            Ok(out)
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, join_type } => {
+            let lt = exec(left, catalog, stats)?;
+            let rt = exec(right, catalog, stats)?;
+            let out = hash_join(&lt, &rt, left_keys, right_keys, *join_type, stats)?;
+            stats.materialized_values += out.row_count() as u64 * out.column_count() as u64;
+            Ok(out)
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let t = exec(input, catalog, stats)?;
+            let out = aggregate(&t, group_by, aggs, stats)?;
+            stats.materialized_values += out.row_count() as u64 * out.column_count() as u64;
+            Ok(out)
+        }
+        Plan::Sort { input, keys } => {
+            let t = exec(input, catalog, stats)?;
+            let n = t.row_count();
+            if n > 1 {
+                stats.sort_comparisons += (n as u64) * (n as f64).log2().ceil() as u64;
+            }
+            let key_cols: Vec<&Column> = keys
+                .iter()
+                .map(|(k, _)| t.column(k))
+                .collect::<q100_columnar::Result<_>>()?;
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                for ((_, desc), col) in keys.iter().zip(&key_cols) {
+                    let ord = col.cmp_rows(a, b);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let out = t.gather(&order);
+            stats.materialized_values += out.row_count() as u64 * out.column_count() as u64;
+            Ok(out)
+        }
+    }
+}
+
+fn key_rows(t: &Table, keys: &[String]) -> Result<Vec<Vec<i64>>> {
+    let cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| t.column(k).map_err(|_| DbmsError::UnknownColumn(k.clone())))
+        .collect::<Result<_>>()?;
+    Ok((0..t.row_count())
+        .map(|r| cols.iter().map(|c| c.get(r)).collect())
+        .collect())
+}
+
+fn hash_join(
+    lt: &Table,
+    rt: &Table,
+    left_keys: &[String],
+    right_keys: &[String],
+    join_type: JoinType,
+    stats: &mut CostStats,
+) -> Result<Table> {
+    let lkeys = key_rows(lt, left_keys)?;
+    let rkeys = key_rows(rt, right_keys)?;
+    stats.join_build_rows += lt.row_count() as u64;
+    stats.join_probe_rows += rt.row_count() as u64;
+
+    let mut index: HashMap<&[i64], Vec<usize>> = HashMap::with_capacity(lkeys.len());
+    for (row, k) in lkeys.iter().enumerate() {
+        index.entry(k.as_slice()).or_default().push(row);
+    }
+
+    match join_type {
+        JoinType::Inner | JoinType::LeftOuter => {
+            let mut lrows = Vec::new();
+            let mut rrows = Vec::new();
+            let mut matched = vec![false; lkeys.len()];
+            for (rrow, k) in rkeys.iter().enumerate() {
+                if let Some(matches) = index.get(k.as_slice()) {
+                    for &lrow in matches {
+                        lrows.push(lrow);
+                        rrows.push(rrow);
+                        matched[lrow] = true;
+                    }
+                }
+            }
+            let unmatched: Vec<usize> = if join_type == JoinType::LeftOuter {
+                (0..lkeys.len()).filter(|&r| !matched[r]).collect()
+            } else {
+                Vec::new()
+            };
+            lrows.extend_from_slice(&unmatched);
+            stats.join_out_rows += lrows.len() as u64;
+            let mut cols: Vec<Column> = lt.gather(&lrows).columns().to_vec();
+            for col in rt.gather(&rrows).columns() {
+                // Zero-fill right columns of unmatched left rows.
+                let col = if unmatched.is_empty() {
+                    col.clone()
+                } else {
+                    let mut data = col.data().to_vec();
+                    data.extend(std::iter::repeat_n(0, unmatched.len()));
+                    col.with_data(data)
+                };
+                let mut name = col.name().to_string();
+                while cols.iter().any(|c| c.name() == name) {
+                    name.push_str("_r");
+                }
+                let col = if name == col.name() { col } else { col.renamed(name) };
+                cols.push(col);
+            }
+            Ok(Table::new(cols)?)
+        }
+        JoinType::LeftSemi | JoinType::LeftAnti => {
+            // Semi/anti join: which left rows have a probe-side match.
+            let matched: HashSet<&[i64]> = rkeys
+                .iter()
+                .map(Vec::as_slice)
+                .filter(|k| index.contains_key(*k))
+                .collect();
+            let want = join_type == JoinType::LeftSemi;
+            let keep: Vec<bool> = lkeys
+                .iter()
+                .map(|k| matched.contains(k.as_slice()) == want)
+                .collect();
+            let out = lt.filter(&keep);
+            stats.join_out_rows += out.row_count() as u64;
+            Ok(out)
+        }
+    }
+}
+
+fn aggregate(
+    t: &Table,
+    group_by: &[String],
+    aggs: &[(String, AggKind, Expr)],
+    stats: &mut CostStats,
+) -> Result<Table> {
+    stats.agg_rows += t.row_count() as u64;
+    let group_cols: Vec<&Column> = group_by
+        .iter()
+        .map(|g| t.column(g).map_err(|_| DbmsError::UnknownColumn(g.clone())))
+        .collect::<Result<_>>()?;
+    let arg_values: Vec<Vec<i64>> = aggs
+        .iter()
+        .map(|(_, _, e)| {
+            stats.expr_values += e.node_count() * t.row_count() as u64;
+            e.eval(t).map(|v| v.data)
+        })
+        .collect::<Result<_>>()?;
+    let arg_types: Vec<LogicalType> = aggs
+        .iter()
+        .map(|(_, kind, e)| match kind {
+            AggKind::Count | AggKind::CountDistinct => Ok(LogicalType::Int),
+            _ => e.eval(t).map(|v| v.ty),
+        })
+        .collect::<Result<_>>()?;
+
+    // Group index in first-seen order (stable, deterministic output).
+    let mut order: Vec<Vec<i64>> = Vec::new();
+    let mut groups: HashMap<Vec<i64>, usize> = HashMap::new();
+    let mut rows_of: Vec<Vec<usize>> = Vec::new();
+    for r in 0..t.row_count() {
+        let key: Vec<i64> = group_cols.iter().map(|c| c.get(r)).collect();
+        let gid = *groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            rows_of.push(Vec::new());
+            order.len() - 1
+        });
+        rows_of[gid].push(r);
+    }
+    // A global aggregate over zero rows still yields one row of zeros
+    // (COUNT = 0), like SQL.
+    if group_by.is_empty() && rows_of.is_empty() {
+        order.push(Vec::new());
+        rows_of.push(Vec::new());
+    }
+
+    let mut cols: Vec<Column> = Vec::with_capacity(group_by.len() + aggs.len());
+    for (gi, gcol) in group_cols.iter().enumerate() {
+        let data: Vec<i64> = order.iter().map(|k| k[gi]).collect();
+        cols.push(gcol.with_data(data));
+    }
+    for (ai, (name, kind, _)) in aggs.iter().enumerate() {
+        let data: Vec<i64> = rows_of
+            .iter()
+            .map(|rows| {
+                let vals = rows.iter().map(|&r| arg_values[ai][r]);
+                match kind {
+                    AggKind::Sum => vals.sum(),
+                    AggKind::Min => vals.min().unwrap_or(0),
+                    AggKind::Max => vals.max().unwrap_or(0),
+                    AggKind::Count => rows.len() as i64,
+                    AggKind::Avg => {
+                        if rows.is_empty() {
+                            0
+                        } else {
+                            vals.sum::<i64>() / rows.len() as i64
+                        }
+                    }
+                    AggKind::CountDistinct => {
+                        let set: HashSet<i64> = vals.collect();
+                        set.len() as i64
+                    }
+                }
+            })
+            .collect();
+        cols.push(Column::from_physical(name.clone(), arg_types[ai], data));
+    }
+    Ok(Table::new(cols)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpKind;
+    use q100_columnar::MemoryCatalog;
+
+    fn catalog() -> MemoryCatalog {
+        let orders = Table::new(vec![
+            Column::from_ints("o_orderkey", [1, 2, 3]),
+            Column::from_ints("o_custkey", [10, 20, 10]),
+        ])
+        .unwrap();
+        let lineitem = Table::new(vec![
+            Column::from_ints("l_orderkey", [1, 1, 2, 3, 9]),
+            Column::from_ints("l_qty", [5, 7, 2, 9, 1]),
+        ])
+        .unwrap();
+        MemoryCatalog::new(vec![("orders".into(), orders), ("lineitem".into(), lineitem)])
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let plan = Plan::scan("lineitem", &["l_orderkey", "l_qty"])
+            .filter(Expr::col("l_qty").cmp(CmpKind::Gte, Expr::int(5)))
+            .project(vec![("double_qty", Expr::col("l_qty").arith(crate::expr::ArithKind::Mul, Expr::int(2)))]);
+        let (t, stats) = run(&plan, &catalog()).unwrap();
+        assert_eq!(t.column("double_qty").unwrap().data(), &[10, 14, 18]);
+        assert_eq!(stats.scan_values, 10);
+        assert!(stats.filter_rows == 5 && stats.expr_values > 0);
+    }
+
+    #[test]
+    fn inner_join_matches_pairs() {
+        let plan = Plan::scan("orders", &["o_orderkey", "o_custkey"]).join(
+            Plan::scan("lineitem", &["l_orderkey", "l_qty"]),
+            &["o_orderkey"],
+            &["l_orderkey"],
+        );
+        let (t, stats) = run(&plan, &catalog()).unwrap();
+        assert_eq!(t.row_count(), 4); // l_orderkey 9 has no match
+        assert_eq!(stats.join_build_rows, 3);
+        assert_eq!(stats.join_probe_rows, 5);
+        assert_eq!(stats.join_out_rows, 4);
+    }
+
+    #[test]
+    fn semi_and_anti_joins() {
+        let semi = Plan::scan("orders", &["o_orderkey"]).join_as(
+            Plan::scan("lineitem", &["l_orderkey"]),
+            &["o_orderkey"],
+            &["l_orderkey"],
+            JoinType::LeftSemi,
+        );
+        let (t, _) = run(&semi, &catalog()).unwrap();
+        assert_eq!(t.column("o_orderkey").unwrap().data(), &[1, 2, 3]);
+
+        let anti = Plan::scan("lineitem", &["l_orderkey"]).join_as(
+            Plan::scan("orders", &["o_orderkey"]),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinType::LeftAnti,
+        );
+        let (t, _) = run(&anti, &catalog()).unwrap();
+        assert_eq!(t.column("l_orderkey").unwrap().data(), &[9]);
+    }
+
+    #[test]
+    fn left_outer_join_zero_fills() {
+        let outer = Plan::scan("orders", &["o_orderkey", "o_custkey"]).join_as(
+            Plan::scan("lineitem", &["l_orderkey", "l_qty"]),
+            &["o_orderkey"],
+            &["l_orderkey"],
+            JoinType::LeftOuter,
+        );
+        let (t, _) = run(&outer, &catalog()).unwrap();
+        // 4 matches + 0 unmatched orders (all orders have lineitems).
+        assert_eq!(t.row_count(), 4);
+
+        let outer = Plan::scan("lineitem", &["l_orderkey", "l_qty"]).join_as(
+            Plan::scan("orders", &["o_orderkey", "o_custkey"]),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinType::LeftOuter,
+        );
+        let (t, _) = run(&outer, &catalog()).unwrap();
+        assert_eq!(t.row_count(), 5, "lineitem 9 is kept");
+        let last = t.row_count() - 1;
+        assert_eq!(t.column("l_orderkey").unwrap().get(last), 9);
+        assert_eq!(t.column("o_custkey").unwrap().get(last), 0, "zero-filled");
+    }
+
+    #[test]
+    fn aggregate_group_and_global() {
+        let plan = Plan::scan("lineitem", &["l_orderkey", "l_qty"]).aggregate(
+            &["l_orderkey"],
+            vec![
+                ("total", AggKind::Sum, Expr::col("l_qty")),
+                ("n", AggKind::Count, Expr::int(1)),
+            ],
+        );
+        let (t, _) = run(&plan, &catalog()).unwrap();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.column("total").unwrap().data(), &[12, 2, 9, 1]);
+        assert_eq!(t.column("n").unwrap().data(), &[2, 1, 1, 1]);
+
+        let global = Plan::scan("lineitem", &["l_qty"])
+            .aggregate(&[], vec![("mx", AggKind::Max, Expr::col("l_qty"))]);
+        let (t, _) = run(&global, &catalog()).unwrap();
+        assert_eq!(t.column("mx").unwrap().data(), &[9]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let plan = Plan::scan("orders", &["o_custkey"])
+            .aggregate(&[], vec![("n", AggKind::CountDistinct, Expr::col("o_custkey"))]);
+        let (t, _) = run(&plan, &catalog()).unwrap();
+        assert_eq!(t.column("n").unwrap().data(), &[2]);
+    }
+
+    #[test]
+    fn sort_multi_key() {
+        let plan = Plan::scan("lineitem", &["l_orderkey", "l_qty"])
+            .sort(&[("l_orderkey", false), ("l_qty", true)]);
+        let (t, stats) = run(&plan, &catalog()).unwrap();
+        assert_eq!(t.column("l_qty").unwrap().data(), &[7, 5, 2, 9, 1]);
+        assert!(stats.sort_comparisons > 0);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let plan = Plan::scan("nope", &["x"]);
+        assert!(matches!(run(&plan, &catalog()), Err(DbmsError::UnknownTable(_))));
+    }
+}

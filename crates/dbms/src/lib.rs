@@ -1,0 +1,45 @@
+//! # `q100-dbms`: the software column-store baseline
+//!
+//! The Q100 paper compares against MonetDB on a Sandy Bridge Xeon
+//! (Table 4). This crate provides that baseline's two roles:
+//!
+//! 1. **Functional ground truth** — a real column-at-a-time executor
+//!    ([`run`]) over [`Plan`] trees with vectorized [`Expr`]essions,
+//!    hash joins, hash aggregation and sorts. Every Q100 query plan is
+//!    validated against this executor's results, mirroring the paper's
+//!    validation against MonetDB.
+//! 2. **Performance/energy reference** — operator-level work counters
+//!    ([`CostStats`]) are converted by the [`xeon`] cost model into the
+//!    runtime and energy of a single software thread on the paper's
+//!    platform, plus the idealized 24-thread reference.
+//!
+//! # Example
+//!
+//! ```
+//! use q100_columnar::{Column, MemoryCatalog, Table};
+//! use q100_dbms::{run, AggKind, Expr, Plan, SoftwareCost};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = Table::new(vec![Column::from_ints("v", vec![1, 2, 3, 4])])?;
+//! let catalog = MemoryCatalog::new(vec![("t".to_string(), t)]);
+//! let plan = Plan::scan("t", &["v"])
+//!     .aggregate(&[], vec![("total", AggKind::Sum, Expr::col("v"))]);
+//! let (result, stats) = run(&plan, &catalog)?;
+//! assert_eq!(result.column("total")?.data(), &[10]);
+//! let cost = SoftwareCost::of(&stats);
+//! assert!(cost.runtime_ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod xeon;
+
+pub use error::{DbmsError, Result};
+pub use exec::{run, CostStats};
+pub use expr::{ArithKind, CmpKind, Evaluated, Expr};
+pub use plan::{AggKind, JoinType, Plan};
+pub use xeon::{render_table4, CostModel, Platform, SoftwareCost, ACTIVE_POWER_W, PLATFORM};

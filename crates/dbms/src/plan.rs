@@ -1,0 +1,218 @@
+//! Relational plans for the software baseline executor.
+
+use std::fmt;
+
+use crate::expr::Expr;
+
+/// Aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Sum of the expression per group.
+    Sum,
+    /// Minimum per group.
+    Min,
+    /// Maximum per group.
+    Max,
+    /// Row count per group.
+    Count,
+    /// Integer average (sum / count) per group, matching the Q100
+    /// aggregator's fixed-point semantics.
+    Avg,
+    /// Count of distinct expression values per group.
+    CountDistinct,
+}
+
+/// Join variants supported by the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equijoin: all matching pairs.
+    Inner,
+    /// All matching pairs plus unmatched left rows with zero-filled
+    /// right columns (the fixed-width NULL sentinel both engines share).
+    LeftOuter,
+    /// Left rows with at least one match (`EXISTS`).
+    LeftSemi,
+    /// Left rows with no match (`NOT EXISTS`).
+    LeftAnti,
+}
+
+/// A relational query plan.
+///
+/// Plans execute column-at-a-time with full materialization between
+/// operators — the MonetDB execution style the paper measures against.
+///
+/// # Example
+///
+/// ```
+/// use q100_dbms::{Expr, Plan, CmpKind};
+///
+/// // SELECT l_quantity FROM lineitem WHERE l_quantity < 24
+/// let plan = Plan::scan("lineitem", &["l_quantity"])
+///     .filter(Expr::col("l_quantity").cmp(CmpKind::Lt, Expr::int(2400)));
+/// assert_eq!(format!("{plan}"), "Filter(Scan(lineitem))");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Reads named columns of a base table.
+    Scan {
+        /// Base table name.
+        table: String,
+        /// Columns to read.
+        columns: Vec<String>,
+    },
+    /// Keeps rows satisfying the predicate.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Computes one output column per expression.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(output name, expression)` pairs.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Hash equijoin on one or more key columns.
+    HashJoin {
+        /// Build side.
+        left: Box<Plan>,
+        /// Probe side.
+        right: Box<Plan>,
+        /// Key columns on the build side.
+        left_keys: Vec<String>,
+        /// Key columns on the probe side.
+        right_keys: Vec<String>,
+        /// Join variant.
+        join_type: JoinType,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-by columns (empty for a global aggregate).
+        group_by: Vec<String>,
+        /// `(output name, function, argument)` triples.
+        aggs: Vec<(String, AggKind, Expr)>,
+    },
+    /// Multi-key sort.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(column, descending)` keys, most significant first.
+        keys: Vec<(String, bool)>,
+    },
+}
+
+impl Plan {
+    /// A base-table scan.
+    #[must_use]
+    pub fn scan(table: impl Into<String>, columns: &[&str]) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+        }
+    }
+
+    /// Filters this plan's rows.
+    #[must_use]
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Projects expressions out of this plan.
+    #[must_use]
+    pub fn project(self, exprs: Vec<(&str, Expr)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            exprs: exprs.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+        }
+    }
+
+    /// Inner-joins this plan (build side) with `right` (probe side).
+    #[must_use]
+    pub fn join(self, right: Plan, left_keys: &[&str], right_keys: &[&str]) -> Plan {
+        self.join_as(right, left_keys, right_keys, JoinType::Inner)
+    }
+
+    /// Joins with an explicit join type.
+    #[must_use]
+    pub fn join_as(
+        self,
+        right: Plan,
+        left_keys: &[&str],
+        right_keys: &[&str],
+        join_type: JoinType,
+    ) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys: left_keys.iter().map(|k| (*k).to_string()).collect(),
+            right_keys: right_keys.iter().map(|k| (*k).to_string()).collect(),
+            join_type,
+        }
+    }
+
+    /// Aggregates this plan.
+    #[must_use]
+    pub fn aggregate(self, group_by: &[&str], aggs: Vec<(&str, AggKind, Expr)>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|g| (*g).to_string()).collect(),
+            aggs: aggs.into_iter().map(|(n, k, e)| (n.to_string(), k, e)).collect(),
+        }
+    }
+
+    /// Sorts this plan.
+    #[must_use]
+    pub fn sort(self, keys: &[(&str, bool)]) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys: keys.iter().map(|(k, d)| ((*k).to_string(), *d)).collect(),
+        }
+    }
+
+    /// Number of operators in the plan tree.
+    #[must_use]
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 1,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. } => 1 + input.operator_count(),
+            Plan::HashJoin { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan { table, .. } => write!(f, "Scan({table})"),
+            Plan::Filter { input, .. } => write!(f, "Filter({input})"),
+            Plan::Project { input, .. } => write!(f, "Project({input})"),
+            Plan::HashJoin { left, right, .. } => write!(f, "Join({left}, {right})"),
+            Plan::Aggregate { input, .. } => write!(f, "Agg({input})"),
+            Plan::Sort { input, .. } => write!(f, "Sort({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = Plan::scan("lineitem", &["l_quantity", "l_discount"])
+            .filter(Expr::col("l_quantity").eq(Expr::int(1)))
+            .aggregate(&[], vec![("n", AggKind::Count, Expr::int(1))])
+            .sort(&[("n", true)]);
+        assert_eq!(p.operator_count(), 4);
+        assert_eq!(p.to_string(), "Sort(Agg(Filter(Scan(lineitem))))");
+    }
+}

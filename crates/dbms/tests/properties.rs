@@ -1,0 +1,198 @@
+//! Property-based tests of the software executor against scalar
+//! reference implementations.
+
+use std::collections::{BTreeMap, HashSet};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use q100_columnar::{Column, MemoryCatalog, Table};
+use q100_dbms::{run, AggKind, ArithKind, CmpKind, Expr, JoinType, Plan};
+
+fn one_table(name: &str, cols: Vec<(&str, Vec<i64>)>) -> MemoryCatalog {
+    let columns = cols
+        .into_iter()
+        .map(|(n, data)| Column::from_ints(n, data))
+        .collect();
+    MemoryCatalog::new(vec![(name.to_string(), Table::new(columns).unwrap())])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Filter + global sum equals the scalar fold.
+    #[test]
+    fn filter_sum_reference(data in vec(-1000i64..1000, 0..200), threshold in -1000i64..1000) {
+        let cat = one_table("t", vec![("v", data.clone())]);
+        let plan = Plan::scan("t", &["v"])
+            .filter(Expr::col("v").cmp(CmpKind::Gt, Expr::int(threshold)))
+            .aggregate(&[], vec![("s", AggKind::Sum, Expr::col("v"))]);
+        let (out, stats) = run(&plan, &cat).unwrap();
+        let expect: i64 = data.iter().filter(|&&v| v > threshold).sum();
+        prop_assert_eq!(out.column("s").unwrap().get(0), expect);
+        prop_assert_eq!(stats.filter_rows, data.len() as u64);
+    }
+
+    /// Group-by aggregation equals a BTreeMap fold for every function.
+    #[test]
+    fn group_aggregate_reference(pairs in vec((0i64..8, -100i64..100), 1..200)) {
+        let g: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let v: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let cat = one_table("t", vec![("g", g.clone()), ("v", v.clone())]);
+        let plan = Plan::scan("t", &["g", "v"]).aggregate(
+            &["g"],
+            vec![
+                ("s", AggKind::Sum, Expr::col("v")),
+                ("mn", AggKind::Min, Expr::col("v")),
+                ("mx", AggKind::Max, Expr::col("v")),
+                ("n", AggKind::Count, Expr::int(1)),
+                ("avg", AggKind::Avg, Expr::col("v")),
+            ],
+        );
+        let (out, _) = run(&plan, &cat).unwrap();
+        let mut groups: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for (gk, val) in g.iter().zip(&v) {
+            groups.entry(*gk).or_default().push(*val);
+        }
+        prop_assert_eq!(out.row_count(), groups.len());
+        for r in 0..out.row_count() {
+            let key = out.column("g").unwrap().get(r);
+            let vals = &groups[&key];
+            prop_assert_eq!(out.column("s").unwrap().get(r), vals.iter().sum::<i64>());
+            prop_assert_eq!(out.column("mn").unwrap().get(r), *vals.iter().min().unwrap());
+            prop_assert_eq!(out.column("mx").unwrap().get(r), *vals.iter().max().unwrap());
+            prop_assert_eq!(out.column("n").unwrap().get(r), vals.len() as i64);
+            prop_assert_eq!(
+                out.column("avg").unwrap().get(r),
+                vals.iter().sum::<i64>() / vals.len() as i64
+            );
+        }
+    }
+
+    /// Inner hash join equals the nested-loop reference, as a multiset.
+    #[test]
+    fn inner_join_reference(
+        left in vec(0i64..20, 0..60),
+        right in vec(0i64..20, 0..60),
+    ) {
+        let cat = {
+            let lt = Table::new(vec![Column::from_ints("lk", left.clone())]).unwrap();
+            let rt = Table::new(vec![Column::from_ints("rk", right.clone())]).unwrap();
+            MemoryCatalog::new(vec![("l".into(), lt), ("r".into(), rt)])
+        };
+        let plan = Plan::scan("l", &["lk"]).join(Plan::scan("r", &["rk"]), &["lk"], &["rk"]);
+        let (out, _) = run(&plan, &cat).unwrap();
+        let mut got: Vec<i64> = out.column("lk").unwrap().data().to_vec();
+        let mut expect = Vec::new();
+        for &l in &left {
+            for &r in &right {
+                if l == r {
+                    expect.push(l);
+                }
+            }
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Semi and anti joins partition the left side.
+    #[test]
+    fn semi_anti_partition_left(
+        left in vec(0i64..30, 0..80),
+        right in vec(0i64..30, 0..80),
+    ) {
+        let cat = {
+            let lt = Table::new(vec![Column::from_ints("lk", left.clone())]).unwrap();
+            let rt = Table::new(vec![Column::from_ints("rk", right.clone())]).unwrap();
+            MemoryCatalog::new(vec![("l".into(), lt), ("r".into(), rt)])
+        };
+        let semi = Plan::scan("l", &["lk"])
+            .join_as(Plan::scan("r", &["rk"]), &["lk"], &["rk"], JoinType::LeftSemi);
+        let anti = Plan::scan("l", &["lk"])
+            .join_as(Plan::scan("r", &["rk"]), &["lk"], &["rk"], JoinType::LeftAnti);
+        let (s, _) = run(&semi, &cat).unwrap();
+        let (a, _) = run(&anti, &cat).unwrap();
+        prop_assert_eq!(s.row_count() + a.row_count(), left.len());
+        let rset: HashSet<i64> = right.iter().copied().collect();
+        for &v in s.column("lk").unwrap().data() {
+            prop_assert!(rset.contains(&v));
+        }
+        for &v in a.column("lk").unwrap().data() {
+            prop_assert!(!rset.contains(&v));
+        }
+    }
+
+    /// Left outer join = inner join + unmatched left rows.
+    #[test]
+    fn outer_join_reference(
+        left in vec(0i64..15, 0..50),
+        right in vec(0i64..15, 0..50),
+    ) {
+        let cat = {
+            let lt = Table::new(vec![Column::from_ints("lk", left.clone())]).unwrap();
+            let rt = Table::new(vec![Column::from_ints("rk", right.clone())]).unwrap();
+            MemoryCatalog::new(vec![("l".into(), lt), ("r".into(), rt)])
+        };
+        let inner = Plan::scan("l", &["lk"]).join(Plan::scan("r", &["rk"]), &["lk"], &["rk"]);
+        let outer = Plan::scan("l", &["lk"])
+            .join_as(Plan::scan("r", &["rk"]), &["lk"], &["rk"], JoinType::LeftOuter);
+        let (i, _) = run(&inner, &cat).unwrap();
+        let (o, _) = run(&outer, &cat).unwrap();
+        let rset: HashSet<i64> = right.iter().copied().collect();
+        let unmatched = left.iter().filter(|v| !rset.contains(v)).count();
+        prop_assert_eq!(o.row_count(), i.row_count() + unmatched);
+    }
+
+    /// Sort output is ordered and a permutation of the input.
+    #[test]
+    fn sort_reference(data in vec(-1000i64..1000, 0..200), desc in any::<bool>()) {
+        let cat = one_table("t", vec![("v", data.clone())]);
+        let plan = Plan::scan("t", &["v"]).sort(&[("v", desc)]);
+        let (out, _) = run(&plan, &cat).unwrap();
+        let got = out.column("v").unwrap().data().to_vec();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        if desc {
+            expect.reverse();
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Expression evaluation is deterministic and arity-stable under
+    /// random arithmetic trees.
+    #[test]
+    fn expr_arith_reference(data in vec(-100i64..100, 1..100), a in -10i64..10, b2 in 1i64..10) {
+        let cat = one_table("t", vec![("v", data.clone())]);
+        let plan = Plan::scan("t", &["v"]).project(vec![(
+            "e",
+            Expr::col("v")
+                .arith(ArithKind::Mul, Expr::int(a))
+                .arith(ArithKind::Add, Expr::col("v"))
+                .arith(ArithKind::Div, Expr::int(b2)),
+        )]);
+        let (out, _) = run(&plan, &cat).unwrap();
+        for (r, &v) in data.iter().enumerate() {
+            let expect = (v.wrapping_mul(a).wrapping_add(v)).wrapping_div(b2);
+            prop_assert_eq!(out.column("e").unwrap().get(r), expect);
+        }
+    }
+
+    /// Cost counters are monotone in input size.
+    #[test]
+    fn cost_monotone_in_rows(n1 in 1usize..100, extra in 1usize..100) {
+        let small: Vec<i64> = (0..n1 as i64).collect();
+        let big: Vec<i64> = (0..(n1 + extra) as i64).collect();
+        let plan = |_: usize| {
+            Plan::scan("t", &["v"])
+                .filter(Expr::col("v").cmp(CmpKind::Gte, Expr::int(0)))
+                .aggregate(&[], vec![("s", AggKind::Sum, Expr::col("v"))])
+        };
+        let (_, s1) = run(&plan(0), &one_table("t", vec![("v", small)])).unwrap();
+        let (_, s2) = run(&plan(0), &one_table("t", vec![("v", big)])).unwrap();
+        let c1 = q100_dbms::SoftwareCost::of(&s1);
+        let c2 = q100_dbms::SoftwareCost::of(&s2);
+        prop_assert!(c2.runtime_ms > c1.runtime_ms);
+        prop_assert!(c2.energy_mj > c1.energy_mj);
+    }
+}

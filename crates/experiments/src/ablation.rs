@@ -1,0 +1,197 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! * **Stream-buffer provisioning** — the paper sizes 4–6 inbound
+//!   stream buffers at 5 GB/s each; sweeping the count shows where read
+//!   bandwidth stops paying.
+//! * **Point-to-point links** — the paper suggests that "a handful of
+//!   very common, high-bandwidth connections ... can be fixed with
+//!   point to point connections"; exempting the hottest kind-pairs from
+//!   the NoC cap quantifies that option.
+//! * **Scheduler value** — how much of the data-aware scheduler's win
+//!   comes from volume knowledge versus plain greedy packing is covered
+//!   by the Figures 19–22 study in [`crate::sched_study`].
+
+use q100_core::{power, Bandwidth, SimConfig, TileKind, ENDPOINTS, MEMORY_ENDPOINT};
+
+use crate::comm;
+use crate::runner::Workload;
+
+/// One point of the stream-buffer sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SbPoint {
+    /// Inbound stream buffers provisioned.
+    pub read_buffers: u32,
+    /// Resulting aggregate read bandwidth, GB/s.
+    pub read_gbps: f64,
+    /// Total suite runtime, ms.
+    pub runtime_ms: f64,
+    /// Stream-buffer power, W.
+    pub sb_power_w: f64,
+}
+
+/// Sweeps the inbound stream-buffer count for one base design,
+/// holding NoC and write provisioning at the paper's values.
+#[must_use]
+pub fn stream_buffer_sweep(workload: &Workload, base: &SimConfig, counts: &[u32]) -> Vec<SbPoint> {
+    counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.read_buffers = n;
+            cfg.bandwidth = Bandwidth {
+                noc_gbps: Some(comm::NOC_LIMIT_GBPS),
+                mem_read_gbps: Some(power::STREAM_BUFFER_GBPS * f64::from(n)),
+                mem_write_gbps: Some(10.0),
+            };
+            SbPoint {
+                read_buffers: n,
+                read_gbps: power::STREAM_BUFFER_GBPS * f64::from(n),
+                runtime_ms: workload.total_runtime_ms(&cfg),
+                sb_power_w: f64::from(n + cfg.write_buffers) * power::STREAM_BUFFER_POWER_W,
+            }
+        })
+        .collect()
+}
+
+/// Renders the stream-buffer sweep.
+#[must_use]
+pub fn render_sb_sweep(points: &[SbPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>4} {:>10} {:>12} {:>10}", "SBs", "read GB/s", "runtime ms", "SB W");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10.1} {:>12.3} {:>10.2}",
+            p.read_buffers, p.read_gbps, p.runtime_ms, p.sb_power_w
+        );
+    }
+    out
+}
+
+/// The result of the point-to-point link ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2pAblation {
+    /// The kind-pairs promoted to dedicated links, hottest first.
+    pub promoted: Vec<(TileKind, TileKind)>,
+    /// Suite runtime with the plain capped NoC, ms.
+    pub shared_ms: f64,
+    /// Suite runtime with the promoted links uncapped, ms.
+    pub p2p_ms: f64,
+    /// Suite runtime with no NoC cap at all (upper bound), ms.
+    pub ideal_ms: f64,
+}
+
+impl P2pAblation {
+    /// Fraction of the NoC-cap penalty the dedicated links recover
+    /// (1.0 = as good as an uncapped NoC).
+    #[must_use]
+    pub fn recovered_fraction(&self) -> f64 {
+        let penalty = self.shared_ms - self.ideal_ms;
+        if penalty <= 0.0 {
+            1.0
+        } else {
+            ((self.shared_ms - self.p2p_ms) / penalty).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Renders the ablation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# Point-to-point link ablation");
+        let _ = writeln!(out, "promoted links ({}):", self.promoted.len());
+        for (s, d) in &self.promoted {
+            let _ = writeln!(out, "  {s} -> {d}");
+        }
+        let _ = writeln!(
+            out,
+            "shared NoC: {:.3} ms | +p2p links: {:.3} ms | uncapped: {:.3} ms",
+            self.shared_ms, self.p2p_ms, self.ideal_ms
+        );
+        let _ = writeln!(out, "recovered {:.0}% of the NoC penalty", 100.0 * self.recovered_fraction());
+        out
+    }
+}
+
+/// Promotes the `top_k` hottest tile-to-tile connections (by peak
+/// demanded bandwidth) to dedicated links and measures the effect.
+#[must_use]
+pub fn p2p_ablation(workload: &Workload, base: &SimConfig, top_k: usize) -> P2pAblation {
+    // Hottest links by peak demand under an ideal NoC.
+    let peak = comm::peak_bandwidth(workload, base);
+    let mut pairs: Vec<(f64, TileKind, TileKind)> = Vec::new();
+    for src in 0..ENDPOINTS {
+        for dst in 0..ENDPOINTS {
+            if src == MEMORY_ENDPOINT || dst == MEMORY_ENDPOINT {
+                continue; // memory is provisioned by stream buffers
+            }
+            let v = peak.get(src, dst);
+            if v > 0.0 {
+                pairs.push((v, TileKind::ALL[src], TileKind::ALL[dst]));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let promoted: Vec<(TileKind, TileKind)> =
+        pairs.into_iter().take(top_k).map(|(_, s, d)| (s, d)).collect();
+
+    let capped = base.clone().with_bandwidth(Bandwidth {
+        noc_gbps: Some(comm::NOC_LIMIT_GBPS),
+        mem_read_gbps: None,
+        mem_write_gbps: None,
+    });
+    let shared_ms = workload.total_runtime_ms(&capped);
+    let p2p_ms = workload.total_runtime_ms(&capped.clone().with_p2p_links(promoted.clone()));
+    let ideal_ms = workload.total_runtime_ms(&base.clone().with_bandwidth(Bandwidth::ideal()));
+    P2pAblation { promoted, shared_ms, p2p_ms, ideal_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        Workload::prepare_subset(0.003, &["q1", "q6", "q12"])
+    }
+
+    #[test]
+    fn more_stream_buffers_never_slow_the_suite() {
+        let w = workload();
+        let points = stream_buffer_sweep(&w, &SimConfig::pareto(), &[1, 2, 4, 6, 8]);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].runtime_ms <= pair[0].runtime_ms + 1e-6,
+                "buffers {} slower than {}",
+                pair[1].read_buffers,
+                pair[0].read_buffers
+            );
+        }
+        assert!(points[0].runtime_ms > points.last().unwrap().runtime_ms * 0.999);
+        assert!(render_sb_sweep(&points).contains("read GB/s"));
+    }
+
+    #[test]
+    fn p2p_links_recover_part_of_the_noc_penalty() {
+        let w = workload();
+        let ab = p2p_ablation(&w, &SimConfig::pareto(), 4);
+        assert!(ab.shared_ms >= ab.ideal_ms);
+        assert!(ab.p2p_ms <= ab.shared_ms + 1e-6, "dedicated links cannot slow things down");
+        assert!(ab.p2p_ms >= ab.ideal_ms - 1e-6, "p2p cannot beat a fully uncapped NoC");
+        assert!(!ab.promoted.is_empty());
+        assert!(ab.render().contains("recovered"));
+    }
+
+    #[test]
+    fn promoting_all_links_equals_ideal_noc() {
+        let w = Workload::prepare_subset(0.002, &["q6"]);
+        let ab = p2p_ablation(&w, &SimConfig::pareto(), usize::MAX);
+        assert!(
+            (ab.p2p_ms - ab.ideal_ms).abs() < ab.ideal_ms * 0.05 + 1e-6,
+            "uncapping every link should match the ideal NoC: {:.4} vs {:.4}",
+            ab.p2p_ms,
+            ab.ideal_ms
+        );
+    }
+}

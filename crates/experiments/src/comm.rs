@@ -1,0 +1,381 @@
+//! Communication studies (Section 3.3): connection-count heat maps
+//! (Figures 7–9), peak per-link bandwidth heat maps (Figures 10–12),
+//! NoC and memory bandwidth sweeps (Figures 13, 16, 17), per-query
+//! memory bandwidth profiles (Figures 14–15), and the stacked
+//! bandwidth-limit impact study (Figure 18).
+
+use q100_core::{Bandwidth, BwStats, ConnMatrix, SimConfig, SimOutcome, ENDPOINTS};
+
+use crate::runner::{paper_designs, Workload};
+
+/// The paper's estimated per-link NoC bandwidth: the TeraFlops mesh's
+/// 80 GB/s at 4 GHz scaled to the Q100's 315 MHz.
+pub const NOC_LIMIT_GBPS: f64 = 6.3;
+
+/// Renders a source×destination matrix as an aligned heat-map table.
+/// When `mark_threshold` is set, cells exceeding it print as `X`
+/// (Figures 10–12 mark links beyond the provisioned 6.3 GB/s).
+#[must_use]
+pub fn render_matrix(m: &ConnMatrix, title: &str, mark_threshold: Option<f64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title} (rows: source, cols: destination)");
+    let _ = write!(out, "{:<12}", "");
+    for dst in 0..ENDPOINTS {
+        let _ = write!(out, "{:>8}", &q100_core::exec::endpoint_name(dst)[..q100_core::exec::endpoint_name(dst).len().min(7)]);
+    }
+    out.push('\n');
+    for src in 0..ENDPOINTS {
+        let _ = write!(out, "{:<12}", q100_core::exec::endpoint_name(src));
+        for dst in 0..ENDPOINTS {
+            let v = m.get(src, dst);
+            match mark_threshold {
+                Some(t) if v > t => {
+                    let _ = write!(out, "{:>8}", "X");
+                }
+                _ if v == 0.0 => {
+                    let _ = write!(out, "{:>8}", ".");
+                }
+                _ => {
+                    let _ = write!(out, "{:>8.1}", v);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Sums connection counts over all queries of the workload for one
+/// design (Figures 7–9).
+#[must_use]
+pub fn connection_counts(workload: &Workload, config: &SimConfig) -> ConnMatrix {
+    let mut total = ConnMatrix::zero();
+    for outcome in workload.simulate_all(config) {
+        total.merge_add(&outcome.timing.connections);
+    }
+    total
+}
+
+/// Maximum observed per-link bandwidth over all queries for one design,
+/// simulated with ideal bandwidth so the demand (not the cap) is
+/// measured (Figures 10–12).
+#[must_use]
+pub fn peak_bandwidth(workload: &Workload, config: &SimConfig) -> ConnMatrix {
+    let ideal = config.clone().with_bandwidth(Bandwidth::ideal());
+    let mut peak = ConnMatrix::zero();
+    for outcome in workload.simulate_all(&ideal) {
+        peak.merge_max(&outcome.timing.peak_gbps);
+    }
+    peak
+}
+
+/// One sweep: per-design, per-limit, per-query runtimes normalized to
+/// the HighPerf design under ideal bandwidth (Figures 13, 16, 17).
+#[derive(Debug, Clone)]
+pub struct BandwidthSweep {
+    /// What was swept (`"NoC"`, `"MemRead"`, `"MemWrite"`).
+    pub axis: &'static str,
+    /// The swept limits in GB/s (`None` = IDEAL).
+    pub limits: Vec<Option<f64>>,
+    /// Query names.
+    pub queries: Vec<&'static str>,
+    /// `rows[design][limit][query]` = normalized runtime.
+    pub rows: Vec<(String, Vec<Vec<f64>>)>,
+}
+
+impl BandwidthSweep {
+    /// Renders the sweep as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} bandwidth sweep (runtime normalized to HighPerf IDEAL)", self.axis);
+        for (design, per_limit) in &self.rows {
+            let _ = writeln!(out, "## {design}");
+            let _ = write!(out, "{:>8}", "limit");
+            for q in &self.queries {
+                let _ = write!(out, " {q:>7}");
+            }
+            out.push('\n');
+            for (limit, row) in self.limits.iter().zip(per_limit) {
+                match limit {
+                    Some(l) => {
+                        let _ = write!(out, "{l:>8.1}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>8}", "IDEAL");
+                    }
+                }
+                for &v in row {
+                    let _ = write!(out, " {v:>7.2}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The worst slowdown observed at the tightest limit, over all
+    /// designs and queries.
+    #[must_use]
+    pub fn max_slowdown(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|(_, per_limit)| per_limit.first().into_iter().flatten())
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+fn bandwidth_for(axis: &str, limit: Option<f64>) -> Bandwidth {
+    match axis {
+        "NoC" => Bandwidth { noc_gbps: limit, mem_read_gbps: None, mem_write_gbps: None },
+        "MemRead" => Bandwidth { noc_gbps: None, mem_read_gbps: limit, mem_write_gbps: None },
+        "MemWrite" => Bandwidth { noc_gbps: None, mem_read_gbps: None, mem_write_gbps: limit },
+        other => panic!("unknown sweep axis `{other}`"),
+    }
+}
+
+/// Runs a bandwidth sweep over the three paper designs.
+///
+/// # Panics
+///
+/// Panics on an unknown `axis` (must be `"NoC"`, `"MemRead"` or
+/// `"MemWrite"`).
+#[must_use]
+pub fn bandwidth_sweep(
+    workload: &Workload,
+    axis: &'static str,
+    limits_gbps: &[f64],
+) -> BandwidthSweep {
+    let baseline: Vec<f64> = workload
+        .simulate_all(&SimConfig::high_perf().with_bandwidth(Bandwidth::ideal()))
+        .iter()
+        .map(SimOutcome::runtime_ms)
+        .collect();
+    let mut limits: Vec<Option<f64>> = limits_gbps.iter().copied().map(Some).collect();
+    limits.push(None);
+    let rows = paper_designs()
+        .into_iter()
+        .map(|(name, config)| {
+            let per_limit: Vec<Vec<f64>> = limits
+                .iter()
+                .map(|&limit| {
+                    let cfg = config.clone().with_bandwidth(bandwidth_for(axis, limit));
+                    workload
+                        .simulate_all(&cfg)
+                        .iter()
+                        .zip(&baseline)
+                        .map(|(o, b)| o.runtime_ms() / b)
+                        .collect()
+                })
+                .collect();
+            (name.to_string(), per_limit)
+        })
+        .collect();
+    BandwidthSweep { axis, limits, queries: workload.names(), rows }
+}
+
+/// Per-query memory bandwidth profile (Figures 14–15): hi/lo/avg read
+/// or write bandwidth per query for one design, sorted by average.
+#[derive(Debug, Clone)]
+pub struct MemProfile {
+    /// `"read"` or `"write"`.
+    pub direction: &'static str,
+    /// `(query, stats)` sorted ascending by average bandwidth.
+    pub per_query: Vec<(&'static str, BwStats)>,
+}
+
+impl MemProfile {
+    /// Renders the profile.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>5} {:>10} {:>10} {:>10}", "query", "lo GB/s", "avg GB/s", "hi GB/s");
+        for (q, s) in &self.per_query {
+            let _ = writeln!(out, "{q:>5} {:>10.2} {:>10.2} {:>10.2}", s.lo_gbps, s.avg_gbps, s.hi_gbps);
+        }
+        out
+    }
+}
+
+/// Measures the memory bandwidth demand profile of one design under
+/// ideal provisioning.
+///
+/// # Panics
+///
+/// Panics on a direction other than `"read"`/`"write"`.
+#[must_use]
+pub fn mem_profile(workload: &Workload, config: &SimConfig, direction: &'static str) -> MemProfile {
+    let ideal = config.clone().with_bandwidth(Bandwidth::ideal());
+    let mut per_query: Vec<(&'static str, BwStats)> = workload
+        .queries
+        .iter()
+        .map(|p| {
+            let o = workload.simulate(p, &ideal);
+            let stats = match direction {
+                "read" => o.timing.mem_read,
+                "write" => o.timing.mem_write,
+                other => panic!("unknown direction `{other}`"),
+            };
+            (p.query.name, stats)
+        })
+        .collect();
+    per_query.sort_by(|a, b| a.1.avg_gbps.total_cmp(&b.1.avg_gbps));
+    MemProfile { direction, per_query }
+}
+
+/// Figure 18: average suite runtime under (ideal), (+NoC cap), and
+/// (+NoC +memory caps), normalized to HighPerf ideal.
+#[derive(Debug, Clone)]
+pub struct LimitStack {
+    /// `(design, ideal, +noc, +noc+mem)` normalized runtimes.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl LimitStack {
+    /// Renders the comparison.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>12} {:>16}",
+            "Design", "Ideal", "+NoC limit", "+NoC+Mem limit"
+        );
+        for (design, ideal, noc, both) in &self.rows {
+            let _ = writeln!(out, "{design:<10} {ideal:>8.3} {noc:>12.3} {both:>16.3}");
+        }
+        out
+    }
+}
+
+/// Runs the Figure 18 study.
+#[must_use]
+pub fn limit_stack(workload: &Workload) -> LimitStack {
+    let baseline =
+        total(workload, &SimConfig::high_perf().with_bandwidth(Bandwidth::ideal()));
+    let rows = paper_designs()
+        .into_iter()
+        .map(|(name, config)| {
+            let ideal = total(workload, &config.clone().with_bandwidth(Bandwidth::ideal()));
+            let noc_only = total(
+                workload,
+                &config.clone().with_bandwidth(Bandwidth {
+                    noc_gbps: Some(NOC_LIMIT_GBPS),
+                    mem_read_gbps: None,
+                    mem_write_gbps: None,
+                }),
+            );
+            // The provisioned config already carries the design's memory
+            // caps (20/30 GB/s read, 10 GB/s write) plus the NoC cap.
+            let both = total(workload, &config);
+            (name.to_string(), ideal / baseline, noc_only / baseline, both / baseline)
+        })
+        .collect();
+    LimitStack { rows }
+}
+
+fn total(workload: &Workload, config: &SimConfig) -> f64 {
+    workload.total_runtime_ms(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q100_core::{TileKind, MEMORY_ENDPOINT};
+
+    fn small_workload() -> Workload {
+        Workload::prepare_subset(0.003, &["q6", "q1", "q4"])
+    }
+
+    #[test]
+    fn connection_counts_use_memory_heavily() {
+        let w = small_workload();
+        let m = connection_counts(&w, &SimConfig::low_power());
+        // Base-table reads: memory must be the busiest source.
+        let mem_out: f64 = (0..ENDPOINTS).map(|d| m.get(MEMORY_ENDPOINT, d)).sum();
+        assert!(mem_out > 0.0);
+        let colselect_in = m.get(MEMORY_ENDPOINT, TileKind::ColSelect as usize);
+        assert!(colselect_in >= 10.0, "every query reads many base columns");
+    }
+
+    #[test]
+    fn peak_bandwidth_has_hot_links() {
+        let w = small_workload();
+        let peak = peak_bandwidth(&w, &SimConfig::pareto());
+        // Streaming a 8-byte column at 1 rec/cycle = 2.5 GB/s; wider
+        // table streams exceed the 6.3 GB/s NoC estimate — the paper's
+        // central observation.
+        let mut any_hot = false;
+        for src in 0..ENDPOINTS {
+            for dst in 0..ENDPOINTS {
+                if peak.get(src, dst) > NOC_LIMIT_GBPS {
+                    any_hot = true;
+                }
+            }
+        }
+        assert!(any_hot, "some links must exceed 6.3 GB/s");
+    }
+
+    #[test]
+    fn noc_sweep_monotone_in_bandwidth() {
+        let w = small_workload();
+        let sweep = bandwidth_sweep(&w, "NoC", &[2.0, 10.0]);
+        for (_, per_limit) in &sweep.rows {
+            for q in 0..sweep.queries.len() {
+                assert!(
+                    per_limit[0][q] >= per_limit[1][q] - 1e-9,
+                    "tighter NoC cannot be faster"
+                );
+                assert!(
+                    per_limit[1][q] >= per_limit[2][q] - 1e-9,
+                    "IDEAL is fastest"
+                );
+            }
+        }
+        assert!(sweep.max_slowdown() >= 1.0);
+        assert!(sweep.render().contains("IDEAL"));
+    }
+
+    #[test]
+    fn mem_profile_sorted_by_average() {
+        let w = small_workload();
+        let p = mem_profile(&w, &SimConfig::low_power(), "read");
+        let avgs: Vec<f64> = p.per_query.iter().map(|(_, s)| s.avg_gbps).collect();
+        assert!(avgs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(avgs.iter().all(|&a| a > 0.0), "all queries read base tables");
+        let wr = mem_profile(&w, &SimConfig::low_power(), "write");
+        // Analytic queries write far less than they read (paper: "queries
+        // vary substantially in their memory read bandwidths but
+        // relatively little in their write bandwidths").
+        let read_total: f64 = avgs.iter().sum();
+        let write_total: f64 = wr.per_query.iter().map(|(_, s)| s.avg_gbps).sum();
+        assert!(write_total < read_total, "reads dominate writes");
+    }
+
+    #[test]
+    fn limit_stack_orders_ideal_noc_mem() {
+        let w = small_workload();
+        let stack = limit_stack(&w);
+        assert_eq!(stack.rows.len(), 3);
+        for (design, ideal, noc, both) in &stack.rows {
+            assert!(noc >= ideal, "{design}: NoC limit slows execution");
+            assert!(*both >= noc - 1e-9, "{design}: adding memory limits cannot speed up");
+        }
+        assert!(stack.render().contains("LowPower"));
+    }
+
+    #[test]
+    fn render_matrix_marks_threshold() {
+        let mut m = ConnMatrix::zero();
+        m.add(0, 1, 10.0);
+        m.add(1, 2, 3.0);
+        let text = render_matrix(&m, "test", Some(NOC_LIMIT_GBPS));
+        assert!(text.contains('X'));
+        assert!(text.contains("3.0"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Command-line runner regenerating every table and figure of the Q100
+//! evaluation.
+//!
+//! ```text
+//! q100-experiments [--sf <scale>] <experiments...>
+//!
+//! experiments:
+//!   --table1 --table2 --table3 --table4
+//!   --fig3 --fig4 --fig5 --fig6 --fig7 --fig8 --fig9
+//!   --fig10 --fig11 --fig12 --fig13 --fig14 --fig15 --fig16 --fig17
+//!   --fig18 --fig19 --fig20 --fig21 --fig22 --fig23 --fig24
+//!   --fig25 --fig26 --ablation
+//!   --all        (everything; the scaled study uses --sf x 100)
+//! ```
+
+use std::collections::BTreeSet;
+use std::env;
+use std::process::ExitCode;
+
+use q100_core::{power, Bandwidth, SimConfig, TileKind};
+use q100_experiments::{ablation, comm, dse, paper_designs, sched_study, sensitivity, software_cmp};
+use q100_experiments::{Workload, DEFAULT_SCALE};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: q100-experiments [--sf <scale>] --all | --tableN ... --figN ...\n\
+         regenerates the tables and figures of the Q100 paper (see DESIGN.md)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut scale = DEFAULT_SCALE;
+    let mut wants: BTreeSet<String> = BTreeSet::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--sf" => {
+                let Some(v) = iter.next() else { return usage() };
+                let Ok(v) = v.parse::<f64>() else { return usage() };
+                scale = v;
+            }
+            "--all" => {
+                wants.insert("ablation".to_string());
+                for t in 1..=4 {
+                    wants.insert(format!("table{t}"));
+                }
+                for f in [3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26] {
+                    wants.insert(format!("fig{f}"));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                wants.insert(flag.trim_start_matches("--").to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    if wants.is_empty() {
+        return usage();
+    }
+
+    // Constant tables need no simulation.
+    if wants.contains("table1") {
+        println!("== Table 1: tile physical characteristics ==\n{}", power::render_table1());
+    }
+    if wants.contains("table3") {
+        println!("== Table 3: design area/power breakdown ==\n{}", power::render_table3());
+    }
+    if wants.contains("table4") {
+        println!("== Table 4: software platform ==\n{}", q100_dbms::render_table4());
+    }
+
+    let needs_workload =
+        wants.iter().any(|w| w.starts_with("fig") || w == "table2" || w == "ablation");
+    if !needs_workload {
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("preparing workload at SF {scale} ...");
+    let workload = Workload::prepare(scale);
+
+    if wants.contains("table2") {
+        println!("== Table 2: tiny tiles and maximum useful counts ==");
+        println!("{}", sensitivity::table2(&workload, 0.01).render());
+    }
+    for (fig, kind) in [("fig3", TileKind::Aggregator), ("fig4", TileKind::Alu), ("fig5", TileKind::Sorter)] {
+        if wants.contains(fig) {
+            println!("== Figure {}: {} sensitivity ==", &fig[3..], kind);
+            println!("{}", sensitivity::sweep(&workload, kind).render());
+        }
+    }
+    if wants.contains("fig6") {
+        println!("== Figure 6: 150-configuration design space ==");
+        let space = dse::explore(&workload);
+        println!("{}", space.render_summary());
+        println!("{}", space.to_csv());
+    }
+    for (fig, idx) in [("fig7", 0), ("fig8", 1), ("fig9", 2)] {
+        if wants.contains(fig) {
+            let (name, config) = &paper_designs()[idx];
+            let m = comm::connection_counts(&workload, config);
+            println!("{}", comm::render_matrix(&m, &format!("Figure {}: {name} connection counts", &fig[3..]), None));
+        }
+    }
+    for (fig, idx) in [("fig10", 0), ("fig11", 1), ("fig12", 2)] {
+        if wants.contains(fig) {
+            let (name, config) = &paper_designs()[idx];
+            let m = comm::peak_bandwidth(&workload, config);
+            println!(
+                "{}",
+                comm::render_matrix(
+                    &m,
+                    &format!("Figure {}: {name} peak link GB/s (X > {})", &fig[3..], comm::NOC_LIMIT_GBPS),
+                    Some(comm::NOC_LIMIT_GBPS),
+                )
+            );
+        }
+    }
+    if wants.contains("fig13") {
+        println!("== Figure 13: NoC bandwidth sweep ==");
+        println!("{}", comm::bandwidth_sweep(&workload, "NoC", &[5.0, 10.0, 15.0, 20.0]).render());
+    }
+    for (fig, direction) in [("fig14", "read"), ("fig15", "write")] {
+        if wants.contains(fig) {
+            println!("== Figure {}: memory {direction} bandwidth demand ==", &fig[3..]);
+            for (name, config) in paper_designs() {
+                println!("## {name}\n{}", comm::mem_profile(&workload, &config, direction).render());
+            }
+        }
+    }
+    if wants.contains("fig16") {
+        println!("== Figure 16: memory read bandwidth sweep ==");
+        println!("{}", comm::bandwidth_sweep(&workload, "MemRead", &[10.0, 20.0, 30.0, 40.0]).render());
+    }
+    if wants.contains("fig17") {
+        println!("== Figure 17: memory write bandwidth sweep ==");
+        println!("{}", comm::bandwidth_sweep(&workload, "MemWrite", &[5.0, 10.0, 15.0, 20.0]).render());
+    }
+    if wants.contains("fig18") {
+        println!("== Figure 18: bandwidth-limit impact ==");
+        println!("{}", comm::limit_stack(&workload).render());
+    }
+    let sched_figs = ["fig19", "fig20", "fig21", "fig22"];
+    if sched_figs.iter().any(|f| wants.contains(*f)) {
+        println!("== Figures 19-22: scheduler comparison ==");
+        for study in sched_study::study_all_designs(&workload) {
+            println!("{}", study.render());
+        }
+    }
+    if wants.contains("fig23") || wants.contains("fig24") {
+        let cmp = software_cmp::compare(&workload);
+        if wants.contains("fig23") {
+            println!("== Figure 23: runtime vs software ==\n{}", cmp.render_runtime());
+        }
+        if wants.contains("fig24") {
+            println!("== Figure 24: energy vs software ==\n{}", cmp.render_energy());
+        }
+        println!(
+            "mean speedup (LP/Pareto/HP): {:.1}x / {:.1}x / {:.1}x; mean energy gain: {:.0}x / {:.0}x / {:.0}x",
+            cmp.mean_speedup(0),
+            cmp.mean_speedup(1),
+            cmp.mean_speedup(2),
+            cmp.mean_energy_gain(0),
+            cmp.mean_energy_gain(1),
+            cmp.mean_energy_gain(2),
+        );
+    }
+    if wants.contains("ablation") {
+        println!("== Ablation: stream-buffer provisioning (Pareto design) ==");
+        let points =
+            ablation::stream_buffer_sweep(&workload, &SimConfig::pareto(), &[1, 2, 3, 4, 6, 8]);
+        println!("{}", ablation::render_sb_sweep(&points));
+        println!("== Ablation: point-to-point links (Pareto design) ==");
+        println!("{}", ablation::p2p_ablation(&workload, &SimConfig::pareto(), 5).render());
+    }
+    if wants.contains("fig25") || wants.contains("fig26") {
+        eprintln!("preparing 100x workload at SF {} ...", scale * 100.0);
+        let cmp = software_cmp::compare_scaled(scale);
+        if wants.contains("fig25") {
+            println!("== Figure 25: 100x data, runtime vs software ==\n{}", cmp.render_runtime());
+        }
+        if wants.contains("fig26") {
+            println!("== Figure 26: 100x data, energy vs software ==\n{}", cmp.render_energy());
+        }
+    }
+    let _ = Bandwidth::ideal();
+    let _ = SimConfig::pareto();
+    ExitCode::SUCCESS
+}

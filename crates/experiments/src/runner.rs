@@ -1,0 +1,134 @@
+//! Shared machinery: execute every query functionally once, then sweep
+//! Q100 configurations over the cached profiles.
+
+use q100_core::{FunctionalRun, QueryGraph, SimConfig, SimOutcome, Simulator};
+use q100_tpch::queries::{self, TpchQuery};
+use q100_tpch::TpchData;
+
+/// Default scale factor for the evaluation experiments. Small enough
+/// that a full 150-configuration sweep finishes in minutes, large
+/// enough that every query has non-trivial volume.
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// One query prepared for simulation: its graph (built against the
+/// database) and its functional run (results + volume profile).
+pub struct PreparedQuery {
+    /// The query's registry entry.
+    pub query: TpchQuery,
+    /// The Q100 plan.
+    pub graph: QueryGraph,
+    /// Functional results and per-edge volumes.
+    pub functional: FunctionalRun,
+}
+
+/// A workload: a generated database plus every query prepared against
+/// it. Functional execution happens exactly once; configuration sweeps
+/// reuse the cached profiles.
+pub struct Workload {
+    /// The database.
+    pub db: TpchData,
+    /// The prepared queries, in paper order.
+    pub queries: Vec<PreparedQuery>,
+}
+
+impl Workload {
+    /// Prepares all 19 queries at the given scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query fails to plan or execute — the test suite
+    /// validates all of them, so a failure indicates a build problem.
+    #[must_use]
+    pub fn prepare(scale: f64) -> Self {
+        Self::prepare_subset(scale, &queries::QUERY_NAMES)
+    }
+
+    /// Prepares a subset of queries by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names or execution failure.
+    #[must_use]
+    pub fn prepare_subset(scale: f64, names: &[&str]) -> Self {
+        let db = TpchData::generate(scale);
+        let queries = names
+            .iter()
+            .map(|name| {
+                let query = queries::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown query `{name}`"));
+                let graph = (query.q100)(&db)
+                    .unwrap_or_else(|e| panic!("{name}: plan construction failed: {e}"));
+                let functional = q100_core::execute_lean(&graph, &db)
+                    .unwrap_or_else(|e| panic!("{name}: functional execution failed: {e}"));
+                PreparedQuery { query, graph, functional }
+            })
+            .collect();
+        Workload { db, queries }
+    }
+
+    /// Simulates one prepared query under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot run the query (all evaluation
+    /// configurations can).
+    #[must_use]
+    pub fn simulate(&self, prepared: &PreparedQuery, config: &SimConfig) -> SimOutcome {
+        Simulator::new(config.clone())
+            .run_profiled(&prepared.graph, &prepared.functional)
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name))
+    }
+
+    /// Simulates every query under `config`, returning outcomes in
+    /// workload order.
+    #[must_use]
+    pub fn simulate_all(&self, config: &SimConfig) -> Vec<SimOutcome> {
+        self.queries.iter().map(|p| self.simulate(p, config)).collect()
+    }
+
+    /// Total runtime of the whole suite under `config`, in
+    /// milliseconds.
+    #[must_use]
+    pub fn total_runtime_ms(&self, config: &SimConfig) -> f64 {
+        self.simulate_all(config).iter().map(SimOutcome::runtime_ms).sum()
+    }
+
+    /// The query names in workload order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.queries.iter().map(|p| p.query.name).collect()
+    }
+}
+
+/// The three named design points of the paper's evaluation.
+#[must_use]
+pub fn paper_designs() -> [(&'static str, SimConfig); 3] {
+    [
+        ("LowPower", SimConfig::low_power()),
+        ("Pareto", SimConfig::pareto()),
+        ("HighPerf", SimConfig::high_perf()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_prepares_and_simulates_subset() {
+        let w = Workload::prepare_subset(0.002, &["q6", "q1"]);
+        assert_eq!(w.names(), vec!["q6", "q1"]);
+        let outcomes = w.simulate_all(&SimConfig::pareto());
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.cycles > 0));
+        assert!(w.total_runtime_ms(&SimConfig::pareto()) > 0.0);
+    }
+
+    #[test]
+    fn profiles_are_reused_deterministically() {
+        let w = Workload::prepare_subset(0.002, &["q6"]);
+        let a = w.simulate(&w.queries[0], &SimConfig::low_power());
+        let b = w.simulate(&w.queries[0], &SimConfig::low_power());
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,207 @@
+//! Tile-count sensitivity studies (Figures 3–5) and the tiny-tile
+//! pruning table (Table 2).
+//!
+//! For each tile kind, the count is swept from 1 to [`MAX_SWEEP`] while
+//! every other kind is held at a non-limiting count; per-query runtimes
+//! are reported relative to the single-tile configuration, against the
+//! design's tile power — exactly the axes of Figures 3–5.
+
+use q100_core::{SimConfig, TileKind, TileMix};
+
+use crate::runner::Workload;
+
+/// Upper end of the per-tile sweep ("performance plateaus by or before
+/// ten tiles of each type").
+pub const MAX_SWEEP: u32 = 10;
+
+/// One sweep point of a sensitivity study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Instances of the swept tile kind.
+    pub count: u32,
+    /// Tile power of the configuration in W (the x-axis of Figures 3–5).
+    pub power_w: f64,
+    /// Per-query runtime relative to the 1-tile configuration
+    /// (`runtime / runtime@1`), in workload order.
+    pub relative_runtime: Vec<f64>,
+}
+
+/// The full sensitivity study of one tile kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// The swept kind.
+    pub kind: TileKind,
+    /// Query names, in column order of [`SweepPoint::relative_runtime`].
+    pub queries: Vec<&'static str>,
+    /// Sweep points for counts `1..=MAX_SWEEP`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sensitivity {
+    /// The smallest count at which every query is within `tolerance`
+    /// (e.g. 0.01 = 1%) of its best runtime — Table 2's "maximum useful
+    /// count".
+    #[must_use]
+    pub fn max_useful_count(&self, tolerance: f64) -> u32 {
+        let best: Vec<f64> = (0..self.queries.len())
+            .map(|q| {
+                self.points
+                    .iter()
+                    .map(|p| p.relative_runtime[q])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        for p in &self.points {
+            let all_close = best
+                .iter()
+                .enumerate()
+                .all(|(q, &b)| p.relative_runtime[q] <= b * (1.0 + tolerance));
+            if all_close {
+                return p.count;
+            }
+        }
+        self.points.last().map_or(1, |p| p.count)
+    }
+
+    /// Renders the study as aligned text (one row per count).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# Sensitivity: {} (runtime relative to 1 tile)", self.kind);
+        let _ = write!(out, "{:>5} {:>8}", "count", "power W");
+        for q in &self.queries {
+            let _ = write!(out, " {q:>7}");
+        }
+        out.push('\n');
+        for p in &self.points {
+            let _ = write!(out, "{:>5} {:>8.3}", p.count, p.power_w);
+            for &r in &p.relative_runtime {
+                let _ = write!(out, " {:>6.1}%", r * 100.0);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the sensitivity study for `kind` over a prepared workload.
+#[must_use]
+pub fn sweep(workload: &Workload, kind: TileKind) -> Sensitivity {
+    let mut base: Option<Vec<f64>> = None;
+    let mut points = Vec::with_capacity(MAX_SWEEP as usize);
+    for count in 1..=MAX_SWEEP {
+        let mix = TileMix::uniform(MAX_SWEEP).with_count(kind, count);
+        let config = SimConfig::new(mix);
+        let runtimes: Vec<f64> = workload
+            .simulate_all(&config)
+            .iter()
+            .map(q100_core::SimOutcome::runtime_ms)
+            .collect();
+        let base_ref = base.get_or_insert_with(|| runtimes.clone());
+        let relative: Vec<f64> =
+            runtimes.iter().zip(base_ref.iter()).map(|(r, b)| r / b).collect();
+        points.push(SweepPoint { count, power_w: mix.tile_power_w(), relative_runtime: relative });
+    }
+    Sensitivity { kind, queries: workload.names(), points }
+}
+
+/// Table 2: for every tile kind, the empirically determined maximum
+/// useful count and whether the kind is "tiny" (<10 mW, pinned during
+/// the design-space exploration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// `(kind, max useful count, is tiny)` per tile kind.
+    pub rows: Vec<(TileKind, u32, bool)>,
+}
+
+impl Table2 {
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<12} {:>17} {:>6} {:>12}", "Tile", "Max Useful Count", "Tiny", "Explored");
+        for &(kind, count, tiny) in &self.rows {
+            let explored = if tiny { "pinned".to_string() } else { format!("1 ... {count}") };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>17} {:>6} {:>12}",
+                kind.name(),
+                count,
+                if tiny { "X" } else { "" },
+                explored
+            );
+        }
+        out
+    }
+}
+
+/// Computes Table 2 by running the sensitivity sweep for every kind.
+#[must_use]
+pub fn table2(workload: &Workload, tolerance: f64) -> Table2 {
+    let rows = TileKind::ALL
+        .iter()
+        .map(|&kind| {
+            let s = sweep(workload, kind);
+            (kind, s.max_useful_count(tolerance), kind.is_tiny())
+        })
+        .collect();
+    Table2 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_sensitivity_shows_q1_and_only_q1() {
+        // Figure 3: Q1 is the only query sensitive to aggregator count.
+        let w = Workload::prepare_subset(0.005, &["q1", "q6", "q3"]);
+        let s = sweep(&w, TileKind::Aggregator);
+        let q1 = 0;
+        let improved = s.points.last().unwrap().relative_runtime[q1];
+        assert!(improved < 0.95, "Q1 speeds up with more aggregators: {improved}");
+        for (qi, name) in s.queries.iter().enumerate().skip(1) {
+            let last = s.points.last().unwrap().relative_runtime[qi];
+            assert!(
+                last > 0.9,
+                "{name} should be aggregator-insensitive, got {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_tiles_never_hurt_much() {
+        let w = Workload::prepare_subset(0.005, &["q6", "q4"]);
+        let s = sweep(&w, TileKind::Alu);
+        for p in &s.points {
+            for &r in &p.relative_runtime {
+                assert!(r <= 1.05, "adding ALUs should not slow queries: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_useful_count_detects_plateau() {
+        let s = Sensitivity {
+            kind: TileKind::Sorter,
+            queries: vec!["qx"],
+            points: vec![
+                SweepPoint { count: 1, power_w: 0.1, relative_runtime: vec![1.0] },
+                SweepPoint { count: 2, power_w: 0.2, relative_runtime: vec![0.5] },
+                SweepPoint { count: 3, power_w: 0.3, relative_runtime: vec![0.5] },
+            ],
+        };
+        assert_eq!(s.max_useful_count(0.01), 2);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let w = Workload::prepare_subset(0.002, &["q6"]);
+        let s = sweep(&w, TileKind::BoolGen);
+        let text = s.render();
+        assert!(text.contains("BoolGen"));
+        assert!(text.contains("q6"));
+    }
+}

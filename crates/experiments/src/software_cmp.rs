@@ -1,0 +1,198 @@
+//! Q100 vs. software DBMS comparison (Section 4, Figures 23–26): per
+//! query, the Q100 designs' runtime and energy against the modeled
+//! MonetDB single thread (and the idealized 24-thread reference), plus
+//! the 100× data-scaling study.
+
+use q100_dbms::SoftwareCost;
+
+use crate::runner::{paper_designs, Workload};
+
+/// Queries the paper includes in the 100×-scale study (Figures 25–26).
+pub const SCALED_QUERY_NAMES: [&str; 15] = [
+    "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q10", "q12", "q14", "q15", "q16", "q18", "q19",
+    "q21",
+];
+
+/// One query's comparison row.
+#[derive(Debug, Clone)]
+pub struct CmpRow {
+    /// Query name.
+    pub query: &'static str,
+    /// Modeled MonetDB single-thread cost.
+    pub software: SoftwareCost,
+    /// Per-design `(runtime ms, energy mJ)` in LowPower/Pareto/HighPerf
+    /// order.
+    pub q100: Vec<(f64, f64)>,
+}
+
+impl CmpRow {
+    /// Q100 runtime as a fraction of single-thread software
+    /// (Figure 23's y-axis).
+    #[must_use]
+    pub fn runtime_fraction(&self, design: usize) -> f64 {
+        self.q100[design].0 / self.software.runtime_ms
+    }
+
+    /// Q100 energy as a fraction of single-thread software
+    /// (Figure 24's y-axis).
+    #[must_use]
+    pub fn energy_fraction(&self, design: usize) -> f64 {
+        self.q100[design].1 / self.software.energy_mj
+    }
+}
+
+/// The whole comparison study.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Design names.
+    pub designs: Vec<String>,
+    /// Per-query rows.
+    pub rows: Vec<CmpRow>,
+}
+
+impl Comparison {
+    /// Geometric-mean speedup of a design over 1-thread software.
+    #[must_use]
+    pub fn mean_speedup(&self, design: usize) -> f64 {
+        geomean(self.rows.iter().map(|r| 1.0 / r.runtime_fraction(design)))
+    }
+
+    /// Geometric-mean energy advantage of a design over 1-thread
+    /// software.
+    #[must_use]
+    pub fn mean_energy_gain(&self, design: usize) -> f64 {
+        geomean(self.rows.iter().map(|r| 1.0 / r.energy_fraction(design)))
+    }
+
+    /// Renders the runtime figure (Figure 23 / 25).
+    #[must_use]
+    pub fn render_runtime(&self) -> String {
+        self.render(|row, d| row.runtime_fraction(d) * 100.0, "% runtime vs MonetDB 1T")
+    }
+
+    /// Renders the energy figure (Figure 24 / 26).
+    #[must_use]
+    pub fn render_energy(&self) -> String {
+        self.render(|row, d| row.energy_fraction(d) * 100.0, "% energy vs MonetDB 1T")
+    }
+
+    fn render(&self, metric: impl Fn(&CmpRow, usize) -> f64, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {title} (100% = single-thread software; ideal 24T = {:.2}%)", 100.0 / 24.0);
+        let _ = write!(out, "{:>5} {:>12}", "query", "SW ms");
+        for d in &self.designs {
+            let _ = write!(out, " {d:>10}");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{:>5} {:>12.3}", row.query, row.software.runtime_ms);
+            for d in 0..self.designs.len() {
+                let _ = write!(out, " {:>9.3}%", metric(row, d));
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "{:>5} {:>12}", "AVG", "");
+        for d in 0..self.designs.len() {
+            let avg = geomean(self.rows.iter().map(|r| metric(r, d)));
+            let _ = write!(out, " {avg:>9.3}%");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Runs the comparison for a prepared workload: models the software
+/// baseline by executing each query's plan and costing the counted
+/// work, and simulates the three Q100 designs.
+#[must_use]
+pub fn compare(workload: &Workload) -> Comparison {
+    let designs: Vec<String> = paper_designs().iter().map(|(n, _)| (*n).to_string()).collect();
+    let rows = workload
+        .queries
+        .iter()
+        .map(|prepared| {
+            let plan = (prepared.query.software)();
+            let (_, stats) = q100_dbms::run(&plan, &workload.db)
+                .unwrap_or_else(|e| panic!("{}: software run failed: {e}", prepared.query.name));
+            let software = SoftwareCost::of(&stats);
+            let q100 = paper_designs()
+                .iter()
+                .map(|(_, config)| {
+                    let o = workload.simulate(prepared, config);
+                    (o.runtime_ms(), o.energy_mj())
+                })
+                .collect();
+            CmpRow { query: prepared.query.name, software, q100 }
+        })
+        .collect();
+    Comparison { designs, rows }
+}
+
+/// The 100× scaling study (Figures 25–26): the same comparison run at
+/// `base_scale` × 100 over the 15-query subset.
+#[must_use]
+pub fn compare_scaled(base_scale: f64) -> Comparison {
+    let workload = Workload::prepare_subset(base_scale * 100.0, &SCALED_QUERY_NAMES);
+    compare(&workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q100_tpch::queries;
+
+    #[test]
+    fn q100_beats_software_on_every_query() {
+        let w = Workload::prepare_subset(0.01, &["q1", "q6", "q3", "q12"]);
+        let c = compare(&w);
+        for row in &c.rows {
+            for d in 0..3 {
+                assert!(
+                    row.runtime_fraction(d) < 1.0,
+                    "{} design {d}: Q100 slower than software ({:.3})",
+                    row.query,
+                    row.runtime_fraction(d)
+                );
+                assert!(
+                    row.energy_fraction(d) < 0.1,
+                    "{} design {d}: energy gap must be large ({:.4})",
+                    row.query,
+                    row.energy_fraction(d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn highperf_is_fastest_design_on_average() {
+        let w = Workload::prepare_subset(0.01, &["q1", "q5", "q10"]);
+        let c = compare(&w);
+        assert!(c.mean_speedup(2) >= c.mean_speedup(0), "HighPerf >= LowPower");
+    }
+
+    #[test]
+    fn scaled_queries_are_the_paper_subset() {
+        assert_eq!(SCALED_QUERY_NAMES.len(), 15);
+        for q in SCALED_QUERY_NAMES {
+            assert!(queries::by_name(q).is_some());
+        }
+    }
+
+    #[test]
+    fn renders_include_average_row() {
+        let w = Workload::prepare_subset(0.005, &["q6"]);
+        let c = compare(&w);
+        assert!(c.render_runtime().contains("AVG"));
+        assert!(c.render_energy().contains("AVG"));
+    }
+}

@@ -1,0 +1,701 @@
+//! Deterministic TPC-H-style database generator.
+//!
+//! A from-scratch stand-in for dbgen: the same eight tables, the same
+//! cardinality ratios, key relationships, and value distributions that
+//! the 19 benchmark queries select on. Generation is fully deterministic
+//! for a given `(scale, seed)` pair — each table draws from its own
+//! seeded RNG stream, so tables are stable regardless of generation
+//! order.
+//!
+//! Like dbgen, `lineitem` is generated clustered by `l_orderkey` (orders
+//! are emitted in key order with their lineitems inline). Q100 query
+//! plans exploit this physical order exactly as the paper's aggregator
+//! tile requires group-by inputs "sorted on the group-by column".
+
+pub mod text;
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use q100_columnar::{date_to_days, Column, Dictionary, LogicalType, Table};
+use q100_core::Catalog;
+
+use crate::schema::{rows_at_sf1, table_schema, TABLE_NAMES};
+
+/// Default RNG seed for [`TpchData::generate`].
+pub const DEFAULT_SEED: u64 = 0x5EED_0100;
+
+/// A generated TPC-H database.
+///
+/// # Example
+///
+/// ```
+/// use q100_tpch::TpchData;
+///
+/// let db = TpchData::generate(0.01);
+/// assert_eq!(db.table("region").row_count(), 5);
+/// assert!(db.table("lineitem").row_count() > 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    scale: f64,
+    tables: Vec<(String, Table)>,
+}
+
+impl TpchData {
+    /// Generates a database at the given scale factor with the default
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    #[must_use]
+    pub fn generate(scale: f64) -> Self {
+        Self::generate_seeded(scale, DEFAULT_SEED)
+    }
+
+    /// Generates a database with an explicit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    #[must_use]
+    pub fn generate_seeded(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale factor must be positive");
+        let counts = Counts::at(scale);
+        let mut gen = Generator { seed, counts };
+        let part = gen.part();
+        let (orders, lineitem) = gen.orders_and_lineitem(&part);
+        let tables = vec![
+            ("region".to_string(), gen.region()),
+            ("nation".to_string(), gen.nation()),
+            ("supplier".to_string(), gen.supplier()),
+            ("customer".to_string(), gen.customer()),
+            ("partsupp".to_string(), gen.partsupp(&part)),
+            ("part".to_string(), part),
+            ("orders".to_string(), orders),
+            ("lineitem".to_string(), lineitem),
+        ];
+        let db = TpchData { scale, tables };
+        for name in TABLE_NAMES {
+            debug_assert!(
+                table_schema(name).check(db.table(name)).is_ok(),
+                "generated `{name}` violates its schema"
+            );
+        }
+        db
+    }
+
+    /// The scale factor this database was generated at.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// A base table by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a TPC-H table; use
+    /// [`Catalog::base_table`] for a fallible lookup.
+    #[must_use]
+    pub fn table(&self, name: &str) -> &Table {
+        self.base_table(name)
+            .unwrap_or_else(|| panic!("unknown TPC-H table `{name}`"))
+    }
+
+    /// Total bytes across all base tables.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.tables.iter().map(|(_, t)| t.bytes()).sum()
+    }
+}
+
+impl Catalog for TpchData {
+    fn base_table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+}
+
+/// Scaled row counts.
+#[derive(Debug, Clone, Copy)]
+struct Counts {
+    suppliers: i64,
+    customers: i64,
+    parts: i64,
+    orders: i64,
+}
+
+impl Counts {
+    fn at(scale: f64) -> Self {
+        let n = |table: &str| -> i64 {
+            ((rows_at_sf1(table).expect("known table") as f64 * scale).round() as i64).max(1)
+        };
+        Counts {
+            suppliers: n("supplier"),
+            customers: n("customer"),
+            parts: n("part"),
+            orders: n("orders"),
+        }
+    }
+}
+
+struct Generator {
+    seed: u64,
+    counts: Counts,
+}
+
+/// Builds a dictionary-encoded string column whose dictionary is the
+/// (sorted, unique) `pool`, so that code order equals lexicographic
+/// order — letting the Q100's physical-value sorts and range partitions
+/// agree with SQL string ordering.
+fn str_col(name: &str, width: u32, pool: &[String], picks: Vec<i64>) -> Column {
+    debug_assert!(pool.windows(2).all(|w| w[0] < w[1]), "pool must be sorted and unique");
+    let mut dict = Dictionary::new();
+    for s in pool {
+        dict.intern(s);
+    }
+    Column::from_physical(name, LogicalType::Str, picks)
+        .with_dict(Arc::new(dict))
+        .with_width(width)
+        .expect("width within cap")
+}
+
+fn dec(units: f64) -> i64 {
+    (units * 100.0).round() as i64
+}
+
+impl Generator {
+    fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    fn region(&mut self) -> Table {
+        let pool: Vec<String> = {
+            let mut p: Vec<String> = text::REGIONS.iter().map(|s| s.to_string()).collect();
+            p.sort();
+            p
+        };
+        let keys: Vec<i64> = (0..5).collect();
+        let names: Vec<i64> = text::REGIONS
+            .iter()
+            .map(|r| pool.iter().position(|p| p == r).expect("region in pool") as i64)
+            .collect();
+        Table::new(vec![
+            Column::from_ints("r_regionkey", keys),
+            str_col("r_name", 12, &pool, names),
+        ])
+        .expect("region table")
+    }
+
+    fn nation(&mut self) -> Table {
+        let mut pool: Vec<String> = text::NATIONS.iter().map(|(n, _)| n.to_string()).collect();
+        pool.sort();
+        let keys: Vec<i64> = (0..25).collect();
+        let names: Vec<i64> = text::NATIONS
+            .iter()
+            .map(|(n, _)| pool.iter().position(|p| p == n).expect("nation in pool") as i64)
+            .collect();
+        let regions: Vec<i64> = text::NATIONS.iter().map(|&(_, r)| r).collect();
+        Table::new(vec![
+            Column::from_ints("n_nationkey", keys),
+            str_col("n_name", 12, &pool, names),
+            Column::from_ints("n_regionkey", regions),
+        ])
+        .expect("nation table")
+    }
+
+    fn supplier(&mut self) -> Table {
+        let mut rng = self.rng(3);
+        let n = self.counts.suppliers;
+        let addr_pool = {
+            let mut p = text::address_pool();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let comment_pool = {
+            let mut p = text::comment_pool();
+            p.push(text::COMPLAINT_COMMENT.to_string());
+            p.sort();
+            p.dedup();
+            p
+        };
+        let complaint_code =
+            comment_pool.iter().position(|c| c == text::COMPLAINT_COMMENT).expect("pool") as i64;
+        let name_pool: Vec<String> = (1..=n).map(|k| format!("Supplier#{k:09}")).collect();
+        let phone_pool: Vec<String> = (10..35).map(|c| format!("{c}-555-0100")).collect();
+
+        let keys: Vec<i64> = (1..=n).collect();
+        let names: Vec<i64> = (0..n).collect();
+        let addrs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..addr_pool.len() as i64)).collect();
+        let nations: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+        let phones: Vec<i64> = nations.iter().map(|&nk| nk % 25).collect();
+        let acctbal: Vec<i64> = (0..n).map(|_| rng.gen_range(dec(-999.99)..=dec(9999.99))).collect();
+        // dbgen plants "Customer Complaints" in a small share of supplier
+        // comments; Q16 filters them out.
+        let comments: Vec<i64> = (0..n)
+            .map(|_| {
+                if rng.gen_ratio(1, 100) {
+                    complaint_code
+                } else {
+                    rng.gen_range(0..comment_pool.len() as i64)
+                }
+            })
+            .collect();
+        Table::new(vec![
+            Column::from_ints("s_suppkey", keys),
+            str_col("s_name", 18, &name_pool, names),
+            str_col("s_address", 32, &addr_pool, addrs),
+            Column::from_ints("s_nationkey", nations),
+            str_col("s_phone", 15, &phone_pool, phones),
+            Column::from_physical("s_acctbal", LogicalType::Decimal, acctbal),
+            str_col("s_comment", 32, &comment_pool, comments),
+        ])
+        .expect("supplier table")
+    }
+
+    fn customer(&mut self) -> Table {
+        let mut rng = self.rng(4);
+        let n = self.counts.customers;
+        let addr_pool = {
+            let mut p = text::address_pool();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let comment_pool = {
+            let mut p = text::comment_pool();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let seg_pool: Vec<String> = {
+            let mut p: Vec<String> = text::SEGMENTS.iter().map(|s| s.to_string()).collect();
+            p.sort();
+            p
+        };
+        let name_pool: Vec<String> = (1..=n).map(|k| format!("Customer#{k:09}")).collect();
+        let phone_pool: Vec<String> = (10..35).map(|c| format!("{c}-555-0199")).collect();
+
+        let keys: Vec<i64> = (1..=n).collect();
+        let names: Vec<i64> = (0..n).collect();
+        let addrs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..addr_pool.len() as i64)).collect();
+        let nations: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+        let phones: Vec<i64> = nations.iter().map(|&nk| nk % 25).collect();
+        let acctbal: Vec<i64> = (0..n).map(|_| rng.gen_range(dec(-999.99)..=dec(9999.99))).collect();
+        let segs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let comments: Vec<i64> = (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
+        Table::new(vec![
+            Column::from_ints("c_custkey", keys),
+            str_col("c_name", 18, &name_pool, names),
+            str_col("c_address", 32, &addr_pool, addrs),
+            Column::from_ints("c_nationkey", nations),
+            str_col("c_phone", 15, &phone_pool, phones),
+            Column::from_physical("c_acctbal", LogicalType::Decimal, acctbal),
+            str_col("c_mktsegment", 10, &seg_pool, segs),
+            str_col("c_comment", 32, &comment_pool, comments),
+        ])
+        .expect("customer table")
+    }
+
+    fn part(&mut self) -> Table {
+        let mut rng = self.rng(5);
+        let n = self.counts.parts;
+        let type_pool = text::all_part_types();
+        let container_pool = text::all_containers();
+        let brand_pool = text::all_brands();
+        let comment_pool = {
+            let mut p = text::comment_pool();
+            p.sort();
+            p.dedup();
+            p
+        };
+        // p_name: two distinct colors; pool is every ordered pair.
+        let name_pool: Vec<String> = {
+            let mut p = Vec::new();
+            for a in text::COLORS {
+                for b in text::COLORS {
+                    if a != b {
+                        p.push(format!("{a} {b}"));
+                    }
+                }
+            }
+            p.sort();
+            p
+        };
+        let mfgr_pool: Vec<String> = (1..=5).map(|m| format!("Manufacturer#{m}")).collect();
+
+        let keys: Vec<i64> = (1..=n).collect();
+        let names: Vec<i64> = (0..n).map(|_| rng.gen_range(0..name_pool.len() as i64)).collect();
+        let mfgr_codes: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        // Brand is determined by manufacturer in dbgen (Brand#MN with M
+        // the mfgr); keep that correlation.
+        let brands: Vec<i64> = mfgr_codes
+            .iter()
+            .map(|&m| {
+                let nn = rng.gen_range(1..=5);
+                let brand = format!("Brand#{}{nn}", m + 1);
+                brand_pool.iter().position(|b| *b == brand).expect("brand in pool") as i64
+            })
+            .collect();
+        let types: Vec<i64> = (0..n).map(|_| rng.gen_range(0..150)).collect();
+        let sizes: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=50)).collect();
+        let containers: Vec<i64> = (0..n).map(|_| rng.gen_range(0..40)).collect();
+        let prices: Vec<i64> = keys
+            .iter()
+            .map(|&k| dec(900.0) + (k % 1000) * 100 + (k / 10) % 2001)
+            .collect();
+        let comments: Vec<i64> = (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
+        Table::new(vec![
+            Column::from_ints("p_partkey", keys),
+            str_col("p_name", 32, &name_pool, names),
+            str_col("p_mfgr", 25, &mfgr_pool, mfgr_codes),
+            str_col("p_brand", 10, &brand_pool, brands),
+            str_col("p_type", 25, &type_pool, types),
+            Column::from_ints("p_size", sizes),
+            str_col("p_container", 10, &container_pool, containers),
+            Column::from_physical("p_retailprice", LogicalType::Decimal, prices),
+            str_col("p_comment", 32, &comment_pool, comments),
+        ])
+        .expect("part table")
+    }
+
+    fn partsupp(&mut self, _part: &Table) -> Table {
+        let mut rng = self.rng(6);
+        let parts = self.counts.parts;
+        let suppliers = self.counts.suppliers;
+        let comment_pool = {
+            let mut p = text::comment_pool();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let per_part = 4i64.min(suppliers);
+        let mut ps_part = Vec::with_capacity((parts * per_part) as usize);
+        let mut ps_supp = Vec::with_capacity(ps_part.capacity());
+        for pk in 1..=parts {
+            for i in 0..per_part {
+                // dbgen's supplier spread: deterministic, covers the
+                // supplier space, never repeats within a part.
+                let sk = (pk - 1 + i * (suppliers / per_part + 1)) % suppliers + 1;
+                ps_part.push(pk);
+                ps_supp.push(sk);
+            }
+        }
+        let n = ps_part.len();
+        let avail: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=9999)).collect();
+        let cost: Vec<i64> = (0..n).map(|_| rng.gen_range(dec(1.0)..=dec(1000.0))).collect();
+        let comments: Vec<i64> = (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
+        Table::new(vec![
+            Column::from_ints("ps_partkey", ps_part),
+            Column::from_ints("ps_suppkey", ps_supp),
+            Column::from_ints("ps_availqty", avail),
+            Column::from_physical("ps_supplycost", LogicalType::Decimal, cost),
+            str_col("ps_comment", 32, &comment_pool, comments),
+        ])
+        .expect("partsupp table")
+    }
+
+    /// Generates `orders` and `lineitem` together so order status is
+    /// consistent with its lineitems; lineitem comes out clustered by
+    /// `l_orderkey`, like dbgen.
+    fn orders_and_lineitem(&mut self, part: &Table) -> (Table, Table) {
+        let mut rng = self.rng(7);
+        let n_orders = self.counts.orders;
+        let n_parts = self.counts.parts;
+        let n_supp = self.counts.suppliers;
+        let retail = part.column("p_retailprice").expect("part price").data();
+
+        let start = date_to_days(1992, 1, 1);
+        let end = date_to_days(1998, 8, 2);
+        let cutoff = date_to_days(1995, 6, 17);
+
+        let comment_pool = {
+            let mut p = text::comment_pool();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let prio_pool: Vec<String> = {
+            let mut p: Vec<String> = text::PRIORITIES.iter().map(|s| s.to_string()).collect();
+            p.sort();
+            p
+        };
+        let mode_pool: Vec<String> = {
+            let mut p: Vec<String> = text::SHIP_MODES.iter().map(|s| s.to_string()).collect();
+            p.sort();
+            p
+        };
+        let instr_pool: Vec<String> = {
+            let mut p: Vec<String> = text::SHIP_INSTRUCT.iter().map(|s| s.to_string()).collect();
+            p.sort();
+            p
+        };
+        let flag_pool: Vec<String> = vec!["A".into(), "N".into(), "R".into()];
+        let status_pool: Vec<String> = vec!["F".into(), "O".into(), "P".into()];
+        let clerk_pool: Vec<String> = (1..=1000).map(|c| format!("Clerk#{c:06}")).collect();
+
+        // orders columns
+        let mut o_key = Vec::with_capacity(n_orders as usize);
+        let mut o_cust = Vec::with_capacity(n_orders as usize);
+        let mut o_status = Vec::with_capacity(n_orders as usize);
+        let mut o_total = Vec::with_capacity(n_orders as usize);
+        let mut o_date = Vec::with_capacity(n_orders as usize);
+        let mut o_prio = Vec::with_capacity(n_orders as usize);
+        let mut o_clerk = Vec::with_capacity(n_orders as usize);
+        let mut o_ship = Vec::with_capacity(n_orders as usize);
+        let mut o_comment = Vec::with_capacity(n_orders as usize);
+
+        // lineitem columns
+        let est = (n_orders * 4) as usize;
+        let mut l_order = Vec::with_capacity(est);
+        let mut l_part = Vec::with_capacity(est);
+        let mut l_supp = Vec::with_capacity(est);
+        let mut l_num = Vec::with_capacity(est);
+        let mut l_qty = Vec::with_capacity(est);
+        let mut l_ext = Vec::with_capacity(est);
+        let mut l_disc = Vec::with_capacity(est);
+        let mut l_tax = Vec::with_capacity(est);
+        let mut l_flag = Vec::with_capacity(est);
+        let mut l_status = Vec::with_capacity(est);
+        let mut l_shipd = Vec::with_capacity(est);
+        let mut l_commitd = Vec::with_capacity(est);
+        let mut l_receiptd = Vec::with_capacity(est);
+        let mut l_instr = Vec::with_capacity(est);
+        let mut l_mode = Vec::with_capacity(est);
+        let mut l_comment = Vec::with_capacity(est);
+
+        for ok in 1..=n_orders {
+            let odate = rng.gen_range(start..=end);
+            let lines = rng.gen_range(1..=7);
+            let mut all_f = true;
+            let mut all_o = true;
+            let mut total = 0i64;
+            for line in 1..=lines {
+                let pk = rng.gen_range(1..=n_parts);
+                let sk = rng.gen_range(1..=n_supp);
+                let qty = rng.gen_range(1..=50i64);
+                let price = retail[(pk - 1) as usize];
+                let ext = qty * price;
+                let disc = rng.gen_range(0..=10); // 0.00 .. 0.10
+                let tax = rng.gen_range(0..=8); // 0.00 .. 0.08
+                let ship = odate + rng.gen_range(1..=121);
+                let commit = odate + rng.gen_range(30..=90);
+                let receipt = ship + rng.gen_range(1..=30);
+                let flag = if receipt <= cutoff {
+                    if rng.gen_bool(0.5) {
+                        0 // A
+                    } else {
+                        2 // R
+                    }
+                } else {
+                    1 // N
+                };
+                let status = if ship > cutoff { 1 } else { 0 }; // O : F
+                if status == 1 {
+                    all_f = false;
+                } else {
+                    all_o = false;
+                }
+                total += ext * (100 - disc) / 100 * (100 + tax) / 100;
+
+                l_order.push(ok);
+                l_part.push(pk);
+                l_supp.push(sk);
+                l_num.push(line);
+                l_qty.push(qty * 100);
+                l_ext.push(ext);
+                l_disc.push(disc);
+                l_tax.push(tax);
+                l_flag.push(flag);
+                l_status.push(status);
+                l_shipd.push(i64::from(ship));
+                l_commitd.push(i64::from(commit));
+                l_receiptd.push(i64::from(receipt));
+                l_instr.push(rng.gen_range(0..instr_pool.len() as i64));
+                l_mode.push(rng.gen_range(0..mode_pool.len() as i64));
+                l_comment.push(rng.gen_range(0..comment_pool.len() as i64));
+            }
+            o_key.push(ok);
+            o_cust.push(rng.gen_range(1..=self.counts.customers));
+            o_status.push(if all_f { 0 } else if all_o { 1 } else { 2 });
+            o_total.push(total);
+            o_date.push(i64::from(odate));
+            o_prio.push(rng.gen_range(0..prio_pool.len() as i64));
+            o_clerk.push(rng.gen_range(0..clerk_pool.len() as i64));
+            o_ship.push(0);
+            o_comment.push(rng.gen_range(0..comment_pool.len() as i64));
+        }
+
+        let orders = Table::new(vec![
+            Column::from_ints("o_orderkey", o_key),
+            Column::from_ints("o_custkey", o_cust),
+            str_col("o_orderstatus", 1, &status_pool, o_status),
+            Column::from_physical("o_totalprice", LogicalType::Decimal, o_total),
+            Column::from_physical("o_orderdate", LogicalType::Date, o_date),
+            str_col("o_orderpriority", 15, &prio_pool, o_prio),
+            str_col("o_clerk", 15, &clerk_pool, o_clerk),
+            Column::from_ints("o_shippriority", o_ship),
+            str_col("o_comment", 32, &comment_pool, o_comment),
+        ])
+        .expect("orders table");
+
+        let lineitem = Table::new(vec![
+            Column::from_ints("l_orderkey", l_order),
+            Column::from_ints("l_partkey", l_part),
+            Column::from_ints("l_suppkey", l_supp),
+            Column::from_ints("l_linenumber", l_num),
+            Column::from_physical("l_quantity", LogicalType::Decimal, l_qty),
+            Column::from_physical("l_extendedprice", LogicalType::Decimal, l_ext),
+            Column::from_physical("l_discount", LogicalType::Decimal, l_disc),
+            Column::from_physical("l_tax", LogicalType::Decimal, l_tax),
+            str_col("l_returnflag", 1, &flag_pool, l_flag),
+            str_col("l_linestatus", 1, &status_pool, l_status),
+            Column::from_physical("l_shipdate", LogicalType::Date, l_shipd),
+            Column::from_physical("l_commitdate", LogicalType::Date, l_commitd),
+            Column::from_physical("l_receiptdate", LogicalType::Date, l_receiptd),
+            str_col("l_shipinstruct", 25, &instr_pool, l_instr),
+            str_col("l_shipmode", 10, &mode_pool, l_mode),
+            str_col("l_comment", 32, &comment_pool, l_comment),
+        ])
+        .expect("lineitem table");
+
+        (orders, lineitem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q100_columnar::Value;
+
+    fn small() -> TpchData {
+        TpchData::generate(0.001)
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = small();
+        assert_eq!(db.table("region").row_count(), 5);
+        assert_eq!(db.table("nation").row_count(), 25);
+        assert_eq!(db.table("supplier").row_count(), 10);
+        assert_eq!(db.table("customer").row_count(), 150);
+        assert_eq!(db.table("part").row_count(), 200);
+        assert_eq!(db.table("partsupp").row_count(), 800);
+        assert_eq!(db.table("orders").row_count(), 1500);
+        let li = db.table("lineitem").row_count();
+        assert!((1500..=10_500).contains(&li), "lineitem rows {li}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchData::generate_seeded(0.001, 7);
+        let b = TpchData::generate_seeded(0.001, 7);
+        assert_eq!(a.table("lineitem"), b.table("lineitem"));
+        assert_eq!(a.table("orders"), b.table("orders"));
+        let c = TpchData::generate_seeded(0.001, 8);
+        assert_ne!(a.table("lineitem"), c.table("lineitem"));
+    }
+
+    #[test]
+    fn lineitem_clustered_by_orderkey() {
+        let db = small();
+        let keys = db.table("lineitem").column("l_orderkey").unwrap();
+        assert!(keys.data().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let db = small();
+        let n_parts = db.table("part").row_count() as i64;
+        let n_supp = db.table("supplier").row_count() as i64;
+        let n_orders = db.table("orders").row_count() as i64;
+        let n_cust = db.table("customer").row_count() as i64;
+        let li = db.table("lineitem");
+        assert!(li.column("l_partkey").unwrap().iter().all(|&k| (1..=n_parts).contains(&k)));
+        assert!(li.column("l_suppkey").unwrap().iter().all(|&k| (1..=n_supp).contains(&k)));
+        assert!(li.column("l_orderkey").unwrap().iter().all(|&k| (1..=n_orders).contains(&k)));
+        let ord = db.table("orders");
+        assert!(ord.column("o_custkey").unwrap().iter().all(|&k| (1..=n_cust).contains(&k)));
+        let nat = db.table("nation");
+        assert!(nat.column("n_regionkey").unwrap().iter().all(|&k| (0..5).contains(&k)));
+    }
+
+    #[test]
+    fn date_columns_in_tpch_window() {
+        let db = small();
+        let lo = date_to_days(1992, 1, 1);
+        let hi = date_to_days(1999, 1, 1);
+        let ship = db.table("lineitem").column("l_shipdate").unwrap();
+        assert!(ship.iter().all(|&d| (i64::from(lo)..i64::from(hi)).contains(&d)));
+    }
+
+    #[test]
+    fn returnflag_consistent_with_receiptdate() {
+        let db = small();
+        let li = db.table("lineitem");
+        let cutoff = i64::from(date_to_days(1995, 6, 17));
+        let receipt = li.column("l_receiptdate").unwrap();
+        let flags = li.column("l_returnflag").unwrap();
+        for i in 0..li.row_count() {
+            let flag = flags.value(i);
+            if receipt.get(i) > cutoff {
+                assert_eq!(flag, Value::Str("N".into()));
+            } else {
+                assert_ne!(flag, Value::Str("N".into()));
+            }
+        }
+    }
+
+    #[test]
+    fn string_dictionaries_are_lexicographically_coded() {
+        let db = small();
+        for table in TABLE_NAMES {
+            for col in db.table(table).columns() {
+                if let Some(dict) = col.dict() {
+                    let strings: Vec<&str> = dict.iter().map(|(_, s)| s).collect();
+                    assert!(
+                        strings.windows(2).all(|w| w[0] < w[1]),
+                        "{table}.{} dictionary not sorted",
+                        col.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partsupp_pairs_unique() {
+        let db = small();
+        let ps = db.table("partsupp");
+        let pk = ps.column("ps_partkey").unwrap();
+        let sk = ps.column("ps_suppkey").unwrap();
+        let mut pairs: Vec<(i64, i64)> =
+            pk.iter().zip(sk.iter()).map(|(&a, &b)| (a, b)).collect();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before, "duplicate (part, supp) pairs");
+    }
+
+    #[test]
+    fn promo_parts_exist_for_q14() {
+        let db = small();
+        let types = db.table("part").column("p_type").unwrap();
+        let dict = types.dict().unwrap();
+        let promo = types
+            .iter()
+            .filter(|&&code| dict.resolve(code as u32).unwrap().starts_with("PROMO"))
+            .count();
+        assert!(promo > 0, "generator must produce PROMO parts");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn zero_scale_rejected() {
+        let _ = TpchData::generate(0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Value domains for the TPC-H-style generator.
+//!
+//! These mirror the dbgen vocabularies that the 19 benchmark queries
+//! actually select on (types, brands, containers, ship modes, segments,
+//! priorities, nations/regions). Free-text columns (comments, addresses)
+//! come from bounded pools so dictionaries stay small; the special
+//! "Customer Complaints" marker dbgen plants for Q16 is reproduced with
+//! a fixed pool share.
+
+/// The five TPC-H regions, in key order.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations as `(name, region key)`, in nation-key order.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// First words of `p_type` (6).
+pub const TYPE_SYLLABLE_1: [&str; 6] =
+    ["ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD"];
+
+/// Second words of `p_type` (5).
+pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED"];
+
+/// Third words of `p_type` (5).
+pub const TYPE_SYLLABLE_3: [&str; 5] = ["BRASS", "COPPER", "NICKEL", "STEEL", "TIN"];
+
+/// Container sizes (5).
+pub const CONTAINER_SIZE: [&str; 5] = ["JUMBO", "LG", "MED", "SM", "WRAP"];
+
+/// Container kinds (8).
+pub const CONTAINER_KIND: [&str; 8] =
+    ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
+
+/// Part-name color vocabulary (20); `p_name` is two distinct colors.
+pub const COLORS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "forest", "green",
+];
+
+/// Order priorities (5), Q4's group domain.
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes (7); Q12 and Q19 select on these.
+pub const SHIP_MODES: [&str; 7] = ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
+
+/// Ship instructions (4); Q19 requires `DELIVER IN PERSON`.
+pub const SHIP_INSTRUCT: [&str; 4] =
+    ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"];
+
+/// Market segments (5); Q3 selects `BUILDING`.
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// The Q16 marker string planted in a fixed share of supplier comments.
+pub const COMPLAINT_COMMENT: &str = "Customer Complaints sleep";
+
+/// Bounded pool of generic comment strings (≤ 32 bytes each).
+#[must_use]
+pub fn comment_pool() -> Vec<String> {
+    let subjects = ["packages", "deposits", "accounts", "pinto beans", "requests", "theodolites"];
+    let verbs = ["sleep", "haggle", "nag", "wake", "doze", "cajole"];
+    let adverbs = ["quickly", "slowly", "furiously", "carefully", "blithely"];
+    let mut pool = Vec::with_capacity(subjects.len() * verbs.len() * adverbs.len());
+    for s in subjects {
+        for v in verbs {
+            for a in adverbs {
+                pool.push(format!("{s} {v} {a}"));
+            }
+        }
+    }
+    pool
+}
+
+/// Bounded pool of street-ish address strings (≤ 32 bytes each).
+#[must_use]
+pub fn address_pool() -> Vec<String> {
+    let mut pool = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        pool.push(format!("{} {} Street", 10 + (i * 37) % 9890, COLORS[i % COLORS.len()]));
+    }
+    pool
+}
+
+/// All 150 `p_type` strings, sorted.
+#[must_use]
+pub fn all_part_types() -> Vec<String> {
+    let mut v = Vec::with_capacity(150);
+    for a in TYPE_SYLLABLE_1 {
+        for b in TYPE_SYLLABLE_2 {
+            for c in TYPE_SYLLABLE_3 {
+                v.push(format!("{a} {b} {c}"));
+            }
+        }
+    }
+    v.sort();
+    v
+}
+
+/// All 40 container strings, sorted.
+#[must_use]
+pub fn all_containers() -> Vec<String> {
+    let mut v = Vec::with_capacity(40);
+    for s in CONTAINER_SIZE {
+        for k in CONTAINER_KIND {
+            v.push(format!("{s} {k}"));
+        }
+    }
+    v.sort();
+    v
+}
+
+/// All 25 brand strings `Brand#MN` (M, N in 1..=5), sorted.
+#[must_use]
+pub fn all_brands() -> Vec<String> {
+    let mut v = Vec::with_capacity(25);
+    for m in 1..=5 {
+        for n in 1..=5 {
+            v.push(format!("Brand#{m}{n}"));
+        }
+    }
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_sizes_match_tpch() {
+        assert_eq!(all_part_types().len(), 150);
+        assert_eq!(all_containers().len(), 40);
+        assert_eq!(all_brands().len(), 25);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+    }
+
+    #[test]
+    fn promo_prefix_matches_a_sixth_of_types() {
+        let promo = all_part_types().iter().filter(|t| t.starts_with("PROMO")).count();
+        assert_eq!(promo, 25);
+    }
+
+    #[test]
+    fn pools_fit_column_widths() {
+        for s in comment_pool() {
+            assert!(s.len() <= 32, "{s}");
+        }
+        for s in address_pool() {
+            assert!(s.len() <= 32, "{s}");
+        }
+        assert!(COMPLAINT_COMMENT.len() <= 32);
+    }
+
+    #[test]
+    fn nation_region_keys_valid() {
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # `q100-tpch`: TPC-H data and queries for the Q100
+//!
+//! A deterministic TPC-H-style workload substrate for the Q100 DPU
+//! reproduction (Wu et al., ASPLOS 2014):
+//!
+//! * [`TpchData`] — a from-scratch dbgen stand-in generating all eight
+//!   tables at any scale factor, with the cardinality ratios, key
+//!   relationships and value distributions the benchmark queries select
+//!   on.
+//! * [`schema`] — table schemas with Q100-conformant column widths.
+//! * [`queries`] — the 19 TPC-H queries the paper evaluates (Q1–Q8,
+//!   Q10–Q12, Q14–Q21), each implemented twice: as a software plan for
+//!   the baseline DBMS and as a Q100 spatial-instruction graph.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::{TpchData, DEFAULT_SEED};

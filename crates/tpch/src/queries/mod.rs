@@ -1,0 +1,170 @@
+//! The 19 TPC-H queries of the paper's evaluation (Q1–Q8, Q10–Q12,
+//! Q14–Q21), each implemented twice:
+//!
+//! * a **software plan** ([`q100_dbms::Plan`]) for the baseline
+//!   column-store executor, and
+//! * a **Q100 spatial-instruction graph** ([`q100_core::QueryGraph`])
+//!   built against the actual database (the plan builders consult
+//!   catalog statistics for range-partition bounds, exactly as the
+//!   paper assumes "information ... routinely available at query parse
+//!   and planning time").
+//!
+//! Following the paper (Section 3.1), `LIKE` predicates are expanded
+//! into `WHERE EQ` chains, decimals are ×100 fixed point, and the
+//! arithmetic in both implementations is written with identical integer
+//! operation sequences so results agree bit-for-bit. Query outputs are
+//! the paper-relevant aggregate/selection results; presentation-only
+//! `LIMIT`/`ORDER BY` clauses do not change the computed rows and the
+//! validation harness compares results as canonical row multisets.
+
+pub mod helpers;
+
+pub mod q01;
+pub mod q02;
+pub mod q03;
+pub mod q04;
+pub mod q05;
+pub mod q06;
+pub mod q07;
+pub mod q08;
+pub mod q10;
+pub mod q11;
+pub mod q12;
+pub mod q14;
+pub mod q15;
+pub mod q16;
+pub mod q17;
+pub mod q18;
+pub mod q19;
+pub mod q20;
+pub mod q21;
+
+use q100_columnar::Table;
+use q100_core::QueryGraph;
+use q100_dbms::Plan;
+
+use crate::TpchData;
+
+/// One benchmark query: its identity plus both implementations.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchQuery {
+    /// Short name, e.g. `"q6"`.
+    pub name: &'static str,
+    /// The TPC-H query's descriptive title.
+    pub title: &'static str,
+    /// Builds the software plan.
+    pub software: fn() -> Plan,
+    /// Builds the Q100 spatial-instruction graph against a database.
+    pub q100: fn(&TpchData) -> q100_core::Result<QueryGraph>,
+}
+
+/// The names of the 19 queries the paper evaluates, in paper order.
+pub const QUERY_NAMES: [&str; 19] = [
+    "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q10", "q11", "q12", "q14", "q15", "q16",
+    "q17", "q18", "q19", "q20", "q21",
+];
+
+/// All 19 queries.
+#[must_use]
+pub fn all() -> Vec<TpchQuery> {
+    vec![
+        TpchQuery { name: "q1", title: "pricing summary report", software: q01::software, q100: q01::plan },
+        TpchQuery { name: "q2", title: "minimum cost supplier", software: q02::software, q100: q02::plan },
+        TpchQuery { name: "q3", title: "shipping priority", software: q03::software, q100: q03::plan },
+        TpchQuery { name: "q4", title: "order priority checking", software: q04::software, q100: q04::plan },
+        TpchQuery { name: "q5", title: "local supplier volume", software: q05::software, q100: q05::plan },
+        TpchQuery { name: "q6", title: "forecasting revenue change", software: q06::software, q100: q06::plan },
+        TpchQuery { name: "q7", title: "volume shipping", software: q07::software, q100: q07::plan },
+        TpchQuery { name: "q8", title: "national market share", software: q08::software, q100: q08::plan },
+        TpchQuery { name: "q10", title: "returned item reporting", software: q10::software, q100: q10::plan },
+        TpchQuery { name: "q11", title: "important stock identification", software: q11::software, q100: q11::plan },
+        TpchQuery { name: "q12", title: "shipping modes and order priority", software: q12::software, q100: q12::plan },
+        TpchQuery { name: "q14", title: "promotion effect", software: q14::software, q100: q14::plan },
+        TpchQuery { name: "q15", title: "top supplier", software: q15::software, q100: q15::plan },
+        TpchQuery { name: "q16", title: "parts/supplier relationship", software: q16::software, q100: q16::plan },
+        TpchQuery { name: "q17", title: "small-quantity-order revenue", software: q17::software, q100: q17::plan },
+        TpchQuery { name: "q18", title: "large volume customer", software: q18::software, q100: q18::plan },
+        TpchQuery { name: "q19", title: "discounted revenue", software: q19::software, q100: q19::plan },
+        TpchQuery { name: "q20", title: "potential part promotion", software: q20::software, q100: q20::plan },
+        TpchQuery { name: "q21", title: "suppliers who kept orders waiting", software: q21::software, q100: q21::plan },
+    ]
+}
+
+/// Looks a query up by name (`"q6"` or `"6"`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<TpchQuery> {
+    let norm = if name.starts_with('q') { name.to_string() } else { format!("q{name}") };
+    all().into_iter().find(|q| q.name == norm)
+}
+
+/// Renders a table to a canonical multiset of rows: every cell printed
+/// by value (dictionary-resolved strings, formatted decimals/dates),
+/// rows sorted. Column names are ignored — the two implementations
+/// label computed columns differently — but arity and positional values
+/// must agree.
+#[must_use]
+pub fn canonical_rows(table: &Table) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = (0..table.row_count())
+        .map(|r| table.row(r).iter().map(ToString::to_string).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Runs both implementations of `query` on `db` and verifies they
+/// produce the same canonical rows.
+///
+/// # Errors
+///
+/// Returns a description of the first discrepancy (or of an execution
+/// failure on either side).
+pub fn validate(query: &TpchQuery, db: &TpchData) -> Result<(), String> {
+    let plan = (query.software)();
+    let (expected, _) =
+        q100_dbms::run(&plan, db).map_err(|e| format!("{} software failed: {e}", query.name))?;
+    let graph =
+        (query.q100)(db).map_err(|e| format!("{} Q100 plan build failed: {e}", query.name))?;
+    let run = q100_core::execute_lean(&graph, db)
+        .map_err(|e| format!("{} Q100 execution failed: {e}", query.name))?;
+    let actual = run
+        .result_table(&graph)
+        .map_err(|e| format!("{} Q100 result shape: {e}", query.name))?;
+
+    let want = canonical_rows(&expected);
+    let got = canonical_rows(&actual);
+    if want.len() != got.len() {
+        return Err(format!(
+            "{}: row count mismatch: software {} vs Q100 {}",
+            query.name,
+            want.len(),
+            got.len()
+        ));
+    }
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        if w != g {
+            return Err(format!(
+                "{}: row {i} differs:\n  software: {w:?}\n  q100:     {g:?}",
+                query.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        let qs = all();
+        assert_eq!(qs.len(), 19);
+        let names: Vec<&str> = qs.iter().map(|q| q.name).collect();
+        assert_eq!(names, QUERY_NAMES.to_vec());
+        assert!(by_name("q6").is_some());
+        assert!(by_name("6").is_some());
+        assert!(by_name("q9").is_none(), "q9 is not in the paper's suite");
+        assert!(by_name("q13").is_none());
+        assert!(by_name("q22").is_none());
+    }
+}

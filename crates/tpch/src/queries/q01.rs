@@ -1,0 +1,170 @@
+//! TPC-H Q1 — pricing summary report.
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+//!        sum(l_extendedprice*(1-l_discount)),
+//!        sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//!        avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//! FROM lineitem WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+//! GROUP BY l_returnflag, l_linestatus
+//! ```
+//!
+//! The aggregation-heavy query (the only one sensitive to aggregator
+//! count, Figure 3). The two group attributes are combined with the
+//! concatenator into one composite key; the tiny key domain (≤ 6
+//! values) lets the partitioner isolate each group, so every partition
+//! aggregates directly with no sort — the Figure 1/2 pattern.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{partitioned_aggregate, revenue_expr};
+use crate::TpchData;
+
+const PACK: i64 = 1 << 32;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let cutoff = date_to_days(1998, 9, 2); // 1998-12-01 - 90 days
+    let disc_price = Expr::col("l_extendedprice").arith(
+        ArithKind::Sub,
+        Expr::col("l_extendedprice")
+            .arith(ArithKind::Mul, Expr::col("l_discount"))
+            .arith(ArithKind::Div, Expr::int(100)),
+    );
+    let charge = Expr::col("dp").arith(
+        ArithKind::Add,
+        Expr::col("dp").arith(ArithKind::Mul, Expr::col("l_tax")).arith(ArithKind::Div, Expr::int(100)),
+    );
+    Plan::scan(
+        "lineitem",
+        &["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate"],
+    )
+    .filter(Expr::col("l_shipdate").cmp(CmpKind::Lte, Expr::date(cutoff)))
+    .project(vec![
+        (
+            "grp",
+            Expr::col("l_returnflag")
+                .arith(ArithKind::Mul, Expr::int(PACK))
+                .arith(ArithKind::Add, Expr::col("l_linestatus")),
+        ),
+        ("l_quantity", Expr::col("l_quantity")),
+        ("l_extendedprice", Expr::col("l_extendedprice")),
+        ("l_discount", Expr::col("l_discount")),
+        ("dp", disc_price),
+        ("l_tax", Expr::col("l_tax")),
+    ])
+    .project(vec![
+        ("grp", Expr::col("grp")),
+        ("l_quantity", Expr::col("l_quantity")),
+        ("l_extendedprice", Expr::col("l_extendedprice")),
+        ("l_discount", Expr::col("l_discount")),
+        ("dp", Expr::col("dp")),
+        ("charge", charge),
+    ])
+    .aggregate(
+        &["grp"],
+        vec![
+            ("sum_qty", AggKind::Sum, Expr::col("l_quantity")),
+            ("sum_base", AggKind::Sum, Expr::col("l_extendedprice")),
+            ("sum_disc_price", AggKind::Sum, Expr::col("dp")),
+            ("sum_charge", AggKind::Sum, Expr::col("charge")),
+            ("avg_qty", AggKind::Avg, Expr::col("l_quantity")),
+            ("avg_price", AggKind::Avg, Expr::col("l_extendedprice")),
+            ("avg_disc", AggKind::Avg, Expr::col("l_discount")),
+            ("count_order", AggKind::Count, Expr::int(1)),
+        ],
+    )
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let cutoff = date_to_days(1998, 9, 2);
+    let mut b = QueryGraph::builder("q1");
+    let rf = b.col_select_base("lineitem", "l_returnflag");
+    let ls = b.col_select_base("lineitem", "l_linestatus");
+    let qty = b.col_select_base("lineitem", "l_quantity");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let tax = b.col_select_base("lineitem", "l_tax");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+
+    let keep = b.bool_gen_const(ship, CmpOp::Lte, Value::Date(cutoff));
+    let rf_f = b.col_filter(rf, keep);
+    let ls_f = b.col_filter(ls, keep);
+    let qty_f = b.col_filter(qty, keep);
+    let ext_f = b.col_filter(ext, keep);
+    let disc_f = b.col_filter(disc, keep);
+    let tax_f = b.col_filter(tax, keep);
+
+    let grp = b.concat(rf_f, ls_f);
+    b.name_output(grp, "grp");
+    let dp = revenue_expr(&mut b, ext_f, disc_f);
+    b.name_output(dp, "dp");
+    let t1 = b.alu(dp, AluOp::Mul, tax_f);
+    let t2 = b.alu_const(t1, AluOp::Div, Value::Int(100));
+    let charge = b.alu(dp, AluOp::Add, t2);
+    b.name_output(charge, "charge");
+
+    let table = b.stitch(&[grp, qty_f, ext_f, disc_f, dp, charge]);
+
+    // Partition bounds isolating each (returnflag, linestatus) pair —
+    // planner statistics, as the paper assumes.
+    let li = db.table("lineitem");
+    let rf_col = li.column("l_returnflag")?;
+    let ls_col = li.column("l_linestatus")?;
+    let mut packed: Vec<i64> = rf_col
+        .iter()
+        .zip(ls_col.iter())
+        .map(|(&a, &c)| a * PACK + c)
+        .collect();
+    packed.sort_unstable();
+    packed.dedup();
+    let bounds: Vec<i64> = packed.into_iter().skip(1).collect();
+
+    let _out = partitioned_aggregate(
+        &mut b,
+        table,
+        "grp",
+        &[
+            ("l_quantity", AggOp::Sum),
+            ("l_extendedprice", AggOp::Sum),
+            ("dp", AggOp::Sum),
+            ("charge", AggOp::Sum),
+            ("l_quantity", AggOp::Avg),
+            ("l_extendedprice", AggOp::Avg),
+            ("l_discount", AggOp::Avg),
+            ("l_quantity", AggOp::Count),
+        ],
+        &bounds,
+        false,
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q1_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q1").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q1_has_expected_group_count() {
+        let db = TpchData::generate(0.005);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        // returnflag ∈ {A,N,R} × linestatus ∈ {F,O}, with A/R implying F
+        // and N mostly O: TPC-H yields exactly 4 populated groups.
+        assert!((3..=6).contains(&t.row_count()), "groups = {}", t.row_count());
+    }
+}

@@ -1,0 +1,156 @@
+//! TPC-H Q2 — minimum cost supplier.
+//!
+//! ```sql
+//! SELECT s_name, n_name, p_partkey, ps_supplycost, ...
+//! FROM part, supplier, partsupp, nation, region
+//! WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+//!   AND p_size = 15 AND p_type LIKE '%BRASS'
+//!   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+//!   AND r_name = 'EUROPE'
+//!   AND ps_supplycost = (SELECT min(ps_supplycost) FROM partsupp, supplier,
+//!                        nation, region WHERE p_partkey = ps_partkey
+//!                        AND ... 'EUROPE')
+//! ```
+//!
+//! The correlated minimum is a per-part aggregate joined back on the
+//! composite `(partkey, supplycost)` key — built with the concatenator
+//! tile, the paper's tool for multi-attribute keys. `LIKE '%BRASS'`
+//! expands to the 30 matching type strings.
+
+use q100_columnar::Value;
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, Expr, Plan};
+
+use super::helpers::{grouped_aggregate, like_matches, or_eq_any};
+use crate::gen::text;
+use crate::TpchData;
+
+fn brass_types() -> Vec<String> {
+    like_matches(&text::all_part_types(), "%BRASS")
+}
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let brass = brass_types().into_iter().map(Value::Str).collect();
+    let part_f = Plan::scan("part", &["p_partkey", "p_size", "p_type"]).filter(
+        Expr::col("p_size")
+            .eq(Expr::int(15))
+            .and(Expr::col("p_type").in_list(brass)),
+    );
+    let supp_eu = Plan::scan("region", &["r_regionkey", "r_name"])
+        .filter(Expr::col("r_name").eq(Expr::str("EUROPE")))
+        .join(Plan::scan("nation", &["n_nationkey", "n_name", "n_regionkey"]), &["r_regionkey"], &["n_regionkey"])
+        .join(Plan::scan("supplier", &["s_suppkey", "s_name", "s_nationkey"]), &["n_nationkey"], &["s_nationkey"]);
+    let t1 = part_f.join(
+        Plan::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+        &["p_partkey"],
+        &["ps_partkey"],
+    );
+    let t2 = supp_eu.join(t1, &["s_suppkey"], &["ps_suppkey"]);
+    let mincost = t2
+        .clone()
+        .aggregate(&["ps_partkey"], vec![("min_cost", AggKind::Min, Expr::col("ps_supplycost"))])
+        .project(vec![
+            ("mc_key", Expr::col("ps_partkey")),
+            ("min_cost", Expr::col("min_cost")),
+        ]);
+    mincost
+        .join(t2, &["mc_key", "min_cost"], &["ps_partkey", "ps_supplycost"])
+        .project(vec![
+            ("p_partkey", Expr::col("mc_key")),
+            ("min_cost", Expr::col("min_cost")),
+            ("s_name", Expr::col("s_name")),
+            ("n_name", Expr::col("n_name")),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q2");
+
+    // European suppliers with their nation names.
+    let rkey = b.col_select_base("region", "r_regionkey");
+    let rname = b.col_select_base("region", "r_name");
+    let rkeep = b.bool_gen_const(rname, CmpOp::Eq, Value::Str("EUROPE".into()));
+    let rkey_f = b.col_filter(rkey, rkeep);
+    let region = b.stitch(&[rkey_f]);
+    let nkey = b.col_select_base("nation", "n_nationkey");
+    let nname = b.col_select_base("nation", "n_name");
+    let nregion = b.col_select_base("nation", "n_regionkey");
+    let nation = b.stitch(&[nkey, nname, nregion]);
+    let nat_eu = b.join(region, "r_regionkey", nation, "n_regionkey");
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let sname = b.col_select_base("supplier", "s_name");
+    let snat = b.col_select_base("supplier", "s_nationkey");
+    let supplier = b.stitch(&[skey, sname, snat]);
+    let supp_eu = b.join(nat_eu, "n_nationkey", supplier, "s_nationkey");
+
+    // Brass parts of size 15.
+    let pkey = b.col_select_base("part", "p_partkey");
+    let psize = b.col_select_base("part", "p_size");
+    let ptype = b.col_select_base("part", "p_type");
+    let c_size = b.bool_gen_const(psize, CmpOp::Eq, Value::Int(15));
+    let c_type = or_eq_any(&mut b, ptype, &brass_types());
+    let pkeep = b.alu(c_size, AluOp::And, c_type);
+    let pkey_f = b.col_filter(pkey, pkeep);
+    let part = b.stitch(&[pkey_f]);
+
+    // Their European partsupp rows (partkey-clustered stream).
+    let pspart = b.col_select_base("partsupp", "ps_partkey");
+    let pssupp = b.col_select_base("partsupp", "ps_suppkey");
+    let pscost = b.col_select_base("partsupp", "ps_supplycost");
+    let partsupp = b.stitch(&[pspart, pssupp, pscost]);
+    let t1 = b.join(part, "p_partkey", partsupp, "ps_partkey");
+    let t2 = b.join(supp_eu, "s_suppkey", t1, "ps_suppkey");
+
+    // Per-part minimum supply cost.
+    let pk_t2 = b.col_select(t2, "ps_partkey");
+    let cost_t2 = b.col_select(t2, "ps_supplycost");
+    let costtab = b.stitch(&[pk_t2, cost_t2]);
+    let mincost = grouped_aggregate(&mut b, costtab, "ps_partkey", &[("ps_supplycost", AggOp::Min)]);
+
+    // Composite (partkey, cost) join back to find the minimal rows.
+    let mc_key = b.col_select(mincost, "ps_partkey");
+    let mc_val = b.col_select(mincost, "min_ps_supplycost");
+    let ck_min = b.concat(mc_key, mc_val);
+    b.name_output(ck_min, "ck");
+    let min_side = b.stitch(&[ck_min, mc_key, mc_val]);
+
+    let ck_all_a = b.col_select(t2, "ps_partkey");
+    let ck_all_b = b.col_select(t2, "ps_supplycost");
+    let ck_all = b.concat(ck_all_a, ck_all_b);
+    b.name_output(ck_all, "ck2");
+    let sname_t2 = b.col_select(t2, "s_name");
+    let nname_t2 = b.col_select(t2, "n_name");
+    let all_side = b.stitch(&[ck_all, sname_t2, nname_t2]);
+
+    let matched = b.join(min_side, "ck", all_side, "ck2");
+    let out_pk = b.col_select(matched, "ps_partkey");
+    let out_min = b.col_select(matched, "min_ps_supplycost");
+    let out_sname = b.col_select(matched, "s_name");
+    let out_nname = b.col_select(matched, "n_name");
+    let _out = b.stitch(&[out_pk, out_min, out_sname, out_nname]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q2_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q2").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q2_brass_like_expands_to_30_types() {
+        assert_eq!(brass_types().len(), 30);
+    }
+}

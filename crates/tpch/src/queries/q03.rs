@@ -1,0 +1,145 @@
+//! TPC-H Q3 — shipping priority.
+//!
+//! ```sql
+//! SELECT l_orderkey, sum(l_extendedprice*(1-l_discount)) AS revenue,
+//!        o_orderdate, o_shippriority
+//! FROM customer, orders, lineitem
+//! WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+//!   AND l_orderkey = o_orderkey AND o_orderdate < '1995-03-15'
+//!   AND l_shipdate > '1995-03-15'
+//! GROUP BY l_orderkey, o_orderdate, o_shippriority
+//! ```
+//!
+//! The Q100 exploits `lineitem`'s physical clustering on `l_orderkey`
+//! (joins preserve foreign-key stream order), so the large per-order
+//! aggregation streams straight through the aggregator with no sort;
+//! the order attributes are recovered by joining the aggregate back to
+//! the filtered orders.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{grouped_aggregate, revenue_expr};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let date = date_to_days(1995, 3, 15);
+    let cust = Plan::scan("customer", &["c_custkey", "c_mktsegment"])
+        .filter(Expr::col("c_mktsegment").eq(Expr::str("BUILDING")));
+    let orders = Plan::scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])
+        .filter(Expr::col("o_orderdate").cmp(CmpKind::Lt, Expr::date(date)));
+    let li = Plan::scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])
+        .filter(Expr::col("l_shipdate").cmp(CmpKind::Gt, Expr::date(date)));
+    cust.join(orders, &["c_custkey"], &["o_custkey"])
+        .join(li, &["o_orderkey"], &["l_orderkey"])
+        .project(vec![
+            ("l_orderkey", Expr::col("l_orderkey")),
+            ("o_orderdate", Expr::col("o_orderdate")),
+            ("o_shippriority", Expr::col("o_shippriority")),
+            (
+                "rev",
+                Expr::col("l_extendedprice").arith(
+                    ArithKind::Sub,
+                    Expr::col("l_extendedprice")
+                        .arith(ArithKind::Mul, Expr::col("l_discount"))
+                        .arith(ArithKind::Div, Expr::int(100)),
+                ),
+            ),
+        ])
+        .aggregate(
+            &["l_orderkey", "o_orderdate", "o_shippriority"],
+            vec![("revenue", AggKind::Sum, Expr::col("rev"))],
+        )
+        .project(vec![
+            ("l_orderkey", Expr::col("l_orderkey")),
+            ("revenue", Expr::col("revenue")),
+            ("o_orderdate", Expr::col("o_orderdate")),
+            ("o_shippriority", Expr::col("o_shippriority")),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let date = date_to_days(1995, 3, 15);
+    let mut b = QueryGraph::builder("q3");
+
+    // customer filtered to BUILDING -> table [c_custkey]
+    let ckey = b.col_select_base("customer", "c_custkey");
+    let cseg = b.col_select_base("customer", "c_mktsegment");
+    let ckeep = b.bool_gen_const(cseg, CmpOp::Eq, Value::Str("BUILDING".into()));
+    let ckey_f = b.col_filter(ckey, ckeep);
+    let cust = b.stitch(&[ckey_f]);
+
+    // orders filtered by date -> table [o_orderkey, o_custkey, o_orderdate, o_shippriority]
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let ocust = b.col_select_base("orders", "o_custkey");
+    let odate = b.col_select_base("orders", "o_orderdate");
+    let oprio = b.col_select_base("orders", "o_shippriority");
+    let okeep = b.bool_gen_const(odate, CmpOp::Lt, Value::Date(date));
+    let okey_f = b.col_filter(okey, okeep);
+    let ocust_f = b.col_filter(ocust, okeep);
+    let odate_f = b.col_filter(odate, okeep);
+    let oprio_f = b.col_filter(oprio, okeep);
+    let orders = b.stitch(&[okey_f, ocust_f, odate_f, oprio_f]);
+
+    // t1: building customers' orders (orderkey-ordered: FK stream order)
+    let t1 = b.join(cust, "c_custkey", orders, "o_custkey");
+
+    // lineitem filtered by shipdate -> [l_orderkey, ext, disc]
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let lship = b.col_select_base("lineitem", "l_shipdate");
+    let lkeep = b.bool_gen_const(lship, CmpOp::Gt, Value::Date(date));
+    let lkey_f = b.col_filter(lkey, lkeep);
+    let ext_f = b.col_filter(ext, lkeep);
+    let disc_f = b.col_filter(disc, lkeep);
+    let li = b.stitch(&[lkey_f, ext_f, disc_f]);
+
+    // t2: qualifying lineitems of those orders, clustered by l_orderkey.
+    let t2 = b.join(t1, "o_orderkey", li, "l_orderkey");
+
+    let ext2 = b.col_select(t2, "l_extendedprice");
+    let disc2 = b.col_select(t2, "l_discount");
+    let lkey2 = b.col_select(t2, "l_orderkey");
+    let rev = revenue_expr(&mut b, ext2, disc2);
+    b.name_output(rev, "rev");
+    let revtab = b.stitch(&[lkey2, rev]);
+    let agg = grouped_aggregate(&mut b, revtab, "l_orderkey", &[("rev", AggOp::Sum)]);
+
+    // Join back to recover o_orderdate / o_shippriority; the aggregate
+    // (unique orderkeys) is the primary-key side.
+    let joined = b.join(agg, "l_orderkey", t1, "o_orderkey");
+    let out_key = b.col_select(joined, "l_orderkey");
+    let out_rev = b.col_select(joined, "sum_rev");
+    let out_date = b.col_select(joined, "o_orderdate");
+    let out_prio = b.col_select(joined, "o_shippriority");
+    let _out = b.stitch(&[out_key, out_rev, out_date, out_prio]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q3_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q3").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q3_nonempty() {
+        let db = TpchData::generate(0.005);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() > 0);
+    }
+}

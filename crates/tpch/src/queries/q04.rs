@@ -1,0 +1,112 @@
+//! TPC-H Q4 — order priority checking.
+//!
+//! ```sql
+//! SELECT o_orderpriority, count(*) AS order_count
+//! FROM orders
+//! WHERE o_orderdate >= '1993-07-01' AND o_orderdate < '1993-10-01'
+//!   AND EXISTS (SELECT * FROM lineitem WHERE l_orderkey = o_orderkey
+//!               AND l_commitdate < l_receiptdate)
+//! GROUP BY o_orderpriority
+//! ```
+//!
+//! The `EXISTS` becomes a semi-join. On the Q100 the late lineitems are
+//! first deduplicated per order with a (stream-order) aggregation, then
+//! joined against the filtered orders; the five-value priority domain is
+//! isolated by the partitioner for sort-free counting.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, CmpKind, Expr, JoinType, Plan};
+
+use super::helpers::{distinct_bounds, grouped_aggregate, partitioned_aggregate};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1993, 7, 1);
+    let hi = date_to_days(1993, 10, 1);
+    let late = Plan::scan("lineitem", &["l_orderkey", "l_commitdate", "l_receiptdate"])
+        .filter(Expr::col("l_commitdate").cmp(CmpKind::Lt, Expr::col("l_receiptdate")));
+    Plan::scan("orders", &["o_orderkey", "o_orderdate", "o_orderpriority"])
+        .filter(
+            Expr::col("o_orderdate")
+                .cmp(CmpKind::Gte, Expr::date(lo))
+                .and(Expr::col("o_orderdate").cmp(CmpKind::Lt, Expr::date(hi))),
+        )
+        .join_as(late, &["o_orderkey"], &["l_orderkey"], JoinType::LeftSemi)
+        .aggregate(&["o_orderpriority"], vec![("order_count", AggKind::Count, Expr::int(1))])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1993, 7, 1);
+    let hi = date_to_days(1993, 10, 1);
+    let mut b = QueryGraph::builder("q4");
+
+    // Late lineitems -> distinct orderkeys (aggregation over the
+    // orderkey-clustered stream).
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let commit = b.col_select_base("lineitem", "l_commitdate");
+    let receipt = b.col_select_base("lineitem", "l_receiptdate");
+    let late = b.bool_gen(commit, CmpOp::Lt, receipt);
+    let lkey_f = b.col_filter(lkey, late);
+    b.name_output(lkey_f, "l_orderkey");
+    let late_tab = b.stitch(&[lkey_f]);
+    let distinct = grouped_aggregate(&mut b, late_tab, "l_orderkey", &[("l_orderkey", AggOp::Count)]);
+
+    // Orders in the quarter.
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let odate = b.col_select_base("orders", "o_orderdate");
+    let oprio = b.col_select_base("orders", "o_orderpriority");
+    let c1 = b.bool_gen_const(odate, CmpOp::Gte, Value::Date(lo));
+    let c2 = b.bool_gen_const(odate, CmpOp::Lt, Value::Date(hi));
+    let keep = b.alu(c1, AluOp::And, c2);
+    let okey_f = b.col_filter(okey, keep);
+    let oprio_f = b.col_filter(oprio, keep);
+    let orders = b.stitch(&[okey_f, oprio_f]);
+
+    // Semi-join: distinct late orderkeys are unique, so joining them as
+    // the foreign-key side against the (primary-key) orders keeps each
+    // qualifying order exactly once.
+    let exists = b.join(orders, "o_orderkey", distinct, "l_orderkey");
+
+    // Count per priority: isolate each of the five priorities.
+    let prios = db.table("orders").column("o_orderpriority")?;
+    let bounds = distinct_bounds(prios);
+    let narrowed_key = b.col_select(exists, "o_orderkey");
+    let narrowed_prio = b.col_select(exists, "o_orderpriority");
+    let narrow = b.stitch(&[narrowed_prio, narrowed_key]);
+    let _out = partitioned_aggregate(
+        &mut b,
+        narrow,
+        "o_orderpriority",
+        &[("o_orderkey", AggOp::Count)],
+        &bounds,
+        false,
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q4_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q4").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q4_counts_all_priorities() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() >= 4, "priorities found: {}", t.row_count());
+    }
+}

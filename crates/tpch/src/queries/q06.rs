@@ -1,0 +1,101 @@
+//! TPC-H Q6 — forecasting revenue change.
+//!
+//! ```sql
+//! SELECT sum(l_extendedprice * l_discount) AS revenue
+//! FROM lineitem
+//! WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+//!   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+//! ```
+//!
+//! The classic streaming query: one scan, three predicates, one global
+//! sum. Both implementations compute `ext * disc / 100` in ×100 fixed
+//! point and group on a constant zero key so the output is one row
+//! `[0, revenue]`.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::global_aggregate;
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1994, 1, 1);
+    let hi = date_to_days(1995, 1, 1);
+    Plan::scan("lineitem", &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"])
+        .filter(
+            Expr::col("l_shipdate")
+                .cmp(CmpKind::Gte, Expr::date(lo))
+                .and(Expr::col("l_shipdate").cmp(CmpKind::Lt, Expr::date(hi)))
+                .and(Expr::col("l_discount").cmp(CmpKind::Gte, Expr::dec(5)))
+                .and(Expr::col("l_discount").cmp(CmpKind::Lte, Expr::dec(7)))
+                .and(Expr::col("l_quantity").cmp(CmpKind::Lt, Expr::dec(2400))),
+        )
+        .project(vec![
+            ("zero", Expr::col("l_quantity").arith(ArithKind::Mul, Expr::int(0))),
+            (
+                "rev",
+                Expr::col("l_extendedprice")
+                    .arith(ArithKind::Mul, Expr::col("l_discount"))
+                    .arith(ArithKind::Div, Expr::int(100)),
+            ),
+        ])
+        .aggregate(&["zero"], vec![("revenue", AggKind::Sum, Expr::col("rev"))])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1994, 1, 1);
+    let hi = date_to_days(1995, 1, 1);
+    let mut b = QueryGraph::builder("q6");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let qty = b.col_select_base("lineitem", "l_quantity");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+
+    let c1 = b.bool_gen_const(ship, CmpOp::Gte, Value::Date(lo));
+    let c2 = b.bool_gen_const(ship, CmpOp::Lt, Value::Date(hi));
+    let c3 = b.bool_gen_const(disc, CmpOp::Gte, Value::Decimal(5));
+    let c4 = b.bool_gen_const(disc, CmpOp::Lte, Value::Decimal(7));
+    let c5 = b.bool_gen_const(qty, CmpOp::Lt, Value::Decimal(2400));
+    let c12 = b.alu(c1, AluOp::And, c2);
+    let c34 = b.alu(c3, AluOp::And, c4);
+    let c1234 = b.alu(c12, AluOp::And, c34);
+    let keep = b.alu(c1234, AluOp::And, c5);
+
+    let ext_f = b.col_filter(ext, keep);
+    let disc_f = b.col_filter(disc, keep);
+    let prod = b.alu(ext_f, AluOp::Mul, disc_f);
+    let rev = b.alu_const(prod, AluOp::Div, Value::Int(100));
+    b.name_output(rev, "rev");
+
+    let table = b.stitch(&[rev]);
+    let _out = global_aggregate(&mut b, table, &[("rev", AggOp::Sum)]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q6_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q6").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q6_result_nonempty() {
+        let db = TpchData::generate(0.005);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert!(t.column("revenue").unwrap().get(0) > 0, "Q6 revenue must be positive");
+    }
+}

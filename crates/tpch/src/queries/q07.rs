@@ -1,0 +1,257 @@
+//! TPC-H Q7 — volume shipping.
+//!
+//! ```sql
+//! SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+//! FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+//!              extract(year from l_shipdate) AS l_year,
+//!              l_extendedprice * (1 - l_discount) AS volume
+//!       FROM supplier, lineitem, orders, customer, nation n1, nation n2
+//!       WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+//!         AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+//!         AND c_nationkey = n2.n_nationkey
+//!         AND ((n1.n_name='FRANCE' AND n2.n_name='GERMANY')
+//!           OR (n1.n_name='GERMANY' AND n2.n_name='FRANCE'))
+//!         AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31') shipping
+//! GROUP BY supp_nation, cust_nation, l_year
+//! ```
+//!
+//! Year extraction is a BoolGen + ALU (`1995 + (shipdate >= 1996-01-01)`
+//! over the two-year window); the three-attribute group key is packed
+//! with ALU arithmetic, and the ≤4-value key domain is isolated by the
+//! partitioner. Both implementations output the nation *codes* (the
+//! packed representation) rather than re-materializing strings.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{or_eq_any, partitioned_aggregate, revenue_expr};
+use crate::TpchData;
+
+const YEAR_SPAN: i64 = 4096;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1995, 1, 1);
+    let mid = date_to_days(1996, 1, 1);
+    let hi = date_to_days(1996, 12, 31);
+
+    let n1 = Plan::scan("nation", &["n_nationkey", "n_name"]).project(vec![
+        ("n1_key", Expr::col("n_nationkey")),
+        ("supp_nation", Expr::col("n_name")),
+    ]);
+    let n2 = Plan::scan("nation", &["n_nationkey", "n_name"]).project(vec![
+        ("n2_key", Expr::col("n_nationkey")),
+        ("cust_nation", Expr::col("n_name")),
+    ]);
+    let supp = n1
+        .filter(
+            Expr::col("supp_nation")
+                .eq(Expr::str("FRANCE"))
+                .or(Expr::col("supp_nation").eq(Expr::str("GERMANY"))),
+        )
+        .join(Plan::scan("supplier", &["s_suppkey", "s_nationkey"]), &["n1_key"], &["s_nationkey"]);
+    let cust = n2
+        .filter(
+            Expr::col("cust_nation")
+                .eq(Expr::str("FRANCE"))
+                .or(Expr::col("cust_nation").eq(Expr::str("GERMANY"))),
+        )
+        .join(Plan::scan("customer", &["c_custkey", "c_nationkey"]), &["n2_key"], &["c_nationkey"]);
+
+    let li = Plan::scan(
+        "lineitem",
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    .filter(
+        Expr::col("l_shipdate")
+            .cmp(CmpKind::Gte, Expr::date(lo))
+            .and(Expr::col("l_shipdate").cmp(CmpKind::Lte, Expr::date(hi))),
+    );
+
+    supp.join(li, &["s_suppkey"], &["l_suppkey"])
+        .join(Plan::scan("orders", &["o_orderkey", "o_custkey"]), &["l_orderkey"], &["o_orderkey"])
+        .join(cust, &["o_custkey"], &["c_custkey"])
+        .filter(
+            Expr::col("supp_nation")
+                .eq(Expr::str("FRANCE"))
+                .and(Expr::col("cust_nation").eq(Expr::str("GERMANY")))
+                .or(Expr::col("supp_nation")
+                    .eq(Expr::str("GERMANY"))
+                    .and(Expr::col("cust_nation").eq(Expr::str("FRANCE")))),
+        )
+        .project(vec![
+            ("supp_code", Expr::col("supp_nation").arith(ArithKind::Mul, Expr::int(1))),
+            ("cust_code", Expr::col("cust_nation").arith(ArithKind::Mul, Expr::int(1))),
+            (
+                "l_year",
+                Expr::col("l_shipdate")
+                    .cmp(CmpKind::Gte, Expr::date(mid))
+                    .arith(ArithKind::Add, Expr::int(1995)),
+            ),
+            (
+                "rev",
+                Expr::col("l_extendedprice").arith(
+                    ArithKind::Sub,
+                    Expr::col("l_extendedprice")
+                        .arith(ArithKind::Mul, Expr::col("l_discount"))
+                        .arith(ArithKind::Div, Expr::int(100)),
+                ),
+            ),
+        ])
+        .aggregate(
+            &["supp_code", "cust_code", "l_year"],
+            vec![("revenue", AggKind::Sum, Expr::col("rev"))],
+        )
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1995, 1, 1);
+    let mid = date_to_days(1996, 1, 1);
+    let hi = date_to_days(1996, 12, 31);
+    let fg = ["FRANCE".to_string(), "GERMANY".to_string()];
+    let mut b = QueryGraph::builder("q7");
+
+    // Nation side tables restricted to FRANCE/GERMANY, renamed so the
+    // two roles stay distinct after the joins.
+    let nk1 = b.col_select_base("nation", "n_nationkey");
+    b.name_output(nk1, "n1_key");
+    let nn1 = b.col_select_base("nation", "n_name");
+    b.name_output(nn1, "supp_nation");
+    let fkeep1 = or_eq_any(&mut b, nn1, &fg);
+    let nk1_f = b.col_filter(nk1, fkeep1);
+    let nn1_f = b.col_filter(nn1, fkeep1);
+    let n1 = b.stitch(&[nk1_f, nn1_f]);
+
+    let nk2 = b.col_select_base("nation", "n_nationkey");
+    b.name_output(nk2, "n2_key");
+    let nn2 = b.col_select_base("nation", "n_name");
+    b.name_output(nn2, "cust_nation");
+    let fkeep2 = or_eq_any(&mut b, nn2, &fg);
+    let nk2_f = b.col_filter(nk2, fkeep2);
+    let nn2_f = b.col_filter(nn2, fkeep2);
+    let n2 = b.stitch(&[nk2_f, nn2_f]);
+
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let snat = b.col_select_base("supplier", "s_nationkey");
+    let supplier = b.stitch(&[skey, snat]);
+    let supp = b.join(n1, "n1_key", supplier, "s_nationkey");
+
+    let ckey = b.col_select_base("customer", "c_custkey");
+    let cnat = b.col_select_base("customer", "c_nationkey");
+    let customer = b.stitch(&[ckey, cnat]);
+    let cust = b.join(n2, "n2_key", customer, "c_nationkey");
+
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let lsupp = b.col_select_base("lineitem", "l_suppkey");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+    let d1 = b.bool_gen_const(ship, CmpOp::Gte, Value::Date(lo));
+    let d2 = b.bool_gen_const(ship, CmpOp::Lte, Value::Date(hi));
+    let dkeep = b.alu(d1, AluOp::And, d2);
+    let lkey_f = b.col_filter(lkey, dkeep);
+    let lsupp_f = b.col_filter(lsupp, dkeep);
+    let ext_f = b.col_filter(ext, dkeep);
+    let disc_f = b.col_filter(disc, dkeep);
+    let ship_f = b.col_filter(ship, dkeep);
+    let li = b.stitch(&[lkey_f, lsupp_f, ext_f, disc_f, ship_f]);
+
+    let t1 = b.join(supp, "s_suppkey", li, "l_suppkey");
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let ocust = b.col_select_base("orders", "o_custkey");
+    let orders = b.stitch(&[okey, ocust]);
+    let t2 = b.join(orders, "o_orderkey", t1, "l_orderkey");
+    let t3 = b.join(cust, "c_custkey", t2, "o_custkey");
+
+    // Opposite-pair predicate and revenue/year computation.
+    let sn = b.col_select(t3, "supp_nation");
+    let cn = b.col_select(t3, "cust_nation");
+    let sf = b.bool_gen_const(sn, CmpOp::Eq, Value::Str("FRANCE".into()));
+    let cg = b.bool_gen_const(cn, CmpOp::Eq, Value::Str("GERMANY".into()));
+    let sg = b.bool_gen_const(sn, CmpOp::Eq, Value::Str("GERMANY".into()));
+    let cf = b.bool_gen_const(cn, CmpOp::Eq, Value::Str("FRANCE".into()));
+    let pair1 = b.alu(sf, AluOp::And, cg);
+    let pair2 = b.alu(sg, AluOp::And, cf);
+    let keep = b.alu(pair1, AluOp::Or, pair2);
+
+    let ext3 = b.col_select(t3, "l_extendedprice");
+    let disc3 = b.col_select(t3, "l_discount");
+    let ship3 = b.col_select(t3, "l_shipdate");
+    let sn_f = b.col_filter(sn, keep);
+    let cn_f = b.col_filter(cn, keep);
+    let ext_k = b.col_filter(ext3, keep);
+    let disc_k = b.col_filter(disc3, keep);
+    let ship_k = b.col_filter(ship3, keep);
+
+    let rev = revenue_expr(&mut b, ext_k, disc_k);
+    b.name_output(rev, "rev");
+    let y = b.bool_gen_const(ship_k, CmpOp::Gte, Value::Date(mid));
+    let year = b.alu_const(y, AluOp::Add, Value::Int(1995));
+    b.name_output(year, "l_year");
+
+    // grp = (supp_code * 25 + cust_code) * 4096 + year
+    let p1 = b.alu_const(sn_f, AluOp::Mul, Value::Int(25));
+    let p2 = b.alu(p1, AluOp::Add, cn_f);
+    let p3 = b.alu_const(p2, AluOp::Mul, Value::Int(YEAR_SPAN));
+    let grp = b.alu(p3, AluOp::Add, year);
+    b.name_output(grp, "grp");
+
+    let table = b.stitch(&[grp, rev]);
+    // ≤4 populated groups: both orderings of the nation pair × 2 years.
+    let dict = db
+        .table("nation")
+        .column("n_name")?
+        .dict()
+        .expect("nation names are dictionary encoded")
+        .clone();
+    let f = i64::from(dict.lookup("FRANCE").unwrap_or(0));
+    let g = i64::from(dict.lookup("GERMANY").unwrap_or(0));
+    let mut packed: Vec<i64> = Vec::new();
+    for (a, c) in [(f, g), (g, f)] {
+        for year in [1995, 1996] {
+            packed.push((a * 25 + c) * YEAR_SPAN + year);
+        }
+    }
+    packed.sort_unstable();
+    let bounds: Vec<i64> = packed.into_iter().skip(1).collect();
+    let agg = partitioned_aggregate(&mut b, table, "grp", &[("rev", AggOp::Sum)], &bounds, false);
+
+    // Unpack the composite key back into the three attributes.
+    let grp_out = b.col_select(agg, "grp");
+    let revenue = b.col_select(agg, "sum_rev");
+    let pair = b.alu_const(grp_out, AluOp::Div, Value::Int(YEAR_SPAN));
+    let pair_scaled = b.alu_const(pair, AluOp::Mul, Value::Int(YEAR_SPAN));
+    let year_out = b.alu(grp_out, AluOp::Sub, pair_scaled);
+    let supp_code = b.alu_const(pair, AluOp::Div, Value::Int(25));
+    let sc25 = b.alu_const(supp_code, AluOp::Mul, Value::Int(25));
+    let cust_code = b.alu(pair, AluOp::Sub, sc25);
+    let _out = b.stitch(&[supp_code, cust_code, year_out, revenue]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q7_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q7").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q7_at_most_four_groups() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() <= 4);
+        assert!(t.row_count() > 0, "expected France/Germany trade volume");
+    }
+}

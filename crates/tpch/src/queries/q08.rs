@@ -1,0 +1,234 @@
+//! TPC-H Q8 — national market share.
+//!
+//! ```sql
+//! SELECT o_year, sum(case when nation = 'BRAZIL' then volume else 0 end)
+//!              / sum(volume) AS mkt_share
+//! FROM (SELECT extract(year from o_orderdate) AS o_year,
+//!              l_extendedprice * (1 - l_discount) AS volume,
+//!              n2.n_name AS nation
+//!       FROM part, supplier, lineitem, orders, customer,
+//!            nation n1, nation n2, region
+//!       WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+//!         AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+//!         AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+//!         AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey
+//!         AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+//!         AND p_type = 'ECONOMY ANODIZED STEEL') all_nations
+//! GROUP BY o_year
+//! ```
+//!
+//! The market-share ratio is computed after aggregation with ALU
+//! constant-multiply and column divide; the share is reported in ×100
+//! fixed-point percent.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{partitioned_aggregate, revenue_expr};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1995, 1, 1);
+    let mid = date_to_days(1996, 1, 1);
+    let hi = date_to_days(1996, 12, 31);
+
+    let part = Plan::scan("part", &["p_partkey", "p_type"])
+        .filter(Expr::col("p_type").eq(Expr::str("ECONOMY ANODIZED STEEL")));
+    let li = Plan::scan(
+        "lineitem",
+        &["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    );
+    let t1 = part.join(li, &["p_partkey"], &["l_partkey"]);
+    let orders = Plan::scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).filter(
+        Expr::col("o_orderdate")
+            .cmp(CmpKind::Gte, Expr::date(lo))
+            .and(Expr::col("o_orderdate").cmp(CmpKind::Lte, Expr::date(hi))),
+    );
+    let t2 = orders.join(t1, &["o_orderkey"], &["l_orderkey"]);
+    let t3 = Plan::scan("customer", &["c_custkey", "c_nationkey"])
+        .join(t2, &["c_custkey"], &["o_custkey"]);
+    // American customers: region AMERICA -> nations -> semi filter.
+    let nations_am = Plan::scan("region", &["r_regionkey", "r_name"])
+        .filter(Expr::col("r_name").eq(Expr::str("AMERICA")))
+        .join(Plan::scan("nation", &["n_nationkey", "n_regionkey"]), &["r_regionkey"], &["n_regionkey"]);
+    let t4 = nations_am.join(t3, &["n_nationkey"], &["c_nationkey"]);
+    // Supplier nation name.
+    let n2 = Plan::scan("nation", &["n_nationkey", "n_name"]).project(vec![
+        ("n2_key", Expr::col("n_nationkey")),
+        ("supp_nation", Expr::col("n_name")),
+    ]);
+    let supp = n2.join(Plan::scan("supplier", &["s_suppkey", "s_nationkey"]), &["n2_key"], &["s_nationkey"]);
+    supp.join(t4, &["s_suppkey"], &["l_suppkey"])
+        .project(vec![
+            (
+                "o_year",
+                Expr::col("o_orderdate")
+                    .cmp(CmpKind::Gte, Expr::date(mid))
+                    .arith(ArithKind::Add, Expr::int(1995)),
+            ),
+            (
+                "volume",
+                Expr::col("l_extendedprice").arith(
+                    ArithKind::Sub,
+                    Expr::col("l_extendedprice")
+                        .arith(ArithKind::Mul, Expr::col("l_discount"))
+                        .arith(ArithKind::Div, Expr::int(100)),
+                ),
+            ),
+            (
+                "is_brazil",
+                Expr::col("supp_nation").eq(Expr::str("BRAZIL")).arith(ArithKind::Mul, Expr::int(1)),
+            ),
+        ])
+        .project(vec![
+            ("o_year", Expr::col("o_year")),
+            ("volume", Expr::col("volume")),
+            ("brazil_volume", Expr::col("volume").arith(ArithKind::Mul, Expr::col("is_brazil"))),
+        ])
+        .aggregate(
+            &["o_year"],
+            vec![
+                ("sum_brazil", AggKind::Sum, Expr::col("brazil_volume")),
+                ("sum_all", AggKind::Sum, Expr::col("volume")),
+            ],
+        )
+        .project(vec![
+            ("o_year", Expr::col("o_year")),
+            (
+                "mkt_share",
+                Expr::col("sum_brazil")
+                    .arith(ArithKind::Mul, Expr::int(10000))
+                    .arith(ArithKind::Div, Expr::col("sum_all")),
+            ),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1995, 1, 1);
+    let mid = date_to_days(1996, 1, 1);
+    let hi = date_to_days(1996, 12, 31);
+    let mut b = QueryGraph::builder("q8");
+
+    // Filtered part.
+    let pkey = b.col_select_base("part", "p_partkey");
+    let ptype = b.col_select_base("part", "p_type");
+    let pkeep = b.bool_gen_const(ptype, CmpOp::Eq, Value::Str("ECONOMY ANODIZED STEEL".into()));
+    let pkey_f = b.col_filter(pkey, pkeep);
+    let part = b.stitch(&[pkey_f]);
+
+    // Lineitem of those parts.
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let lpart = b.col_select_base("lineitem", "l_partkey");
+    let lsupp = b.col_select_base("lineitem", "l_suppkey");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let li = b.stitch(&[lkey, lpart, lsupp, ext, disc]);
+    let t1 = b.join(part, "p_partkey", li, "l_partkey");
+
+    // Orders in window.
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let ocust = b.col_select_base("orders", "o_custkey");
+    let odate = b.col_select_base("orders", "o_orderdate");
+    let d1 = b.bool_gen_const(odate, CmpOp::Gte, Value::Date(lo));
+    let d2 = b.bool_gen_const(odate, CmpOp::Lte, Value::Date(hi));
+    let dkeep = b.alu(d1, AluOp::And, d2);
+    let okey_f = b.col_filter(okey, dkeep);
+    let ocust_f = b.col_filter(ocust, dkeep);
+    let odate_f = b.col_filter(odate, dkeep);
+    let orders = b.stitch(&[okey_f, ocust_f, odate_f]);
+    let t2 = b.join(orders, "o_orderkey", t1, "l_orderkey");
+
+    // American customers.
+    let ckey = b.col_select_base("customer", "c_custkey");
+    let cnat = b.col_select_base("customer", "c_nationkey");
+    let customer = b.stitch(&[ckey, cnat]);
+    let t3 = b.join(customer, "c_custkey", t2, "o_custkey");
+
+    let rkey = b.col_select_base("region", "r_regionkey");
+    let rname = b.col_select_base("region", "r_name");
+    let rkeep = b.bool_gen_const(rname, CmpOp::Eq, Value::Str("AMERICA".into()));
+    let rkey_f = b.col_filter(rkey, rkeep);
+    let region = b.stitch(&[rkey_f]);
+    let nk1 = b.col_select_base("nation", "n_nationkey");
+    let nr1 = b.col_select_base("nation", "n_regionkey");
+    let n1 = b.stitch(&[nk1, nr1]);
+    let nations_am = b.join(region, "r_regionkey", n1, "n_regionkey");
+    let t4 = b.join(nations_am, "n_nationkey", t3, "c_nationkey");
+
+    // Supplier nation name.
+    let nk2 = b.col_select_base("nation", "n_nationkey");
+    b.name_output(nk2, "n2_key");
+    let nn2 = b.col_select_base("nation", "n_name");
+    b.name_output(nn2, "supp_nation");
+    let n2 = b.stitch(&[nk2, nn2]);
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let snat = b.col_select_base("supplier", "s_nationkey");
+    let supplier = b.stitch(&[skey, snat]);
+    let supp = b.join(n2, "n2_key", supplier, "s_nationkey");
+    let t5 = b.join(supp, "s_suppkey", t4, "l_suppkey");
+
+    // Volume, year, Brazil share.
+    let ext5 = b.col_select(t5, "l_extendedprice");
+    let disc5 = b.col_select(t5, "l_discount");
+    let odate5 = b.col_select(t5, "o_orderdate");
+    let sn5 = b.col_select(t5, "supp_nation");
+    let volume = revenue_expr(&mut b, ext5, disc5);
+    b.name_output(volume, "volume");
+    let yb = b.bool_gen_const(odate5, CmpOp::Gte, Value::Date(mid));
+    let year = b.alu_const(yb, AluOp::Add, Value::Int(1995));
+    b.name_output(year, "o_year");
+    let bz = b.bool_gen_const(sn5, CmpOp::Eq, Value::Str("BRAZIL".into()));
+    let bzi = b.alu_const(bz, AluOp::Mul, Value::Int(1));
+    let bvol = b.alu(volume, AluOp::Mul, bzi);
+    b.name_output(bvol, "brazil_volume");
+
+    let table = b.stitch(&[year, volume, bvol]);
+    let bounds = vec![1996]; // two one-year partitions
+    let agg = partitioned_aggregate(
+        &mut b,
+        table,
+        "o_year",
+        &[("brazil_volume", AggOp::Sum), ("volume", AggOp::Sum)],
+        &bounds,
+        false,
+    );
+
+    let year_out = b.col_select(agg, "o_year");
+    let s_b = b.col_select(agg, "sum_brazil_volume");
+    let s_all = b.col_select(agg, "sum_volume");
+    let scaled = b.alu_const(s_b, AluOp::Mul, Value::Int(10000));
+    let share = b.alu(scaled, AluOp::Div, s_all);
+    b.name_output(share, "mkt_share");
+    let _out = b.stitch(&[year_out, share]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q8_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q8").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q8_share_bounded() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        for r in 0..t.row_count() {
+            let share = t.column("mkt_share").unwrap().get(r);
+            assert!((0..=10000).contains(&share), "share {share}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! TPC-H Q11 — important stock identification.
+//!
+//! ```sql
+//! SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+//! FROM partsupp, supplier, nation
+//! WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+//!   AND n_name = 'GERMANY'
+//! GROUP BY ps_partkey
+//! HAVING sum(ps_supplycost * ps_availqty) >
+//!        (SELECT sum(ps_supplycost * ps_availqty) * 0.0001 FROM ... GERMANY ...)
+//! ```
+//!
+//! The scalar subquery becomes a single-row aggregate broadcast onto
+//! every group row via a constant-key join; the `HAVING` is then an
+//! ordinary column-to-column BoolGen. `partsupp` is clustered on
+//! `ps_partkey`, so the per-part aggregation streams with no sort.
+
+use q100_columnar::Value;
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, Expr, Plan};
+
+use super::helpers::{broadcast_join, global_aggregate, grouped_aggregate};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let german_ps = || {
+        Plan::scan("nation", &["n_nationkey", "n_name"])
+            .filter(Expr::col("n_name").eq(Expr::str("GERMANY")))
+            .join(Plan::scan("supplier", &["s_suppkey", "s_nationkey"]), &["n_nationkey"], &["s_nationkey"])
+            .join(
+                Plan::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"]),
+                &["s_suppkey"],
+                &["ps_suppkey"],
+            )
+            .project(vec![
+                ("zero", Expr::col("ps_partkey").arith(ArithKind::Mul, Expr::int(0))),
+                ("ps_partkey", Expr::col("ps_partkey")),
+                ("val", Expr::col("ps_supplycost").arith(ArithKind::Mul, Expr::col("ps_availqty"))),
+            ])
+    };
+    let per_part = german_ps()
+        .aggregate(&["ps_partkey"], vec![("value", AggKind::Sum, Expr::col("val"))])
+        .project(vec![
+            ("zero", Expr::col("ps_partkey").arith(ArithKind::Mul, Expr::int(0))),
+            ("ps_partkey", Expr::col("ps_partkey")),
+            ("value", Expr::col("value")),
+        ]);
+    let total = german_ps().aggregate(&["zero"], vec![("total", AggKind::Sum, Expr::col("val"))]);
+    total
+        .join(per_part, &["zero"], &["zero"])
+        .filter(
+            Expr::col("value")
+                .arith(ArithKind::Mul, Expr::int(10000))
+                .cmp(q100_dbms::CmpKind::Gt, Expr::col("total")),
+        )
+        .project(vec![
+            ("ps_partkey", Expr::col("ps_partkey")),
+            ("value", Expr::col("value")),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q11");
+
+    // German suppliers.
+    let nkey = b.col_select_base("nation", "n_nationkey");
+    let nname = b.col_select_base("nation", "n_name");
+    let nkeep = b.bool_gen_const(nname, CmpOp::Eq, Value::Str("GERMANY".into()));
+    let nkey_f = b.col_filter(nkey, nkeep);
+    let nation = b.stitch(&[nkey_f]);
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let snat = b.col_select_base("supplier", "s_nationkey");
+    let supplier = b.stitch(&[skey, snat]);
+    let supp_g = b.join(nation, "n_nationkey", supplier, "s_nationkey");
+
+    // Their partsupp rows (partkey-clustered stream preserved).
+    let pspart = b.col_select_base("partsupp", "ps_partkey");
+    let pssupp = b.col_select_base("partsupp", "ps_suppkey");
+    let pscost = b.col_select_base("partsupp", "ps_supplycost");
+    let psavail = b.col_select_base("partsupp", "ps_availqty");
+    let partsupp = b.stitch(&[pspart, pssupp, pscost, psavail]);
+    let t = b.join(supp_g, "s_suppkey", partsupp, "ps_suppkey");
+
+    let cost = b.col_select(t, "ps_supplycost");
+    let avail = b.col_select(t, "ps_availqty");
+    let pkey_t = b.col_select(t, "ps_partkey");
+    let val = b.alu(cost, AluOp::Mul, avail);
+    b.name_output(val, "val");
+    let valtab = b.stitch(&[pkey_t, val]);
+
+    let per_part = grouped_aggregate(&mut b, valtab, "ps_partkey", &[("val", AggOp::Sum)]);
+    let total = global_aggregate(&mut b, valtab, &[("val", AggOp::Sum)]);
+
+    // Broadcast the total onto every per-part row, then apply HAVING.
+    let joined = broadcast_join(&mut b, total, "zero", per_part, &["ps_partkey", "sum_val"]);
+    let value = b.col_select(joined, "sum_val_r");
+    let total_col = b.col_select(joined, "sum_val");
+    let pk = b.col_select(joined, "ps_partkey");
+    let scaled = b.alu_const(value, AluOp::Mul, Value::Int(10000));
+    let keep = b.bool_gen(scaled, CmpOp::Gt, total_col);
+    let pk_f = b.col_filter(pk, keep);
+    let value_f = b.col_filter(value, keep);
+    let _out = b.stitch(&[pk_f, value_f]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q11_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q11").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q11_having_filters_some_rows() {
+        let db = TpchData::generate(0.02);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() > 0, "Q11 should keep high-value parts");
+    }
+}

@@ -1,0 +1,131 @@
+//! TPC-H Q12 — shipping modes and order priority.
+//!
+//! ```sql
+//! SELECT l_shipmode,
+//!        sum(case when o_orderpriority in ('1-URGENT','2-HIGH') then 1 else 0 end),
+//!        sum(case when o_orderpriority not in ('1-URGENT','2-HIGH') then 1 else 0 end)
+//! FROM orders, lineitem
+//! WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+//!   AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+//!   AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01'
+//! GROUP BY l_shipmode
+//! ```
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{distinct_bounds, or_eq_any, partitioned_aggregate};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1994, 1, 1);
+    let hi = date_to_days(1995, 1, 1);
+    let li = Plan::scan(
+        "lineitem",
+        &["l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate", "l_shipdate"],
+    )
+    .filter(
+        Expr::col("l_shipmode")
+            .in_list(vec![Value::Str("MAIL".into()), Value::Str("SHIP".into())])
+            .and(Expr::col("l_commitdate").cmp(CmpKind::Lt, Expr::col("l_receiptdate")))
+            .and(Expr::col("l_shipdate").cmp(CmpKind::Lt, Expr::col("l_commitdate")))
+            .and(Expr::col("l_receiptdate").cmp(CmpKind::Gte, Expr::date(lo)))
+            .and(Expr::col("l_receiptdate").cmp(CmpKind::Lt, Expr::date(hi))),
+    );
+    let high = Expr::col("o_orderpriority")
+        .eq(Expr::str("1-URGENT"))
+        .or(Expr::col("o_orderpriority").eq(Expr::str("2-HIGH")));
+    Plan::scan("orders", &["o_orderkey", "o_orderpriority"])
+        .join(li, &["o_orderkey"], &["l_orderkey"])
+        .project(vec![
+            ("l_shipmode", Expr::col("l_shipmode")),
+            ("high", high.clone().arith(ArithKind::Mul, Expr::int(1))),
+            ("low", high.negate().arith(ArithKind::Mul, Expr::int(1))),
+        ])
+        .aggregate(
+            &["l_shipmode"],
+            vec![
+                ("high_line_count", AggKind::Sum, Expr::col("high")),
+                ("low_line_count", AggKind::Sum, Expr::col("low")),
+            ],
+        )
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1994, 1, 1);
+    let hi = date_to_days(1995, 1, 1);
+    let mut b = QueryGraph::builder("q12");
+
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let mode = b.col_select_base("lineitem", "l_shipmode");
+    let commit = b.col_select_base("lineitem", "l_commitdate");
+    let receipt = b.col_select_base("lineitem", "l_receiptdate");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+
+    let m = or_eq_any(&mut b, mode, &["MAIL".to_string(), "SHIP".to_string()]);
+    let c1 = b.bool_gen(commit, CmpOp::Lt, receipt);
+    let c2 = b.bool_gen(ship, CmpOp::Lt, commit);
+    let c3 = b.bool_gen_const(receipt, CmpOp::Gte, Value::Date(lo));
+    let c4 = b.bool_gen_const(receipt, CmpOp::Lt, Value::Date(hi));
+    let a1 = b.alu(m, AluOp::And, c1);
+    let a2 = b.alu(c2, AluOp::And, c3);
+    let a3 = b.alu(a1, AluOp::And, a2);
+    let keep = b.alu(a3, AluOp::And, c4);
+
+    let lkey_f = b.col_filter(lkey, keep);
+    let mode_f = b.col_filter(mode, keep);
+    let li = b.stitch(&[lkey_f, mode_f]);
+
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let oprio = b.col_select_base("orders", "o_orderpriority");
+    let orders = b.stitch(&[okey, oprio]);
+    let t = b.join(orders, "o_orderkey", li, "l_orderkey");
+
+    let prio = b.col_select(t, "o_orderpriority");
+    let mode_t = b.col_select(t, "l_shipmode");
+    let high_b = or_eq_any(&mut b, prio, &["1-URGENT".to_string(), "2-HIGH".to_string()]);
+    let high = b.alu_const(high_b, AluOp::Mul, Value::Int(1));
+    b.name_output(high, "high");
+    let low_b = b.alu_not(high_b);
+    let low = b.alu_const(low_b, AluOp::Mul, Value::Int(1));
+    b.name_output(low, "low");
+
+    let counted = b.stitch(&[mode_t, high, low]);
+    let bounds = distinct_bounds(db.table("lineitem").column("l_shipmode")?);
+    let _out = partitioned_aggregate(
+        &mut b,
+        counted,
+        "l_shipmode",
+        &[("high", AggOp::Sum), ("low", AggOp::Sum)],
+        &bounds,
+        false,
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q12_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q12").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q12_two_modes() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert_eq!(t.row_count(), 2, "MAIL and SHIP groups");
+    }
+}

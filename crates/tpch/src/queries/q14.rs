@@ -1,0 +1,147 @@
+//! TPC-H Q14 — promotion effect.
+//!
+//! ```sql
+//! SELECT 100.00 * sum(case when p_type like 'PROMO%'
+//!                          then l_extendedprice*(1-l_discount) else 0 end)
+//!              / sum(l_extendedprice*(1-l_discount)) AS promo_revenue
+//! FROM lineitem, part
+//! WHERE l_partkey = p_partkey
+//!   AND l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'
+//! ```
+//!
+//! `LIKE 'PROMO%'` expands to the 25 matching `p_type` strings as
+//! equality clauses (Section 3.1). The final percentage is computed
+//! with ALU constant-multiply/divide on the two one-row aggregates.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{global_aggregate, like_matches, or_eq_any, revenue_expr};
+use crate::gen::text;
+use crate::TpchData;
+
+fn promo_types() -> Vec<String> {
+    like_matches(&text::all_part_types(), "PROMO%")
+}
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1995, 9, 1);
+    let hi = date_to_days(1995, 10, 1);
+    let li = Plan::scan("lineitem", &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"])
+        .filter(
+            Expr::col("l_shipdate")
+                .cmp(CmpKind::Gte, Expr::date(lo))
+                .and(Expr::col("l_shipdate").cmp(CmpKind::Lt, Expr::date(hi))),
+        );
+    let promo_values = promo_types().into_iter().map(Value::Str).collect();
+    Plan::scan("part", &["p_partkey", "p_type"])
+        .join(li, &["p_partkey"], &["l_partkey"])
+        .project(vec![
+            ("zero", Expr::col("l_extendedprice").arith(ArithKind::Mul, Expr::int(0))),
+            (
+                "rev",
+                Expr::col("l_extendedprice").arith(
+                    ArithKind::Sub,
+                    Expr::col("l_extendedprice")
+                        .arith(ArithKind::Mul, Expr::col("l_discount"))
+                        .arith(ArithKind::Div, Expr::int(100)),
+                ),
+            ),
+            ("is_promo", Expr::col("p_type").in_list(promo_values).arith(ArithKind::Mul, Expr::int(1))),
+        ])
+        .project(vec![
+            ("zero", Expr::col("zero")),
+            ("rev", Expr::col("rev")),
+            ("promo_rev", Expr::col("rev").arith(ArithKind::Mul, Expr::col("is_promo"))),
+        ])
+        .aggregate(
+            &["zero"],
+            vec![
+                ("sum_promo", AggKind::Sum, Expr::col("promo_rev")),
+                ("sum_rev", AggKind::Sum, Expr::col("rev")),
+            ],
+        )
+        .project(vec![
+            ("zero", Expr::col("zero")),
+            (
+                "promo_pct",
+                Expr::col("sum_promo")
+                    .arith(ArithKind::Mul, Expr::int(10000))
+                    .arith(ArithKind::Div, Expr::col("sum_rev")),
+            ),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1995, 9, 1);
+    let hi = date_to_days(1995, 10, 1);
+    let mut b = QueryGraph::builder("q14");
+
+    let lpart = b.col_select_base("lineitem", "l_partkey");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+    let c1 = b.bool_gen_const(ship, CmpOp::Gte, Value::Date(lo));
+    let c2 = b.bool_gen_const(ship, CmpOp::Lt, Value::Date(hi));
+    let keep = b.alu(c1, AluOp::And, c2);
+    let lpart_f = b.col_filter(lpart, keep);
+    let ext_f = b.col_filter(ext, keep);
+    let disc_f = b.col_filter(disc, keep);
+    let li = b.stitch(&[lpart_f, ext_f, disc_f]);
+
+    let pkey = b.col_select_base("part", "p_partkey");
+    let ptype = b.col_select_base("part", "p_type");
+    let part = b.stitch(&[pkey, ptype]);
+    let t = b.join(part, "p_partkey", li, "l_partkey");
+
+    let ext_t = b.col_select(t, "l_extendedprice");
+    let disc_t = b.col_select(t, "l_discount");
+    let type_t = b.col_select(t, "p_type");
+    let rev = revenue_expr(&mut b, ext_t, disc_t);
+    b.name_output(rev, "rev");
+    let promo_b = or_eq_any(&mut b, type_t, &promo_types());
+    let promo_i = b.alu_const(promo_b, AluOp::Mul, Value::Int(1));
+    let promo_rev = b.alu(rev, AluOp::Mul, promo_i);
+    b.name_output(promo_rev, "promo_rev");
+
+    let revs = b.stitch(&[rev, promo_rev]);
+    let agg = global_aggregate(&mut b, revs, &[("promo_rev", AggOp::Sum), ("rev", AggOp::Sum)]);
+
+    let zero = b.col_select(agg, "zero");
+    let s_promo = b.col_select(agg, "sum_promo_rev");
+    let s_rev = b.col_select(agg, "sum_rev");
+    let scaled = b.alu_const(s_promo, AluOp::Mul, Value::Int(10000));
+    let pct = b.alu(scaled, AluOp::Div, s_rev);
+    b.name_output(pct, "promo_pct");
+    let _out = b.stitch(&[zero, pct]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q14_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q14").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q14_percentage_in_range() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        let pct = t.column("promo_pct").unwrap().get(0);
+        // PROMO is 1 of 6 first syllables -> roughly 16% (±10 points).
+        assert!((500..=3000).contains(&pct), "promo pct = {pct}");
+    }
+}

@@ -1,0 +1,153 @@
+//! TPC-H Q15 — top supplier.
+//!
+//! ```sql
+//! WITH revenue AS (SELECT l_suppkey AS supplier_no,
+//!                         sum(l_extendedprice*(1-l_discount)) AS total_revenue
+//!                  FROM lineitem
+//!                  WHERE l_shipdate >= '1996-01-01' AND l_shipdate < '1996-04-01'
+//!                  GROUP BY l_suppkey)
+//! SELECT s_suppkey, s_name, total_revenue
+//! FROM supplier, revenue
+//! WHERE s_suppkey = supplier_no
+//!   AND total_revenue = (SELECT max(total_revenue) FROM revenue)
+//! ```
+//!
+//! Supplier keys are scattered through the lineitem stream, so the
+//! per-supplier aggregation partitions+sorts; the max is a single-row
+//! aggregate broadcast back for the equality filter.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{broadcast_join, domain_bounds, global_aggregate, partitioned_aggregate, revenue_expr};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1996, 1, 1);
+    let hi = date_to_days(1996, 4, 1);
+    let revenue = || {
+        Plan::scan("lineitem", &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"])
+            .filter(
+                Expr::col("l_shipdate")
+                    .cmp(CmpKind::Gte, Expr::date(lo))
+                    .and(Expr::col("l_shipdate").cmp(CmpKind::Lt, Expr::date(hi))),
+            )
+            .project(vec![
+                ("l_suppkey", Expr::col("l_suppkey")),
+                (
+                    "rev",
+                    Expr::col("l_extendedprice").arith(
+                        ArithKind::Sub,
+                        Expr::col("l_extendedprice")
+                            .arith(ArithKind::Mul, Expr::col("l_discount"))
+                            .arith(ArithKind::Div, Expr::int(100)),
+                    ),
+                ),
+            ])
+            .aggregate(&["l_suppkey"], vec![("total_revenue", AggKind::Sum, Expr::col("rev"))])
+    };
+    let best = revenue()
+        .project(vec![
+            ("zero", Expr::col("l_suppkey").arith(ArithKind::Mul, Expr::int(0))),
+            ("total_revenue", Expr::col("total_revenue")),
+        ])
+        .aggregate(&["zero"], vec![("best", AggKind::Max, Expr::col("total_revenue"))]);
+    let keyed = revenue().project(vec![
+        ("zero", Expr::col("l_suppkey").arith(ArithKind::Mul, Expr::int(0))),
+        ("l_suppkey", Expr::col("l_suppkey")),
+        ("total_revenue", Expr::col("total_revenue")),
+    ]);
+    best.join(keyed, &["zero"], &["zero"])
+        .filter(Expr::col("total_revenue").eq(Expr::col("best")))
+        .join(Plan::scan("supplier", &["s_suppkey", "s_name"]), &["l_suppkey"], &["s_suppkey"])
+        .project(vec![
+            ("s_suppkey", Expr::col("s_suppkey")),
+            ("s_name", Expr::col("s_name")),
+            ("total_revenue", Expr::col("total_revenue")),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1996, 1, 1);
+    let hi = date_to_days(1996, 4, 1);
+    let mut b = QueryGraph::builder("q15");
+
+    let lsupp = b.col_select_base("lineitem", "l_suppkey");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+    let c1 = b.bool_gen_const(ship, CmpOp::Gte, Value::Date(lo));
+    let c2 = b.bool_gen_const(ship, CmpOp::Lt, Value::Date(hi));
+    let keep = b.alu(c1, AluOp::And, c2);
+    let lsupp_f = b.col_filter(lsupp, keep);
+    let ext_f = b.col_filter(ext, keep);
+    let disc_f = b.col_filter(disc, keep);
+    let rev = revenue_expr(&mut b, ext_f, disc_f);
+    b.name_output(rev, "rev");
+    let revtab = b.stitch(&[lsupp_f, rev]);
+
+    // Per-supplier revenue: scattered keys -> partition + sort + agg.
+    let suppkeys = db.table("lineitem").column("l_suppkey")?;
+    let window = suppkeys.len() / 24; // ~3 months of 7 years (planner estimate)
+    let bounds = domain_bounds(db.table("supplier").column("s_suppkey")?.data(), window.max(2048));
+    let per_supp =
+        partitioned_aggregate(&mut b, revtab, "l_suppkey", &[("rev", AggOp::Sum)], &bounds, true);
+
+    // Maximum revenue, broadcast back, equality filter.
+    let maxed = global_aggregate_from_table(&mut b, per_supp);
+    let joined = broadcast_join(&mut b, maxed, "zero", per_supp, &["l_suppkey", "sum_rev"]);
+    let total = b.col_select(joined, "sum_rev");
+    let best = b.col_select(joined, "max_sum_rev");
+    let skey_j = b.col_select(joined, "l_suppkey");
+    let is_best = b.bool_gen(total, CmpOp::Eq, best);
+    let skey_f = b.col_filter(skey_j, is_best);
+    let total_f = b.col_filter(total, is_best);
+    let winners = b.stitch(&[skey_f, total_f]);
+
+    // Attach s_name.
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let sname = b.col_select_base("supplier", "s_name");
+    let supplier = b.stitch(&[skey, sname]);
+    let named = b.join(winners, "l_suppkey", supplier, "s_suppkey");
+    let out_key = b.col_select(named, "s_suppkey");
+    let out_name = b.col_select(named, "s_name");
+    let out_rev = b.col_select(named, "sum_rev");
+    let _out = b.stitch(&[out_key, out_name, out_rev]);
+    b.finish()
+}
+
+/// `MAX(sum_rev)` over the per-supplier table as a one-row aggregate
+/// keyed by constant zero.
+fn global_aggregate_from_table(
+    b: &mut q100_core::GraphBuilder,
+    per_supp: q100_core::PortRef,
+) -> q100_core::PortRef {
+    global_aggregate(b, per_supp, &[("sum_rev", AggOp::Max)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q15_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q15").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q15_finds_at_least_one_top_supplier() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() >= 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! TPC-H Q16 — parts/supplier relationship.
+//!
+//! ```sql
+//! SELECT p_brand, p_type, p_size, count(distinct ps_suppkey) AS supplier_cnt
+//! FROM partsupp, part
+//! WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+//!   AND p_type NOT LIKE 'MEDIUM POLISHED%'
+//!   AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+//!   AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+//!                          WHERE s_comment LIKE '%Customer%Complaints%')
+//! GROUP BY p_brand, p_type, p_size
+//! ```
+//!
+//! `COUNT(DISTINCT …)` composes from Q100 primitives as two
+//! aggregations: first dedup `(group, suppkey)` pairs (partition + sort
+//! + run-aggregate on the concatenated key), then count rows per group.
+//! The `NOT IN` subquery becomes an inner join against the *good*
+//! suppliers. Both implementations report the `(brand, type, size)`
+//! group as its packed integer key.
+
+use q100_columnar::Value;
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, JoinType, Plan};
+
+use super::helpers::{like_matches, or_eq_any, or_eq_any_values, partitioned_aggregate, sorter_bounds};
+use crate::gen::text;
+use crate::TpchData;
+
+const SIZES: [i64; 8] = [49, 14, 23, 45, 19, 3, 36, 9];
+const PACK: i64 = 1 << 32;
+
+fn medium_polished() -> Vec<String> {
+    like_matches(&text::all_part_types(), "MEDIUM POLISHED%")
+}
+
+fn complaint_comments() -> Vec<String> {
+    let mut pool = text::comment_pool();
+    pool.push(text::COMPLAINT_COMMENT.to_string());
+    like_matches(&pool, "%Customer%")
+        .into_iter()
+        .filter(|s| s.contains("Complaints"))
+        .collect()
+}
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let sizes = SIZES.iter().map(|&s| Value::Int(s)).collect();
+    let mp = medium_polished().into_iter().map(Value::Str).collect();
+    let part_f = Plan::scan("part", &["p_partkey", "p_brand", "p_type", "p_size"]).filter(
+        Expr::col("p_brand")
+            .cmp(CmpKind::Neq, Expr::str("Brand#45"))
+            .and(Expr::col("p_type").in_list(mp).negate())
+            .and(Expr::col("p_size").in_list(sizes)),
+    );
+    let complaints = complaint_comments().into_iter().map(Value::Str).collect();
+    let good_supp = Plan::scan("supplier", &["s_suppkey", "s_comment"])
+        .filter(Expr::col("s_comment").in_list(complaints).negate());
+    part_f
+        .join(Plan::scan("partsupp", &["ps_partkey", "ps_suppkey"]), &["p_partkey"], &["ps_partkey"])
+        .join_as(good_supp, &["ps_suppkey"], &["s_suppkey"], JoinType::LeftSemi)
+        .project(vec![
+            (
+                "grp",
+                Expr::col("p_brand")
+                    .arith(ArithKind::Mul, Expr::int(150))
+                    .arith(ArithKind::Add, Expr::col("p_type"))
+                    .arith(ArithKind::Mul, Expr::int(51))
+                    .arith(ArithKind::Add, Expr::col("p_size")),
+            ),
+            ("ps_suppkey", Expr::col("ps_suppkey")),
+        ])
+        .aggregate(&["grp"], vec![("supplier_cnt", AggKind::CountDistinct, Expr::col("ps_suppkey"))])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q16");
+
+    // Filtered parts with their packed (brand, type, size) key.
+    let pkey = b.col_select_base("part", "p_partkey");
+    let brand = b.col_select_base("part", "p_brand");
+    let ptype = b.col_select_base("part", "p_type");
+    let psize = b.col_select_base("part", "p_size");
+    let c_brand_eq = b.bool_gen_const(brand, CmpOp::Neq, Value::Str("Brand#45".into()));
+    let c_mp = or_eq_any(&mut b, ptype, &medium_polished());
+    let c_not_mp = b.alu_not(c_mp);
+    let sizes: Vec<Value> = SIZES.iter().map(|&s| Value::Int(s)).collect();
+    let c_size = or_eq_any_values(&mut b, psize, &sizes);
+    let k1 = b.alu(c_brand_eq, AluOp::And, c_not_mp);
+    let keep = b.alu(k1, AluOp::And, c_size);
+    let pkey_f = b.col_filter(pkey, keep);
+    let brand_f = b.col_filter(brand, keep);
+    let type_f = b.col_filter(ptype, keep);
+    let size_f = b.col_filter(psize, keep);
+    let g1 = b.alu_const(brand_f, AluOp::Mul, Value::Int(150));
+    let g2 = b.alu(g1, AluOp::Add, type_f);
+    let g3 = b.alu_const(g2, AluOp::Mul, Value::Int(51));
+    let grp = b.alu(g3, AluOp::Add, size_f);
+    b.name_output(grp, "grp");
+    let part = b.stitch(&[pkey_f, grp]);
+
+    // Good suppliers (no complaint comments).
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let scomment = b.col_select_base("supplier", "s_comment");
+    let c_complaint = or_eq_any(&mut b, scomment, &complaint_comments());
+    let c_good = b.alu_not(c_complaint);
+    let skey_good = b.col_filter(skey, c_good);
+    let good = b.stitch(&[skey_good]);
+
+    // Partsupp restricted to filtered parts and good suppliers.
+    let pspart = b.col_select_base("partsupp", "ps_partkey");
+    let pssupp = b.col_select_base("partsupp", "ps_suppkey");
+    let partsupp = b.stitch(&[pspart, pssupp]);
+    let t1 = b.join(part, "p_partkey", partsupp, "ps_partkey");
+    let t2 = b.join(good, "s_suppkey", t1, "ps_suppkey");
+
+    // Distinct (grp, suppkey) pairs via concat + partition/sort/agg.
+    let grp_t = b.col_select(t2, "grp");
+    let supp_t = b.col_select(t2, "ps_suppkey");
+    let pair = b.concat(grp_t, supp_t);
+    b.name_output(pair, "pair");
+    let pairs = b.stitch(&[pair]);
+
+    // Planner statistics: the realized distribution of qualifying
+    // (packed-group, suppkey) pairs drives the partition bounds.
+    let bounds = q16_pair_bounds(db);
+    let distinct =
+        partitioned_aggregate(&mut b, pairs, "pair", &[("pair", AggOp::Count)], &bounds, true);
+
+    // Count distinct suppliers per group: the appended distinct-pairs
+    // table is globally sorted on the pair, so grp = pair >> 32 arrives
+    // grouped.
+    let pair_out = b.col_select(distinct, "pair");
+    let grp_out = b.alu_const(pair_out, AluOp::Div, Value::Int(PACK));
+    b.name_output(grp_out, "grp");
+    let regrouped = b.stitch(&[grp_out]);
+    let _out = super::helpers::grouped_aggregate(&mut b, regrouped, "grp", &[("grp", AggOp::Count)]);
+    b.finish()
+}
+
+/// Quantile bounds over the concatenated (group, suppkey) key of the
+/// qualifying partsupp rows — catalog statistics the planner consults.
+fn q16_pair_bounds(db: &TpchData) -> Vec<i64> {
+    let part = db.table("part");
+    let brands = part.column("p_brand").expect("p_brand");
+    let types = part.column("p_type").expect("p_type");
+    let sizes = part.column("p_size").expect("p_size");
+    let brand_dict = brands.dict().expect("brand dict");
+    let type_dict = types.dict().expect("type dict");
+    let brand45 = brand_dict.lookup("Brand#45").map(i64::from).unwrap_or(-1);
+    let mp: Vec<i64> = medium_polished()
+        .iter()
+        .filter_map(|t| type_dict.lookup(t).map(i64::from))
+        .collect();
+    let grp_of: Vec<Option<i64>> = (0..part.row_count())
+        .map(|r| {
+            let (bc, tc, sz) = (brands.get(r), types.get(r), sizes.get(r));
+            let ok = bc != brand45 && !mp.contains(&tc) && SIZES.contains(&sz);
+            ok.then(|| (bc * 150 + tc) * 51 + sz)
+        })
+        .collect();
+    let ps = db.table("partsupp");
+    let pspk = ps.column("ps_partkey").expect("ps_partkey");
+    let pssk = ps.column("ps_suppkey").expect("ps_suppkey");
+    let pairs: Vec<i64> = pspk
+        .iter()
+        .zip(pssk.iter())
+        .filter_map(|(&pk, &sk)| grp_of[(pk - 1) as usize].map(|g| g * PACK + sk))
+        .collect();
+    sorter_bounds(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q16_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q16").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q16_groups_nonempty() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() > 0);
+        // Every supplier count is at least 1.
+        assert!(t.column("supplier_cnt").unwrap().iter().all(|&c| c >= 1));
+    }
+}

@@ -1,0 +1,134 @@
+//! TPC-H Q17 — small-quantity-order revenue.
+//!
+//! ```sql
+//! SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+//! FROM lineitem, part
+//! WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+//!   AND p_container = 'MED BOX'
+//!   AND l_quantity < (SELECT 0.2 * avg(l_quantity) FROM lineitem
+//!                     WHERE l_partkey = p_partkey)
+//! ```
+//!
+//! The correlated average becomes a per-part aggregate joined back to
+//! the lineitems of the same parts; `0.2 * avg` is an ALU divide by 5.
+
+use q100_columnar::Value;
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{global_aggregate, partitioned_aggregate, sorter_bounds};
+use crate::TpchData;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let parts = || {
+        Plan::scan("part", &["p_partkey", "p_brand", "p_container"]).filter(
+            Expr::col("p_brand")
+                .eq(Expr::str("Brand#23"))
+                .and(Expr::col("p_container").eq(Expr::str("MED BOX"))),
+        )
+    };
+    let li = Plan::scan("lineitem", &["l_partkey", "l_quantity", "l_extendedprice"]);
+    let joined = parts().join(li, &["p_partkey"], &["l_partkey"]);
+    let avg = joined
+        .clone()
+        .aggregate(&["p_partkey"], vec![("avg_qty", AggKind::Avg, Expr::col("l_quantity"))])
+        .project(vec![
+            ("avg_key", Expr::col("p_partkey")),
+            ("threshold", Expr::col("avg_qty").arith(ArithKind::Div, Expr::int(5))),
+        ]);
+    avg.join(joined, &["avg_key"], &["p_partkey"])
+        .filter(Expr::col("l_quantity").cmp(CmpKind::Lt, Expr::col("threshold")))
+        .project(vec![
+            ("zero", Expr::col("l_quantity").arith(ArithKind::Mul, Expr::int(0))),
+            ("l_extendedprice", Expr::col("l_extendedprice")),
+        ])
+        .aggregate(&["zero"], vec![("sum_price", AggKind::Sum, Expr::col("l_extendedprice"))])
+        .project(vec![
+            ("zero", Expr::col("zero")),
+            ("avg_yearly", Expr::col("sum_price").arith(ArithKind::Div, Expr::int(7))),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q17");
+
+    // Brand#23 MED BOX parts.
+    let pkey = b.col_select_base("part", "p_partkey");
+    let brand = b.col_select_base("part", "p_brand");
+    let cont = b.col_select_base("part", "p_container");
+    let c1 = b.bool_gen_const(brand, CmpOp::Eq, Value::Str("Brand#23".into()));
+    let c2 = b.bool_gen_const(cont, CmpOp::Eq, Value::Str("MED BOX".into()));
+    let keep = b.alu(c1, AluOp::And, c2);
+    let pkey_f = b.col_filter(pkey, keep);
+    let part = b.stitch(&[pkey_f]);
+
+    // Their lineitems.
+    let lpart = b.col_select_base("lineitem", "l_partkey");
+    let qty = b.col_select_base("lineitem", "l_quantity");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let li = b.stitch(&[lpart, qty, ext]);
+    let t = b.join(part, "p_partkey", li, "l_partkey");
+
+    // Per-part average quantity (scattered keys -> partition+sort+agg);
+    // the filter keeps ~1/1000 of parts, so a single sorter batch is the
+    // common case and the bounds reflect that planner estimate.
+    let narrowed_key = b.col_select(t, "l_partkey");
+    let narrowed_qty = b.col_select(t, "l_quantity");
+    let qtytab = b.stitch(&[narrowed_key, narrowed_qty]);
+    let partkeys = db.table("part").column("p_partkey")?;
+    let est = (partkeys.len() / 1000).max(1) * 4; // lineitems of matching parts
+    let bounds = sorter_bounds(&partkeys.data()[..est.min(partkeys.len())]);
+    let avg =
+        partitioned_aggregate(&mut b, qtytab, "l_partkey", &[("l_quantity", AggOp::Avg)], &bounds, true);
+
+    // threshold = avg / 5 (= 0.2 * avg in fixed point).
+    let avg_key = b.col_select(avg, "l_partkey");
+    let avg_qty = b.col_select(avg, "avg_l_quantity");
+    let threshold = b.alu_const(avg_qty, AluOp::Div, Value::Int(5));
+    b.name_output(threshold, "threshold");
+    let avg_tab = b.stitch(&[avg_key, threshold]);
+
+    // Join thresholds back onto the lineitems and filter.
+    let joined = b.join(avg_tab, "l_partkey", t, "l_partkey");
+    let qty_j = b.col_select(joined, "l_quantity");
+    let thr_j = b.col_select(joined, "threshold");
+    let ext_j = b.col_select(joined, "l_extendedprice");
+    let small = b.bool_gen(qty_j, CmpOp::Lt, thr_j);
+    let ext_small = b.col_filter(ext_j, small);
+    b.name_output(ext_small, "l_extendedprice");
+    let prices = b.stitch(&[ext_small]);
+    let agg = global_aggregate(&mut b, prices, &[("l_extendedprice", AggOp::Sum)]);
+
+    let zero = b.col_select(agg, "zero");
+    let total = b.col_select(agg, "sum_l_extendedprice");
+    let yearly = b.alu_const(total, AluOp::Div, Value::Int(7));
+    b.name_output(yearly, "avg_yearly");
+    let _out = b.stitch(&[zero, yearly]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q17_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q17").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q17_single_row() {
+        let db = TpchData::generate(0.01);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! TPC-H Q18 — large volume customers.
+//!
+//! ```sql
+//! SELECT c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+//! FROM customer, orders, lineitem
+//! WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+//!                      GROUP BY l_orderkey HAVING sum(l_quantity) > 300)
+//!   AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+//! GROUP BY c_custkey, o_orderkey, o_orderdate, o_totalprice
+//! ```
+//!
+//! The per-order quantity sum streams straight off the orderkey-
+//! clustered lineitem; the `HAVING` filter and the join back to orders
+//! are plain Q100 primitives. (The customer join is implied by the
+//! order's foreign key; both implementations report the customer key
+//! carried on the order.)
+
+use q100_core::{AggOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, CmpKind, Expr, Plan};
+
+use super::helpers::grouped_aggregate;
+use crate::TpchData;
+
+/// Quantity threshold in ×100 fixed point (SQL `having sum > 300`).
+const THRESHOLD: i64 = 300 * 100;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let big_orders = Plan::scan("lineitem", &["l_orderkey", "l_quantity"])
+        .aggregate(&["l_orderkey"], vec![("sum_qty", AggKind::Sum, Expr::col("l_quantity"))])
+        .filter(Expr::col("sum_qty").cmp(CmpKind::Gt, Expr::dec(THRESHOLD)));
+    Plan::scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"])
+        .join(big_orders, &["o_orderkey"], &["l_orderkey"])
+        .project(vec![
+            ("c_custkey", Expr::col("o_custkey")),
+            ("o_orderkey", Expr::col("o_orderkey")),
+            ("o_orderdate", Expr::col("o_orderdate")),
+            ("o_totalprice", Expr::col("o_totalprice")),
+            ("sum_qty", Expr::col("sum_qty")),
+        ])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q18");
+
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let qty = b.col_select_base("lineitem", "l_quantity");
+    let li = b.stitch(&[lkey, qty]);
+    let per_order = grouped_aggregate(&mut b, li, "l_orderkey", &[("l_quantity", AggOp::Sum)]);
+
+    // HAVING sum(l_quantity) > 300.
+    let okeys = b.col_select(per_order, "l_orderkey");
+    let sums = b.col_select(per_order, "sum_l_quantity");
+    let big = b.bool_gen_const(sums, CmpOp::Gt, q100_columnar::Value::Decimal(THRESHOLD));
+    let okeys_f = b.col_filter(okeys, big);
+    let sums_f = b.col_filter(sums, big);
+    let big_orders = b.stitch(&[okeys_f, sums_f]);
+
+    // Join order attributes (orders is the primary-key side).
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let ocust = b.col_select_base("orders", "o_custkey");
+    let odate = b.col_select_base("orders", "o_orderdate");
+    let ototal = b.col_select_base("orders", "o_totalprice");
+    let orders = b.stitch(&[okey, ocust, odate, ototal]);
+    let joined = b.join(orders, "o_orderkey", big_orders, "l_orderkey");
+
+    let out_cust = b.col_select(joined, "o_custkey");
+    let out_okey = b.col_select(joined, "o_orderkey");
+    let out_date = b.col_select(joined, "o_orderdate");
+    let out_total = b.col_select(joined, "o_totalprice");
+    let out_qty = b.col_select(joined, "sum_l_quantity");
+    let _out = b.stitch(&[out_cust, out_okey, out_date, out_total, out_qty]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q18_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q18").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q18_threshold_is_selective() {
+        let db = TpchData::generate(0.02);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        let orders = (db.table("orders").row_count()) as f64;
+        assert!(
+            (t.row_count() as f64) < orders * 0.01,
+            "Q18 keeps only extreme orders: {} of {orders}",
+            t.row_count()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! TPC-H Q19 — discounted revenue.
+//!
+//! ```sql
+//! SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+//! FROM lineitem, part
+//! WHERE p_partkey = l_partkey AND l_shipmode IN ('AIR', 'AIR REG')
+//!   AND l_shipinstruct = 'DELIVER IN PERSON'
+//!   AND ((p_brand = 'Brand#12' AND p_container IN ('SM CASE','SM BOX','SM PACK','SM PKG')
+//!         AND l_quantity >= 1 AND l_quantity <= 11 AND p_size BETWEEN 1 AND 5)
+//!    OR  (p_brand = 'Brand#23' AND p_container IN ('MED BAG','MED BOX','MED PKG','MED PACK')
+//!         AND l_quantity >= 10 AND l_quantity <= 20 AND p_size BETWEEN 1 AND 10)
+//!    OR  (p_brand = 'Brand#34' AND p_container IN ('LG CASE','LG BOX','LG PACK','LG PKG')
+//!         AND l_quantity >= 20 AND l_quantity <= 30 AND p_size BETWEEN 1 AND 15))
+//! ```
+//!
+//! The predicate-tree query: three conjunct groups OR'd together, built
+//! from BoolGen chains and ALU AND/OR trees exactly as the paper
+//! describes the boolean generator being "used in a chain or tree to
+//! form complex predicates".
+
+use q100_columnar::{Value};
+use q100_core::{AggOp, AluOp, CmpOp, PortRef, GraphBuilder, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{global_aggregate, or_eq_any, revenue_expr};
+use crate::TpchData;
+
+struct Arm {
+    brand: &'static str,
+    containers: [&'static str; 4],
+    qty_lo: i64, // in quantity units (not fixed point)
+    qty_hi: i64,
+    size_hi: i64,
+}
+
+const ARMS: [Arm; 3] = [
+    Arm { brand: "Brand#12", containers: ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], qty_lo: 1, qty_hi: 11, size_hi: 5 },
+    Arm { brand: "Brand#23", containers: ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], qty_lo: 10, qty_hi: 20, size_hi: 10 },
+    Arm { brand: "Brand#34", containers: ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], qty_lo: 20, qty_hi: 30, size_hi: 15 },
+];
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let arm = |a: &Arm| {
+        Expr::col("p_brand")
+            .eq(Expr::str(a.brand))
+            .and(Expr::col("p_container").in_list(
+                a.containers.iter().map(|c| Value::Str((*c).to_string())).collect(),
+            ))
+            .and(Expr::col("l_quantity").cmp(CmpKind::Gte, Expr::dec(a.qty_lo * 100)))
+            .and(Expr::col("l_quantity").cmp(CmpKind::Lte, Expr::dec(a.qty_hi * 100)))
+            .and(Expr::col("p_size").cmp(CmpKind::Gte, Expr::int(1)))
+            .and(Expr::col("p_size").cmp(CmpKind::Lte, Expr::int(a.size_hi)))
+    };
+    let tri = arm(&ARMS[0]).or(arm(&ARMS[1])).or(arm(&ARMS[2]));
+    let li = Plan::scan(
+        "lineitem",
+        &["l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct"],
+    )
+    .filter(
+        Expr::col("l_shipmode")
+            .in_list(vec![Value::Str("AIR".into()), Value::Str("AIR REG".into())])
+            .and(Expr::col("l_shipinstruct").eq(Expr::str("DELIVER IN PERSON"))),
+    );
+    Plan::scan("part", &["p_partkey", "p_brand", "p_container", "p_size"])
+        .join(li, &["p_partkey"], &["l_partkey"])
+        .filter(tri)
+        .project(vec![
+            ("zero", Expr::col("l_extendedprice").arith(ArithKind::Mul, Expr::int(0))),
+            (
+                "rev",
+                Expr::col("l_extendedprice").arith(
+                    ArithKind::Sub,
+                    Expr::col("l_extendedprice")
+                        .arith(ArithKind::Mul, Expr::col("l_discount"))
+                        .arith(ArithKind::Div, Expr::int(100)),
+                ),
+            ),
+        ])
+        .aggregate(&["zero"], vec![("revenue", AggKind::Sum, Expr::col("rev"))])
+}
+
+fn q100_arm(
+    b: &mut GraphBuilder,
+    a: &Arm,
+    brand: PortRef,
+    container: PortRef,
+    qty: PortRef,
+    size: PortRef,
+) -> PortRef {
+    let c_brand = b.bool_gen_const(brand, CmpOp::Eq, Value::Str(a.brand.to_string()));
+    let c_cont = or_eq_any(b, container, &a.containers.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+    let c_q1 = b.bool_gen_const(qty, CmpOp::Gte, Value::Decimal(a.qty_lo * 100));
+    let c_q2 = b.bool_gen_const(qty, CmpOp::Lte, Value::Decimal(a.qty_hi * 100));
+    let c_s1 = b.bool_gen_const(size, CmpOp::Gte, Value::Int(1));
+    let c_s2 = b.bool_gen_const(size, CmpOp::Lte, Value::Int(a.size_hi));
+    let x1 = b.alu(c_brand, AluOp::And, c_cont);
+    let x2 = b.alu(c_q1, AluOp::And, c_q2);
+    let x3 = b.alu(c_s1, AluOp::And, c_s2);
+    let x4 = b.alu(x1, AluOp::And, x2);
+    b.alu(x4, AluOp::And, x3)
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q19");
+
+    let lpart = b.col_select_base("lineitem", "l_partkey");
+    let qty = b.col_select_base("lineitem", "l_quantity");
+    let ext = b.col_select_base("lineitem", "l_extendedprice");
+    let disc = b.col_select_base("lineitem", "l_discount");
+    let mode = b.col_select_base("lineitem", "l_shipmode");
+    let instr = b.col_select_base("lineitem", "l_shipinstruct");
+
+    let c_mode = or_eq_any(&mut b, mode, &["AIR".to_string(), "AIR REG".to_string()]);
+    let c_instr = b.bool_gen_const(instr, CmpOp::Eq, Value::Str("DELIVER IN PERSON".into()));
+    let keep_li = b.alu(c_mode, AluOp::And, c_instr);
+    let lpart_f = b.col_filter(lpart, keep_li);
+    let qty_f = b.col_filter(qty, keep_li);
+    let ext_f = b.col_filter(ext, keep_li);
+    let disc_f = b.col_filter(disc, keep_li);
+    let li = b.stitch(&[lpart_f, qty_f, ext_f, disc_f]);
+
+    let pkey = b.col_select_base("part", "p_partkey");
+    let brand = b.col_select_base("part", "p_brand");
+    let cont = b.col_select_base("part", "p_container");
+    let size = b.col_select_base("part", "p_size");
+    let part = b.stitch(&[pkey, brand, cont, size]);
+
+    let t = b.join(part, "p_partkey", li, "l_partkey");
+    let brand_t = b.col_select(t, "p_brand");
+    let cont_t = b.col_select(t, "p_container");
+    let size_t = b.col_select(t, "p_size");
+    let qty_t = b.col_select(t, "l_quantity");
+    let ext_t = b.col_select(t, "l_extendedprice");
+    let disc_t = b.col_select(t, "l_discount");
+
+    let arm0 = q100_arm(&mut b, &ARMS[0], brand_t, cont_t, qty_t, size_t);
+    let arm1 = q100_arm(&mut b, &ARMS[1], brand_t, cont_t, qty_t, size_t);
+    let arm2 = q100_arm(&mut b, &ARMS[2], brand_t, cont_t, qty_t, size_t);
+    let or01 = b.alu(arm0, AluOp::Or, arm1);
+    let keep = b.alu(or01, AluOp::Or, arm2);
+
+    let ext_k = b.col_filter(ext_t, keep);
+    let disc_k = b.col_filter(disc_t, keep);
+    let rev = revenue_expr(&mut b, ext_k, disc_k);
+    b.name_output(rev, "rev");
+    let revs = b.stitch(&[rev]);
+    let _out = global_aggregate(&mut b, revs, &[("rev", AggOp::Sum)]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q19_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q19").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q19_single_row() {
+        let db = TpchData::generate(0.005);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+}

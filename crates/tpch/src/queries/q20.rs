@@ -1,0 +1,227 @@
+//! TPC-H Q20 — potential part promotion.
+//!
+//! ```sql
+//! SELECT s_name FROM supplier, nation
+//! WHERE s_suppkey IN
+//!   (SELECT ps_suppkey FROM partsupp
+//!    WHERE ps_partkey IN (SELECT p_partkey FROM part
+//!                         WHERE p_name LIKE 'forest%')
+//!      AND ps_availqty > (SELECT 0.5 * sum(l_quantity) FROM lineitem
+//!                         WHERE l_partkey = ps_partkey
+//!                           AND l_suppkey = ps_suppkey
+//!                           AND l_shipdate >= '1994-01-01'
+//!                           AND l_shipdate < '1995-01-01'))
+//!   AND s_nationkey = n_nationkey AND n_name = 'CANADA'
+//! ```
+//!
+//! The correlated sum keys on the composite `(partkey, suppkey)` — a
+//! concatenated column on the Q100 — and the per-pair aggregation over
+//! the scattered lineitem stream is a full partition/sort/aggregate
+//! pass, which is what makes Q20 heavy on small tile mixes.
+
+use q100_columnar::{date_to_days, Value};
+use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
+use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
+
+use super::helpers::{domain_bounds, like_matches, or_eq_any, partitioned_aggregate, sorter_bounds};
+use crate::gen::text;
+use crate::TpchData;
+
+const PACK: i64 = 1 << 32;
+
+fn forest_names() -> Vec<String> {
+    let mut pool = Vec::new();
+    for a in text::COLORS {
+        for b in text::COLORS {
+            if a != b {
+                pool.push(format!("{a} {b}"));
+            }
+        }
+    }
+    pool.sort();
+    like_matches(&pool, "forest%")
+}
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let lo = date_to_days(1994, 1, 1);
+    let hi = date_to_days(1995, 1, 1);
+    let forest = forest_names().into_iter().map(Value::Str).collect();
+    let forest_parts = Plan::scan("part", &["p_partkey", "p_name"])
+        .filter(Expr::col("p_name").in_list(forest));
+    let ps = forest_parts
+        .join(
+            Plan::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"]),
+            &["p_partkey"],
+            &["ps_partkey"],
+        )
+        .project(vec![
+            ("pair", Expr::col("ps_partkey").arith(ArithKind::Mul, Expr::int(PACK)).arith(ArithKind::Add, Expr::col("ps_suppkey"))),
+            ("ps_suppkey", Expr::col("ps_suppkey")),
+            ("ps_availqty", Expr::col("ps_availqty")),
+        ]);
+    let shipped = Plan::scan("lineitem", &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"])
+        .filter(
+            Expr::col("l_shipdate")
+                .cmp(CmpKind::Gte, Expr::date(lo))
+                .and(Expr::col("l_shipdate").cmp(CmpKind::Lt, Expr::date(hi))),
+        )
+        .project(vec![
+            ("lpair", Expr::col("l_partkey").arith(ArithKind::Mul, Expr::int(PACK)).arith(ArithKind::Add, Expr::col("l_suppkey"))),
+            ("l_quantity", Expr::col("l_quantity")),
+        ])
+        .aggregate(&["lpair"], vec![("sum_qty", AggKind::Sum, Expr::col("l_quantity"))]);
+    let candidates = shipped
+        .join(ps, &["lpair"], &["pair"])
+        .filter(
+            Expr::col("ps_availqty")
+                .arith(ArithKind::Mul, Expr::int(200))
+                .cmp(CmpKind::Gt, Expr::col("sum_qty")),
+        )
+        .aggregate(&["ps_suppkey"], vec![("n", AggKind::Count, Expr::int(1))]);
+    let canada = Plan::scan("nation", &["n_nationkey", "n_name"])
+        .filter(Expr::col("n_name").eq(Expr::str("CANADA")))
+        .join(
+            Plan::scan("supplier", &["s_suppkey", "s_name", "s_nationkey"]),
+            &["n_nationkey"],
+            &["s_nationkey"],
+        );
+    candidates
+        .join(canada, &["ps_suppkey"], &["s_suppkey"])
+        .project(vec![("s_suppkey", Expr::col("s_suppkey")), ("s_name", Expr::col("s_name"))])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let lo = date_to_days(1994, 1, 1);
+    let hi = date_to_days(1995, 1, 1);
+    let mut b = QueryGraph::builder("q20");
+
+    // Forest parts -> their partsupp rows with concat key.
+    let pkey = b.col_select_base("part", "p_partkey");
+    let pname = b.col_select_base("part", "p_name");
+    let c_forest = or_eq_any(&mut b, pname, &forest_names());
+    let pkey_f = b.col_filter(pkey, c_forest);
+    let part = b.stitch(&[pkey_f]);
+    let pspart = b.col_select_base("partsupp", "ps_partkey");
+    let pssupp = b.col_select_base("partsupp", "ps_suppkey");
+    let psavail = b.col_select_base("partsupp", "ps_availqty");
+    let partsupp = b.stitch(&[pspart, pssupp, psavail]);
+    let t1 = b.join(part, "p_partkey", partsupp, "ps_partkey");
+    let pk1 = b.col_select(t1, "ps_partkey");
+    let sk1 = b.col_select(t1, "ps_suppkey");
+    let av1 = b.col_select(t1, "ps_availqty");
+    let pair_ps = b.concat(pk1, sk1);
+    b.name_output(pair_ps, "pair");
+    let ps_side = b.stitch(&[pair_ps, sk1, av1]);
+
+    // 1994 shipments summed per (partkey, suppkey).
+    let lpart = b.col_select_base("lineitem", "l_partkey");
+    let lsupp = b.col_select_base("lineitem", "l_suppkey");
+    let qty = b.col_select_base("lineitem", "l_quantity");
+    let ship = b.col_select_base("lineitem", "l_shipdate");
+    let d1 = b.bool_gen_const(ship, CmpOp::Gte, Value::Date(lo));
+    let d2 = b.bool_gen_const(ship, CmpOp::Lt, Value::Date(hi));
+    let keep = b.alu(d1, AluOp::And, d2);
+    let lpart_f = b.col_filter(lpart, keep);
+    let lsupp_f = b.col_filter(lsupp, keep);
+    let qty_f = b.col_filter(qty, keep);
+    let lpair = b.concat(lpart_f, lsupp_f);
+    b.name_output(lpair, "lpair");
+    let shipped_tab = b.stitch(&[lpair, qty_f]);
+
+    // Scattered composite keys: partition + sort + aggregate. Bounds
+    // come from the filtered pair distribution (planner statistics).
+    let bounds = q20_pair_bounds(db, lo, hi);
+    let shipped = partitioned_aggregate(
+        &mut b,
+        shipped_tab,
+        "lpair",
+        &[("l_quantity", AggOp::Sum)],
+        &bounds,
+        true,
+    );
+
+    // availqty > 0.5 * sum_qty  <=>  availqty * 200 > sum_qty (x100 fp).
+    let joined = b.join(shipped, "lpair", ps_side, "pair");
+    let avail_j = b.col_select(joined, "ps_availqty");
+    let sum_j = b.col_select(joined, "sum_l_quantity");
+    let supp_j = b.col_select(joined, "ps_suppkey");
+    let scaled = b.alu_const(avail_j, AluOp::Mul, Value::Int(200));
+    let enough = b.bool_gen(scaled, CmpOp::Gt, sum_j);
+    let supp_keep = b.col_filter(supp_j, enough);
+    let supp_tab = b.stitch(&[supp_keep]);
+
+    // Distinct candidate suppliers (scattered keys again); row estimate
+    // is the forest-part share of partsupp (planner statistics).
+    let suppkeys = db.table("supplier").column("s_suppkey")?;
+    let est_rows = db.table("partsupp").row_count() / 10 + 2048;
+    let sbounds = domain_bounds(suppkeys.data(), est_rows);
+    let distinct = partitioned_aggregate(
+        &mut b,
+        supp_tab,
+        "ps_suppkey",
+        &[("ps_suppkey", AggOp::Count)],
+        &sbounds,
+        true,
+    );
+
+    // Canadian suppliers by name.
+    let nkey = b.col_select_base("nation", "n_nationkey");
+    let nname = b.col_select_base("nation", "n_name");
+    let nkeep = b.bool_gen_const(nname, CmpOp::Eq, Value::Str("CANADA".into()));
+    let nkey_f = b.col_filter(nkey, nkeep);
+    let nation = b.stitch(&[nkey_f]);
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let sname = b.col_select_base("supplier", "s_name");
+    let snat = b.col_select_base("supplier", "s_nationkey");
+    let supplier = b.stitch(&[skey, sname, snat]);
+    let canada = b.join(nation, "n_nationkey", supplier, "s_nationkey");
+
+    let final_join = b.join(distinct, "ps_suppkey", canada, "s_suppkey");
+    let out_key = b.col_select(final_join, "s_suppkey");
+    let out_name = b.col_select(final_join, "s_name");
+    let _out = b.stitch(&[out_key, out_name]);
+    b.finish()
+}
+
+/// Quantile bounds over the concatenated (partkey, suppkey) keys of the
+/// date-filtered lineitems — catalog statistics the planner consults.
+fn q20_pair_bounds(db: &TpchData, lo: i32, hi: i32) -> Vec<i64> {
+    let li = db.table("lineitem");
+    let parts = li.column("l_partkey").expect("l_partkey");
+    let supps = li.column("l_suppkey").expect("l_suppkey");
+    let ships = li.column("l_shipdate").expect("l_shipdate");
+    let pairs: Vec<i64> = (0..li.row_count())
+        .filter(|&r| {
+            let d = ships.get(r);
+            d >= i64::from(lo) && d < i64::from(hi)
+        })
+        .map(|r| parts.get(r) * PACK + supps.get(r))
+        .collect();
+    sorter_bounds(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q20_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q20").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q20_forest_names_expand() {
+        let names = forest_names();
+        assert_eq!(names.len(), 19, "forest pairs with 19 other colors");
+        assert!(names.iter().all(|n| n.starts_with("forest")));
+    }
+}

@@ -1,0 +1,238 @@
+//! TPC-H Q21 — suppliers who kept orders waiting.
+//!
+//! ```sql
+//! SELECT s_name, count(*) AS numwait
+//! FROM supplier, lineitem l1, orders, nation
+//! WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey
+//!   AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+//!   AND EXISTS (SELECT * FROM lineitem l2 WHERE l2.l_orderkey = l1.l_orderkey
+//!               AND l2.l_suppkey <> l1.l_suppkey)
+//!   AND NOT EXISTS (SELECT * FROM lineitem l3 WHERE l3.l_orderkey = l1.l_orderkey
+//!               AND l3.l_suppkey <> l1.l_suppkey
+//!               AND l3.l_receiptdate > l3.l_commitdate)
+//!   AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA'
+//! GROUP BY s_name
+//! ```
+//!
+//! The biggest query in the suite. Both implementations use the same
+//! relational decomposition of the EXISTS pair: per `F`-status order,
+//! count the distinct suppliers overall and the distinct *late*
+//! suppliers; a late lineitem counts exactly when its order has more
+//! than one supplier and a single late one (which is then necessarily
+//! the lineitem's own). Distinct pairs are computed over concatenated
+//! `(orderkey, suppkey)` keys with partition/sort/aggregate passes.
+
+use q100_columnar::Value;
+use q100_core::{AggOp, AluOp, CmpOp, GraphBuilder, PortRef, QueryGraph, Result};
+use q100_dbms::{AggKind, CmpKind, Expr, Plan};
+
+use super::helpers::{domain_bounds, partitioned_aggregate, sorter_bounds};
+use crate::TpchData;
+
+const PACK: i64 = 1 << 32;
+
+/// The software plan.
+#[must_use]
+pub fn software() -> Plan {
+    let orders_f = || {
+        Plan::scan("orders", &["o_orderkey", "o_orderstatus"])
+            .filter(Expr::col("o_orderstatus").eq(Expr::str("F")))
+    };
+    let late = || {
+        Plan::scan("lineitem", &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"])
+            .filter(Expr::col("l_receiptdate").cmp(CmpKind::Gt, Expr::col("l_commitdate")))
+    };
+    // Distinct (orderkey, suppkey) of all lineitems of F orders.
+    let all_pairs = orders_f()
+        .join(
+            Plan::scan("lineitem", &["l_orderkey", "l_suppkey"]),
+            &["o_orderkey"],
+            &["l_orderkey"],
+        )
+        .aggregate(&["l_orderkey", "l_suppkey"], vec![("n", AggKind::Count, Expr::int(1))]);
+    let total_per_order =
+        all_pairs.aggregate(&["l_orderkey"], vec![("total_supp", AggKind::Count, Expr::int(1))]);
+    // Distinct late pairs of F orders.
+    let late_f = orders_f().join(late(), &["o_orderkey"], &["l_orderkey"]);
+    let late_pairs = late_f
+        .clone()
+        .aggregate(&["l_orderkey", "l_suppkey"], vec![("n", AggKind::Count, Expr::int(1))]);
+    let late_per_order =
+        late_pairs.aggregate(&["l_orderkey"], vec![("late_supp", AggKind::Count, Expr::int(1))]);
+    // Qualifying orders: >1 supplier, exactly 1 late supplier.
+    let qualifying = total_per_order
+        .join(late_per_order, &["l_orderkey"], &["l_orderkey"])
+        .filter(
+            Expr::col("total_supp")
+                .cmp(CmpKind::Gt, Expr::int(1))
+                .and(Expr::col("late_supp").eq(Expr::int(1))),
+        )
+        .project(vec![("q_orderkey", Expr::col("l_orderkey"))]);
+    // Every late lineitem of a qualifying order counts for its supplier.
+    let waiting = qualifying
+        .join(late_f, &["q_orderkey"], &["l_orderkey"])
+        .aggregate(&["l_suppkey"], vec![("numwait", AggKind::Count, Expr::int(1))]);
+    // Saudi suppliers only.
+    let saudi = Plan::scan("nation", &["n_nationkey", "n_name"])
+        .filter(Expr::col("n_name").eq(Expr::str("SAUDI ARABIA")))
+        .join(
+            Plan::scan("supplier", &["s_suppkey", "s_name", "s_nationkey"]),
+            &["n_nationkey"],
+            &["s_nationkey"],
+        );
+    waiting
+        .join(saudi, &["l_suppkey"], &["s_suppkey"])
+        .project(vec![
+            ("s_suppkey", Expr::col("s_suppkey")),
+            ("s_name", Expr::col("s_name")),
+            ("numwait", Expr::col("numwait")),
+        ])
+}
+
+/// Distinct `(orderkey, suppkey)` pairs of `table` (columns named
+/// `l_orderkey`/`l_suppkey`), then per-order supplier counts.
+/// Returns `[l_orderkey, count]`.
+fn per_order_supplier_count(
+    b: &mut GraphBuilder,
+    table: PortRef,
+    bounds: &[i64],
+) -> PortRef {
+    let okey = b.col_select(table, "l_orderkey");
+    let skey = b.col_select(table, "l_suppkey");
+    let pair = b.concat(okey, skey);
+    b.name_output(pair, "pair");
+    let pairs = b.stitch(&[pair]);
+    let distinct = partitioned_aggregate(b, pairs, "pair", &[("pair", AggOp::Count)], bounds, true);
+    // The appended distinct table is globally pair-sorted, so orderkey
+    // (the high half) arrives grouped.
+    let pair_out = b.col_select(distinct, "pair");
+    let okey_out = b.alu_const(pair_out, AluOp::Div, Value::Int(PACK));
+    b.name_output(okey_out, "l_orderkey");
+    let regrouped = b.stitch(&[okey_out]);
+    super::helpers::grouped_aggregate(b, regrouped, "l_orderkey", &[("l_orderkey", AggOp::Count)])
+}
+
+/// The Q100 spatial-instruction graph.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn plan(db: &TpchData) -> Result<QueryGraph> {
+    let mut b = QueryGraph::builder("q21");
+
+    // F-status orders.
+    let okey = b.col_select_base("orders", "o_orderkey");
+    let ostat = b.col_select_base("orders", "o_orderstatus");
+    let fkeep = b.bool_gen_const(ostat, CmpOp::Eq, Value::Str("F".into()));
+    let okey_f = b.col_filter(okey, fkeep);
+    let orders_f = b.stitch(&[okey_f]);
+
+    // All lineitems of F orders.
+    let lkey = b.col_select_base("lineitem", "l_orderkey");
+    let lsupp = b.col_select_base("lineitem", "l_suppkey");
+    let li_all = b.stitch(&[lkey, lsupp]);
+    let all_f = b.join(orders_f, "o_orderkey", li_all, "l_orderkey");
+
+    // Late lineitems of F orders.
+    let lkey2 = b.col_select_base("lineitem", "l_orderkey");
+    let lsupp2 = b.col_select_base("lineitem", "l_suppkey");
+    let receipt = b.col_select_base("lineitem", "l_receiptdate");
+    let commit = b.col_select_base("lineitem", "l_commitdate");
+    let is_late = b.bool_gen(receipt, CmpOp::Gt, commit);
+    let lkey2_f = b.col_filter(lkey2, is_late);
+    let lsupp2_f = b.col_filter(lsupp2, is_late);
+    let li_late = b.stitch(&[lkey2_f, lsupp2_f]);
+    let late_f = b.join(orders_f, "o_orderkey", li_late, "l_orderkey");
+
+    // Per-order supplier counts (total and late).
+    let (all_bounds, late_bounds) = q21_bounds(db);
+    let total_per_order = per_order_supplier_count(&mut b, all_f, &all_bounds);
+    let late_per_order = per_order_supplier_count(&mut b, late_f, &late_bounds);
+
+    // Qualifying orders: total > 1 and late == 1.
+    let joined = b.join(total_per_order, "l_orderkey", late_per_order, "l_orderkey");
+    let total_c = b.col_select(joined, "count_l_orderkey");
+    let late_c = b.col_select(joined, "count_l_orderkey_r");
+    let okey_j = b.col_select(joined, "l_orderkey");
+    let c1 = b.bool_gen_const(total_c, CmpOp::Gt, Value::Int(1));
+    let c2 = b.bool_gen_const(late_c, CmpOp::Eq, Value::Int(1));
+    let both = b.alu(c1, AluOp::And, c2);
+    let qual_keys = b.col_filter(okey_j, both);
+    b.name_output(qual_keys, "q_orderkey");
+    let qualifying = b.stitch(&[qual_keys]);
+
+    // Late lineitems of qualifying orders, counted per supplier.
+    let waiting_rows = b.join(qualifying, "q_orderkey", late_f, "l_orderkey");
+    let wsupp = b.col_select(waiting_rows, "l_suppkey");
+    let wtab = b.stitch(&[wsupp]);
+    // Row estimate for the per-supplier count: at most the late
+    // lineitems of F orders (planner statistics).
+    let late_rows = late_bounds.len().max(1) * 512;
+    let sbounds = domain_bounds(db.table("supplier").column("s_suppkey")?.data(), late_rows.max(2048));
+    let numwait = partitioned_aggregate(
+        &mut b,
+        wtab,
+        "l_suppkey",
+        &[("l_suppkey", AggOp::Count)],
+        &sbounds,
+        true,
+    );
+
+    // Saudi suppliers only.
+    let nkey = b.col_select_base("nation", "n_nationkey");
+    let nname = b.col_select_base("nation", "n_name");
+    let nkeep = b.bool_gen_const(nname, CmpOp::Eq, Value::Str("SAUDI ARABIA".into()));
+    let nkey_f = b.col_filter(nkey, nkeep);
+    let nation = b.stitch(&[nkey_f]);
+    let skey = b.col_select_base("supplier", "s_suppkey");
+    let sname = b.col_select_base("supplier", "s_name");
+    let snat = b.col_select_base("supplier", "s_nationkey");
+    let supplier = b.stitch(&[skey, sname, snat]);
+    let saudi = b.join(nation, "n_nationkey", supplier, "s_nationkey");
+
+    let final_join = b.join(numwait, "l_suppkey", saudi, "s_suppkey");
+    let out_key = b.col_select(final_join, "s_suppkey");
+    let out_name = b.col_select(final_join, "s_name");
+    let out_wait = b.col_select(final_join, "count_l_suppkey");
+    let _out = b.stitch(&[out_key, out_name, out_wait]);
+    b.finish()
+}
+
+/// Quantile bounds over concatenated (orderkey, suppkey) pairs for the
+/// all-lineitems pass and the late-lineitems pass.
+fn q21_bounds(db: &TpchData) -> (Vec<i64>, Vec<i64>) {
+    let li = db.table("lineitem");
+    let okeys = li.column("l_orderkey").expect("l_orderkey");
+    let skeys = li.column("l_suppkey").expect("l_suppkey");
+    let receipts = li.column("l_receiptdate").expect("l_receiptdate");
+    let commits = li.column("l_commitdate").expect("l_commitdate");
+    let mut all = Vec::with_capacity(li.row_count());
+    let mut late = Vec::new();
+    for r in 0..li.row_count() {
+        let pair = okeys.get(r) * PACK + skeys.get(r);
+        all.push(pair);
+        if receipts.get(r) > commits.get(r) {
+            late.push(pair);
+        }
+    }
+    (sorter_bounds(&all), sorter_bounds(&late))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{by_name, validate};
+
+    #[test]
+    fn q21_matches_software() {
+        let db = TpchData::generate(0.005);
+        validate(&by_name("q21").unwrap(), &db).unwrap();
+    }
+
+    #[test]
+    fn q21_waits_exist() {
+        let db = TpchData::generate(0.02);
+        let (t, _) = q100_dbms::run(&software(), &db).unwrap();
+        assert!(t.row_count() > 0, "some Saudi supplier kept orders waiting");
+    }
+}

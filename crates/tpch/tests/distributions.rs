@@ -1,0 +1,147 @@
+//! Statistical and structural tests of the TPC-H generator: the value
+//! distributions the 19 queries select on must be present with roughly
+//! the frequencies dbgen produces, at any scale or seed.
+
+use proptest::prelude::*;
+
+use q100_columnar::{date_to_days, Catalog};
+use q100_tpch::schema::{table_schema, TABLE_NAMES};
+use q100_tpch::TpchData;
+
+#[test]
+fn selectivities_match_dbgen_expectations() {
+    let db = TpchData::generate(0.05);
+    let li = db.table("lineitem");
+    let n = li.row_count() as f64;
+
+    // l_discount uniform over 0.00..=0.10 -> the Q6 band [0.05, 0.07]
+    // holds ~3/11 of rows.
+    let disc = li.column("l_discount").unwrap();
+    let band = disc.iter().filter(|&&d| (5..=7).contains(&d)).count() as f64 / n;
+    assert!((0.2..0.35).contains(&band), "discount band selectivity {band}");
+
+    // l_quantity uniform over 1..=50 -> < 24 holds ~0.46.
+    let qty = li.column("l_quantity").unwrap();
+    let small = qty.iter().filter(|&&q| q < 2400).count() as f64 / n;
+    assert!((0.4..0.52).contains(&small), "quantity selectivity {small}");
+
+    // A single year of ship dates is ~1/7 of the range.
+    let ship = li.column("l_shipdate").unwrap();
+    let lo = i64::from(date_to_days(1994, 1, 1));
+    let hi = i64::from(date_to_days(1995, 1, 1));
+    let year = ship.iter().filter(|&&d| d >= lo && d < hi).count() as f64 / n;
+    assert!((0.10..0.20).contains(&year), "1994 shipments fraction {year}");
+
+    // Return flags: R and A split the pre-cutoff half, N the rest.
+    let flags = li.column("l_returnflag").unwrap();
+    let dict = flags.dict().unwrap();
+    let r = flags
+        .iter()
+        .filter(|&&c| dict.resolve(c as u32) == Some("R"))
+        .count() as f64
+        / n;
+    assert!((0.15..0.35).contains(&r), "returnflag R fraction {r}");
+
+    // Market segments uniform over 5.
+    let cust = db.table("customer");
+    let seg = cust.column("c_mktsegment").unwrap();
+    let sdict = seg.dict().unwrap();
+    let building = seg
+        .iter()
+        .filter(|&&c| sdict.resolve(c as u32) == Some("BUILDING"))
+        .count() as f64
+        / cust.row_count() as f64;
+    assert!((0.14..0.26).contains(&building), "BUILDING fraction {building}");
+}
+
+#[test]
+fn orders_status_consistent_with_lineitems() {
+    let db = TpchData::generate(0.01);
+    let orders = db.table("orders");
+    let li = db.table("lineitem");
+    let status = orders.column("o_orderstatus").unwrap();
+    let sdict = status.dict().unwrap();
+    let lkey = li.column("l_orderkey").unwrap();
+    let lstat = li.column("l_linestatus").unwrap();
+    let ldict = lstat.dict().unwrap();
+
+    // For each order, 'F' means all its lineitems are F, 'O' all O.
+    let mut per_order: std::collections::HashMap<i64, (bool, bool)> =
+        std::collections::HashMap::new();
+    for r in 0..li.row_count() {
+        let e = per_order.entry(lkey.get(r)).or_insert((true, true));
+        match ldict.resolve(lstat.get(r) as u32) {
+            Some("F") => e.1 = false, // not all O
+            Some("O") => e.0 = false, // not all F
+            other => panic!("unexpected linestatus {other:?}"),
+        }
+    }
+    for r in 0..orders.row_count() {
+        let ok = orders.column("o_orderkey").unwrap().get(r);
+        let (all_f, all_o) = per_order[&ok];
+        let expect = if all_f {
+            "F"
+        } else if all_o {
+            "O"
+        } else {
+            "P"
+        };
+        assert_eq!(sdict.resolve(status.get(r) as u32), Some(expect), "order {ok}");
+    }
+}
+
+#[test]
+fn extendedprice_is_quantity_times_retailprice() {
+    let db = TpchData::generate(0.005);
+    let li = db.table("lineitem");
+    let part = db.table("part");
+    let retail = part.column("p_retailprice").unwrap();
+    for r in 0..li.row_count() {
+        let pk = li.column("l_partkey").unwrap().get(r);
+        let qty_units = li.column("l_quantity").unwrap().get(r) / 100;
+        let ext = li.column("l_extendedprice").unwrap().get(r);
+        assert_eq!(ext, qty_units * retail.get((pk - 1) as usize), "row {r}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any (scale, seed) combination yields schema-conforming tables
+    /// with resolvable foreign keys.
+    #[test]
+    fn generator_invariants_hold_for_any_seed(
+        seed in any::<u64>(),
+        scale_milli in 1u32..8,
+    ) {
+        let db = TpchData::generate_seeded(f64::from(scale_milli) / 1000.0, seed);
+        for name in TABLE_NAMES {
+            let t = db.base_table(name).unwrap();
+            table_schema(name).check(t).unwrap();
+            prop_assert!(t.row_count() > 0, "{name} is empty");
+        }
+        // Primary keys dense and unique.
+        for (table, key) in [
+            ("part", "p_partkey"),
+            ("supplier", "s_suppkey"),
+            ("customer", "c_custkey"),
+            ("orders", "o_orderkey"),
+        ] {
+            let col = db.table(table).column(key).unwrap();
+            let mut keys: Vec<i64> = col.data().to_vec();
+            keys.sort_unstable();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), col.len(), "{} not unique", key);
+            prop_assert_eq!(keys.first().copied(), Some(1));
+            prop_assert_eq!(keys.last().copied(), Some(col.len() as i64));
+        }
+        // Lineitem foreign keys resolve.
+        let li = db.table("lineitem");
+        let n_orders = db.table("orders").row_count() as i64;
+        prop_assert!(li
+            .column("l_orderkey")
+            .unwrap()
+            .iter()
+            .all(|&k| (1..=n_orders).contains(&k)));
+    }
+}

@@ -1,0 +1,62 @@
+//! TPC-H on the Q100: a miniature of the paper's Section 4 evaluation.
+//!
+//! Generates a TPC-H database, runs a handful of queries on the three
+//! paper designs (LowPower / Pareto / HighPerf), validates every Q100
+//! result against the software column-store executor, and reports
+//! runtime, energy, and the speedup over the modeled single-thread
+//! software baseline.
+//!
+//! Run with: `cargo run --release --example tpch_benchmark [scale]`
+
+use std::env;
+
+use q100::core::{SimConfig, Simulator};
+use q100::dbms::SoftwareCost;
+use q100::tpch::{queries, TpchData};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = env::args().nth(1).map_or(0.01, |s| s.parse().expect("numeric scale factor"));
+    println!("generating TPC-H data at scale factor {scale} ...");
+    let db = TpchData::generate(scale);
+    println!("database: {} bytes across 8 tables\n", db.bytes());
+
+    let designs = [
+        ("LowPower", SimConfig::low_power()),
+        ("Pareto", SimConfig::pareto()),
+        ("HighPerf", SimConfig::high_perf()),
+    ];
+    println!(
+        "{:>5} {:>10} {:>12} | {:>21} {:>21} {:>21}",
+        "query", "SW ms", "SW mJ", "LowPower", "Pareto", "HighPerf"
+    );
+
+    for name in ["q1", "q3", "q5", "q6", "q12", "q14", "q19"] {
+        let query = queries::by_name(name).expect("known query");
+
+        // Software baseline: execute and cost the plan.
+        let (expected, stats) = q100::dbms::run(&(query.software)(), &db)?;
+        let software = SoftwareCost::of(&stats);
+
+        print!("{name:>5} {:>10.3} {:>12.3} |", software.runtime_ms, software.energy_mj);
+        for (_, config) in &designs {
+            let graph = (query.q100)(&db)?;
+            let outcome = Simulator::new(config.clone()).run(&graph, &db)?;
+
+            // Validate: the accelerator must compute the same rows.
+            let got = queries::canonical_rows(&outcome.result_table(&graph)?);
+            let want = queries::canonical_rows(&expected);
+            assert_eq!(got, want, "{name}: Q100 result diverged from software");
+
+            let speedup = software.runtime_ms / outcome.runtime_ms();
+            print!(
+                " {:>7.3}ms {:>6.0}x BW",
+                outcome.runtime_ms(),
+                speedup
+            );
+        }
+        println!();
+    }
+
+    println!("\nall Q100 results validated against the software executor");
+    Ok(())
+}

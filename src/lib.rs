@@ -1,0 +1,49 @@
+//! # Q100: a Database Processing Unit, in Rust
+//!
+//! This is the facade crate of a full reproduction of *“Q100: The
+//! Architecture and Design of a Database Processing Unit”* (Wu, Lottarini,
+//! Paine, Kim, Ross — ASPLOS 2014). It re-exports the public API of every
+//! subsystem so downstream users can depend on a single crate:
+//!
+//! * [`columnar`] — typed columns, tables, schemas (the data substrate).
+//! * [`tpch`] — deterministic TPC-H-style data generator and the 19
+//!   benchmark queries, each expressed both as a software plan and as a
+//!   Q100 spatial-instruction graph.
+//! * [`dbms`] — the software column-store baseline executor and the Xeon
+//!   cost/energy model standing in for MonetDB on the paper's server.
+//! * [`core`] — the Q100 itself: ISA, tile models, functional + timing
+//!   simulator, NoC/memory bandwidth models, schedulers, power model.
+//! * [`compiler`] — lowers relational plans to Q100 graphs (the
+//!   compiler the paper lists as future work).
+//! * [`experiments`] — one runner per paper table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use q100::core::{QueryGraph, SimConfig, Simulator, TileMix};
+//! use q100::tpch::{queries, TpchData};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small database, pick a Q100 design, run TPC-H Q6.
+//! let db = TpchData::generate(0.01);
+//! let graph: QueryGraph = queries::q06::plan(&db)?;
+//! let sim = Simulator::new(SimConfig::pareto());
+//! let outcome = sim.run(&graph, &db)?;
+//! println!(
+//!     "Q6: {} cycles, {:.3} ms, {:.3} mJ",
+//!     outcome.cycles,
+//!     outcome.runtime_ms(),
+//!     outcome.energy_mj()
+//! );
+//! assert!(outcome.cycles > 0);
+//! let _ = TileMix::pareto();
+//! # Ok(())
+//! # }
+//! ```
+
+pub use q100_columnar as columnar;
+pub use q100_compiler as compiler;
+pub use q100_core as core;
+pub use q100_dbms as dbms;
+pub use q100_experiments as experiments;
+pub use q100_tpch as tpch;

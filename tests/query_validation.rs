@@ -1,0 +1,80 @@
+//! Cross-crate validation: every TPC-H query's Q100 plan must produce
+//! exactly the software executor's result — the reproduction of the
+//! paper's statement that "the Q100 query implementations produce the
+//! same results as the SQL versions running on MonetDB".
+
+use q100::tpch::{queries, TpchData};
+
+#[test]
+fn all_19_queries_validate_at_sf_001() {
+    let db = TpchData::generate(0.01);
+    let mut failures = Vec::new();
+    for query in queries::all() {
+        if let Err(e) = queries::validate(&query, &db) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "query validation failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn all_19_queries_validate_on_a_different_seed() {
+    let db = TpchData::generate_seeded(0.004, 0xDEC0DE);
+    for query in queries::all() {
+        queries::validate(&query, &db).unwrap();
+    }
+}
+
+#[test]
+fn query_plans_avoid_sorter_capacity_violations() {
+    // The paper's plans partition ahead of every sort so that no batch
+    // exceeds the 1024-record sorter. Our planner statistics must
+    // achieve the same: a capacity violation means the real hardware
+    // would have mis-sorted.
+    let db = TpchData::generate(0.02);
+    for query in queries::all() {
+        let graph = (query.q100)(&db).unwrap();
+        let run = q100::core::execute(&graph, &db).unwrap();
+        assert_eq!(
+            run.profile.capacity_violations(),
+            0,
+            "{}: {} sorter batches exceeded 1024 records",
+            query.name,
+            run.profile.capacity_violations()
+        );
+    }
+}
+
+#[test]
+fn every_query_reads_only_real_base_tables() {
+    let db = TpchData::generate(0.002);
+    for query in queries::all() {
+        let graph = (query.q100)(&db).unwrap();
+        for table in graph.base_tables() {
+            assert!(
+                q100::tpch::schema::TABLE_NAMES.contains(&table),
+                "{}: unknown base table {table}",
+                query.name
+            );
+        }
+        assert!(!graph.is_empty());
+        assert_eq!(graph.sinks().len(), 1, "{}: queries produce one result", query.name);
+    }
+}
+
+#[test]
+fn query_graphs_scale_with_data() {
+    // Plans consult catalog statistics; bigger tables mean more
+    // partitions for the scattered group-bys, hence more instructions.
+    let small = TpchData::generate(0.002);
+    let large = TpchData::generate(0.02);
+    let q10 = queries::by_name("q10").unwrap();
+    let g_small = (q10.q100)(&small).unwrap();
+    let g_large = (q10.q100)(&large).unwrap();
+    assert!(
+        g_large.len() >= g_small.len(),
+        "q10 should not shrink with 10x the data: {} vs {}",
+        g_large.len(),
+        g_small.len()
+    );
+}
