@@ -45,7 +45,8 @@ fn bench_substrate(c: &mut Criterion) {
     }
     g.bench_function("timing_sim_q21_lowpower", |b| {
         let p = workload.queries.iter().find(|p| p.query.name == "q21").unwrap();
-        let sim = Simulator::new(SimConfig::low_power());
+        let config = SimConfig::low_power();
+        let sim = Simulator::new(&config);
         b.iter(|| black_box(sim.run_profiled(&p.graph, &p.functional).unwrap().cycles));
     });
     g.finish();

@@ -1,0 +1,49 @@
+//! Sweep-engine benchmarks: the parallel `(query, config)` executor at
+//! several job counts and the schedule cache's effect on a repeated
+//! simulation point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use q100_bench::bench_workload;
+use q100_core::SimConfig;
+use q100_experiments::{dse, pool};
+
+fn bench_sweep(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+
+    for jobs in [1usize, 2, 4] {
+        g.bench_function(format!("simulate_all_pareto_jobs{jobs}"), |b| {
+            pool::set_jobs(Some(jobs));
+            let config = SimConfig::pareto();
+            b.iter(|| black_box(workload.simulate_all(&config).len()));
+        });
+    }
+
+    g.bench_function("explore150_default_jobs", |b| {
+        pool::set_jobs(None);
+        b.iter(|| black_box(dse::explore(&workload).points.len()));
+    });
+
+    // The schedule cache's effect: the same timing run with a memoized
+    // schedule versus scheduling from scratch each time.
+    g.bench_function("simulate_q21_cached", |b| {
+        let config = SimConfig::low_power();
+        let p = workload.queries.iter().find(|p| p.query.name == "q21").unwrap();
+        let _ = workload.simulate(p, &config); // warm the cache
+        b.iter(|| black_box(workload.simulate(p, &config).cycles));
+    });
+    g.bench_function("simulate_q21_uncached", |b| {
+        let config = SimConfig::low_power();
+        let p = workload.queries.iter().find(|p| p.query.name == "q21").unwrap();
+        b.iter(|| black_box(workload.simulate_uncached(p, &config).cycles));
+    });
+
+    g.finish();
+    pool::set_jobs(None);
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

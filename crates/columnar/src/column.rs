@@ -46,13 +46,7 @@ impl Column {
         ty: LogicalType,
         data: impl Into<Vec<i64>>,
     ) -> Self {
-        Column {
-            name: name.into(),
-            ty,
-            width: ty.default_width(),
-            data: data.into(),
-            dict: None,
-        }
+        Column { name: name.into(), ty, width: ty.default_width(), data: data.into(), dict: None }
     }
 
     /// Creates an integer column.
@@ -64,10 +58,8 @@ impl Column {
     /// Creates a fixed-point decimal column from floats.
     #[must_use]
     pub fn from_decimals(name: impl Into<String>, data: impl IntoIterator<Item = f64>) -> Self {
-        let scaled: Vec<i64> = data
-            .into_iter()
-            .map(|v| (v * DECIMAL_SCALE as f64).round() as i64)
-            .collect();
+        let scaled: Vec<i64> =
+            data.into_iter().map(|v| (v * DECIMAL_SCALE as f64).round() as i64).collect();
         Self::from_physical(name, LogicalType::Decimal, scaled)
     }
 
@@ -88,10 +80,7 @@ impl Column {
     /// Creates a dictionary-encoded string column, interning each value
     /// into a fresh dictionary.
     #[must_use]
-    pub fn from_strs<'a>(
-        name: impl Into<String>,
-        data: impl IntoIterator<Item = &'a str>,
-    ) -> Self {
+    pub fn from_strs<'a>(name: impl Into<String>, data: impl IntoIterator<Item = &'a str>) -> Self {
         let mut dict = Dictionary::new();
         let codes: Vec<i64> = data.into_iter().map(|s| i64::from(dict.intern(s))).collect();
         Self::from_physical(name, LogicalType::Str, codes).with_dict(Arc::new(dict))
@@ -114,10 +103,7 @@ impl Column {
     /// paper does.
     pub fn with_width(mut self, width: u32) -> Result<Self> {
         if width == 0 || width > 32 {
-            return Err(ColumnarError::WidthExceeded {
-                column: self.name.clone(),
-                width,
-            });
+            return Err(ColumnarError::WidthExceeded { column: self.name.clone(), width });
         }
         self.width = width;
         Ok(self)
@@ -263,12 +249,8 @@ impl Column {
     #[must_use]
     pub fn filter(&self, keep: &[bool]) -> Self {
         assert_eq!(keep.len(), self.len(), "mask length must match column length");
-        let data: Vec<i64> = self
-            .data
-            .iter()
-            .zip(keep)
-            .filter_map(|(&v, &k)| k.then_some(v))
-            .collect();
+        let data: Vec<i64> =
+            self.data.iter().zip(keep).filter_map(|(&v, &k)| k.then_some(v)).collect();
         Column {
             name: self.name.clone(),
             ty: self.ty,

@@ -60,11 +60,7 @@ pub fn days_to_date(days: i32) -> DateParts {
     let mp = (5 * doy + 2) / 153; // [0, 11]
     let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
     let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
-    DateParts {
-        year: (y + i64::from(m <= 2)) as i32,
-        month: m as u8,
-        day: d as u8,
-    }
+    DateParts { year: (y + i64::from(m <= 2)) as i32, month: m as u8, day: d as u8 }
 }
 
 /// Parses an ISO `YYYY-MM-DD` date literal into a day number.

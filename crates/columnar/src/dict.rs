@@ -76,10 +76,7 @@ impl Dictionary {
 
     /// Iterates over `(code, string)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, s.as_str()))
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
     }
 
     /// Compares two codes by the lexicographic order of their strings.

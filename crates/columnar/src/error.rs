@@ -43,20 +43,18 @@ pub enum ColumnarError {
 impl fmt::Display for ColumnarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ColumnarError::LengthMismatch { column, actual, expected } => write!(
-                f,
-                "column `{column}` has {actual} rows but the table has {expected}"
-            ),
+            ColumnarError::LengthMismatch { column, actual, expected } => {
+                write!(f, "column `{column}` has {actual} rows but the table has {expected}")
+            }
             ColumnarError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             ColumnarError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
             ColumnarError::InvalidDate(text) => write!(f, "invalid date literal `{text}`"),
             ColumnarError::TypeMismatch { expected, actual } => {
                 write!(f, "expected a {expected} column, got {actual}")
             }
-            ColumnarError::WidthExceeded { column, width } => write!(
-                f,
-                "column `{column}` is {width} bytes wide, exceeding the 32-byte maximum"
-            ),
+            ColumnarError::WidthExceeded { column, width } => {
+                write!(f, "column `{column}` is {width} bytes wide, exceeding the 32-byte maximum")
+            }
         }
     }
 }
@@ -71,11 +69,7 @@ mod tests {
     fn messages_are_lowercase_and_informative() {
         let e = ColumnarError::UnknownColumn("l_foo".into());
         assert_eq!(e.to_string(), "unknown column `l_foo`");
-        let e = ColumnarError::LengthMismatch {
-            column: "a".into(),
-            actual: 2,
-            expected: 3,
-        };
+        let e = ColumnarError::LengthMismatch { column: "a".into(), actual: 2, expected: 3 };
         assert!(e.to_string().contains("2 rows"));
     }
 

@@ -21,11 +21,7 @@ impl ColumnSpec {
     /// Creates a spec with the type's default width.
     #[must_use]
     pub fn new(name: impl Into<String>, ty: LogicalType) -> Self {
-        ColumnSpec {
-            name: name.into(),
-            ty,
-            width: ty.default_width(),
-        }
+        ColumnSpec { name: name.into(), ty, width: ty.default_width() }
     }
 
     /// Overrides the byte width.
@@ -37,10 +33,7 @@ impl ColumnSpec {
     /// (Section 3.1), so a spec may never exceed the cap.
     pub fn with_width(mut self, width: u32) -> Result<Self> {
         if width == 0 || width > 32 {
-            return Err(ColumnarError::WidthExceeded {
-                column: self.name,
-                width,
-            });
+            return Err(ColumnarError::WidthExceeded { column: self.name, width });
         }
         self.width = width;
         Ok(self)
@@ -85,11 +78,7 @@ impl Schema {
             columns: table
                 .columns()
                 .iter()
-                .map(|c| ColumnSpec {
-                    name: c.name().to_string(),
-                    ty: c.ty(),
-                    width: c.width(),
-                })
+                .map(|c| ColumnSpec { name: c.name().to_string(), ty: c.ty(), width: c.width() })
                 .collect(),
         }
     }

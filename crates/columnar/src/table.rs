@@ -178,9 +178,7 @@ impl Table {
     /// Panics if any index is out of bounds.
     #[must_use]
     pub fn gather(&self, indices: &[usize]) -> Table {
-        Table {
-            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
-        }
+        Table { columns: self.columns.iter().map(|c| c.gather(indices)).collect() }
     }
 
     /// Keeps rows where `keep` is true.
@@ -190,9 +188,7 @@ impl Table {
     /// Panics if `keep.len() != self.row_count()`.
     #[must_use]
     pub fn filter(&self, keep: &[bool]) -> Table {
-        Table {
-            columns: self.columns.iter().map(|c| c.filter(keep)).collect(),
-        }
+        Table { columns: self.columns.iter().map(|c| c.filter(keep)).collect() }
     }
 
     /// Appends another table with the same schema (names, types, order).
@@ -208,11 +204,7 @@ impl Table {
         if self.column_count() != other.column_count() {
             return Err(ColumnarError::TypeMismatch {
                 expected: "same-schema",
-                actual: format!(
-                    "{} vs {} columns",
-                    self.column_count(),
-                    other.column_count()
-                ),
+                actual: format!("{} vs {} columns", self.column_count(), other.column_count()),
             });
         }
         for (mine, theirs) in self.columns.iter_mut().zip(other.columns()) {
@@ -311,18 +303,12 @@ mod tests {
 
     #[test]
     fn new_rejects_mismatched_lengths_and_dup_names() {
-        let err = Table::new(vec![
-            Column::from_ints("a", [1, 2]),
-            Column::from_ints("b", [1]),
-        ])
-        .unwrap_err();
+        let err = Table::new(vec![Column::from_ints("a", [1, 2]), Column::from_ints("b", [1])])
+            .unwrap_err();
         assert!(matches!(err, ColumnarError::LengthMismatch { .. }));
 
-        let err = Table::new(vec![
-            Column::from_ints("a", [1]),
-            Column::from_ints("a", [2]),
-        ])
-        .unwrap_err();
+        let err =
+            Table::new(vec![Column::from_ints("a", [1]), Column::from_ints("a", [2])]).unwrap_err();
         assert!(matches!(err, ColumnarError::DuplicateColumn(_)));
     }
 

@@ -144,21 +144,16 @@ impl Value {
             LogicalType::Decimal => {
                 let sign = if physical < 0 { "-" } else { "" };
                 let abs = physical.unsigned_abs();
-                format!(
-                    "{sign}{}.{:02}",
-                    abs / DECIMAL_SCALE as u64,
-                    abs % DECIMAL_SCALE as u64
-                )
+                format!("{sign}{}.{:02}", abs / DECIMAL_SCALE as u64, abs % DECIMAL_SCALE as u64)
             }
             LogicalType::Date => {
                 let parts = days_to_date(physical as i32);
                 format!("{:04}-{:02}-{:02}", parts.year, parts.month, parts.day)
             }
             LogicalType::Bool => (physical != 0).to_string(),
-            LogicalType::Str => dict
-                .and_then(|d| d.resolve(physical as u32))
-                .unwrap_or("<unresolved>")
-                .to_string(),
+            LogicalType::Str => {
+                dict.and_then(|d| d.resolve(physical as u32)).unwrap_or("<unresolved>").to_string()
+            }
         }
     }
 }
@@ -223,10 +218,7 @@ mod tests {
         let mut dict = Dictionary::new();
         let v = Value::Str("FURNITURE".into());
         let phys = v.encode(Some(&mut dict));
-        assert_eq!(
-            Value::render(phys, LogicalType::Str, Some(&dict)),
-            "FURNITURE"
-        );
+        assert_eq!(Value::render(phys, LogicalType::Str, Some(&dict)), "FURNITURE");
         assert_eq!(v.encode_lookup(Some(&dict)), Some(phys));
         assert_eq!(Value::Str("MISSING".into()).encode_lookup(Some(&dict)), None);
     }

@@ -1,39 +1,54 @@
-//! Property-based tests of the columnar substrate.
+//! Randomized property tests of the columnar substrate.
+//!
+//! Each property runs over a fixed set of deterministic seeds (the
+//! in-repo `q100-xrand` generator) so failures reproduce exactly and
+//! the suite resolves offline with no external property-test crate.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use q100_xrand::Rng;
 
-use q100_columnar::{
-    date_to_days, days_to_date, parse_date, Column, Dictionary, Table, Value,
-};
+use q100_columnar::{date_to_days, days_to_date, parse_date, Column, Dictionary, Table, Value};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Civil-date conversion round-trips over a wide range.
-    #[test]
-    fn date_roundtrip(days in -1_000_000i32..1_000_000) {
-        let p = days_to_date(days);
-        prop_assert_eq!(date_to_days(p.year, p.month, p.day), days);
-        prop_assert!((1..=12).contains(&p.month));
-        prop_assert!((1..=31).contains(&p.day));
+fn for_each_case(mut body: impl FnMut(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC01_0000 + case);
+        body(&mut rng);
     }
+}
 
-    /// Formatting then parsing a date is the identity.
-    #[test]
-    fn date_parse_roundtrip(days in -100_000i32..100_000) {
+/// Civil-date conversion round-trips over a wide range.
+#[test]
+fn date_roundtrip() {
+    for_each_case(|rng| {
+        let days = rng.gen_range(-1_000_000i32..1_000_000);
+        let p = days_to_date(days);
+        assert_eq!(date_to_days(p.year, p.month, p.day), days);
+        assert!((1..=12).contains(&p.month));
+        assert!((1..=31).contains(&p.day));
+    });
+}
+
+/// Formatting then parsing a date is the identity.
+#[test]
+fn date_parse_roundtrip() {
+    for_each_case(|rng| {
+        let days = rng.gen_range(-100_000i32..100_000);
         let p = days_to_date(days);
         let text = format!("{:04}-{:02}-{:02}", p.year, p.month, p.day);
-        prop_assert_eq!(parse_date(&text).unwrap(), days);
-    }
+        assert_eq!(parse_date(&text).unwrap(), days);
+    });
+}
 
-    /// Gather followed by the inverse permutation restores the column.
-    #[test]
-    fn gather_permutation_roundtrip(data in vec(any::<i64>(), 1..200), seed in any::<u64>()) {
+/// Gather followed by the inverse permutation restores the column.
+#[test]
+fn gather_permutation_roundtrip() {
+    for_each_case(|rng| {
+        let data = rng.gen_vec(1..200, |r| r.gen_range(i64::MIN..=i64::MAX));
         let n = data.len();
         // A deterministic pseudo-random permutation.
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut s = seed;
+        let mut s = rng.next_u64();
         for i in (1..n).rev() {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             perm.swap(i, (s as usize) % (i + 1));
@@ -44,75 +59,91 @@ proptest! {
         }
         let col = Column::from_ints("c", data.clone());
         let restored = col.gather(&perm).gather(&inverse);
-        prop_assert_eq!(restored.data(), &data[..]);
-    }
+        assert_eq!(restored.data(), &data[..]);
+    });
+}
 
-    /// Filtering keeps exactly the masked elements, in order.
-    #[test]
-    fn filter_preserves_order(pairs in vec((any::<i64>(), any::<bool>()), 0..200)) {
+/// Filtering keeps exactly the masked elements, in order.
+#[test]
+fn filter_preserves_order() {
+    for_each_case(|rng| {
+        let pairs = rng.gen_vec(0..200, |r| (r.gen_range(i64::MIN..=i64::MAX), r.gen_bool(0.5)));
         let data: Vec<i64> = pairs.iter().map(|p| p.0).collect();
         let mask: Vec<bool> = pairs.iter().map(|p| p.1).collect();
         let col = Column::from_ints("c", data.clone());
         let filtered = col.filter(&mask);
         let expect: Vec<i64> =
             data.iter().zip(&mask).filter_map(|(&v, &k)| k.then_some(v)).collect();
-        prop_assert_eq!(filtered.data(), &expect[..]);
-        prop_assert_eq!(filtered.bytes(), expect.len() as u64 * 8);
-    }
+        assert_eq!(filtered.data(), &expect[..]);
+        assert_eq!(filtered.bytes(), expect.len() as u64 * 8);
+    });
+}
 
-    /// Dictionary interning is injective and resolvable.
-    #[test]
-    fn dictionary_intern_resolve(words in vec("[a-z]{1,8}", 0..100)) {
+/// Dictionary interning is injective and resolvable.
+#[test]
+fn dictionary_intern_resolve() {
+    for_each_case(|rng| {
+        let words = rng.gen_vec(0..100, |r| r.gen_lowercase(1..=8));
         let mut dict = Dictionary::new();
         let codes: Vec<u32> = words.iter().map(|w| dict.intern(w)).collect();
         for (w, &c) in words.iter().zip(&codes) {
-            prop_assert_eq!(dict.resolve(c), Some(w.as_str()));
-            prop_assert_eq!(dict.lookup(w), Some(c));
+            assert_eq!(dict.resolve(c), Some(w.as_str()));
+            assert_eq!(dict.lookup(w), Some(c));
         }
         // Distinct strings get distinct codes.
         let mut seen = std::collections::HashMap::new();
         for (w, &c) in words.iter().zip(&codes) {
             if let Some(prev) = seen.insert(c, w) {
-                prop_assert_eq!(prev, w);
+                assert_eq!(prev, w);
             }
         }
-    }
+    });
+}
 
-    /// Table append concatenates row sets and keeps schema invariants.
-    #[test]
-    fn table_append_concatenates(a in vec(any::<i64>(), 0..100), b_rows in vec(any::<i64>(), 0..100)) {
+/// Table append concatenates row sets and keeps schema invariants.
+#[test]
+fn table_append_concatenates() {
+    for_each_case(|rng| {
+        let a = rng.gen_vec(0..100, |r| r.gen_range(i64::MIN..=i64::MAX));
+        let b_rows = rng.gen_vec(0..100, |r| r.gen_range(i64::MIN..=i64::MAX));
         let ta = Table::new(vec![Column::from_ints("x", a.clone())]).unwrap();
         let tb = Table::new(vec![Column::from_ints("x", b_rows.clone())]).unwrap();
         let mut combined = ta.clone();
         combined.append(&tb).unwrap();
-        prop_assert_eq!(combined.row_count(), a.len() + b_rows.len());
+        assert_eq!(combined.row_count(), a.len() + b_rows.len());
         let expect: Vec<i64> = a.iter().chain(b_rows.iter()).copied().collect();
-        prop_assert_eq!(combined.column("x").unwrap().data(), &expect[..]);
-    }
+        assert_eq!(combined.column("x").unwrap().data(), &expect[..]);
+    });
+}
 
-    /// Decimal rendering always shows two fraction digits and parses
-    /// back to the same scaled value.
-    #[test]
-    fn decimal_render_roundtrip(v in -1_000_000_00i64..1_000_000_00) {
+/// Decimal rendering always shows two fraction digits and parses back
+/// to the same scaled value.
+#[test]
+fn decimal_render_roundtrip() {
+    for_each_case(|rng| {
+        let v = rng.gen_range(-100_000_000_i64..100_000_000);
         let text = Value::render(v, q100_columnar::LogicalType::Decimal, None);
         let (int_part, frac_part) = text.rsplit_once('.').unwrap();
-        prop_assert_eq!(frac_part.len(), 2);
+        assert_eq!(frac_part.len(), 2);
         let sign = if int_part.starts_with('-') { -1 } else { 1 };
         let whole: i64 = int_part.trim_start_matches('-').parse().unwrap();
         let frac: i64 = frac_part.parse().unwrap();
-        prop_assert_eq!(sign * (whole * 100 + frac), v);
-    }
+        assert_eq!(sign * (whole * 100 + frac), v);
+    });
+}
 
-    /// `cmp_physical` on a string column is a total order consistent
-    /// with lexicographic string order.
-    #[test]
-    fn string_order_is_lexicographic(words in vec("[a-z]{1,6}", 2..40)) {
+/// `cmp_rows` on a string column is a total order consistent with
+/// lexicographic string order.
+#[test]
+fn string_order_is_lexicographic() {
+    for_each_case(|rng| {
+        let words = rng.gen_vec(2..40, |r| r.gen_lowercase(1..=6));
         let refs: Vec<&str> = words.iter().map(String::as_str).collect();
         let col = Column::from_strs("s", refs);
         for i in 0..words.len() {
             for j in 0..words.len() {
-                prop_assert_eq!(col.cmp_rows(i, j), words[i].cmp(&words[j]));
+                assert_eq!(col.cmp_rows(i, j), words[i].cmp(&words[j]));
             }
         }
-    }
+    });
 }

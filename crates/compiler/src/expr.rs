@@ -63,9 +63,7 @@ pub(crate) fn lower_expr(
     expr: &Expr,
 ) -> Result<PortRef> {
     match expr {
-        Expr::Col(name) => env
-            .port(name)
-            .ok_or_else(|| CompileError::UnknownColumn(name.clone())),
+        Expr::Col(name) => env.port(name).ok_or_else(|| CompileError::UnknownColumn(name.clone())),
         Expr::Const(_) => Err(CompileError::Unsupported(
             "bare constant outside a comparison or arithmetic operator".into(),
         )),
@@ -184,11 +182,9 @@ mod tests {
     }
 
     fn run_expr(expr: &Expr) -> Vec<i64> {
-        let t = Table::new(vec![
-            Column::from_ints("x", [1, 5, 10]),
-            Column::from_ints("y", [4, 5, 6]),
-        ])
-        .unwrap();
+        let t =
+            Table::new(vec![Column::from_ints("x", [1, 5, 10]), Column::from_ints("y", [4, 5, 6])])
+                .unwrap();
         let cat = MemoryCatalog::new(vec![("t".into(), t.clone())]);
         let mut b = QueryGraph::builder("e");
         let env = env_with(&mut b);
@@ -206,10 +202,7 @@ mod tests {
     fn comparisons_and_flipping() {
         assert_eq!(run_expr(&Expr::col("x").cmp(CmpKind::Gt, Expr::int(4))), vec![0, 1, 1]);
         // Constant on the left flips.
-        assert_eq!(
-            run_expr(&Expr::int(4).cmp(CmpKind::Gt, Expr::col("x"))),
-            vec![1, 0, 0]
-        );
+        assert_eq!(run_expr(&Expr::int(4).cmp(CmpKind::Gt, Expr::col("x"))), vec![1, 0, 0]);
         assert_eq!(run_expr(&Expr::col("x").eq(Expr::col("y"))), vec![0, 1, 0]);
     }
 
@@ -242,10 +235,7 @@ mod tests {
             Err(CompileError::Unsupported(_))
         ));
         let bad = Expr::int(1).arith(ArithKind::Sub, Expr::col("x"));
-        assert!(matches!(
-            lower_expr(&mut b, &env, &bad),
-            Err(CompileError::Unsupported(_))
-        ));
+        assert!(matches!(lower_expr(&mut b, &env, &bad), Err(CompileError::Unsupported(_))));
         assert!(matches!(
             lower_expr(&mut b, &env, &Expr::col("zz")),
             Err(CompileError::UnknownColumn(_))
@@ -254,7 +244,8 @@ mod tests {
 
     #[test]
     fn referenced_columns_dedup() {
-        let e = Expr::col("x").arith(ArithKind::Add, Expr::col("x").arith(ArithKind::Mul, Expr::col("y")));
+        let e = Expr::col("x")
+            .arith(ArithKind::Add, Expr::col("x").arith(ArithKind::Mul, Expr::col("y")));
         let mut cols = Vec::new();
         referenced_columns(&e, &mut cols);
         assert_eq!(cols, vec!["x".to_string(), "y".to_string()]);

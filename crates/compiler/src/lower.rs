@@ -66,10 +66,8 @@ impl<'a> Compiler<'a> {
     fn lower(&self, b: &mut GraphBuilder, plan: &Plan) -> Result<Rel> {
         match plan {
             Plan::Scan { table, columns } => {
-                let ports: Vec<PortRef> = columns
-                    .iter()
-                    .map(|c| b.col_select_base(table.clone(), c.clone()))
-                    .collect();
+                let ports: Vec<PortRef> =
+                    columns.iter().map(|c| b.col_select_base(table.clone(), c.clone())).collect();
                 let t = b.stitch(&ports);
                 Ok(Rel { table: t, columns: columns.clone() })
             }
@@ -159,7 +157,12 @@ impl<'a> Compiler<'a> {
         match left_keys.len() {
             1 => {
                 let joined = if outer {
-                    b.join_outer(lrel.table, left_keys[0].clone(), rrel.table, right_keys[0].clone())
+                    b.join_outer(
+                        lrel.table,
+                        left_keys[0].clone(),
+                        rrel.table,
+                        right_keys[0].clone(),
+                    )
                 } else {
                     b.join(lrel.table, left_keys[0].clone(), rrel.table, right_keys[0].clone())
                 };
@@ -220,10 +223,9 @@ impl<'a> Compiler<'a> {
         }
         if referenced.is_empty() {
             referenced.push(
-                rel.columns
-                    .first()
-                    .cloned()
-                    .ok_or_else(|| CompileError::Unsupported("aggregate over zero columns".into()))?,
+                rel.columns.first().cloned().ok_or_else(|| {
+                    CompileError::Unsupported("aggregate over zero columns".into())
+                })?,
             );
         }
         let env = select_cols(b, &rel, &referenced)?;
@@ -238,9 +240,7 @@ impl<'a> Compiler<'a> {
                 .ok_or_else(|| CompileError::UnknownColumn(g.clone()))?;
             // Statistics: pre-execute the input to size the partitions.
             let stats = self.stats(input)?;
-            let gcol = stats
-                .column(g)
-                .map_err(|e| CompileError::Stats(e.to_string()))?;
+            let gcol = stats.column(g).map_err(|e| CompileError::Stats(e.to_string()))?;
             let mut distinct: Vec<i64> = gcol.data().to_vec();
             distinct.sort_unstable();
             distinct.dedup();
@@ -381,9 +381,7 @@ impl<'a> Compiler<'a> {
                 b.sort(rel.table, key.clone())
             }
         } else {
-            let kcol = stats
-                .column(key)
-                .map_err(|e| CompileError::Stats(e.to_string()))?;
+            let kcol = stats.column(key).map_err(|e| CompileError::Stats(e.to_string()))?;
             let mut values = kcol.data().to_vec();
             values.sort_unstable();
             let step = SORTER_BATCH / 2;
@@ -400,10 +398,17 @@ impl<'a> Compiler<'a> {
             if descending {
                 parts.reverse();
             }
-            let sorted: Vec<PortRef> = parts
-                .into_iter()
-                .map(|p| if descending { b.sort_desc(p, key.clone()) } else { b.sort(p, key.clone()) })
-                .collect();
+            let sorted: Vec<PortRef> =
+                parts
+                    .into_iter()
+                    .map(|p| {
+                        if descending {
+                            b.sort_desc(p, key.clone())
+                        } else {
+                            b.sort(p, key.clone())
+                        }
+                    })
+                    .collect();
             b.append_all(&sorted)
         };
         Ok(Rel { table: sorted, columns: rel.columns })
@@ -433,10 +438,7 @@ fn select_cols(
 /// Selects every column of a relation, returning the `(name, port)`
 /// environment expressions lower against.
 fn select_all(b: &mut GraphBuilder, rel: &Rel) -> Vec<(String, PortRef)> {
-    rel.columns
-        .iter()
-        .map(|c| (c.clone(), b.col_select(rel.table, c.clone())))
-        .collect()
+    rel.columns.iter().map(|c| (c.clone(), b.col_select(rel.table, c.clone()))).collect()
 }
 
 /// Prefixes a relation with a concatenated composite key column named
@@ -513,20 +515,23 @@ mod tests {
 
     #[test]
     fn scan_filter_project_roundtrip() {
-        check(&Plan::scan("items", &["i_order", "i_qty"])
-            .filter(Expr::col("i_qty").cmp(CmpKind::Gte, Expr::int(5)))
-            .project(vec![
-                ("o", Expr::col("i_order")),
-                ("double", Expr::col("i_qty").arith(q100_dbms::ArithKind::Mul, Expr::int(2))),
-            ]));
+        check(
+            &Plan::scan("items", &["i_order", "i_qty"])
+                .filter(Expr::col("i_qty").cmp(CmpKind::Gte, Expr::int(5)))
+                .project(vec![
+                    ("o", Expr::col("i_order")),
+                    ("double", Expr::col("i_qty").arith(q100_dbms::ArithKind::Mul, Expr::int(2))),
+                ]),
+        );
     }
 
     #[test]
     fn single_key_join_roundtrip() {
-        check(
-            &Plan::scan("orders", &["o_key", "o_cust"])
-                .join(Plan::scan("items", &["i_order", "i_qty"]), &["o_key"], &["i_order"]),
-        );
+        check(&Plan::scan("orders", &["o_key", "o_cust"]).join(
+            Plan::scan("items", &["i_order", "i_qty"]),
+            &["o_key"],
+            &["i_order"],
+        ));
     }
 
     #[test]
@@ -561,10 +566,10 @@ mod tests {
 
     #[test]
     fn global_aggregate_roundtrip() {
-        check(&Plan::scan("items", &["i_order", "i_qty"]).aggregate(
-            &[],
-            vec![("total", AggKind::Sum, Expr::col("i_qty"))],
-        ));
+        check(
+            &Plan::scan("items", &["i_order", "i_qty"])
+                .aggregate(&[], vec![("total", AggKind::Sum, Expr::col("i_qty"))]),
+        );
     }
 
     #[test]

@@ -33,9 +33,8 @@ fn compiled_graphs_schedule_and_simulate() {
     let db = TpchData::generate(0.002);
     let query = queries::by_name("q6").unwrap();
     let graph = compile(&(query.software)(), &db).unwrap();
-    let outcome = q100_core::Simulator::new(q100_core::SimConfig::pareto())
-        .run(&graph, &db)
-        .unwrap();
+    let outcome =
+        q100_core::Simulator::new(&q100_core::SimConfig::pareto()).run(&graph, &db).unwrap();
     assert!(outcome.cycles > 0);
     assert!(outcome.energy_mj() > 0.0);
 }

@@ -117,19 +117,13 @@ impl TileMix {
     /// Combined tile area in mm² (sum of Table 1 areas).
     #[must_use]
     pub fn tile_area_mm2(&self) -> f64 {
-        TileKind::ALL
-            .iter()
-            .map(|&k| f64::from(self.count(k)) * k.spec().area_mm2)
-            .sum()
+        TileKind::ALL.iter().map(|&k| f64::from(self.count(k)) * k.spec().area_mm2).sum()
     }
 
     /// Combined tile power in W (sum of Table 1 powers).
     #[must_use]
     pub fn tile_power_w(&self) -> f64 {
-        TileKind::ALL
-            .iter()
-            .map(|&k| f64::from(self.count(k)) * k.spec().power_mw / 1000.0)
-            .sum()
+        TileKind::ALL.iter().map(|&k| f64::from(self.count(k)) * k.spec().power_mw / 1000.0).sum()
     }
 }
 
@@ -334,13 +328,10 @@ impl SimConfig {
         if self.read_buffers == 0 || self.write_buffers == 0 {
             return Err(CoreError::BadConfig("stream buffer counts must be positive".into()));
         }
-        for cap in [
-            self.bandwidth.noc_gbps,
-            self.bandwidth.mem_read_gbps,
-            self.bandwidth.mem_write_gbps,
-        ]
-        .into_iter()
-        .flatten()
+        for cap in
+            [self.bandwidth.noc_gbps, self.bandwidth.mem_read_gbps, self.bandwidth.mem_write_gbps]
+                .into_iter()
+                .flatten()
         {
             if cap <= 0.0 || !cap.is_finite() {
                 return Err(CoreError::BadConfig(format!("bandwidth cap {cap} must be positive")));
@@ -403,10 +394,8 @@ mod tests {
         let mut cfg = SimConfig::pareto();
         cfg.read_buffers = 0;
         assert!(cfg.validate().is_err());
-        let cfg = SimConfig::pareto().with_bandwidth(Bandwidth {
-            noc_gbps: Some(-1.0),
-            ..Bandwidth::ideal()
-        });
+        let cfg = SimConfig::pareto()
+            .with_bandwidth(Bandwidth { noc_gbps: Some(-1.0), ..Bandwidth::ideal() });
         assert!(cfg.validate().is_err());
         assert!(SimConfig::high_perf().validate().is_ok());
     }

@@ -49,10 +49,9 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnknownNode(id) => write!(f, "unknown node id {id}"),
-            CoreError::UnknownPort { node, port, available } => write!(
-                f,
-                "node {node} has {available} output ports, port {port} requested"
-            ),
+            CoreError::UnknownPort { node, port, available } => {
+                write!(f, "node {node} has {available} output ports, port {port} requested")
+            }
             CoreError::BadOperands { node, reason } => {
                 write!(f, "bad operands for node {node}: {reason}")
             }

@@ -51,11 +51,7 @@ impl GraphProfile {
     /// the producer's output bytes on that port).
     #[must_use]
     pub fn edge_bytes(&self, node: NodeId, port: usize) -> u64 {
-        self.nodes
-            .get(node)
-            .and_then(|n| n.out_bytes.get(port))
-            .copied()
-            .unwrap_or(0)
+        self.nodes.get(node).and_then(|n| n.out_bytes.get(port)).copied().unwrap_or(0)
     }
 
     /// Total bytes read from base tables.
@@ -85,11 +81,7 @@ impl FunctionalRun {
     /// results), in node-id order.
     #[must_use]
     pub fn results(&self, graph: &QueryGraph) -> Vec<Arc<Data>> {
-        graph
-            .sinks()
-            .into_iter()
-            .flat_map(|id| self.outputs[id].iter().cloned())
-            .collect()
+        graph.sinks().into_iter().flat_map(|id| self.outputs[id].iter().cloned()).collect()
     }
 
     /// The single table result of a graph with exactly one sink that
@@ -160,11 +152,8 @@ fn execute_inner(
     let placeholder = Arc::new(Data::Col(Column::from_ints("freed", Vec::new())));
 
     for (id, inst) in graph.nodes().iter().enumerate() {
-        let inputs: Vec<Arc<Data>> = inst
-            .inputs
-            .iter()
-            .map(|p| Arc::clone(&outputs[p.node][p.port]))
-            .collect();
+        let inputs: Vec<Arc<Data>> =
+            inst.inputs.iter().map(|p| Arc::clone(&outputs[p.node][p.port])).collect();
         let mut node_profile = NodeProfile {
             in_records: inputs.iter().map(|d| d.records()).collect(),
             in_bytes: inputs.iter().map(|d| d.bytes()).collect(),
@@ -229,9 +218,7 @@ fn eval(
                     // A constant absent from a string dictionary matches
                     // no row (for EQ) / every row (for NEQ); encode_lookup
                     // returning None is resolved against an impossible code.
-                    let rhs_phys = v
-                        .encode_lookup(a.dict().map(Arc::as_ref))
-                        .unwrap_or(i64::MIN);
+                    let rhs_phys = v.encode_lookup(a.dict().map(Arc::as_ref)).unwrap_or(i64::MIN);
                     a.iter().map(|&x| cmp.eval(x, rhs_phys)).collect()
                 }
                 Operand::Column => {
@@ -323,7 +310,11 @@ fn eval(
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
                 let ord = keys.cmp_rows(a, b);
-                if *descending { ord.reverse() } else { ord }
+                if *descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
             });
             Ok(vec![Data::Tab(table.gather(&order))])
         }
@@ -429,11 +420,8 @@ fn join(
             pk_matched[pk_row] = true;
         }
     }
-    let unmatched: Vec<usize> = if outer {
-        (0..pk_keys.len()).filter(|&r| !pk_matched[r]).collect()
-    } else {
-        Vec::new()
-    };
+    let unmatched: Vec<usize> =
+        if outer { (0..pk_keys.len()).filter(|&r| !pk_matched[r]).collect() } else { Vec::new() };
     pk_rows.extend_from_slice(&unmatched);
     let mut cols: Vec<Column> = pk.gather(&pk_rows).columns().to_vec();
     for col in fk.gather(&fk_rows).columns() {
@@ -486,7 +474,8 @@ fn aggregate(op: AggOp, data: &Column, group: &Column) -> Result<Table> {
         AggOp::Count => LogicalType::Int,
         _ => data.ty(),
     };
-    let agg_col = Column::from_physical(format!("{}_{}", op, data.name()).to_lowercase(), agg_ty, agg_out);
+    let agg_col =
+        Column::from_physical(format!("{}_{}", op, data.name()).to_lowercase(), agg_ty, agg_out);
     Table::new(vec![group_col, agg_col]).map_err(Into::into)
 }
 
@@ -561,11 +550,9 @@ mod tests {
             Column::from_ints("name", [10, 20, 30]),
         ])
         .unwrap();
-        let fk = Table::new(vec![
-            Column::from_ints("fk", [2, 2]),
-            Column::from_ints("v", [100, 400]),
-        ])
-        .unwrap();
+        let fk =
+            Table::new(vec![Column::from_ints("fk", [2, 2]), Column::from_ints("v", [100, 400])])
+                .unwrap();
         let j = join(0, &pk, "k", &fk, "fk", true).unwrap();
         // Two matches for k=2, then unmatched k=1 and k=3 with zeroed
         // foreign columns.
@@ -600,10 +587,7 @@ mod tests {
         let full = execute(&g, &cat).unwrap();
         let lean = super::execute_lean(&g, &cat).unwrap();
         assert_eq!(full.profile, lean.profile);
-        assert_eq!(
-            full.result_table(&g).unwrap(),
-            lean.result_table(&g).unwrap()
-        );
+        assert_eq!(full.result_table(&g).unwrap(), lean.result_table(&g).unwrap());
         // Intermediates are gone in the lean run.
         assert_eq!(lean.outputs[qty.node][0].records(), 0);
         assert_ne!(full.outputs[qty.node][0].records(), 0);
@@ -693,10 +677,7 @@ mod tests {
         let mut b = QueryGraph::builder("bad");
         let _ = b.col_select_base("nope", "x");
         let g = b.finish().unwrap();
-        assert!(matches!(
-            execute(&g, &sales_catalog()),
-            Err(CoreError::UnknownTable(_))
-        ));
+        assert!(matches!(execute(&g, &sales_catalog()), Err(CoreError::UnknownTable(_))));
 
         let mut b = QueryGraph::builder("bad2");
         let _ = b.col_select_base("sales", "missing");

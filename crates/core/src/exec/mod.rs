@@ -9,8 +9,8 @@ pub mod timing;
 pub use data::{Catalog, Data, MemoryCatalog};
 pub use functional::{execute, execute_lean, FunctionalRun, GraphProfile, NodeProfile};
 pub use timing::{
-    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, BwStats,
-    ConnMatrix, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, BwStats, ConnMatrix,
+    TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
 };
 
 use std::sync::Arc;
@@ -94,9 +94,7 @@ impl SimOutcome {
         if self.results.len() == 1 {
             return match self.results[0].as_ref() {
                 Data::Tab(t) => Ok(t.clone()),
-                Data::Col(c) => {
-                    Ok(Table::new(vec![c.clone()])?)
-                }
+                Data::Col(c) => Ok(Table::new(vec![c.clone()])?),
             };
         }
         Err(crate::error::CoreError::BadOperands {
@@ -125,28 +123,32 @@ impl SimOutcome {
 /// let _out = b.col_filter(qty, big);
 /// let graph = b.finish()?;
 ///
-/// let outcome = Simulator::new(SimConfig::pareto()).run(&graph, &catalog)?;
+/// let config = SimConfig::pareto();
+/// let outcome = Simulator::new(&config).run(&graph, &catalog)?;
 /// assert!(outcome.cycles > 0);
 /// assert!(outcome.energy_mj() > 0.0);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct Simulator {
-    config: SimConfig,
+///
+/// The simulator borrows its configuration, so sweeping thousands of
+/// `(query, config)` points never clones a `SimConfig` on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'a> {
+    config: &'a SimConfig,
 }
 
-impl Simulator {
+impl<'a> Simulator<'a> {
     /// Creates a simulator for the given configuration.
     #[must_use]
-    pub fn new(config: SimConfig) -> Self {
+    pub fn new(config: &'a SimConfig) -> Self {
         Simulator { config }
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
-        &self.config
+        self.config
     }
 
     /// Functionally executes, schedules, and times `graph` against
@@ -171,9 +173,14 @@ impl Simulator {
     /// # Errors
     ///
     /// Propagates scheduling and configuration errors.
-    pub fn run_profiled(&self, graph: &QueryGraph, functional: &FunctionalRun) -> Result<SimOutcome> {
+    pub fn run_profiled(
+        &self,
+        graph: &QueryGraph,
+        functional: &FunctionalRun,
+    ) -> Result<SimOutcome> {
         self.config.validate()?;
-        let schedule = sched::schedule(self.config.scheduler, graph, &self.config.mix, &functional.profile)?;
+        let schedule =
+            sched::schedule(self.config.scheduler, graph, &self.config.mix, &functional.profile)?;
         self.run_scheduled(graph, functional, schedule)
     }
 
@@ -190,7 +197,7 @@ impl Simulator {
         schedule: Schedule,
     ) -> Result<SimOutcome> {
         schedule.validate(graph, &self.config.mix)?;
-        let timing = timing::simulate(graph, &schedule, &functional.profile, &self.config)?;
+        let timing = timing::simulate(graph, &schedule, &functional.profile, self.config)?;
         Ok(SimOutcome {
             cycles: timing.cycles,
             results: functional.results(graph),
@@ -228,7 +235,7 @@ mod tests {
     #[test]
     fn simulator_end_to_end() {
         let (g, cat) = fixture();
-        let out = Simulator::new(SimConfig::pareto()).run(&g, &cat).unwrap();
+        let out = Simulator::new(&SimConfig::pareto()).run(&g, &cat).unwrap();
         assert!(out.cycles > 0);
         assert!(out.energy_mj() > 0.0);
         assert!(out.avg_power_w() > 0.0);
@@ -240,8 +247,8 @@ mod tests {
     #[test]
     fn faster_designs_never_slower() {
         let (g, cat) = fixture();
-        let lp = Simulator::new(SimConfig::low_power()).run(&g, &cat).unwrap();
-        let hp = Simulator::new(SimConfig::high_perf()).run(&g, &cat).unwrap();
+        let lp = Simulator::new(&SimConfig::low_power()).run(&g, &cat).unwrap();
+        let hp = Simulator::new(&SimConfig::high_perf()).run(&g, &cat).unwrap();
         assert!(hp.cycles <= lp.cycles);
     }
 
@@ -249,17 +256,17 @@ mod tests {
     fn run_profiled_reuses_functional_run() {
         let (g, cat) = fixture();
         let functional = functional::execute(&g, &cat).unwrap();
-        let a = Simulator::new(SimConfig::new(TileMix::uniform(4)))
+        let a = Simulator::new(&SimConfig::new(TileMix::uniform(4)))
             .run_profiled(&g, &functional)
             .unwrap();
-        let b = Simulator::new(SimConfig::new(TileMix::uniform(4))).run(&g, &cat).unwrap();
+        let b = Simulator::new(&SimConfig::new(TileMix::uniform(4))).run(&g, &cat).unwrap();
         assert_eq!(a.cycles, b.cycles);
     }
 
     #[test]
     fn spill_ratio_zero_for_single_stage() {
         let (g, cat) = fixture();
-        let out = Simulator::new(SimConfig::new(TileMix::uniform(8))).run(&g, &cat).unwrap();
+        let out = Simulator::new(&SimConfig::new(TileMix::uniform(8))).run(&g, &cat).unwrap();
         assert_eq!(out.schedule.stages(), 1);
         assert_eq!(out.spill_ratio(), 0.0);
     }

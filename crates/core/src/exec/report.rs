@@ -36,12 +36,8 @@ pub fn render_report(outcome: &SimOutcome, graph: &QueryGraph) -> String {
 
     // Temporal instruction timeline.
     let _ = writeln!(out, "\n## Temporal instructions");
-    for (i, (tinst, cycles)) in outcome
-        .schedule
-        .tinsts
-        .iter()
-        .zip(&outcome.timing.per_tinst_cycles)
-        .enumerate()
+    for (i, (tinst, cycles)) in
+        outcome.schedule.tinsts.iter().zip(&outcome.timing.per_tinst_cycles).enumerate()
     {
         let mut kinds = [0u32; TileKind::COUNT];
         for &n in &tinst.nodes {
@@ -135,7 +131,7 @@ mod tests {
         let c = b.bool_gen_const(x, CmpOp::Lt, Value::Int(100));
         let _f = b.col_filter(x, c);
         let g = b.finish().unwrap();
-        let outcome = Simulator::new(SimConfig::pareto()).run(&g, &cat).unwrap();
+        let outcome = Simulator::new(&SimConfig::pareto()).run(&g, &cat).unwrap();
         let text = render_report(&outcome, &g);
         assert!(text.contains("report-demo"));
         assert!(text.contains("Temporal instructions"));

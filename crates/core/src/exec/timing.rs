@@ -307,9 +307,12 @@ pub fn simulate(
     };
     let mut read_samples = TraceAccum::default();
     let mut write_samples = TraceAccum::default();
+    // Scratch reused across every quantum of every stage, so the hot
+    // loop below allocates nothing.
+    let mut desired_scratch: Vec<f64> = Vec::new();
 
     for tinst in &schedule.tinsts {
-        let mut stage = build_stage(graph, schedule, profile, tinst.nodes.clone());
+        let mut stage = build_stage(graph, schedule, profile, &tinst.nodes);
         record_connections(&mut result.connections, &stage);
         let stage_cycles = run_stage(
             &mut stage,
@@ -320,6 +323,7 @@ pub fn simulate(
             &mut result,
             &mut read_samples,
             &mut write_samples,
+            &mut desired_scratch,
         )?;
         let cycles = stage_cycles + memory_latency_cycles();
         result.per_tinst_cycles.push(cycles);
@@ -383,7 +387,7 @@ fn build_stage(
     graph: &QueryGraph,
     schedule: &Schedule,
     profile: &GraphProfile,
-    nodes: Vec<NodeId>,
+    nodes: &[NodeId],
 ) -> Vec<SimNode> {
     let index_of = |id: NodeId| nodes.iter().position(|&n| n == id);
     let stage = schedule.stage_of[nodes[0]];
@@ -491,7 +495,7 @@ fn record_connections(matrix: &mut ConnMatrix, stage: &[SimNode]) {
 
 #[allow(clippy::too_many_arguments)]
 fn run_stage(
-    stage: &mut Vec<SimNode>,
+    stage: &mut [SimNode],
     noc_bpc: Option<f64>,
     p2p: &[[bool; TileKind::COUNT]; TileKind::COUNT],
     read_bpc: Option<f64>,
@@ -499,6 +503,7 @@ fn run_stage(
     result: &mut TimingResult,
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
+    desired: &mut Vec<f64>,
 ) -> Result<u64> {
     // Quantum: fine enough to resolve bandwidth peaks, coarse enough to
     // finish large volumes in a bounded number of steps.
@@ -521,6 +526,7 @@ fn run_stage(
             result,
             read_samples,
             write_samples,
+            desired,
         );
         cycles += dt;
         if progress <= f64::EPSILON {
@@ -541,7 +547,7 @@ fn run_stage(
 /// moved.
 #[allow(clippy::too_many_arguments)]
 fn step(
-    stage: &mut Vec<SimNode>,
+    stage: &mut [SimNode],
     dt: f64,
     noc_bpc: Option<f64>,
     p2p: &[[bool; TileKind::COUNT]; TileKind::COUNT],
@@ -550,12 +556,15 @@ fn step(
     result: &mut TimingResult,
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
+    desired: &mut Vec<f64>,
 ) -> f64 {
     let n = stage.len();
     // Pass 1: per-node desired input advance (records over this quantum)
     // ignoring the shared memory budget, plus the memory demand it
-    // implies.
-    let mut desired = vec![0.0_f64; n];
+    // implies. `desired` is caller-owned scratch: cleared and refilled
+    // each quantum without reallocating.
+    desired.clear();
+    desired.resize(n, 0.0);
     let mut read_demand = 0.0_f64;
     let mut write_demand = 0.0_f64;
     for idx in 0..n {
@@ -576,9 +585,10 @@ fn step(
     let mut write_bytes = 0.0_f64;
     for idx in 0..n {
         let mut adv = desired[idx].max(0.0);
-        let reads_memory = stage[idx].inputs.iter().any(|i| {
-            matches!(i.source, InputSource::Memory) && i.done < i.records
-        });
+        let reads_memory = stage[idx]
+            .inputs
+            .iter()
+            .any(|i| matches!(i.source, InputSource::Memory) && i.done < i.records);
         if reads_memory {
             adv *= read_factor;
         }
@@ -678,12 +688,12 @@ fn desired_advance(
         // Output streaming rate is itself bounded by one record/cycle.
         out_cap = out_cap.min(dt + (node.out_available(port) - output.done).max(0.0));
         if let Some(bpc) = noc_bpc {
-            let any_capped = output
-                .consumers
-                .iter()
-                .any(|&(c, _)| !p2p[dst_kind][stage[c].kind as usize]);
+            let any_capped =
+                output.consumers.iter().any(|&(c, _)| !p2p[dst_kind][stage[c].kind as usize]);
             if any_capped && output.width > 0.0 {
-                out_cap = out_cap.min(bpc * dt / output.width + (node.out_available(port) - output.done).max(0.0));
+                out_cap = out_cap.min(
+                    bpc * dt / output.width + (node.out_available(port) - output.done).max(0.0),
+                );
             }
         }
         for &(c, slot) in &output.consumers {
@@ -719,10 +729,7 @@ fn memory_demand(node: &SimNode, adv: f64, dt: f64) -> (f64, f64) {
     let mut write = 0.0;
     for (port, output) in node.outputs.iter().enumerate() {
         if output.to_memory {
-            let target = node
-                .out_available(port)
-                .min(output.done + dt)
-                .min(output.records);
+            let target = node.out_available(port).min(output.done + dt).min(output.records);
             write += (target - output.done).max(0.0) * output.width;
         }
     }
@@ -808,17 +815,14 @@ fn apply_advance(
         let bytes = produced * output.width;
         if output.to_memory {
             write_bytes += bytes;
-            result
-                .peak_gbps
-                .max_in(dst_kind, MEMORY_ENDPOINT, bytes_per_cycle_to_gbps(bytes / dt));
+            result.peak_gbps.max_in(dst_kind, MEMORY_ENDPOINT, bytes_per_cycle_to_gbps(bytes / dt));
         }
-        if !output.consumers.is_empty() {
-            // One link per consumer; each sees the full stream.
-            let consumer_kinds: Vec<usize> =
-                output.consumers.iter().map(|&(c, _)| stage[c].kind as usize).collect();
-            for ck in consumer_kinds {
-                result.peak_gbps.max_in(dst_kind, ck, bytes_per_cycle_to_gbps(bytes / dt));
-            }
+        // One link per consumer; each sees the full stream. Indexed
+        // access keeps the borrow local, so no per-quantum collection.
+        for ci in 0..stage[idx].outputs[port].consumers.len() {
+            let (c, _) = stage[idx].outputs[port].consumers[ci];
+            let ck = stage[c].kind as usize;
+            result.peak_gbps.max_in(dst_kind, ck, bytes_per_cycle_to_gbps(bytes / dt));
         }
         stage[idx].outputs[port].done += produced;
         moved += produced;
@@ -881,7 +885,11 @@ mod tests {
             starved.cycles,
             ideal.cycles
         );
-        assert!(starved.mem_read.hi_gbps <= 0.6, "read cap respected: {}", starved.mem_read.hi_gbps);
+        assert!(
+            starved.mem_read.hi_gbps <= 0.6,
+            "read cap respected: {}",
+            starved.mem_read.hi_gbps
+        );
     }
 
     #[test]

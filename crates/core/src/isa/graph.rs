@@ -237,9 +237,7 @@ impl QueryGraph {
     /// Starts building a graph.
     #[must_use]
     pub fn builder(name: impl Into<String>) -> GraphBuilder {
-        GraphBuilder {
-            graph: QueryGraph { nodes: Vec::new(), name: name.into() },
-        }
+        GraphBuilder { graph: QueryGraph { nodes: Vec::new(), name: name.into() } }
     }
 
     /// The query's human-readable name (e.g. `"q6"`).
@@ -278,10 +276,7 @@ impl QueryGraph {
 
     /// All producer→consumer edges as `(producer_port, consumer)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (PortRef, NodeId)> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .flat_map(|(id, n)| n.inputs.iter().map(move |&p| (p, id)))
+        self.nodes.iter().enumerate().flat_map(|(id, n)| n.inputs.iter().map(move |&p| (p, id)))
     }
 
     /// Ids of instructions with no consumers (query outputs).
@@ -333,11 +328,7 @@ impl QueryGraph {
                 if n.inputs.len() != want {
                     return Err(CoreError::BadOperands {
                         node: id,
-                        reason: format!(
-                            "{} expects {want} inputs, got {}",
-                            n.op,
-                            n.inputs.len()
-                        ),
+                        reason: format!("{} expects {want} inputs, got {}", n.op, n.inputs.len()),
                     });
                 }
             } else if n.inputs.is_empty() {
@@ -418,27 +409,22 @@ impl GraphBuilder {
     }
 
     /// `ColSelect(column from table)` reading a base table from memory.
-    pub fn col_select_base(&mut self, table: impl Into<String>, column: impl Into<String>) -> PortRef {
-        self.push(
-            SpatialOp::ColSelect { base: Some(table.into()), column: column.into() },
-            vec![],
-        )
+    pub fn col_select_base(
+        &mut self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+    ) -> PortRef {
+        self.push(SpatialOp::ColSelect { base: Some(table.into()), column: column.into() }, vec![])
     }
 
     /// `ColSelect(column)` from a wired table.
     pub fn col_select(&mut self, table: PortRef, column: impl Into<String>) -> PortRef {
-        self.push(
-            SpatialOp::ColSelect { base: None, column: column.into() },
-            vec![table],
-        )
+        self.push(SpatialOp::ColSelect { base: None, column: column.into() }, vec![table])
     }
 
     /// `BoolGen(col cmp constant)`.
     pub fn bool_gen_const(&mut self, col: PortRef, cmp: CmpOp, constant: Value) -> PortRef {
-        self.push(
-            SpatialOp::BoolGen { cmp, rhs: Operand::Const(constant) },
-            vec![col],
-        )
+        self.push(SpatialOp::BoolGen { cmp, rhs: Operand::Const(constant) }, vec![col])
     }
 
     /// `BoolGen(a cmp b)` comparing two columns.
@@ -463,10 +449,7 @@ impl GraphBuilder {
 
     /// Unary `ALU(NOT a)`.
     pub fn alu_not(&mut self, a: PortRef) -> PortRef {
-        self.push(
-            SpatialOp::Alu { op: AluOp::Not, rhs: Operand::Const(Value::Int(0)) },
-            vec![a],
-        )
+        self.push(SpatialOp::Alu { op: AluOp::Not, rhs: Operand::Const(Value::Int(0)) }, vec![a])
     }
 
     /// `Join(pk_table.left_key = fk_table.right_key)` inner equijoin.
@@ -523,18 +506,12 @@ impl GraphBuilder {
 
     /// `Sort(table by key)` ascending.
     pub fn sort(&mut self, table: PortRef, key: impl Into<String>) -> PortRef {
-        self.push(
-            SpatialOp::Sorter { key: key.into(), descending: false },
-            vec![table],
-        )
+        self.push(SpatialOp::Sorter { key: key.into(), descending: false }, vec![table])
     }
 
     /// `Sort(table by key)` descending.
     pub fn sort_desc(&mut self, table: PortRef, key: impl Into<String>) -> PortRef {
-        self.push(
-            SpatialOp::Sorter { key: key.into(), descending: true },
-            vec![table],
-        )
+        self.push(SpatialOp::Sorter { key: key.into(), descending: true }, vec![table])
     }
 
     /// `Aggregate(op data group by group)`.

@@ -25,11 +25,7 @@ use crate::sched::{list_schedule, Schedule};
 /// data-aware usually — though in completion time not always — beats
 /// naive.
 #[must_use]
-pub fn schedule_data_aware(
-    graph: &QueryGraph,
-    mix: &TileMix,
-    profile: &GraphProfile,
-) -> Schedule {
+pub fn schedule_data_aware(graph: &QueryGraph, mix: &TileMix, profile: &GraphProfile) -> Schedule {
     // Precompute, for every node, its input edges (producer port -> bytes)
     // and its heaviest output edge.
     let n = graph.len();
@@ -120,9 +116,8 @@ mod tests {
     #[test]
     fn prefers_heavy_pipeline_under_contention() {
         let (g, profile) = two_pipelines();
-        let mix = TileMix::uniform(2)
-            .with_count(TileKind::ColFilter, 1)
-            .with_count(TileKind::Stitch, 1);
+        let mix =
+            TileMix::uniform(2).with_count(TileKind::ColFilter, 1).with_count(TileKind::Stitch, 1);
         let s = schedule_data_aware(&g, &mix, &profile);
         s.validate(&g, &mix).unwrap();
         // The heavy filter (node 4) must share a stage with its
@@ -134,9 +129,8 @@ mod tests {
     #[test]
     fn never_spills_more_than_naive_on_pipeline_contention() {
         let (g, profile) = two_pipelines();
-        let mix = TileMix::uniform(2)
-            .with_count(TileKind::ColFilter, 1)
-            .with_count(TileKind::Stitch, 1);
+        let mix =
+            TileMix::uniform(2).with_count(TileKind::ColFilter, 1).with_count(TileKind::Stitch, 1);
         let aware = schedule_data_aware(&g, &mix, &profile);
         let naive = schedule_naive(&g, &mix);
         assert!(

@@ -54,7 +54,8 @@ pub fn schedule_semi_exhaustive(
     } else {
         (BEAM_WIDTH, 6)
     };
-    let mut beam = vec![Partial { stage_of: vec![usize::MAX; n], placed: 0, stage: 0, spill_lb: 0 }];
+    let mut beam =
+        vec![Partial { stage_of: vec![usize::MAX; n], placed: 0, stage: 0, spill_lb: 0 }];
     let mut completed: Vec<(u64, usize, Vec<usize>)> = Vec::new();
 
     while !beam.is_empty() {
@@ -128,7 +129,9 @@ fn fill_stage(
             0 => candidates[0],
             1 => *candidates.iter().max_by_key(|&&id| (key(id), std::cmp::Reverse(id))).unwrap(),
             2 => *candidates.iter().min_by_key(|&&id| (key(id), id)).unwrap(),
-            3 => *candidates.iter().max_by_key(|&&id| (resident(id), std::cmp::Reverse(id))).unwrap(),
+            3 => {
+                *candidates.iter().max_by_key(|&&id| (resident(id), std::cmp::Reverse(id))).unwrap()
+            }
             4 => *candidates.last().unwrap(),
             _ => {
                 // Variant 5: defer the heaviest candidate once, exploring

@@ -257,10 +257,8 @@ mod tests {
 
     #[test]
     fn partitioner_sets_the_clock() {
-        let slowest = TileKind::ALL
-            .iter()
-            .map(|k| k.spec().critical_path_ns)
-            .fold(0.0_f64, f64::max);
+        let slowest =
+            TileKind::ALL.iter().map(|k| k.spec().critical_path_ns).fold(0.0_f64, f64::max);
         assert_eq!(slowest, TileKind::Partitioner.spec().critical_path_ns);
         // 1 / 3.17ns = 315 MHz.
         assert!((1000.0 / slowest - FREQUENCY_MHZ).abs() < 1.0);

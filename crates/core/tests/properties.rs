@@ -1,14 +1,26 @@
-//! Property-based tests of the Q100 functional tile semantics, the
-//! schedulers, and the timing model.
+//! Randomized property tests of the Q100 functional tile semantics,
+//! the schedulers, and the timing model.
+//!
+//! Each property runs over a fixed set of deterministic seeds (the
+//! in-repo `q100-xrand` generator) so failures reproduce exactly and
+//! the suite resolves offline with no external property-test crate.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use q100_xrand::Rng;
 
 use q100_columnar::{Column, MemoryCatalog, Table, Value};
 use q100_core::{
-    execute, schedule, AggOp, Bandwidth, CmpOp, GraphProfile, QueryGraph, SchedulerKind,
-    SimConfig, Simulator, TileKind, TileMix,
+    execute, schedule, AggOp, Bandwidth, CmpOp, GraphProfile, QueryGraph, SchedulerKind, SimConfig,
+    Simulator, TileKind, TileMix,
 };
+
+const CASES: u64 = 64;
+
+fn for_each_case(mut body: impl FnMut(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DE_0000 + case);
+        body(&mut rng);
+    }
+}
 
 fn catalog_of(values: &[i64]) -> MemoryCatalog {
     let t = Table::new(vec![
@@ -19,13 +31,12 @@ fn catalog_of(values: &[i64]) -> MemoryCatalog {
     MemoryCatalog::new(vec![("t".into(), t)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The sorter's functional output is an ordered permutation of its
-    /// input.
-    #[test]
-    fn sorter_sorts_any_input(values in vec(-1000i64..1000, 0..300)) {
+/// The sorter's functional output is an ordered permutation of its
+/// input.
+#[test]
+fn sorter_sorts_any_input() {
+    for_each_case(|rng| {
+        let values = rng.gen_vec(0..300, |r| r.gen_range(-1000i64..1000));
         let cat = catalog_of(&values);
         let mut b = QueryGraph::builder("p");
         let k = b.col_select_base("t", "k");
@@ -36,24 +47,24 @@ proptest! {
         let run = execute(&g, &cat).unwrap();
         let out = run.outputs[s.node][0].as_tab(0).unwrap().clone();
         let keys = out.column("k").unwrap().data().to_vec();
-        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
         let mut sorted_in = values.clone();
         sorted_in.sort_unstable();
-        prop_assert_eq!(keys, sorted_in);
+        assert_eq!(keys, sorted_in);
         // Row integrity: v stays glued to its k.
         let vs = out.column("v").unwrap();
         for r in 0..out.row_count() {
-            prop_assert_eq!(vs.get(r), out.column("k").unwrap().get(r).wrapping_mul(3));
+            assert_eq!(vs.get(r), out.column("k").unwrap().get(r).wrapping_mul(3));
         }
-    }
+    });
+}
 
-    /// Partitioning preserves the input multiset and respects range
-    /// bounds.
-    #[test]
-    fn partition_is_a_range_split(
-        values in vec(-1000i64..1000, 0..300),
-        mut bounds in vec(-1000i64..1000, 1..6),
-    ) {
+/// Partitioning preserves the input multiset and respects range bounds.
+#[test]
+fn partition_is_a_range_split() {
+    for_each_case(|rng| {
+        let values = rng.gen_vec(0..300, |r| r.gen_range(-1000i64..1000));
+        let mut bounds = rng.gen_vec(1..6, |r| r.gen_range(-1000i64..1000));
         bounds.sort_unstable();
         bounds.dedup();
         let cat = catalog_of(&values);
@@ -69,20 +80,24 @@ proptest! {
             let lo = if i == 0 { i64::MIN } else { bounds[i - 1] };
             let hi = if i == bounds.len() { i64::MAX } else { bounds[i] };
             for &x in t.column("k").unwrap().data() {
-                prop_assert!(x >= lo && x < hi, "value {x} outside [{lo}, {hi})");
+                assert!(x >= lo && x < hi, "value {x} outside [{lo}, {hi})");
                 reassembled.push(x);
             }
         }
         let mut expect = values.clone();
         expect.sort_unstable();
         reassembled.sort_unstable();
-        prop_assert_eq!(reassembled, expect);
-    }
+        assert_eq!(reassembled, expect);
+    });
+}
 
-    /// Filtering with a predicate then summing equals the scalar
-    /// reference computation.
-    #[test]
-    fn filter_sum_matches_reference(values in vec(-500i64..500, 1..300), threshold in -500i64..500) {
+/// Filtering with a predicate then summing equals the scalar reference
+/// computation.
+#[test]
+fn filter_sum_matches_reference() {
+    for_each_case(|rng| {
+        let values = rng.gen_vec(1..300, |r| r.gen_range(-500i64..500));
+        let threshold = rng.gen_range(-500i64..500);
         let cat = catalog_of(&values);
         let mut b = QueryGraph::builder("p");
         let k = b.col_select_base("t", "k");
@@ -97,16 +112,21 @@ proptest! {
         let out = run.outputs[a.node][0].as_tab(0).unwrap().clone();
         let got: i64 = out.columns()[1].data().iter().sum();
         let expect: i64 = values.iter().filter(|&&x| x > threshold).sum();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// The joiner agrees with a reference nested-loop PK–FK join.
-    #[test]
-    fn joiner_matches_nested_loop(fk in vec(0i64..40, 0..200), n_pk in 1i64..40) {
+/// The joiner agrees with a reference nested-loop PK–FK join.
+#[test]
+fn joiner_matches_nested_loop() {
+    for_each_case(|rng| {
+        let fk = rng.gen_vec(0..200, |r| r.gen_range(0i64..40));
+        let n_pk = rng.gen_range(1i64..40);
         let pk_table = Table::new(vec![
             Column::from_ints("k", (0..n_pk).collect::<Vec<_>>()),
             Column::from_ints("payload", (0..n_pk).map(|x| x * 100).collect::<Vec<_>>()),
-        ]).unwrap();
+        ])
+        .unwrap();
         let fk_table = Table::new(vec![Column::from_ints("f", fk.clone())]).unwrap();
         let cat = MemoryCatalog::new(vec![("pk".into(), pk_table), ("fk".into(), fk_table)]);
         let mut b = QueryGraph::builder("j");
@@ -120,19 +140,21 @@ proptest! {
         let run = execute(&g, &cat).unwrap();
         let out = run.outputs[j.node][0].as_tab(0).unwrap().clone();
         let expect: Vec<i64> = fk.iter().filter(|&&x| x < n_pk).map(|&x| x * 100).collect();
-        prop_assert_eq!(out.column("payload").unwrap().data(), &expect[..]);
-    }
+        assert_eq!(out.column("payload").unwrap().data(), &expect[..]);
+    });
+}
 
-    /// Aggregation conserves totals for SUM no matter how the groups
-    /// arrive.
-    #[test]
-    fn aggregate_sum_conserves_total(pairs in vec((0i64..10, -100i64..100), 1..300)) {
+/// Aggregation conserves totals for SUM no matter how the groups
+/// arrive.
+#[test]
+fn aggregate_sum_conserves_total() {
+    for_each_case(|rng| {
+        let pairs = rng.gen_vec(1..300, |r| (r.gen_range(0i64..10), r.gen_range(-100i64..100)));
         let groups: Vec<i64> = pairs.iter().map(|p| p.0).collect();
         let data: Vec<i64> = pairs.iter().map(|p| p.1).collect();
-        let t = Table::new(vec![
-            Column::from_ints("g", groups),
-            Column::from_ints("d", data.clone()),
-        ]).unwrap();
+        let t =
+            Table::new(vec![Column::from_ints("g", groups), Column::from_ints("d", data.clone())])
+                .unwrap();
         let cat = MemoryCatalog::new(vec![("t".into(), t)]);
         let mut b = QueryGraph::builder("a");
         let d = b.col_select_base("t", "d");
@@ -142,16 +164,19 @@ proptest! {
         let run = execute(&g, &cat).unwrap();
         let out = run.outputs[a.node][0].as_tab(0).unwrap().clone();
         let got: i64 = out.column("sum_d").unwrap().data().iter().sum();
-        prop_assert_eq!(got, data.iter().sum::<i64>());
-    }
+        assert_eq!(got, data.iter().sum::<i64>());
+    });
+}
 
-    /// Every scheduler produces legal schedules on arbitrary mixes, and
-    /// a single-stage-capable mix yields zero spills.
-    #[test]
-    fn schedulers_always_legal(
-        alus in 1u32..4, parts in 1u32..4, sorts in 1u32..4,
-        rows in 1usize..100,
-    ) {
+/// Every scheduler produces legal schedules on arbitrary mixes, and a
+/// single-stage-capable mix yields zero spills.
+#[test]
+fn schedulers_always_legal() {
+    for_each_case(|rng| {
+        let alus = rng.gen_range(1u32..4);
+        let parts = rng.gen_range(1u32..4);
+        let sorts = rng.gen_range(1u32..4);
+        let rows = rng.gen_range(1usize..100);
         let values: Vec<i64> = (0..rows as i64).collect();
         let cat = catalog_of(&values);
         let mut b = QueryGraph::builder("s");
@@ -168,19 +193,24 @@ proptest! {
         let g = b.finish().unwrap();
         let run = execute(&g, &cat).unwrap();
         let mix = TileMix::with_swept(alus, parts, sorts);
-        for kind in [SchedulerKind::Naive, SchedulerKind::DataAware, SchedulerKind::SemiExhaustive] {
+        for kind in [SchedulerKind::Naive, SchedulerKind::DataAware, SchedulerKind::SemiExhaustive]
+        {
             let s = schedule(kind, &g, &mix, &run.profile).unwrap();
-            prop_assert!(s.validate(&g, &mix).is_ok());
+            assert!(s.validate(&g, &mix).is_ok());
         }
         let roomy = TileMix::uniform(16);
         let s = schedule(SchedulerKind::DataAware, &g, &roomy, &run.profile).unwrap();
-        prop_assert_eq!(s.spill_bytes(&g, &run.profile), 0);
-    }
+        assert_eq!(s.spill_bytes(&g, &run.profile), 0);
+    });
+}
 
-    /// Tighter bandwidth caps never make a query faster (fluid-model
-    /// monotonicity).
-    #[test]
-    fn bandwidth_is_monotone(rows in 32usize..2000, cap_gbps in 1.0f64..40.0) {
+/// Tighter bandwidth caps never make a query faster (fluid-model
+/// monotonicity).
+#[test]
+fn bandwidth_is_monotone() {
+    for_each_case(|rng| {
+        let rows = rng.gen_range(32usize..2000);
+        let cap_gbps = 1.0 + rng.gen_range(0u32..39_000) as f64 / 1000.0;
         let values: Vec<i64> = (0..rows as i64).collect();
         let cat = catalog_of(&values);
         let mut b = QueryGraph::builder("m");
@@ -190,16 +220,20 @@ proptest! {
         let g = b.finish().unwrap();
 
         let base = SimConfig::new(TileMix::uniform(8));
-        let ideal = Simulator::new(base.clone()).run(&g, &cat).unwrap();
+        let ideal = Simulator::new(&base).run(&g, &cat).unwrap();
         let capped_cfg = base.with_bandwidth(Bandwidth {
             noc_gbps: Some(cap_gbps),
             mem_read_gbps: Some(cap_gbps),
             mem_write_gbps: Some(cap_gbps),
         });
-        let capped = Simulator::new(capped_cfg).run(&g, &cat).unwrap();
-        prop_assert!(capped.cycles + 1 >= ideal.cycles,
-            "capped {} < ideal {}", capped.cycles, ideal.cycles);
-    }
+        let capped = Simulator::new(&capped_cfg).run(&g, &cat).unwrap();
+        assert!(
+            capped.cycles + 1 >= ideal.cycles,
+            "capped {} < ideal {}",
+            capped.cycles,
+            ideal.cycles
+        );
+    });
 }
 
 /// Non-proptest sanity: profiles drive the schedulers, so an empty

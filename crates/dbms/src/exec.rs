@@ -64,9 +64,8 @@ pub fn run(plan: &Plan, catalog: &dyn Catalog) -> Result<(Table, CostStats)> {
 fn exec(plan: &Plan, catalog: &dyn Catalog, stats: &mut CostStats) -> Result<Table> {
     match plan {
         Plan::Scan { table, columns } => {
-            let base = catalog
-                .base_table(table)
-                .ok_or_else(|| DbmsError::UnknownTable(table.clone()))?;
+            let base =
+                catalog.base_table(table).ok_or_else(|| DbmsError::UnknownTable(table.clone()))?;
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             let out = base.project(&names)?;
             stats.scan_values += out.row_count() as u64 * out.column_count() as u64;
@@ -124,10 +123,8 @@ fn exec(plan: &Plan, catalog: &dyn Catalog, stats: &mut CostStats) -> Result<Tab
             if n > 1 {
                 stats.sort_comparisons += (n as u64) * (n as f64).log2().ceil() as u64;
             }
-            let key_cols: Vec<&Column> = keys
-                .iter()
-                .map(|(k, _)| t.column(k))
-                .collect::<q100_columnar::Result<_>>()?;
+            let key_cols: Vec<&Column> =
+                keys.iter().map(|(k, _)| t.column(k)).collect::<q100_columnar::Result<_>>()?;
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
                 for ((_, desc), col) in keys.iter().zip(&key_cols) {
@@ -151,9 +148,7 @@ fn key_rows(t: &Table, keys: &[String]) -> Result<Vec<Vec<i64>>> {
         .iter()
         .map(|k| t.column(k).map_err(|_| DbmsError::UnknownColumn(k.clone())))
         .collect::<Result<_>>()?;
-    Ok((0..t.row_count())
-        .map(|r| cols.iter().map(|c| c.get(r)).collect())
-        .collect())
+    Ok((0..t.row_count()).map(|r| cols.iter().map(|c| c.get(r)).collect()).collect())
 }
 
 fn hash_join(
@@ -216,16 +211,11 @@ fn hash_join(
         }
         JoinType::LeftSemi | JoinType::LeftAnti => {
             // Semi/anti join: which left rows have a probe-side match.
-            let matched: HashSet<&[i64]> = rkeys
-                .iter()
-                .map(Vec::as_slice)
-                .filter(|k| index.contains_key(*k))
-                .collect();
+            let matched: HashSet<&[i64]> =
+                rkeys.iter().map(Vec::as_slice).filter(|k| index.contains_key(*k)).collect();
             let want = join_type == JoinType::LeftSemi;
-            let keep: Vec<bool> = lkeys
-                .iter()
-                .map(|k| matched.contains(k.as_slice()) == want)
-                .collect();
+            let keep: Vec<bool> =
+                lkeys.iter().map(|k| matched.contains(k.as_slice()) == want).collect();
             let out = lt.filter(&keep);
             stats.join_out_rows += out.row_count() as u64;
             Ok(out)
@@ -337,7 +327,10 @@ mod tests {
     fn scan_filter_project() {
         let plan = Plan::scan("lineitem", &["l_orderkey", "l_qty"])
             .filter(Expr::col("l_qty").cmp(CmpKind::Gte, Expr::int(5)))
-            .project(vec![("double_qty", Expr::col("l_qty").arith(crate::expr::ArithKind::Mul, Expr::int(2)))]);
+            .project(vec![(
+                "double_qty",
+                Expr::col("l_qty").arith(crate::expr::ArithKind::Mul, Expr::int(2)),
+            )]);
         let (t, stats) = run(&plan, &catalog()).unwrap();
         assert_eq!(t.column("double_qty").unwrap().data(), &[10, 14, 18]);
         assert_eq!(stats.scan_values, 10);
@@ -408,10 +401,7 @@ mod tests {
     fn aggregate_group_and_global() {
         let plan = Plan::scan("lineitem", &["l_orderkey", "l_qty"]).aggregate(
             &["l_orderkey"],
-            vec![
-                ("total", AggKind::Sum, Expr::col("l_qty")),
-                ("n", AggKind::Count, Expr::int(1)),
-            ],
+            vec![("total", AggKind::Sum, Expr::col("l_qty")), ("n", AggKind::Count, Expr::int(1))],
         );
         let (t, _) = run(&plan, &catalog()).unwrap();
         assert_eq!(t.row_count(), 4);

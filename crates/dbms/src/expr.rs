@@ -195,14 +195,8 @@ impl Expr {
         let rows = table.row_count();
         match self {
             Expr::Col(name) => {
-                let col = table
-                    .column(name)
-                    .map_err(|_| DbmsError::UnknownColumn(name.clone()))?;
-                Ok(Evaluated {
-                    data: col.data().to_vec(),
-                    dict: col.dict().cloned(),
-                    ty: col.ty(),
-                })
+                let col = table.column(name).map_err(|_| DbmsError::UnknownColumn(name.clone()))?;
+                Ok(Evaluated { data: col.data().to_vec(), dict: col.dict().cloned(), ty: col.ty() })
             }
             Expr::Const(v) => {
                 // A bare constant broadcasts; strings only make sense
@@ -220,12 +214,8 @@ impl Expr {
             }
             Expr::Cmp(op, a, b) => {
                 let (da, db) = resolve_pair(a, b, table)?;
-                let data = da
-                    .data
-                    .iter()
-                    .zip(&db.data)
-                    .map(|(&x, &y)| i64::from(op.eval(x, y)))
-                    .collect();
+                let data =
+                    da.data.iter().zip(&db.data).map(|(&x, &y)| i64::from(op.eval(x, y))).collect();
                 Ok(Evaluated { data, dict: None, ty: LogicalType::Bool })
             }
             Expr::Arith(op, a, b) => {
@@ -235,7 +225,11 @@ impl Expr {
                 // Arithmetic on dictionary codes / dates / booleans
                 // yields a plain integer (key packing etc.); only
                 // decimal arithmetic stays decimal.
-                let ty = if da.ty == LogicalType::Decimal { LogicalType::Decimal } else { LogicalType::Int };
+                let ty = if da.ty == LogicalType::Decimal {
+                    LogicalType::Decimal
+                } else {
+                    LogicalType::Int
+                };
                 Ok(Evaluated { data, dict: None, ty })
             }
             Expr::And(a, b) => {
@@ -267,15 +261,9 @@ impl Expr {
             }
             Expr::InList(a, list) => {
                 let da = a.eval(table)?;
-                let codes: Vec<i64> = list
-                    .iter()
-                    .filter_map(|v| v.encode_lookup(da.dict.as_deref()))
-                    .collect();
-                let data = da
-                    .data
-                    .iter()
-                    .map(|x| i64::from(codes.contains(x)))
-                    .collect();
+                let codes: Vec<i64> =
+                    list.iter().filter_map(|v| v.encode_lookup(da.dict.as_deref())).collect();
+                let data = da.data.iter().map(|x| i64::from(codes.contains(x))).collect();
                 Ok(Evaluated { data, dict: None, ty: LogicalType::Bool })
             }
         }
@@ -314,26 +302,16 @@ fn resolve_pair(a: &Expr, b: &Expr, table: &Table) -> Result<(Evaluated, Evaluat
     match (a, b) {
         (Expr::Const(Value::Str(s)), other) => {
             let db = other.eval(table)?;
-            let code = Value::Str(s.clone())
-                .encode_lookup(db.dict.as_deref())
-                .unwrap_or(i64::MIN);
-            let da = Evaluated {
-                data: vec![code; db.data.len()],
-                dict: None,
-                ty: LogicalType::Str,
-            };
+            let code = Value::Str(s.clone()).encode_lookup(db.dict.as_deref()).unwrap_or(i64::MIN);
+            let da =
+                Evaluated { data: vec![code; db.data.len()], dict: None, ty: LogicalType::Str };
             Ok((da, db))
         }
         (other, Expr::Const(Value::Str(s))) => {
             let da = other.eval(table)?;
-            let code = Value::Str(s.clone())
-                .encode_lookup(da.dict.as_deref())
-                .unwrap_or(i64::MIN);
-            let db = Evaluated {
-                data: vec![code; da.data.len()],
-                dict: None,
-                ty: LogicalType::Str,
-            };
+            let code = Value::Str(s.clone()).encode_lookup(da.dict.as_deref()).unwrap_or(i64::MIN);
+            let db =
+                Evaluated { data: vec![code; da.data.len()], dict: None, ty: LogicalType::Str };
             Ok((da, db))
         }
         _ => Ok((a.eval(table)?, b.eval(table)?)),
@@ -384,9 +362,8 @@ mod tests {
     #[test]
     fn logic_ops() {
         let t = table();
-        let e = Expr::col("x")
-            .cmp(CmpKind::Gt, Expr::int(2))
-            .and(Expr::col("s").eq(Expr::str("AIR")));
+        let e =
+            Expr::col("x").cmp(CmpKind::Gt, Expr::int(2)).and(Expr::col("s").eq(Expr::str("AIR")));
         assert_eq!(e.eval(&t).unwrap().data, vec![0, 0, 1]);
         let e = Expr::col("x").cmp(CmpKind::Lt, Expr::int(2)).or(Expr::col("x").eq(Expr::int(10)));
         assert_eq!(e.eval(&t).unwrap().data, vec![1, 0, 1]);
@@ -397,10 +374,7 @@ mod tests {
     #[test]
     fn unknown_column_errors() {
         let t = table();
-        assert!(matches!(
-            Expr::col("nope").eval(&t),
-            Err(DbmsError::UnknownColumn(_))
-        ));
+        assert!(matches!(Expr::col("nope").eval(&t), Err(DbmsError::UnknownColumn(_))));
     }
 
     #[test]

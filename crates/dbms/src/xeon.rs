@@ -143,10 +143,7 @@ impl SoftwareCost {
     pub fn with_model(stats: &CostStats, model: &CostModel) -> Self {
         let cycles = model.cycles(stats);
         let runtime_s = cycles / (PLATFORM.ghz * 1e9);
-        SoftwareCost {
-            runtime_ms: runtime_s * 1e3,
-            energy_mj: runtime_s * ACTIVE_POWER_W * 1e3,
-        }
+        SoftwareCost { runtime_ms: runtime_s * 1e3, energy_mj: runtime_s * ACTIVE_POWER_W * 1e3 }
     }
 
     /// The idealized 24-thread reference: 24× faster at the same

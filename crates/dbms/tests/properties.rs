@@ -1,41 +1,53 @@
-//! Property-based tests of the software executor against scalar
+//! Randomized property tests of the software executor against scalar
 //! reference implementations.
+//!
+//! Each property runs over a fixed set of deterministic seeds (the
+//! in-repo `q100-xrand` generator) so failures reproduce exactly and
+//! the suite resolves offline with no external property-test crate.
 
 use std::collections::{BTreeMap, HashSet};
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use q100_xrand::Rng;
 
 use q100_columnar::{Column, MemoryCatalog, Table};
 use q100_dbms::{run, AggKind, ArithKind, CmpKind, Expr, JoinType, Plan};
 
+const CASES: u64 = 96;
+
+fn for_each_case(mut body: impl FnMut(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD8_0000 + case);
+        body(&mut rng);
+    }
+}
+
 fn one_table(name: &str, cols: Vec<(&str, Vec<i64>)>) -> MemoryCatalog {
-    let columns = cols
-        .into_iter()
-        .map(|(n, data)| Column::from_ints(n, data))
-        .collect();
+    let columns = cols.into_iter().map(|(n, data)| Column::from_ints(n, data)).collect();
     MemoryCatalog::new(vec![(name.to_string(), Table::new(columns).unwrap())])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Filter + global sum equals the scalar fold.
-    #[test]
-    fn filter_sum_reference(data in vec(-1000i64..1000, 0..200), threshold in -1000i64..1000) {
+/// Filter + global sum equals the scalar fold.
+#[test]
+fn filter_sum_reference() {
+    for_each_case(|rng| {
+        let data = rng.gen_vec(0..200, |r| r.gen_range(-1000i64..1000));
+        let threshold = rng.gen_range(-1000i64..1000);
         let cat = one_table("t", vec![("v", data.clone())]);
         let plan = Plan::scan("t", &["v"])
             .filter(Expr::col("v").cmp(CmpKind::Gt, Expr::int(threshold)))
             .aggregate(&[], vec![("s", AggKind::Sum, Expr::col("v"))]);
         let (out, stats) = run(&plan, &cat).unwrap();
         let expect: i64 = data.iter().filter(|&&v| v > threshold).sum();
-        prop_assert_eq!(out.column("s").unwrap().get(0), expect);
-        prop_assert_eq!(stats.filter_rows, data.len() as u64);
-    }
+        assert_eq!(out.column("s").unwrap().get(0), expect);
+        assert_eq!(stats.filter_rows, data.len() as u64);
+    });
+}
 
-    /// Group-by aggregation equals a BTreeMap fold for every function.
-    #[test]
-    fn group_aggregate_reference(pairs in vec((0i64..8, -100i64..100), 1..200)) {
+/// Group-by aggregation equals a BTreeMap fold for every function.
+#[test]
+fn group_aggregate_reference() {
+    for_each_case(|rng| {
+        let pairs = rng.gen_vec(1..200, |r| (r.gen_range(0i64..8), r.gen_range(-100i64..100)));
         let g: Vec<i64> = pairs.iter().map(|p| p.0).collect();
         let v: Vec<i64> = pairs.iter().map(|p| p.1).collect();
         let cat = one_table("t", vec![("g", g.clone()), ("v", v.clone())]);
@@ -54,27 +66,28 @@ proptest! {
         for (gk, val) in g.iter().zip(&v) {
             groups.entry(*gk).or_default().push(*val);
         }
-        prop_assert_eq!(out.row_count(), groups.len());
+        assert_eq!(out.row_count(), groups.len());
         for r in 0..out.row_count() {
             let key = out.column("g").unwrap().get(r);
             let vals = &groups[&key];
-            prop_assert_eq!(out.column("s").unwrap().get(r), vals.iter().sum::<i64>());
-            prop_assert_eq!(out.column("mn").unwrap().get(r), *vals.iter().min().unwrap());
-            prop_assert_eq!(out.column("mx").unwrap().get(r), *vals.iter().max().unwrap());
-            prop_assert_eq!(out.column("n").unwrap().get(r), vals.len() as i64);
-            prop_assert_eq!(
+            assert_eq!(out.column("s").unwrap().get(r), vals.iter().sum::<i64>());
+            assert_eq!(out.column("mn").unwrap().get(r), *vals.iter().min().unwrap());
+            assert_eq!(out.column("mx").unwrap().get(r), *vals.iter().max().unwrap());
+            assert_eq!(out.column("n").unwrap().get(r), vals.len() as i64);
+            assert_eq!(
                 out.column("avg").unwrap().get(r),
                 vals.iter().sum::<i64>() / vals.len() as i64
             );
         }
-    }
+    });
+}
 
-    /// Inner hash join equals the nested-loop reference, as a multiset.
-    #[test]
-    fn inner_join_reference(
-        left in vec(0i64..20, 0..60),
-        right in vec(0i64..20, 0..60),
-    ) {
+/// Inner hash join equals the nested-loop reference, as a multiset.
+#[test]
+fn inner_join_reference() {
+    for_each_case(|rng| {
+        let left = rng.gen_vec(0..60, |r| r.gen_range(0i64..20));
+        let right = rng.gen_vec(0..60, |r| r.gen_range(0i64..20));
         let cat = {
             let lt = Table::new(vec![Column::from_ints("lk", left.clone())]).unwrap();
             let rt = Table::new(vec![Column::from_ints("rk", right.clone())]).unwrap();
@@ -93,60 +106,78 @@ proptest! {
         }
         got.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Semi and anti joins partition the left side.
-    #[test]
-    fn semi_anti_partition_left(
-        left in vec(0i64..30, 0..80),
-        right in vec(0i64..30, 0..80),
-    ) {
+/// Semi and anti joins partition the left side.
+#[test]
+fn semi_anti_partition_left() {
+    for_each_case(|rng| {
+        let left = rng.gen_vec(0..80, |r| r.gen_range(0i64..30));
+        let right = rng.gen_vec(0..80, |r| r.gen_range(0i64..30));
         let cat = {
             let lt = Table::new(vec![Column::from_ints("lk", left.clone())]).unwrap();
             let rt = Table::new(vec![Column::from_ints("rk", right.clone())]).unwrap();
             MemoryCatalog::new(vec![("l".into(), lt), ("r".into(), rt)])
         };
-        let semi = Plan::scan("l", &["lk"])
-            .join_as(Plan::scan("r", &["rk"]), &["lk"], &["rk"], JoinType::LeftSemi);
-        let anti = Plan::scan("l", &["lk"])
-            .join_as(Plan::scan("r", &["rk"]), &["lk"], &["rk"], JoinType::LeftAnti);
+        let semi = Plan::scan("l", &["lk"]).join_as(
+            Plan::scan("r", &["rk"]),
+            &["lk"],
+            &["rk"],
+            JoinType::LeftSemi,
+        );
+        let anti = Plan::scan("l", &["lk"]).join_as(
+            Plan::scan("r", &["rk"]),
+            &["lk"],
+            &["rk"],
+            JoinType::LeftAnti,
+        );
         let (s, _) = run(&semi, &cat).unwrap();
         let (a, _) = run(&anti, &cat).unwrap();
-        prop_assert_eq!(s.row_count() + a.row_count(), left.len());
+        assert_eq!(s.row_count() + a.row_count(), left.len());
         let rset: HashSet<i64> = right.iter().copied().collect();
         for &v in s.column("lk").unwrap().data() {
-            prop_assert!(rset.contains(&v));
+            assert!(rset.contains(&v));
         }
         for &v in a.column("lk").unwrap().data() {
-            prop_assert!(!rset.contains(&v));
+            assert!(!rset.contains(&v));
         }
-    }
+    });
+}
 
-    /// Left outer join = inner join + unmatched left rows.
-    #[test]
-    fn outer_join_reference(
-        left in vec(0i64..15, 0..50),
-        right in vec(0i64..15, 0..50),
-    ) {
+/// Left outer join = inner join + unmatched left rows.
+#[test]
+fn outer_join_reference() {
+    for_each_case(|rng| {
+        let left = rng.gen_vec(0..50, |r| r.gen_range(0i64..15));
+        let right = rng.gen_vec(0..50, |r| r.gen_range(0i64..15));
         let cat = {
             let lt = Table::new(vec![Column::from_ints("lk", left.clone())]).unwrap();
             let rt = Table::new(vec![Column::from_ints("rk", right.clone())]).unwrap();
             MemoryCatalog::new(vec![("l".into(), lt), ("r".into(), rt)])
         };
         let inner = Plan::scan("l", &["lk"]).join(Plan::scan("r", &["rk"]), &["lk"], &["rk"]);
-        let outer = Plan::scan("l", &["lk"])
-            .join_as(Plan::scan("r", &["rk"]), &["lk"], &["rk"], JoinType::LeftOuter);
+        let outer = Plan::scan("l", &["lk"]).join_as(
+            Plan::scan("r", &["rk"]),
+            &["lk"],
+            &["rk"],
+            JoinType::LeftOuter,
+        );
         let (i, _) = run(&inner, &cat).unwrap();
         let (o, _) = run(&outer, &cat).unwrap();
         let rset: HashSet<i64> = right.iter().copied().collect();
         let unmatched = left.iter().filter(|v| !rset.contains(v)).count();
-        prop_assert_eq!(o.row_count(), i.row_count() + unmatched);
-    }
+        assert_eq!(o.row_count(), i.row_count() + unmatched);
+    });
+}
 
-    /// Sort output is ordered and a permutation of the input.
-    #[test]
-    fn sort_reference(data in vec(-1000i64..1000, 0..200), desc in any::<bool>()) {
+/// Sort output is ordered and a permutation of the input.
+#[test]
+fn sort_reference() {
+    for_each_case(|rng| {
+        let data = rng.gen_vec(0..200, |r| r.gen_range(-1000i64..1000));
+        let desc = rng.gen_bool(0.5);
         let cat = one_table("t", vec![("v", data.clone())]);
         let plan = Plan::scan("t", &["v"]).sort(&[("v", desc)]);
         let (out, _) = run(&plan, &cat).unwrap();
@@ -156,13 +187,18 @@ proptest! {
         if desc {
             expect.reverse();
         }
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Expression evaluation is deterministic and arity-stable under
-    /// random arithmetic trees.
-    #[test]
-    fn expr_arith_reference(data in vec(-100i64..100, 1..100), a in -10i64..10, b2 in 1i64..10) {
+/// Expression evaluation is deterministic and arity-stable under
+/// random arithmetic trees.
+#[test]
+fn expr_arith_reference() {
+    for_each_case(|rng| {
+        let data = rng.gen_vec(1..100, |r| r.gen_range(-100i64..100));
+        let a = rng.gen_range(-10i64..10);
+        let b2 = rng.gen_range(1i64..10);
         let cat = one_table("t", vec![("v", data.clone())]);
         let plan = Plan::scan("t", &["v"]).project(vec![(
             "e",
@@ -174,13 +210,17 @@ proptest! {
         let (out, _) = run(&plan, &cat).unwrap();
         for (r, &v) in data.iter().enumerate() {
             let expect = (v.wrapping_mul(a).wrapping_add(v)).wrapping_div(b2);
-            prop_assert_eq!(out.column("e").unwrap().get(r), expect);
+            assert_eq!(out.column("e").unwrap().get(r), expect);
         }
-    }
+    });
+}
 
-    /// Cost counters are monotone in input size.
-    #[test]
-    fn cost_monotone_in_rows(n1 in 1usize..100, extra in 1usize..100) {
+/// Cost counters are monotone in input size.
+#[test]
+fn cost_monotone_in_rows() {
+    for_each_case(|rng| {
+        let n1 = rng.gen_range(1usize..100);
+        let extra = rng.gen_range(1usize..100);
         let small: Vec<i64> = (0..n1 as i64).collect();
         let big: Vec<i64> = (0..(n1 + extra) as i64).collect();
         let plan = |_: usize| {
@@ -192,7 +232,7 @@ proptest! {
         let (_, s2) = run(&plan(0), &one_table("t", vec![("v", big)])).unwrap();
         let c1 = q100_dbms::SoftwareCost::of(&s1);
         let c2 = q100_dbms::SoftwareCost::of(&s2);
-        prop_assert!(c2.runtime_ms > c1.runtime_ms);
-        prop_assert!(c2.energy_mj > c1.energy_mj);
-    }
+        assert!(c2.runtime_ms > c1.runtime_ms);
+        assert!(c2.energy_mj > c1.energy_mj);
+    });
 }

@@ -33,7 +33,7 @@ pub struct SbPoint {
 /// holding NoC and write provisioning at the paper's values.
 #[must_use]
 pub fn stream_buffer_sweep(workload: &Workload, base: &SimConfig, counts: &[u32]) -> Vec<SbPoint> {
-    counts
+    let configs: Vec<SimConfig> = counts
         .iter()
         .map(|&n| {
             let mut cfg = base.clone();
@@ -43,12 +43,19 @@ pub fn stream_buffer_sweep(workload: &Workload, base: &SimConfig, counts: &[u32]
                 mem_read_gbps: Some(power::STREAM_BUFFER_GBPS * f64::from(n)),
                 mem_write_gbps: Some(10.0),
             };
-            SbPoint {
-                read_buffers: n,
-                read_gbps: power::STREAM_BUFFER_GBPS * f64::from(n),
-                runtime_ms: workload.total_runtime_ms(&cfg),
-                sb_power_w: f64::from(n + cfg.write_buffers) * power::STREAM_BUFFER_POWER_W,
-            }
+            cfg
+        })
+        .collect();
+    let runtimes = workload.sweep_total_runtime_ms(&configs);
+    counts
+        .iter()
+        .zip(&configs)
+        .zip(runtimes)
+        .map(|((&n, cfg), runtime_ms)| SbPoint {
+            read_buffers: n,
+            read_gbps: power::STREAM_BUFFER_GBPS * f64::from(n),
+            runtime_ms,
+            sb_power_w: f64::from(n + cfg.write_buffers) * power::STREAM_BUFFER_POWER_W,
         })
         .collect()
 }
@@ -110,7 +117,8 @@ impl P2pAblation {
             "shared NoC: {:.3} ms | +p2p links: {:.3} ms | uncapped: {:.3} ms",
             self.shared_ms, self.p2p_ms, self.ideal_ms
         );
-        let _ = writeln!(out, "recovered {:.0}% of the NoC penalty", 100.0 * self.recovered_fraction());
+        let _ =
+            writeln!(out, "recovered {:.0}% of the NoC penalty", 100.0 * self.recovered_fraction());
         out
     }
 }
@@ -142,10 +150,12 @@ pub fn p2p_ablation(workload: &Workload, base: &SimConfig, top_k: usize) -> P2pA
         mem_read_gbps: None,
         mem_write_gbps: None,
     });
-    let shared_ms = workload.total_runtime_ms(&capped);
-    let p2p_ms = workload.total_runtime_ms(&capped.clone().with_p2p_links(promoted.clone()));
-    let ideal_ms = workload.total_runtime_ms(&base.clone().with_bandwidth(Bandwidth::ideal()));
-    P2pAblation { promoted, shared_ms, p2p_ms, ideal_ms }
+    let totals = workload.sweep_total_runtime_ms(&[
+        capped.clone(),
+        capped.with_p2p_links(promoted.clone()),
+        base.clone().with_bandwidth(Bandwidth::ideal()),
+    ]);
+    P2pAblation { promoted, shared_ms: totals[0], p2p_ms: totals[1], ideal_ms: totals[2] }
 }
 
 #[cfg(test)]

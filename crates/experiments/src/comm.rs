@@ -22,7 +22,12 @@ pub fn render_matrix(m: &ConnMatrix, title: &str, mark_threshold: Option<f64>) -
     let _ = writeln!(out, "# {title} (rows: source, cols: destination)");
     let _ = write!(out, "{:<12}", "");
     for dst in 0..ENDPOINTS {
-        let _ = write!(out, "{:>8}", &q100_core::exec::endpoint_name(dst)[..q100_core::exec::endpoint_name(dst).len().min(7)]);
+        let _ = write!(
+            out,
+            "{:>8}",
+            &q100_core::exec::endpoint_name(dst)
+                [..q100_core::exec::endpoint_name(dst).len().min(7)]
+        );
     }
     out.push('\n');
     for src in 0..ENDPOINTS {
@@ -90,7 +95,8 @@ impl BandwidthSweep {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "# {} bandwidth sweep (runtime normalized to HighPerf IDEAL)", self.axis);
+        let _ =
+            writeln!(out, "# {} bandwidth sweep (runtime normalized to HighPerf IDEAL)", self.axis);
         for (design, per_limit) in &self.rows {
             let _ = writeln!(out, "## {design}");
             let _ = write!(out, "{:>8}", "limit");
@@ -149,22 +155,33 @@ pub fn bandwidth_sweep(
     axis: &'static str,
     limits_gbps: &[f64],
 ) -> BandwidthSweep {
-    let baseline: Vec<f64> = workload
-        .simulate_all(&SimConfig::high_perf().with_bandwidth(Bandwidth::ideal()))
+    let mut limits: Vec<Option<f64>> = limits_gbps.iter().copied().map(Some).collect();
+    limits.push(None);
+    let designs = paper_designs();
+    // One flat config list — baseline first, then design-major × limit —
+    // so every simulation point of the sweep shares the worker pool.
+    let mut configs = vec![SimConfig::high_perf().with_bandwidth(Bandwidth::ideal())];
+    for (_, config) in &designs {
+        for &limit in &limits {
+            configs.push(config.clone().with_bandwidth(bandwidth_for(axis, limit)));
+        }
+    }
+    let mut grouped = workload.sweep(&configs).into_iter();
+    let baseline: Vec<f64> = grouped
+        .next()
+        .expect("baseline config present")
         .iter()
         .map(SimOutcome::runtime_ms)
         .collect();
-    let mut limits: Vec<Option<f64>> = limits_gbps.iter().copied().map(Some).collect();
-    limits.push(None);
-    let rows = paper_designs()
+    let rows = designs
         .into_iter()
-        .map(|(name, config)| {
+        .map(|(name, _)| {
             let per_limit: Vec<Vec<f64>> = limits
                 .iter()
-                .map(|&limit| {
-                    let cfg = config.clone().with_bandwidth(bandwidth_for(axis, limit));
-                    workload
-                        .simulate_all(&cfg)
+                .map(|_| {
+                    grouped
+                        .next()
+                        .expect("one outcome group per (design, limit)")
                         .iter()
                         .zip(&baseline)
                         .map(|(o, b)| o.runtime_ms() / b)
@@ -193,9 +210,14 @@ impl MemProfile {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:>5} {:>10} {:>10} {:>10}", "query", "lo GB/s", "avg GB/s", "hi GB/s");
+        let _ =
+            writeln!(out, "{:>5} {:>10} {:>10} {:>10}", "query", "lo GB/s", "avg GB/s", "hi GB/s");
         for (q, s) in &self.per_query {
-            let _ = writeln!(out, "{q:>5} {:>10.2} {:>10.2} {:>10.2}", s.lo_gbps, s.avg_gbps, s.hi_gbps);
+            let _ = writeln!(
+                out,
+                "{q:>5} {:>10.2} {:>10.2} {:>10.2}",
+                s.lo_gbps, s.avg_gbps, s.hi_gbps
+            );
         }
         out
     }
@@ -256,31 +278,36 @@ impl LimitStack {
 /// Runs the Figure 18 study.
 #[must_use]
 pub fn limit_stack(workload: &Workload) -> LimitStack {
-    let baseline =
-        total(workload, &SimConfig::high_perf().with_bandwidth(Bandwidth::ideal()));
-    let rows = paper_designs()
+    let designs = paper_designs();
+    // Flat sweep: baseline, then (ideal, +NoC, +NoC+mem) per design. The
+    // provisioned config already carries the design's memory caps (20/30
+    // GB/s read, 10 GB/s write) plus the NoC cap.
+    let mut configs = vec![SimConfig::high_perf().with_bandwidth(Bandwidth::ideal())];
+    for (_, config) in &designs {
+        configs.push(config.clone().with_bandwidth(Bandwidth::ideal()));
+        configs.push(config.clone().with_bandwidth(Bandwidth {
+            noc_gbps: Some(NOC_LIMIT_GBPS),
+            mem_read_gbps: None,
+            mem_write_gbps: None,
+        }));
+        configs.push(config.clone());
+    }
+    let totals = workload.sweep_total_runtime_ms(&configs);
+    let baseline = totals[0];
+    let rows = designs
         .into_iter()
-        .map(|(name, config)| {
-            let ideal = total(workload, &config.clone().with_bandwidth(Bandwidth::ideal()));
-            let noc_only = total(
-                workload,
-                &config.clone().with_bandwidth(Bandwidth {
-                    noc_gbps: Some(NOC_LIMIT_GBPS),
-                    mem_read_gbps: None,
-                    mem_write_gbps: None,
-                }),
-            );
-            // The provisioned config already carries the design's memory
-            // caps (20/30 GB/s read, 10 GB/s write) plus the NoC cap.
-            let both = total(workload, &config);
-            (name.to_string(), ideal / baseline, noc_only / baseline, both / baseline)
+        .enumerate()
+        .map(|(i, (name, _))| {
+            let at = 1 + i * 3;
+            (
+                name.to_string(),
+                totals[at] / baseline,
+                totals[at + 1] / baseline,
+                totals[at + 2] / baseline,
+            )
         })
         .collect();
     LimitStack { rows }
-}
-
-fn total(workload: &Workload, config: &SimConfig) -> f64 {
-    workload.total_runtime_ms(config)
 }
 
 #[cfg(test)]
@@ -326,15 +353,11 @@ mod tests {
         let w = small_workload();
         let sweep = bandwidth_sweep(&w, "NoC", &[2.0, 10.0]);
         for (_, per_limit) in &sweep.rows {
-            for q in 0..sweep.queries.len() {
-                assert!(
-                    per_limit[0][q] >= per_limit[1][q] - 1e-9,
-                    "tighter NoC cannot be faster"
-                );
-                assert!(
-                    per_limit[1][q] >= per_limit[2][q] - 1e-9,
-                    "IDEAL is fastest"
-                );
+            for (tight, (mid, ideal)) in
+                per_limit[0].iter().zip(per_limit[1].iter().zip(&per_limit[2]))
+            {
+                assert!(*tight >= mid - 1e-9, "tighter NoC cannot be faster");
+                assert!(*mid >= ideal - 1e-9, "IDEAL is fastest");
             }
         }
         assert!(sweep.max_slowdown() >= 1.0);

@@ -51,7 +51,9 @@ impl DesignSpace {
     pub fn low_power(&self) -> &DesignPoint {
         self.points
             .iter()
-            .min_by(|a, b| a.power_w.total_cmp(&b.power_w).then(a.runtime_ms.total_cmp(&b.runtime_ms)))
+            .min_by(|a, b| {
+                a.power_w.total_cmp(&b.power_w).then(a.runtime_ms.total_cmp(&b.runtime_ms))
+            })
             .expect("non-empty design space")
     }
 
@@ -64,7 +66,9 @@ impl DesignSpace {
     pub fn high_perf(&self) -> &DesignPoint {
         self.points
             .iter()
-            .min_by(|a, b| a.runtime_ms.total_cmp(&b.runtime_ms).then(a.power_w.total_cmp(&b.power_w)))
+            .min_by(|a, b| {
+                a.runtime_ms.total_cmp(&b.runtime_ms).then(a.power_w.total_cmp(&b.power_w))
+            })
             .expect("non-empty design space")
     }
 
@@ -147,26 +151,34 @@ pub fn design_power_w(mix: &TileMix) -> f64 {
 }
 
 /// Explores the full ALU×partitioner×sorter space over a prepared
-/// workload.
+/// workload. All 150 × |queries| simulation points run as one flat
+/// parallel sweep; results come back in ALU-major order regardless of
+/// the job count.
 #[must_use]
 pub fn explore(workload: &Workload) -> DesignSpace {
-    let mut points = Vec::with_capacity(150);
+    let mut counts = Vec::with_capacity(150);
+    let mut configs = Vec::with_capacity(150);
     for alus in 1..=5 {
         for partitioners in 1..=5 {
             for sorters in 1..=6 {
-                let mix = TileMix::with_swept(alus, partitioners, sorters);
-                let config = SimConfig::new(mix);
-                let runtime_ms = workload.total_runtime_ms(&config);
-                points.push(DesignPoint {
-                    alus,
-                    partitioners,
-                    sorters,
-                    power_w: design_power_w(&mix),
-                    runtime_ms,
-                });
+                counts.push((alus, partitioners, sorters));
+                configs.push(SimConfig::new(TileMix::with_swept(alus, partitioners, sorters)));
             }
         }
     }
+    let runtimes = workload.sweep_total_runtime_ms(&configs);
+    let points = counts
+        .iter()
+        .zip(&configs)
+        .zip(runtimes)
+        .map(|((&(alus, partitioners, sorters), config), runtime_ms)| DesignPoint {
+            alus,
+            partitioners,
+            sorters,
+            power_w: design_power_w(&config.mix),
+            runtime_ms,
+        })
+        .collect();
     DesignSpace { points }
 }
 
@@ -190,7 +202,13 @@ mod tests {
     fn tiny_space() -> DesignSpace {
         DesignSpace {
             points: vec![
-                DesignPoint { alus: 1, partitioners: 1, sorters: 1, power_w: 0.3, runtime_ms: 10.0 },
+                DesignPoint {
+                    alus: 1,
+                    partitioners: 1,
+                    sorters: 1,
+                    power_w: 0.3,
+                    runtime_ms: 10.0,
+                },
                 DesignPoint { alus: 2, partitioners: 1, sorters: 1, power_w: 0.4, runtime_ms: 6.0 },
                 DesignPoint { alus: 3, partitioners: 1, sorters: 1, power_w: 0.6, runtime_ms: 5.5 },
                 DesignPoint { alus: 3, partitioners: 2, sorters: 1, power_w: 0.7, runtime_ms: 7.0 },
@@ -221,16 +239,10 @@ mod tests {
         let w = Workload::prepare_subset(0.002, &["q1", "q6"]);
         let space = explore(&w);
         assert_eq!(space.points.len(), 150);
-        let lp = space
-            .points
-            .iter()
-            .find(|p| (p.alus, p.partitioners, p.sorters) == (1, 1, 1))
-            .unwrap();
-        let hp = space
-            .points
-            .iter()
-            .find(|p| (p.alus, p.partitioners, p.sorters) == (5, 5, 6))
-            .unwrap();
+        let lp =
+            space.points.iter().find(|p| (p.alus, p.partitioners, p.sorters) == (1, 1, 1)).unwrap();
+        let hp =
+            space.points.iter().find(|p| (p.alus, p.partitioners, p.sorters) == (5, 5, 6)).unwrap();
         assert!(hp.runtime_ms <= lp.runtime_ms);
         assert!(hp.power_w > lp.power_w);
     }

@@ -13,7 +13,9 @@
 //! * [`ablation`] — design-choice ablations: stream-buffer
 //!   provisioning and the paper's suggested point-to-point links,
 //! * [`runner`] — shared workload preparation (functional runs are
-//!   executed once and reused across all configuration sweeps).
+//!   executed once and reused across all configuration sweeps),
+//! * [`pool`] — the parallel sweep executor (`--jobs N` / `Q100_JOBS`)
+//!   with deterministic, job-count-independent result ordering.
 //!
 //! Tables 1, 3, 4 are rendered from their constant models in
 //! `q100-core`/`q100-dbms`. The `q100-experiments` binary exposes every
@@ -22,6 +24,7 @@
 pub mod ablation;
 pub mod comm;
 pub mod dse;
+pub mod pool;
 pub mod runner;
 pub mod sched_study;
 pub mod sensitivity;

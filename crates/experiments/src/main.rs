@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! q100-experiments [--sf <scale>] <experiments...>
+//! q100-experiments [--sf <scale>] [--jobs <n>] <experiments...>
 //!
 //! experiments:
 //!   --table1 --table2 --table3 --table4
@@ -18,13 +18,16 @@ use std::env;
 use std::process::ExitCode;
 
 use q100_core::{power, Bandwidth, SimConfig, TileKind};
-use q100_experiments::{ablation, comm, dse, paper_designs, sched_study, sensitivity, software_cmp};
+use q100_experiments::{
+    ablation, comm, dse, paper_designs, pool, sched_study, sensitivity, software_cmp,
+};
 use q100_experiments::{Workload, DEFAULT_SCALE};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: q100-experiments [--sf <scale>] --all | --tableN ... --figN ...\n\
-         regenerates the tables and figures of the Q100 paper (see DESIGN.md)"
+        "usage: q100-experiments [--sf <scale>] [--jobs <n>] --all | --tableN ... --figN ...\n\
+         regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
+         --jobs (or Q100_JOBS) caps the sweep worker count"
     );
     ExitCode::FAILURE
 }
@@ -44,12 +47,23 @@ fn main() -> ExitCode {
                 let Ok(v) = v.parse::<f64>() else { return usage() };
                 scale = v;
             }
+            "--jobs" => {
+                let Some(v) = iter.next() else { return usage() };
+                let Ok(v) = v.parse::<usize>() else { return usage() };
+                if v == 0 {
+                    return usage();
+                }
+                pool::set_jobs(Some(v));
+            }
             "--all" => {
                 wants.insert("ablation".to_string());
                 for t in 1..=4 {
                     wants.insert(format!("table{t}"));
                 }
-                for f in [3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26] {
+                for f in [
+                    3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+                    24, 25, 26,
+                ] {
                     wants.insert(format!("fig{f}"));
                 }
             }
@@ -80,14 +94,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    eprintln!("preparing workload at SF {scale} ...");
+    eprintln!("preparing workload at SF {scale} ({} sweep workers) ...", pool::jobs());
     let workload = Workload::prepare(scale);
 
     if wants.contains("table2") {
         println!("== Table 2: tiny tiles and maximum useful counts ==");
         println!("{}", sensitivity::table2(&workload, 0.01).render());
     }
-    for (fig, kind) in [("fig3", TileKind::Aggregator), ("fig4", TileKind::Alu), ("fig5", TileKind::Sorter)] {
+    for (fig, kind) in
+        [("fig3", TileKind::Aggregator), ("fig4", TileKind::Alu), ("fig5", TileKind::Sorter)]
+    {
         if wants.contains(fig) {
             println!("== Figure {}: {} sensitivity ==", &fig[3..], kind);
             println!("{}", sensitivity::sweep(&workload, kind).render());
@@ -103,7 +119,14 @@ fn main() -> ExitCode {
         if wants.contains(fig) {
             let (name, config) = &paper_designs()[idx];
             let m = comm::connection_counts(&workload, config);
-            println!("{}", comm::render_matrix(&m, &format!("Figure {}: {name} connection counts", &fig[3..]), None));
+            println!(
+                "{}",
+                comm::render_matrix(
+                    &m,
+                    &format!("Figure {}: {name} connection counts", &fig[3..]),
+                    None
+                )
+            );
         }
     }
     for (fig, idx) in [("fig10", 0), ("fig11", 1), ("fig12", 2)] {
@@ -114,7 +137,11 @@ fn main() -> ExitCode {
                 "{}",
                 comm::render_matrix(
                     &m,
-                    &format!("Figure {}: {name} peak link GB/s (X > {})", &fig[3..], comm::NOC_LIMIT_GBPS),
+                    &format!(
+                        "Figure {}: {name} peak link GB/s (X > {})",
+                        &fig[3..],
+                        comm::NOC_LIMIT_GBPS
+                    ),
                     Some(comm::NOC_LIMIT_GBPS),
                 )
             );
@@ -128,17 +155,26 @@ fn main() -> ExitCode {
         if wants.contains(fig) {
             println!("== Figure {}: memory {direction} bandwidth demand ==", &fig[3..]);
             for (name, config) in paper_designs() {
-                println!("## {name}\n{}", comm::mem_profile(&workload, &config, direction).render());
+                println!(
+                    "## {name}\n{}",
+                    comm::mem_profile(&workload, &config, direction).render()
+                );
             }
         }
     }
     if wants.contains("fig16") {
         println!("== Figure 16: memory read bandwidth sweep ==");
-        println!("{}", comm::bandwidth_sweep(&workload, "MemRead", &[10.0, 20.0, 30.0, 40.0]).render());
+        println!(
+            "{}",
+            comm::bandwidth_sweep(&workload, "MemRead", &[10.0, 20.0, 30.0, 40.0]).render()
+        );
     }
     if wants.contains("fig17") {
         println!("== Figure 17: memory write bandwidth sweep ==");
-        println!("{}", comm::bandwidth_sweep(&workload, "MemWrite", &[5.0, 10.0, 15.0, 20.0]).render());
+        println!(
+            "{}",
+            comm::bandwidth_sweep(&workload, "MemWrite", &[5.0, 10.0, 15.0, 20.0]).render()
+        );
     }
     if wants.contains("fig18") {
         println!("== Figure 18: bandwidth-limit impact ==");
@@ -187,6 +223,7 @@ fn main() -> ExitCode {
             println!("== Figure 26: 100x data, energy vs software ==\n{}", cmp.render_energy());
         }
     }
+    eprintln!("schedule cache: {}", workload.sched_cache_stats());
     let _ = Bandwidth::ideal();
     let _ = SimConfig::pareto();
     ExitCode::SUCCESS

@@ -1,9 +1,14 @@
 //! Shared machinery: execute every query functionally once, then sweep
-//! Q100 configurations over the cached profiles.
+//! Q100 configurations over the cached profiles — in parallel, with
+//! schedules memoized across configurations.
 
-use q100_core::{FunctionalRun, QueryGraph, SimConfig, SimOutcome, Simulator};
+use q100_core::{
+    CacheStats, FunctionalRun, QueryGraph, ScheduleCache, SimConfig, SimOutcome, Simulator,
+};
 use q100_tpch::queries::{self, TpchQuery};
 use q100_tpch::TpchData;
+
+use crate::pool;
 
 /// Default scale factor for the evaluation experiments. Small enough
 /// that a full 150-configuration sweep finishes in minutes, large
@@ -19,16 +24,22 @@ pub struct PreparedQuery {
     pub graph: QueryGraph,
     /// Functional results and per-edge volumes.
     pub functional: FunctionalRun,
+    /// Position in the workload — the schedule-cache tag (the graph and
+    /// profile are fixed per prepared query, so this index pins the
+    /// cache key).
+    pub index: usize,
 }
 
 /// A workload: a generated database plus every query prepared against
 /// it. Functional execution happens exactly once; configuration sweeps
-/// reuse the cached profiles.
+/// reuse the cached profiles, fan out across cores, and memoize
+/// schedules per (query, scheduler, tile mix).
 pub struct Workload {
     /// The database.
     pub db: TpchData,
     /// The prepared queries, in paper order.
     pub queries: Vec<PreparedQuery>,
+    sched_cache: ScheduleCache,
 }
 
 impl Workload {
@@ -53,20 +64,23 @@ impl Workload {
         let db = TpchData::generate(scale);
         let queries = names
             .iter()
-            .map(|name| {
-                let query = queries::by_name(name)
-                    .unwrap_or_else(|| panic!("unknown query `{name}`"));
+            .enumerate()
+            .map(|(index, name)| {
+                let query =
+                    queries::by_name(name).unwrap_or_else(|| panic!("unknown query `{name}`"));
                 let graph = (query.q100)(&db)
                     .unwrap_or_else(|e| panic!("{name}: plan construction failed: {e}"));
                 let functional = q100_core::execute_lean(&graph, &db)
                     .unwrap_or_else(|e| panic!("{name}: functional execution failed: {e}"));
-                PreparedQuery { query, graph, functional }
+                PreparedQuery { query, graph, functional, index }
             })
             .collect();
-        Workload { db, queries }
+        Workload { db, queries, sched_cache: ScheduleCache::new() }
     }
 
-    /// Simulates one prepared query under `config`.
+    /// Simulates one prepared query under `config`, reusing a memoized
+    /// schedule when this (query, scheduler, mix) was seen before —
+    /// bandwidth sweeps then only re-run the fluid timing layer.
     ///
     /// # Panics
     ///
@@ -74,16 +88,71 @@ impl Workload {
     /// configurations can).
     #[must_use]
     pub fn simulate(&self, prepared: &PreparedQuery, config: &SimConfig) -> SimOutcome {
-        Simulator::new(config.clone())
+        let schedule = self
+            .sched_cache
+            .get_or_schedule(
+                prepared.index as u64,
+                config.scheduler,
+                &prepared.graph,
+                &config.mix,
+                &prepared.functional.profile,
+            )
+            .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", prepared.query.name));
+        Simulator::new(config)
+            .run_scheduled(&prepared.graph, &prepared.functional, (*schedule).clone())
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name))
+    }
+
+    /// Simulates one prepared query bypassing the schedule cache
+    /// (schedules from scratch). Used to validate cache transparency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot run the query.
+    #[must_use]
+    pub fn simulate_uncached(&self, prepared: &PreparedQuery, config: &SimConfig) -> SimOutcome {
+        Simulator::new(config)
             .run_profiled(&prepared.graph, &prepared.functional)
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name))
     }
 
-    /// Simulates every query under `config`, returning outcomes in
-    /// workload order.
+    /// Simulates every query under `config` across the worker pool,
+    /// returning outcomes in workload order (identical at any job
+    /// count).
     #[must_use]
     pub fn simulate_all(&self, config: &SimConfig) -> Vec<SimOutcome> {
-        self.queries.iter().map(|p| self.simulate(p, config)).collect()
+        pool::parallel_map(&self.queries, |p| self.simulate(p, config))
+    }
+
+    /// Evaluates many configurations in one flat parallel sweep: every
+    /// `(config, query)` point is an independent job, so core
+    /// utilization stays high even when one configuration has a slow
+    /// straggler query. Returns per-config outcome vectors in input
+    /// order, each in workload order.
+    #[must_use]
+    pub fn sweep(&self, configs: &[SimConfig]) -> Vec<Vec<SimOutcome>> {
+        let points: Vec<(usize, usize)> =
+            (0..configs.len()).flat_map(|c| (0..self.queries.len()).map(move |q| (c, q))).collect();
+        let mut flat = pool::parallel_map(&points, |&(c, q)| {
+            Some(self.simulate(&self.queries[q], &configs[c]))
+        });
+        // Regroup: `flat` is ordered (c0 q0..qn, c1 q0..qn, ...).
+        let per = self.queries.len();
+        flat.chunks_mut(per.max(1))
+            .take(configs.len())
+            .map(|chunk| chunk.iter_mut().map(|o| o.take().expect("one take per slot")).collect())
+            .collect()
+    }
+
+    /// Total suite runtime for each configuration, in milliseconds.
+    /// Sums per-query runtimes in workload order, so totals are
+    /// bit-identical to the serial path at any job count.
+    #[must_use]
+    pub fn sweep_total_runtime_ms(&self, configs: &[SimConfig]) -> Vec<f64> {
+        self.sweep(configs)
+            .iter()
+            .map(|outcomes| outcomes.iter().map(SimOutcome::runtime_ms).sum())
+            .collect()
     }
 
     /// Total runtime of the whole suite under `config`, in
@@ -91,6 +160,17 @@ impl Workload {
     #[must_use]
     pub fn total_runtime_ms(&self, config: &SimConfig) -> f64 {
         self.simulate_all(config).iter().map(SimOutcome::runtime_ms).sum()
+    }
+
+    /// Schedule-cache hit/miss counters accumulated by this workload.
+    #[must_use]
+    pub fn sched_cache_stats(&self) -> CacheStats {
+        self.sched_cache.stats()
+    }
+
+    /// Drops memoized schedules and zeroes the cache counters.
+    pub fn clear_sched_cache(&self) {
+        self.sched_cache.clear();
     }
 
     /// The query names in workload order.
@@ -130,5 +210,37 @@ mod tests {
         let a = w.simulate(&w.queries[0], &SimConfig::low_power());
         let b = w.simulate(&w.queries[0], &SimConfig::low_power());
         assert_eq!(a.cycles, b.cycles);
+        // The second simulation reused the first's schedule.
+        let stats = w.sched_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cached_and_uncached_simulations_agree() {
+        let w = Workload::prepare_subset(0.002, &["q6", "q1"]);
+        for p in &w.queries {
+            for (_, config) in paper_designs() {
+                let cached = w.simulate(p, &config);
+                let uncached = w.simulate_uncached(p, &config);
+                assert_eq!(cached.cycles, uncached.cycles, "{}", p.query.name);
+                assert_eq!(cached.schedule, uncached.schedule, "{}", p.query.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_groups_match_simulate_all() {
+        let w = Workload::prepare_subset(0.002, &["q6", "q1"]);
+        let configs = [SimConfig::low_power(), SimConfig::high_perf()];
+        let grouped = w.sweep(&configs);
+        assert_eq!(grouped.len(), 2);
+        for (cfg, outcomes) in configs.iter().zip(&grouped) {
+            let direct = w.simulate_all(cfg);
+            let a: Vec<u64> = outcomes.iter().map(|o| o.cycles).collect();
+            let b: Vec<u64> = direct.iter().map(|o| o.cycles).collect();
+            assert_eq!(a, b);
+        }
+        let totals = w.sweep_total_runtime_ms(&configs);
+        assert!((totals[0] - w.total_runtime_ms(&configs[0])).abs() < 1e-12);
     }
 }

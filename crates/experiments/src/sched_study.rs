@@ -103,15 +103,17 @@ impl SchedStudy {
     }
 }
 
-/// Runs the scheduler study on one design.
+/// Runs the scheduler study on one design. The three schedulers'
+/// simulations run as one flat parallel sweep.
 #[must_use]
 pub fn study(workload: &Workload, design: &str, base: &SimConfig) -> SchedStudy {
-    let outcomes = SCHEDULERS
+    let configs: Vec<SimConfig> =
+        SCHEDULERS.iter().map(|&kind| base.clone().with_scheduler(kind)).collect();
+    let outcomes = workload
+        .sweep(&configs)
         .iter()
-        .map(|&kind| {
-            let config = base.clone().with_scheduler(kind);
-            workload
-                .simulate_all(&config)
+        .map(|group| {
+            group
                 .iter()
                 .map(|o: &SimOutcome| SchedOutcome {
                     runtime_ms: o.runtime_ms(),
@@ -128,10 +130,7 @@ pub fn study(workload: &Workload, design: &str, base: &SimConfig) -> SchedStudy 
 /// across designs).
 #[must_use]
 pub fn study_all_designs(workload: &Workload) -> Vec<SchedStudy> {
-    paper_designs()
-        .into_iter()
-        .map(|(name, config)| study(workload, name, &config))
-        .collect()
+    paper_designs().into_iter().map(|(name, config)| study(workload, name, &config)).collect()
 }
 
 #[cfg(test)]

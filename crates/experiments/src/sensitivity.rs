@@ -45,10 +45,7 @@ impl Sensitivity {
     pub fn max_useful_count(&self, tolerance: f64) -> u32 {
         let best: Vec<f64> = (0..self.queries.len())
             .map(|q| {
-                self.points
-                    .iter()
-                    .map(|p| p.relative_runtime[q])
-                    .fold(f64::INFINITY, f64::min)
+                self.points.iter().map(|p| p.relative_runtime[q]).fold(f64::INFINITY, f64::min)
             })
             .collect();
         for p in &self.points {
@@ -85,24 +82,27 @@ impl Sensitivity {
     }
 }
 
-/// Runs the sensitivity study for `kind` over a prepared workload.
+/// Runs the sensitivity study for `kind` over a prepared workload. The
+/// ten counts are evaluated as one flat parallel sweep.
 #[must_use]
 pub fn sweep(workload: &Workload, kind: TileKind) -> Sensitivity {
-    let mut base: Option<Vec<f64>> = None;
-    let mut points = Vec::with_capacity(MAX_SWEEP as usize);
-    for count in 1..=MAX_SWEEP {
-        let mix = TileMix::uniform(MAX_SWEEP).with_count(kind, count);
-        let config = SimConfig::new(mix);
-        let runtimes: Vec<f64> = workload
-            .simulate_all(&config)
-            .iter()
-            .map(q100_core::SimOutcome::runtime_ms)
-            .collect();
-        let base_ref = base.get_or_insert_with(|| runtimes.clone());
-        let relative: Vec<f64> =
-            runtimes.iter().zip(base_ref.iter()).map(|(r, b)| r / b).collect();
-        points.push(SweepPoint { count, power_w: mix.tile_power_w(), relative_runtime: relative });
-    }
+    let counts: Vec<u32> = (1..=MAX_SWEEP).collect();
+    let configs: Vec<SimConfig> = counts
+        .iter()
+        .map(|&count| SimConfig::new(TileMix::uniform(MAX_SWEEP).with_count(kind, count)))
+        .collect();
+    let grouped = workload.sweep(&configs);
+    let base: Vec<f64> = grouped[0].iter().map(q100_core::SimOutcome::runtime_ms).collect();
+    let points = counts
+        .iter()
+        .zip(&configs)
+        .zip(&grouped)
+        .map(|((&count, config), outcomes)| {
+            let relative: Vec<f64> =
+                outcomes.iter().zip(&base).map(|(o, b)| o.runtime_ms() / b).collect();
+            SweepPoint { count, power_w: config.mix.tile_power_w(), relative_runtime: relative }
+        })
+        .collect();
     Sensitivity { kind, queries: workload.names(), points }
 }
 
@@ -121,7 +121,11 @@ impl Table2 {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:<12} {:>17} {:>6} {:>12}", "Tile", "Max Useful Count", "Tiny", "Explored");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>17} {:>6} {:>12}",
+            "Tile", "Max Useful Count", "Tiny", "Explored"
+        );
         for &(kind, count, tiny) in &self.rows {
             let explored = if tiny { "pinned".to_string() } else { format!("1 ... {count}") };
             let _ = writeln!(
@@ -164,10 +168,7 @@ mod tests {
         assert!(improved < 0.95, "Q1 speeds up with more aggregators: {improved}");
         for (qi, name) in s.queries.iter().enumerate().skip(1) {
             let last = s.points.last().unwrap().relative_runtime[qi];
-            assert!(
-                last > 0.9,
-                "{name} should be aggregator-insensitive, got {last}"
-            );
+            assert!(last > 0.9, "{name} should be aggregator-insensitive, got {last}");
         }
     }
 

@@ -79,7 +79,11 @@ impl Comparison {
     fn render(&self, metric: impl Fn(&CmpRow, usize) -> f64, title: &str) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "# {title} (100% = single-thread software; ideal 24T = {:.2}%)", 100.0 / 24.0);
+        let _ = writeln!(
+            out,
+            "# {title} (100% = single-thread software; ideal 24T = {:.2}%)",
+            100.0 / 24.0
+        );
         let _ = write!(out, "{:>5} {:>12}", "query", "SW ms");
         for d in &self.designs {
             let _ = write!(out, " {d:>10}");
@@ -117,21 +121,23 @@ fn geomean(values: impl Iterator<Item = f64>) -> f64 {
 #[must_use]
 pub fn compare(workload: &Workload) -> Comparison {
     let designs: Vec<String> = paper_designs().iter().map(|(n, _)| (*n).to_string()).collect();
+    // The three Q100 designs sweep in parallel over the pool; the
+    // software-model runs fan out per query the same way.
+    let configs: Vec<_> = paper_designs().iter().map(|(_, c)| c.clone()).collect();
+    let grouped = workload.sweep(&configs);
+    let software = crate::pool::parallel_map(&workload.queries, |prepared| {
+        let plan = (prepared.query.software)();
+        let (_, stats) = q100_dbms::run(&plan, &workload.db)
+            .unwrap_or_else(|e| panic!("{}: software run failed: {e}", prepared.query.name));
+        SoftwareCost::of(&stats)
+    });
     let rows = workload
         .queries
         .iter()
-        .map(|prepared| {
-            let plan = (prepared.query.software)();
-            let (_, stats) = q100_dbms::run(&plan, &workload.db)
-                .unwrap_or_else(|e| panic!("{}: software run failed: {e}", prepared.query.name));
-            let software = SoftwareCost::of(&stats);
-            let q100 = paper_designs()
-                .iter()
-                .map(|(_, config)| {
-                    let o = workload.simulate(prepared, config);
-                    (o.runtime_ms(), o.energy_mj())
-                })
-                .collect();
+        .zip(software)
+        .enumerate()
+        .map(|(qi, (prepared, software))| {
+            let q100 = grouped.iter().map(|g| (g[qi].runtime_ms(), g[qi].energy_mj())).collect();
             CmpRow { query: prepared.query.name, software, q100 }
         })
         .collect();

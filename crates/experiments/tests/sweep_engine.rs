@@ -1,0 +1,39 @@
+//! End-to-end checks of the parallel sweep engine and the schedule
+//! cache: results must be byte-identical at any job count, and caching
+//! schedules must not change a single simulated cycle.
+
+use q100_experiments::{comm, dse, paper_designs, pool, Workload};
+
+#[test]
+fn parallel_explore_matches_serial_byte_for_byte() {
+    let w = Workload::prepare_subset(0.002, &["q6", "q1"]);
+    pool::set_jobs(Some(1));
+    let serial = dse::explore(&w).to_csv();
+    pool::set_jobs(Some(4));
+    let parallel = dse::explore(&w).to_csv();
+    pool::set_jobs(None);
+    assert_eq!(serial, parallel, "CSV must not depend on the job count");
+}
+
+#[test]
+fn schedule_cache_hits_on_bandwidth_sweeps_without_changing_results() {
+    let w = Workload::prepare_subset(0.002, &["q6", "q1"]);
+    // A bandwidth sweep re-simulates the same (query, scheduler, mix)
+    // keys under different caps — everything after the first pass per
+    // design must hit the cache.
+    let sweep = comm::bandwidth_sweep(&w, "NoC", &[2.0, comm::NOC_LIMIT_GBPS, 10.0]);
+    assert!(sweep.max_slowdown() >= 1.0);
+    let stats = w.sched_cache_stats();
+    assert!(stats.hits > 0, "bandwidth sweep must reuse schedules: {stats}");
+    assert!(stats.misses > 0, "first sight of each key is a miss: {stats}");
+
+    // Cache transparency: cached and from-scratch runs agree exactly.
+    for p in &w.queries {
+        for (name, config) in paper_designs() {
+            let cached = w.simulate(p, &config);
+            let uncached = w.simulate_uncached(p, &config);
+            assert_eq!(cached.cycles, uncached.cycles, "{name}/{}", p.query.name);
+            assert_eq!(cached.schedule, uncached.schedule, "{name}/{}", p.query.name);
+        }
+    }
+}

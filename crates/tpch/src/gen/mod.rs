@@ -16,8 +16,7 @@ pub mod text;
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use q100_xrand::Rng;
 
 use q100_columnar::{date_to_days, Column, Dictionary, LogicalType, Table};
 use q100_core::Catalog;
@@ -102,8 +101,7 @@ impl TpchData {
     /// [`Catalog::base_table`] for a fallible lookup.
     #[must_use]
     pub fn table(&self, name: &str) -> &Table {
-        self.base_table(name)
-            .unwrap_or_else(|| panic!("unknown TPC-H table `{name}`"))
+        self.base_table(name).unwrap_or_else(|| panic!("unknown TPC-H table `{name}`"))
     }
 
     /// Total bytes across all base tables.
@@ -168,8 +166,8 @@ fn dec(units: f64) -> i64 {
 }
 
 impl Generator {
-    fn rng(&self, stream: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    fn rng(&self, stream: u64) -> Rng {
+        Rng::seed_from_u64(self.seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
     }
 
     fn region(&mut self) -> Table {
@@ -233,7 +231,8 @@ impl Generator {
         let addrs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..addr_pool.len() as i64)).collect();
         let nations: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
         let phones: Vec<i64> = nations.iter().map(|&nk| nk % 25).collect();
-        let acctbal: Vec<i64> = (0..n).map(|_| rng.gen_range(dec(-999.99)..=dec(9999.99))).collect();
+        let acctbal: Vec<i64> =
+            (0..n).map(|_| rng.gen_range(dec(-999.99)..=dec(9999.99))).collect();
         // dbgen plants "Customer Complaints" in a small share of supplier
         // comments; Q16 filters them out.
         let comments: Vec<i64> = (0..n)
@@ -285,9 +284,11 @@ impl Generator {
         let addrs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..addr_pool.len() as i64)).collect();
         let nations: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
         let phones: Vec<i64> = nations.iter().map(|&nk| nk % 25).collect();
-        let acctbal: Vec<i64> = (0..n).map(|_| rng.gen_range(dec(-999.99)..=dec(9999.99))).collect();
+        let acctbal: Vec<i64> =
+            (0..n).map(|_| rng.gen_range(dec(-999.99)..=dec(9999.99))).collect();
         let segs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
-        let comments: Vec<i64> = (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
+        let comments: Vec<i64> =
+            (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
         Table::new(vec![
             Column::from_ints("c_custkey", keys),
             str_col("c_name", 18, &name_pool, names),
@@ -344,11 +345,10 @@ impl Generator {
         let types: Vec<i64> = (0..n).map(|_| rng.gen_range(0..150)).collect();
         let sizes: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=50)).collect();
         let containers: Vec<i64> = (0..n).map(|_| rng.gen_range(0..40)).collect();
-        let prices: Vec<i64> = keys
-            .iter()
-            .map(|&k| dec(900.0) + (k % 1000) * 100 + (k / 10) % 2001)
-            .collect();
-        let comments: Vec<i64> = (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
+        let prices: Vec<i64> =
+            keys.iter().map(|&k| dec(900.0) + (k % 1000) * 100 + (k / 10) % 2001).collect();
+        let comments: Vec<i64> =
+            (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
         Table::new(vec![
             Column::from_ints("p_partkey", keys),
             str_col("p_name", 32, &name_pool, names),
@@ -388,7 +388,8 @@ impl Generator {
         let n = ps_part.len();
         let avail: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=9999)).collect();
         let cost: Vec<i64> = (0..n).map(|_| rng.gen_range(dec(1.0)..=dec(1000.0))).collect();
-        let comments: Vec<i64> = (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
+        let comments: Vec<i64> =
+            (0..n).map(|_| rng.gen_range(0..comment_pool.len() as i64)).collect();
         Table::new(vec![
             Column::from_ints("ps_partkey", ps_part),
             Column::from_ints("ps_suppkey", ps_supp),
@@ -521,7 +522,13 @@ impl Generator {
             }
             o_key.push(ok);
             o_cust.push(rng.gen_range(1..=self.counts.customers));
-            o_status.push(if all_f { 0 } else if all_o { 1 } else { 2 });
+            o_status.push(if all_f {
+                0
+            } else if all_o {
+                1
+            } else {
+                2
+            });
             o_total.push(total);
             o_date.push(i64::from(odate));
             o_prio.push(rng.gen_range(0..prio_pool.len() as i64));
@@ -673,8 +680,7 @@ mod tests {
         let ps = db.table("partsupp");
         let pk = ps.column("ps_partkey").unwrap();
         let sk = ps.column("ps_suppkey").unwrap();
-        let mut pairs: Vec<(i64, i64)> =
-            pk.iter().zip(sk.iter()).map(|(&a, &b)| (a, b)).collect();
+        let mut pairs: Vec<(i64, i64)> = pk.iter().zip(sk.iter()).map(|(&a, &b)| (a, b)).collect();
         let before = pairs.len();
         pairs.sort_unstable();
         pairs.dedup();

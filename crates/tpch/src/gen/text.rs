@@ -40,8 +40,7 @@ pub const NATIONS: [(&str, i64); 25] = [
 ];
 
 /// First words of `p_type` (6).
-pub const TYPE_SYLLABLE_1: [&str; 6] =
-    ["ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD"];
+pub const TYPE_SYLLABLE_1: [&str; 6] = ["ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD"];
 
 /// Second words of `p_type` (5).
 pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED"];
@@ -53,19 +52,34 @@ pub const TYPE_SYLLABLE_3: [&str; 5] = ["BRASS", "COPPER", "NICKEL", "STEEL", "T
 pub const CONTAINER_SIZE: [&str; 5] = ["JUMBO", "LG", "MED", "SM", "WRAP"];
 
 /// Container kinds (8).
-pub const CONTAINER_KIND: [&str; 8] =
-    ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
+pub const CONTAINER_KIND: [&str; 8] = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
 
 /// Part-name color vocabulary (20); `p_name` is two distinct colors.
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "forest", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "forest",
+    "green",
 ];
 
 /// Order priorities (5), Q4's group domain.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship modes (7); Q12 and Q19 select on these.
 pub const SHIP_MODES: [&str; 7] = ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
@@ -75,8 +89,7 @@ pub const SHIP_INSTRUCT: [&str; 4] =
     ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"];
 
 /// Market segments (5); Q3 selects `BUILDING`.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
 
 /// The Q16 marker string planted in a fixed share of supplier comments.
 pub const COMPLAINT_COMMENT: &str = "Customer Complaints sleep";

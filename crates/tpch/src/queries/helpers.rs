@@ -131,10 +131,7 @@ pub fn domain_bounds(domain: &[i64], estimated_rows: usize) -> Vec<i64> {
     if d.len() < 2 {
         return Vec::new();
     }
-    let parts = estimated_rows
-        .div_ceil(SORTER_BATCH / 2)
-        .max(1)
-        .min(d.len());
+    let parts = estimated_rows.div_ceil(SORTER_BATCH / 2).max(1).min(d.len());
     (1..parts).map(|i| d[i * d.len() / parts]).collect()
 }
 
@@ -161,11 +158,8 @@ pub fn partitioned_aggregate(
     presort: bool,
 ) -> PortRef {
     assert!(!specs.is_empty(), "need at least one aggregation");
-    let parts = if bounds.is_empty() {
-        vec![table]
-    } else {
-        b.partition(table, group, bounds.to_vec())
-    };
+    let parts =
+        if bounds.is_empty() { vec![table] } else { b.partition(table, group, bounds.to_vec()) };
     let mut partials = Vec::with_capacity(parts.len());
     for part in parts {
         let part = if presort { b.sort(part, group) } else { part };
@@ -216,11 +210,7 @@ pub fn grouped_aggregate(
 /// A global (no `GROUP BY`) aggregation: gives every row the constant
 /// group key 0 and aggregates once. Returns `[zero, aggs...]` with one
 /// row.
-pub fn global_aggregate(
-    b: &mut GraphBuilder,
-    table: PortRef,
-    specs: &[AggSpec<'_>],
-) -> PortRef {
+pub fn global_aggregate(b: &mut GraphBuilder, table: PortRef, specs: &[AggSpec<'_>]) -> PortRef {
     assert!(!specs.is_empty(), "need at least one aggregation");
     let first = b.col_select(table, specs[0].0);
     let zero = b.alu_const(first, AluOp::Mul, Value::Int(0));

@@ -68,25 +68,115 @@ pub const QUERY_NAMES: [&str; 19] = [
 #[must_use]
 pub fn all() -> Vec<TpchQuery> {
     vec![
-        TpchQuery { name: "q1", title: "pricing summary report", software: q01::software, q100: q01::plan },
-        TpchQuery { name: "q2", title: "minimum cost supplier", software: q02::software, q100: q02::plan },
-        TpchQuery { name: "q3", title: "shipping priority", software: q03::software, q100: q03::plan },
-        TpchQuery { name: "q4", title: "order priority checking", software: q04::software, q100: q04::plan },
-        TpchQuery { name: "q5", title: "local supplier volume", software: q05::software, q100: q05::plan },
-        TpchQuery { name: "q6", title: "forecasting revenue change", software: q06::software, q100: q06::plan },
-        TpchQuery { name: "q7", title: "volume shipping", software: q07::software, q100: q07::plan },
-        TpchQuery { name: "q8", title: "national market share", software: q08::software, q100: q08::plan },
-        TpchQuery { name: "q10", title: "returned item reporting", software: q10::software, q100: q10::plan },
-        TpchQuery { name: "q11", title: "important stock identification", software: q11::software, q100: q11::plan },
-        TpchQuery { name: "q12", title: "shipping modes and order priority", software: q12::software, q100: q12::plan },
-        TpchQuery { name: "q14", title: "promotion effect", software: q14::software, q100: q14::plan },
+        TpchQuery {
+            name: "q1",
+            title: "pricing summary report",
+            software: q01::software,
+            q100: q01::plan,
+        },
+        TpchQuery {
+            name: "q2",
+            title: "minimum cost supplier",
+            software: q02::software,
+            q100: q02::plan,
+        },
+        TpchQuery {
+            name: "q3",
+            title: "shipping priority",
+            software: q03::software,
+            q100: q03::plan,
+        },
+        TpchQuery {
+            name: "q4",
+            title: "order priority checking",
+            software: q04::software,
+            q100: q04::plan,
+        },
+        TpchQuery {
+            name: "q5",
+            title: "local supplier volume",
+            software: q05::software,
+            q100: q05::plan,
+        },
+        TpchQuery {
+            name: "q6",
+            title: "forecasting revenue change",
+            software: q06::software,
+            q100: q06::plan,
+        },
+        TpchQuery {
+            name: "q7",
+            title: "volume shipping",
+            software: q07::software,
+            q100: q07::plan,
+        },
+        TpchQuery {
+            name: "q8",
+            title: "national market share",
+            software: q08::software,
+            q100: q08::plan,
+        },
+        TpchQuery {
+            name: "q10",
+            title: "returned item reporting",
+            software: q10::software,
+            q100: q10::plan,
+        },
+        TpchQuery {
+            name: "q11",
+            title: "important stock identification",
+            software: q11::software,
+            q100: q11::plan,
+        },
+        TpchQuery {
+            name: "q12",
+            title: "shipping modes and order priority",
+            software: q12::software,
+            q100: q12::plan,
+        },
+        TpchQuery {
+            name: "q14",
+            title: "promotion effect",
+            software: q14::software,
+            q100: q14::plan,
+        },
         TpchQuery { name: "q15", title: "top supplier", software: q15::software, q100: q15::plan },
-        TpchQuery { name: "q16", title: "parts/supplier relationship", software: q16::software, q100: q16::plan },
-        TpchQuery { name: "q17", title: "small-quantity-order revenue", software: q17::software, q100: q17::plan },
-        TpchQuery { name: "q18", title: "large volume customer", software: q18::software, q100: q18::plan },
-        TpchQuery { name: "q19", title: "discounted revenue", software: q19::software, q100: q19::plan },
-        TpchQuery { name: "q20", title: "potential part promotion", software: q20::software, q100: q20::plan },
-        TpchQuery { name: "q21", title: "suppliers who kept orders waiting", software: q21::software, q100: q21::plan },
+        TpchQuery {
+            name: "q16",
+            title: "parts/supplier relationship",
+            software: q16::software,
+            q100: q16::plan,
+        },
+        TpchQuery {
+            name: "q17",
+            title: "small-quantity-order revenue",
+            software: q17::software,
+            q100: q17::plan,
+        },
+        TpchQuery {
+            name: "q18",
+            title: "large volume customer",
+            software: q18::software,
+            q100: q18::plan,
+        },
+        TpchQuery {
+            name: "q19",
+            title: "discounted revenue",
+            software: q19::software,
+            q100: q19::plan,
+        },
+        TpchQuery {
+            name: "q20",
+            title: "potential part promotion",
+            software: q20::software,
+            q100: q20::plan,
+        },
+        TpchQuery {
+            name: "q21",
+            title: "suppliers who kept orders waiting",
+            software: q21::software,
+            q100: q21::plan,
+        },
     ]
 }
 
@@ -126,9 +216,8 @@ pub fn validate(query: &TpchQuery, db: &TpchData) -> Result<(), String> {
         (query.q100)(db).map_err(|e| format!("{} Q100 plan build failed: {e}", query.name))?;
     let run = q100_core::execute_lean(&graph, db)
         .map_err(|e| format!("{} Q100 execution failed: {e}", query.name))?;
-    let actual = run
-        .result_table(&graph)
-        .map_err(|e| format!("{} Q100 result shape: {e}", query.name))?;
+    let actual =
+        run.result_table(&graph).map_err(|e| format!("{} Q100 result shape: {e}", query.name))?;
 
     let want = canonical_rows(&expected);
     let got = canonical_rows(&actual);

@@ -36,11 +36,21 @@ pub fn software() -> Plan {
     );
     let charge = Expr::col("dp").arith(
         ArithKind::Add,
-        Expr::col("dp").arith(ArithKind::Mul, Expr::col("l_tax")).arith(ArithKind::Div, Expr::int(100)),
+        Expr::col("dp")
+            .arith(ArithKind::Mul, Expr::col("l_tax"))
+            .arith(ArithKind::Div, Expr::int(100)),
     );
     Plan::scan(
         "lineitem",
-        &["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate"],
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_shipdate",
+        ],
     )
     .filter(Expr::col("l_shipdate").cmp(CmpKind::Lte, Expr::date(cutoff)))
     .project(vec![
@@ -119,11 +129,8 @@ pub fn plan(db: &TpchData) -> Result<QueryGraph> {
     let li = db.table("lineitem");
     let rf_col = li.column("l_returnflag")?;
     let ls_col = li.column("l_linestatus")?;
-    let mut packed: Vec<i64> = rf_col
-        .iter()
-        .zip(ls_col.iter())
-        .map(|(&a, &c)| a * PACK + c)
-        .collect();
+    let mut packed: Vec<i64> =
+        rf_col.iter().zip(ls_col.iter()).map(|(&a, &c)| a * PACK + c).collect();
     packed.sort_unstable();
     packed.dedup();
     let bounds: Vec<i64> = packed.into_iter().skip(1).collect();

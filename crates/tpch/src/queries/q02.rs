@@ -33,15 +33,20 @@ fn brass_types() -> Vec<String> {
 #[must_use]
 pub fn software() -> Plan {
     let brass = brass_types().into_iter().map(Value::Str).collect();
-    let part_f = Plan::scan("part", &["p_partkey", "p_size", "p_type"]).filter(
-        Expr::col("p_size")
-            .eq(Expr::int(15))
-            .and(Expr::col("p_type").in_list(brass)),
-    );
+    let part_f = Plan::scan("part", &["p_partkey", "p_size", "p_type"])
+        .filter(Expr::col("p_size").eq(Expr::int(15)).and(Expr::col("p_type").in_list(brass)));
     let supp_eu = Plan::scan("region", &["r_regionkey", "r_name"])
         .filter(Expr::col("r_name").eq(Expr::str("EUROPE")))
-        .join(Plan::scan("nation", &["n_nationkey", "n_name", "n_regionkey"]), &["r_regionkey"], &["n_regionkey"])
-        .join(Plan::scan("supplier", &["s_suppkey", "s_name", "s_nationkey"]), &["n_nationkey"], &["s_nationkey"]);
+        .join(
+            Plan::scan("nation", &["n_nationkey", "n_name", "n_regionkey"]),
+            &["r_regionkey"],
+            &["n_regionkey"],
+        )
+        .join(
+            Plan::scan("supplier", &["s_suppkey", "s_name", "s_nationkey"]),
+            &["n_nationkey"],
+            &["s_nationkey"],
+        );
     let t1 = part_f.join(
         Plan::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"]),
         &["p_partkey"],
@@ -51,18 +56,13 @@ pub fn software() -> Plan {
     let mincost = t2
         .clone()
         .aggregate(&["ps_partkey"], vec![("min_cost", AggKind::Min, Expr::col("ps_supplycost"))])
-        .project(vec![
-            ("mc_key", Expr::col("ps_partkey")),
-            ("min_cost", Expr::col("min_cost")),
-        ]);
-    mincost
-        .join(t2, &["mc_key", "min_cost"], &["ps_partkey", "ps_supplycost"])
-        .project(vec![
-            ("p_partkey", Expr::col("mc_key")),
-            ("min_cost", Expr::col("min_cost")),
-            ("s_name", Expr::col("s_name")),
-            ("n_name", Expr::col("n_name")),
-        ])
+        .project(vec![("mc_key", Expr::col("ps_partkey")), ("min_cost", Expr::col("min_cost"))]);
+    mincost.join(t2, &["mc_key", "min_cost"], &["ps_partkey", "ps_supplycost"]).project(vec![
+        ("p_partkey", Expr::col("mc_key")),
+        ("min_cost", Expr::col("min_cost")),
+        ("s_name", Expr::col("s_name")),
+        ("n_name", Expr::col("n_name")),
+    ])
 }
 
 /// The Q100 spatial-instruction graph.
@@ -112,7 +112,8 @@ pub fn plan(_db: &TpchData) -> Result<QueryGraph> {
     let pk_t2 = b.col_select(t2, "ps_partkey");
     let cost_t2 = b.col_select(t2, "ps_supplycost");
     let costtab = b.stitch(&[pk_t2, cost_t2]);
-    let mincost = grouped_aggregate(&mut b, costtab, "ps_partkey", &[("ps_supplycost", AggOp::Min)]);
+    let mincost =
+        grouped_aggregate(&mut b, costtab, "ps_partkey", &[("ps_supplycost", AggOp::Min)]);
 
     // Composite (partkey, cost) join back to find the minimal rows.
     let mc_key = b.col_select(mincost, "ps_partkey");

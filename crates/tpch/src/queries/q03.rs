@@ -29,8 +29,9 @@ pub fn software() -> Plan {
     let date = date_to_days(1995, 3, 15);
     let cust = Plan::scan("customer", &["c_custkey", "c_mktsegment"])
         .filter(Expr::col("c_mktsegment").eq(Expr::str("BUILDING")));
-    let orders = Plan::scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])
-        .filter(Expr::col("o_orderdate").cmp(CmpKind::Lt, Expr::date(date)));
+    let orders =
+        Plan::scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])
+            .filter(Expr::col("o_orderdate").cmp(CmpKind::Lt, Expr::date(date)));
     let li = Plan::scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])
         .filter(Expr::col("l_shipdate").cmp(CmpKind::Gt, Expr::date(date)));
     cust.join(orders, &["c_custkey"], &["o_custkey"])

@@ -57,7 +57,8 @@ pub fn plan(db: &TpchData) -> Result<QueryGraph> {
     let lkey_f = b.col_filter(lkey, late);
     b.name_output(lkey_f, "l_orderkey");
     let late_tab = b.stitch(&[lkey_f]);
-    let distinct = grouped_aggregate(&mut b, late_tab, "l_orderkey", &[("l_orderkey", AggOp::Count)]);
+    let distinct =
+        grouped_aggregate(&mut b, late_tab, "l_orderkey", &[("l_orderkey", AggOp::Count)]);
 
     // Orders in the quarter.
     let okey = b.col_select_base("orders", "o_orderkey");

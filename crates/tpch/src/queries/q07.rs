@@ -37,14 +37,10 @@ pub fn software() -> Plan {
     let mid = date_to_days(1996, 1, 1);
     let hi = date_to_days(1996, 12, 31);
 
-    let n1 = Plan::scan("nation", &["n_nationkey", "n_name"]).project(vec![
-        ("n1_key", Expr::col("n_nationkey")),
-        ("supp_nation", Expr::col("n_name")),
-    ]);
-    let n2 = Plan::scan("nation", &["n_nationkey", "n_name"]).project(vec![
-        ("n2_key", Expr::col("n_nationkey")),
-        ("cust_nation", Expr::col("n_name")),
-    ]);
+    let n1 = Plan::scan("nation", &["n_nationkey", "n_name"])
+        .project(vec![("n1_key", Expr::col("n_nationkey")), ("supp_nation", Expr::col("n_name"))]);
+    let n2 = Plan::scan("nation", &["n_nationkey", "n_name"])
+        .project(vec![("n2_key", Expr::col("n_nationkey")), ("cust_nation", Expr::col("n_name"))]);
     let supp = n1
         .filter(
             Expr::col("supp_nation")

@@ -48,19 +48,28 @@ pub fn software() -> Plan {
             .and(Expr::col("o_orderdate").cmp(CmpKind::Lte, Expr::date(hi))),
     );
     let t2 = orders.join(t1, &["o_orderkey"], &["l_orderkey"]);
-    let t3 = Plan::scan("customer", &["c_custkey", "c_nationkey"])
-        .join(t2, &["c_custkey"], &["o_custkey"]);
+    let t3 = Plan::scan("customer", &["c_custkey", "c_nationkey"]).join(
+        t2,
+        &["c_custkey"],
+        &["o_custkey"],
+    );
     // American customers: region AMERICA -> nations -> semi filter.
     let nations_am = Plan::scan("region", &["r_regionkey", "r_name"])
         .filter(Expr::col("r_name").eq(Expr::str("AMERICA")))
-        .join(Plan::scan("nation", &["n_nationkey", "n_regionkey"]), &["r_regionkey"], &["n_regionkey"]);
+        .join(
+            Plan::scan("nation", &["n_nationkey", "n_regionkey"]),
+            &["r_regionkey"],
+            &["n_regionkey"],
+        );
     let t4 = nations_am.join(t3, &["n_nationkey"], &["c_nationkey"]);
     // Supplier nation name.
-    let n2 = Plan::scan("nation", &["n_nationkey", "n_name"]).project(vec![
-        ("n2_key", Expr::col("n_nationkey")),
-        ("supp_nation", Expr::col("n_name")),
-    ]);
-    let supp = n2.join(Plan::scan("supplier", &["s_suppkey", "s_nationkey"]), &["n2_key"], &["s_nationkey"]);
+    let n2 = Plan::scan("nation", &["n_nationkey", "n_name"])
+        .project(vec![("n2_key", Expr::col("n_nationkey")), ("supp_nation", Expr::col("n_name"))]);
+    let supp = n2.join(
+        Plan::scan("supplier", &["s_suppkey", "s_nationkey"]),
+        &["n2_key"],
+        &["s_nationkey"],
+    );
     supp.join(t4, &["s_suppkey"], &["l_suppkey"])
         .project(vec![
             (
@@ -80,7 +89,9 @@ pub fn software() -> Plan {
             ),
             (
                 "is_brazil",
-                Expr::col("supp_nation").eq(Expr::str("BRAZIL")).arith(ArithKind::Mul, Expr::int(1)),
+                Expr::col("supp_nation")
+                    .eq(Expr::str("BRAZIL"))
+                    .arith(ArithKind::Mul, Expr::int(1)),
             ),
         ])
         .project(vec![

@@ -35,8 +35,9 @@ pub fn software() -> Plan {
             .cmp(CmpKind::Gte, Expr::date(lo))
             .and(Expr::col("o_orderdate").cmp(CmpKind::Lt, Expr::date(hi))),
     );
-    let li = Plan::scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"])
-        .filter(Expr::col("l_returnflag").eq(Expr::str("R")));
+    let li =
+        Plan::scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"])
+            .filter(Expr::col("l_returnflag").eq(Expr::str("R")));
     let per_customer = orders
         .join(li, &["o_orderkey"], &["l_orderkey"])
         .project(vec![
@@ -113,7 +114,8 @@ pub fn plan(db: &TpchData) -> Result<QueryGraph> {
     // The date filter keeps ~1/24 of orders; bounds sized on the
     // filtered volume estimate (planner statistics).
     let bounds = sorter_bounds(&custkeys.data()[..custkeys.len() / 12]);
-    let agg = partitioned_aggregate(&mut b, revtab, "o_custkey", &[("rev", AggOp::Sum)], &bounds, true);
+    let agg =
+        partitioned_aggregate(&mut b, revtab, "o_custkey", &[("rev", AggOp::Sum)], &bounds, true);
 
     // Join customer and nation attributes back.
     let ckey = b.col_select_base("customer", "c_custkey");

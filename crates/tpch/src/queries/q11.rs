@@ -28,9 +28,16 @@ pub fn software() -> Plan {
     let german_ps = || {
         Plan::scan("nation", &["n_nationkey", "n_name"])
             .filter(Expr::col("n_name").eq(Expr::str("GERMANY")))
-            .join(Plan::scan("supplier", &["s_suppkey", "s_nationkey"]), &["n_nationkey"], &["s_nationkey"])
             .join(
-                Plan::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"]),
+                Plan::scan("supplier", &["s_suppkey", "s_nationkey"]),
+                &["n_nationkey"],
+                &["s_nationkey"],
+            )
+            .join(
+                Plan::scan(
+                    "partsupp",
+                    &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+                ),
                 &["s_suppkey"],
                 &["ps_suppkey"],
             )
@@ -55,10 +62,7 @@ pub fn software() -> Plan {
                 .arith(ArithKind::Mul, Expr::int(10000))
                 .cmp(q100_dbms::CmpKind::Gt, Expr::col("total")),
         )
-        .project(vec![
-            ("ps_partkey", Expr::col("ps_partkey")),
-            ("value", Expr::col("value")),
-        ])
+        .project(vec![("ps_partkey", Expr::col("ps_partkey")), ("value", Expr::col("value"))])
 }
 
 /// The Q100 spatial-instruction graph.

@@ -50,7 +50,10 @@ pub fn software() -> Plan {
                         .arith(ArithKind::Div, Expr::int(100)),
                 ),
             ),
-            ("is_promo", Expr::col("p_type").in_list(promo_values).arith(ArithKind::Mul, Expr::int(1))),
+            (
+                "is_promo",
+                Expr::col("p_type").in_list(promo_values).arith(ArithKind::Mul, Expr::int(1)),
+            ),
         ])
         .project(vec![
             ("zero", Expr::col("zero")),

@@ -20,7 +20,9 @@ use q100_columnar::{date_to_days, Value};
 use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
 use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
 
-use super::helpers::{broadcast_join, domain_bounds, global_aggregate, partitioned_aggregate, revenue_expr};
+use super::helpers::{
+    broadcast_join, domain_bounds, global_aggregate, partitioned_aggregate, revenue_expr,
+};
 use crate::TpchData;
 
 /// The software plan.

@@ -12,17 +12,19 @@
 //! ```
 //!
 //! `COUNT(DISTINCT …)` composes from Q100 primitives as two
-//! aggregations: first dedup `(group, suppkey)` pairs (partition + sort
-//! + run-aggregate on the concatenated key), then count rows per group.
-//! The `NOT IN` subquery becomes an inner join against the *good*
-//! suppliers. Both implementations report the `(brand, type, size)`
-//! group as its packed integer key.
+//! aggregations: first dedup `(group, suppkey)` pairs (partition, sort,
+//! and run-aggregate on the concatenated key), then count rows per
+//! group. The `NOT IN` subquery becomes an inner join against the
+//! *good* suppliers. Both implementations report the
+//! `(brand, type, size)` group as its packed integer key.
 
 use q100_columnar::Value;
 use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
 use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, JoinType, Plan};
 
-use super::helpers::{like_matches, or_eq_any, or_eq_any_values, partitioned_aggregate, sorter_bounds};
+use super::helpers::{
+    like_matches, or_eq_any, or_eq_any_values, partitioned_aggregate, sorter_bounds,
+};
 use crate::gen::text;
 use crate::TpchData;
 
@@ -36,10 +38,7 @@ fn medium_polished() -> Vec<String> {
 fn complaint_comments() -> Vec<String> {
     let mut pool = text::comment_pool();
     pool.push(text::COMPLAINT_COMMENT.to_string());
-    like_matches(&pool, "%Customer%")
-        .into_iter()
-        .filter(|s| s.contains("Complaints"))
-        .collect()
+    like_matches(&pool, "%Customer%").into_iter().filter(|s| s.contains("Complaints")).collect()
 }
 
 /// The software plan.
@@ -57,7 +56,11 @@ pub fn software() -> Plan {
     let good_supp = Plan::scan("supplier", &["s_suppkey", "s_comment"])
         .filter(Expr::col("s_comment").in_list(complaints).negate());
     part_f
-        .join(Plan::scan("partsupp", &["ps_partkey", "ps_suppkey"]), &["p_partkey"], &["ps_partkey"])
+        .join(
+            Plan::scan("partsupp", &["ps_partkey", "ps_suppkey"]),
+            &["p_partkey"],
+            &["ps_partkey"],
+        )
         .join_as(good_supp, &["ps_suppkey"], &["s_suppkey"], JoinType::LeftSemi)
         .project(vec![
             (
@@ -70,7 +73,10 @@ pub fn software() -> Plan {
             ),
             ("ps_suppkey", Expr::col("ps_suppkey")),
         ])
-        .aggregate(&["grp"], vec![("supplier_cnt", AggKind::CountDistinct, Expr::col("ps_suppkey"))])
+        .aggregate(
+            &["grp"],
+            vec![("supplier_cnt", AggKind::CountDistinct, Expr::col("ps_suppkey"))],
+        )
 }
 
 /// The Q100 spatial-instruction graph.
@@ -139,7 +145,8 @@ pub fn plan(db: &TpchData) -> Result<QueryGraph> {
     let grp_out = b.alu_const(pair_out, AluOp::Div, Value::Int(PACK));
     b.name_output(grp_out, "grp");
     let regrouped = b.stitch(&[grp_out]);
-    let _out = super::helpers::grouped_aggregate(&mut b, regrouped, "grp", &[("grp", AggOp::Count)]);
+    let _out =
+        super::helpers::grouped_aggregate(&mut b, regrouped, "grp", &[("grp", AggOp::Count)]);
     b.finish()
 }
 
@@ -153,10 +160,8 @@ fn q16_pair_bounds(db: &TpchData) -> Vec<i64> {
     let brand_dict = brands.dict().expect("brand dict");
     let type_dict = types.dict().expect("type dict");
     let brand45 = brand_dict.lookup("Brand#45").map(i64::from).unwrap_or(-1);
-    let mp: Vec<i64> = medium_polished()
-        .iter()
-        .filter_map(|t| type_dict.lookup(t).map(i64::from))
-        .collect();
+    let mp: Vec<i64> =
+        medium_polished().iter().filter_map(|t| type_dict.lookup(t).map(i64::from)).collect();
     let grp_of: Vec<Option<i64>> = (0..part.row_count())
         .map(|r| {
             let (bc, tc, sz) = (brands.get(r), types.get(r), sizes.get(r));

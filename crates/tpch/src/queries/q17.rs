@@ -85,8 +85,14 @@ pub fn plan(db: &TpchData) -> Result<QueryGraph> {
     let partkeys = db.table("part").column("p_partkey")?;
     let est = (partkeys.len() / 1000).max(1) * 4; // lineitems of matching parts
     let bounds = sorter_bounds(&partkeys.data()[..est.min(partkeys.len())]);
-    let avg =
-        partitioned_aggregate(&mut b, qtytab, "l_partkey", &[("l_quantity", AggOp::Avg)], &bounds, true);
+    let avg = partitioned_aggregate(
+        &mut b,
+        qtytab,
+        "l_partkey",
+        &[("l_quantity", AggOp::Avg)],
+        &bounds,
+        true,
+    );
 
     // threshold = avg / 5 (= 0.2 * avg in fixed point).
     let avg_key = b.col_select(avg, "l_partkey");

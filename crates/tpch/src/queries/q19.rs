@@ -18,8 +18,8 @@
 //! describes the boolean generator being "used in a chain or tree to
 //! form complex predicates".
 
-use q100_columnar::{Value};
-use q100_core::{AggOp, AluOp, CmpOp, PortRef, GraphBuilder, QueryGraph, Result};
+use q100_columnar::Value;
+use q100_core::{AggOp, AluOp, CmpOp, GraphBuilder, PortRef, QueryGraph, Result};
 use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
 
 use super::helpers::{global_aggregate, or_eq_any, revenue_expr};
@@ -34,9 +34,27 @@ struct Arm {
 }
 
 const ARMS: [Arm; 3] = [
-    Arm { brand: "Brand#12", containers: ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], qty_lo: 1, qty_hi: 11, size_hi: 5 },
-    Arm { brand: "Brand#23", containers: ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], qty_lo: 10, qty_hi: 20, size_hi: 10 },
-    Arm { brand: "Brand#34", containers: ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], qty_lo: 20, qty_hi: 30, size_hi: 15 },
+    Arm {
+        brand: "Brand#12",
+        containers: ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+        qty_lo: 1,
+        qty_hi: 11,
+        size_hi: 5,
+    },
+    Arm {
+        brand: "Brand#23",
+        containers: ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+        qty_lo: 10,
+        qty_hi: 20,
+        size_hi: 10,
+    },
+    Arm {
+        brand: "Brand#34",
+        containers: ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+        qty_lo: 20,
+        qty_hi: 30,
+        size_hi: 15,
+    },
 ];
 
 /// The software plan.
@@ -45,9 +63,10 @@ pub fn software() -> Plan {
     let arm = |a: &Arm| {
         Expr::col("p_brand")
             .eq(Expr::str(a.brand))
-            .and(Expr::col("p_container").in_list(
-                a.containers.iter().map(|c| Value::Str((*c).to_string())).collect(),
-            ))
+            .and(
+                Expr::col("p_container")
+                    .in_list(a.containers.iter().map(|c| Value::Str((*c).to_string())).collect()),
+            )
             .and(Expr::col("l_quantity").cmp(CmpKind::Gte, Expr::dec(a.qty_lo * 100)))
             .and(Expr::col("l_quantity").cmp(CmpKind::Lte, Expr::dec(a.qty_hi * 100)))
             .and(Expr::col("p_size").cmp(CmpKind::Gte, Expr::int(1)))
@@ -56,7 +75,14 @@ pub fn software() -> Plan {
     let tri = arm(&ARMS[0]).or(arm(&ARMS[1])).or(arm(&ARMS[2]));
     let li = Plan::scan(
         "lineitem",
-        &["l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct"],
+        &[
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipmode",
+            "l_shipinstruct",
+        ],
     )
     .filter(
         Expr::col("l_shipmode")
@@ -90,7 +116,8 @@ fn q100_arm(
     size: PortRef,
 ) -> PortRef {
     let c_brand = b.bool_gen_const(brand, CmpOp::Eq, Value::Str(a.brand.to_string()));
-    let c_cont = or_eq_any(b, container, &a.containers.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+    let c_cont =
+        or_eq_any(b, container, &a.containers.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
     let c_q1 = b.bool_gen_const(qty, CmpOp::Gte, Value::Decimal(a.qty_lo * 100));
     let c_q2 = b.bool_gen_const(qty, CmpOp::Lte, Value::Decimal(a.qty_hi * 100));
     let c_s1 = b.bool_gen_const(size, CmpOp::Gte, Value::Int(1));

@@ -23,7 +23,9 @@ use q100_columnar::{date_to_days, Value};
 use q100_core::{AggOp, AluOp, CmpOp, QueryGraph, Result};
 use q100_dbms::{AggKind, ArithKind, CmpKind, Expr, Plan};
 
-use super::helpers::{domain_bounds, like_matches, or_eq_any, partitioned_aggregate, sorter_bounds};
+use super::helpers::{
+    domain_bounds, like_matches, or_eq_any, partitioned_aggregate, sorter_bounds,
+};
 use crate::gen::text;
 use crate::TpchData;
 
@@ -48,8 +50,8 @@ pub fn software() -> Plan {
     let lo = date_to_days(1994, 1, 1);
     let hi = date_to_days(1995, 1, 1);
     let forest = forest_names().into_iter().map(Value::Str).collect();
-    let forest_parts = Plan::scan("part", &["p_partkey", "p_name"])
-        .filter(Expr::col("p_name").in_list(forest));
+    let forest_parts =
+        Plan::scan("part", &["p_partkey", "p_name"]).filter(Expr::col("p_name").in_list(forest));
     let ps = forest_parts
         .join(
             Plan::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"]),
@@ -57,7 +59,12 @@ pub fn software() -> Plan {
             &["ps_partkey"],
         )
         .project(vec![
-            ("pair", Expr::col("ps_partkey").arith(ArithKind::Mul, Expr::int(PACK)).arith(ArithKind::Add, Expr::col("ps_suppkey"))),
+            (
+                "pair",
+                Expr::col("ps_partkey")
+                    .arith(ArithKind::Mul, Expr::int(PACK))
+                    .arith(ArithKind::Add, Expr::col("ps_suppkey")),
+            ),
             ("ps_suppkey", Expr::col("ps_suppkey")),
             ("ps_availqty", Expr::col("ps_availqty")),
         ]);
@@ -68,7 +75,12 @@ pub fn software() -> Plan {
                 .and(Expr::col("l_shipdate").cmp(CmpKind::Lt, Expr::date(hi))),
         )
         .project(vec![
-            ("lpair", Expr::col("l_partkey").arith(ArithKind::Mul, Expr::int(PACK)).arith(ArithKind::Add, Expr::col("l_suppkey"))),
+            (
+                "lpair",
+                Expr::col("l_partkey")
+                    .arith(ArithKind::Mul, Expr::int(PACK))
+                    .arith(ArithKind::Add, Expr::col("l_suppkey")),
+            ),
             ("l_quantity", Expr::col("l_quantity")),
         ])
         .aggregate(&["lpair"], vec![("sum_qty", AggKind::Sum, Expr::col("l_quantity"))]);

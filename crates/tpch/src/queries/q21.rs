@@ -80,23 +80,17 @@ pub fn software() -> Plan {
             &["n_nationkey"],
             &["s_nationkey"],
         );
-    waiting
-        .join(saudi, &["l_suppkey"], &["s_suppkey"])
-        .project(vec![
-            ("s_suppkey", Expr::col("s_suppkey")),
-            ("s_name", Expr::col("s_name")),
-            ("numwait", Expr::col("numwait")),
-        ])
+    waiting.join(saudi, &["l_suppkey"], &["s_suppkey"]).project(vec![
+        ("s_suppkey", Expr::col("s_suppkey")),
+        ("s_name", Expr::col("s_name")),
+        ("numwait", Expr::col("numwait")),
+    ])
 }
 
 /// Distinct `(orderkey, suppkey)` pairs of `table` (columns named
 /// `l_orderkey`/`l_suppkey`), then per-order supplier counts.
 /// Returns `[l_orderkey, count]`.
-fn per_order_supplier_count(
-    b: &mut GraphBuilder,
-    table: PortRef,
-    bounds: &[i64],
-) -> PortRef {
+fn per_order_supplier_count(b: &mut GraphBuilder, table: PortRef, bounds: &[i64]) -> PortRef {
     let okey = b.col_select(table, "l_orderkey");
     let skey = b.col_select(table, "l_suppkey");
     let pair = b.concat(okey, skey);
@@ -168,7 +162,8 @@ pub fn plan(db: &TpchData) -> Result<QueryGraph> {
     // Row estimate for the per-supplier count: at most the late
     // lineitems of F orders (planner statistics).
     let late_rows = late_bounds.len().max(1) * 512;
-    let sbounds = domain_bounds(db.table("supplier").column("s_suppkey")?.data(), late_rows.max(2048));
+    let sbounds =
+        domain_bounds(db.table("supplier").column("s_suppkey")?.data(), late_rows.max(2048));
     let numwait = partitioned_aggregate(
         &mut b,
         wtab,

@@ -10,9 +10,8 @@
 use q100_columnar::{ColumnSpec, LogicalType, Schema};
 
 /// Names of the eight TPC-H base tables.
-pub const TABLE_NAMES: [&str; 8] = [
-    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
-];
+pub const TABLE_NAMES: [&str; 8] =
+    ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
 
 /// Base-table row counts at scale factor 1.0.
 #[must_use]
@@ -31,9 +30,7 @@ pub fn rows_at_sf1(table: &str) -> Option<u64> {
 }
 
 fn spec(name: &str, ty: LogicalType, width: u32) -> ColumnSpec {
-    ColumnSpec::new(name, ty)
-        .with_width(width)
-        .expect("schema widths are within the 32-byte cap")
+    ColumnSpec::new(name, ty).with_width(width).expect("schema widths are within the 32-byte cap")
 }
 
 fn int(name: &str) -> ColumnSpec {
@@ -61,11 +58,7 @@ fn text(name: &str, width: u32) -> ColumnSpec {
 pub fn table_schema(table: &str) -> Schema {
     match table {
         "region" => Schema::new(vec![int("r_regionkey"), text("r_name", 12)]),
-        "nation" => Schema::new(vec![
-            int("n_nationkey"),
-            text("n_name", 12),
-            int("n_regionkey"),
-        ]),
+        "nation" => Schema::new(vec![int("n_nationkey"), text("n_name", 12), int("n_regionkey")]),
         "supplier" => Schema::new(vec![
             int("s_suppkey"),
             text("s_name", 18),

@@ -2,8 +2,6 @@
 //! distributions the 19 queries select on must be present with roughly
 //! the frequencies dbgen produces, at any scale or seed.
 
-use proptest::prelude::*;
-
 use q100_columnar::{date_to_days, Catalog};
 use q100_tpch::schema::{table_schema, TABLE_NAMES};
 use q100_tpch::TpchData;
@@ -35,21 +33,15 @@ fn selectivities_match_dbgen_expectations() {
     // Return flags: R and A split the pre-cutoff half, N the rest.
     let flags = li.column("l_returnflag").unwrap();
     let dict = flags.dict().unwrap();
-    let r = flags
-        .iter()
-        .filter(|&&c| dict.resolve(c as u32) == Some("R"))
-        .count() as f64
-        / n;
+    let r = flags.iter().filter(|&&c| dict.resolve(c as u32) == Some("R")).count() as f64 / n;
     assert!((0.15..0.35).contains(&r), "returnflag R fraction {r}");
 
     // Market segments uniform over 5.
     let cust = db.table("customer");
     let seg = cust.column("c_mktsegment").unwrap();
     let sdict = seg.dict().unwrap();
-    let building = seg
-        .iter()
-        .filter(|&&c| sdict.resolve(c as u32) == Some("BUILDING"))
-        .count() as f64
+    let building = seg.iter().filter(|&&c| sdict.resolve(c as u32) == Some("BUILDING")).count()
+        as f64
         / cust.row_count() as f64;
     assert!((0.14..0.26).contains(&building), "BUILDING fraction {building}");
 }
@@ -104,21 +96,20 @@ fn extendedprice_is_quantity_times_retailprice() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Any (scale, seed) combination yields schema-conforming tables
-    /// with resolvable foreign keys.
-    #[test]
-    fn generator_invariants_hold_for_any_seed(
-        seed in any::<u64>(),
-        scale_milli in 1u32..8,
-    ) {
+/// Any (scale, seed) combination yields schema-conforming tables with
+/// resolvable foreign keys. Runs over a fixed set of deterministic
+/// cases (in-repo `q100-xrand`) so failures reproduce exactly.
+#[test]
+fn generator_invariants_hold_for_any_seed() {
+    for case in 0..8u64 {
+        let mut rng = q100_xrand::Rng::seed_from_u64(0x7C_0000 + case);
+        let seed = rng.gen_range(0..=u64::MAX);
+        let scale_milli = rng.gen_range(1u32..8);
         let db = TpchData::generate_seeded(f64::from(scale_milli) / 1000.0, seed);
         for name in TABLE_NAMES {
             let t = db.base_table(name).unwrap();
             table_schema(name).check(t).unwrap();
-            prop_assert!(t.row_count() > 0, "{name} is empty");
+            assert!(t.row_count() > 0, "{name} is empty");
         }
         // Primary keys dense and unique.
         for (table, key) in [
@@ -131,17 +122,13 @@ proptest! {
             let mut keys: Vec<i64> = col.data().to_vec();
             keys.sort_unstable();
             keys.dedup();
-            prop_assert_eq!(keys.len(), col.len(), "{} not unique", key);
-            prop_assert_eq!(keys.first().copied(), Some(1));
-            prop_assert_eq!(keys.last().copied(), Some(col.len() as i64));
+            assert_eq!(keys.len(), col.len(), "{key} not unique");
+            assert_eq!(keys.first().copied(), Some(1));
+            assert_eq!(keys.last().copied(), Some(col.len() as i64));
         }
         // Lineitem foreign keys resolve.
         let li = db.table("lineitem");
         let n_orders = db.table("orders").row_count() as i64;
-        prop_assert!(li
-            .column("l_orderkey")
-            .unwrap()
-            .iter()
-            .all(|&k| (1..=n_orders).contains(&k)));
+        assert!(li.column("l_orderkey").unwrap().iter().all(|&k| (1..=n_orders).contains(&k)));
     }
 }

@@ -1,0 +1,282 @@
+//! # `q100-xrand`: a self-contained deterministic PRNG
+//!
+//! The repository builds in fully offline environments, so it cannot
+//! pull `rand` from a registry. This crate provides the small slice of
+//! functionality the workspace actually needs — seedable, reproducible
+//! uniform sampling — on top of **xoshiro256\*\*** (Blackman & Vigna),
+//! seeded through SplitMix64 exactly as the reference implementation
+//! recommends.
+//!
+//! The API mirrors the subset of `rand` the generator and tests use:
+//! [`Rng::seed_from_u64`], [`Rng::gen_range`], [`Rng::gen_bool`] and
+//! [`Rng::gen_ratio`]. Sampling is unbiased (Lemire's multiply-shift
+//! rejection method) and the stream for a given seed is stable across
+//! platforms — test expectations and generated databases never shift
+//! under a toolchain update.
+//!
+//! # Example
+//!
+//! ```
+//! use q100_xrand::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6i64);
+//! assert!((1..=6).contains(&die));
+//! let again = Rng::seed_from_u64(42).gen_range(1..=6i64);
+//! assert_eq!(die, again, "same seed, same stream");
+//! ```
+
+use std::ops::Bound;
+use std::ops::RangeBounds;
+
+/// A seedable xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seeds the generator from a single `u64` (SplitMix64 expansion,
+    /// as the xoshiro reference implementation specifies).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[allow(clippy::missing_panics_doc)]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// An unbiased draw from `0..span` (Lemire's method). `span` must
+    /// be nonzero.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // (2^64 - span) % span, computed without overflow.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(span);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform draw from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or unbounded range.
+    pub fn gen_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) | Bound::Unbounded => panic!("range must have an inclusive start"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x.prev().expect("empty range"),
+            Bound::Unbounded => panic!("range must be bounded"),
+        };
+        assert!(lo.le(&hi), "empty sample range");
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53-bit mantissa draw, exactly representable.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `denominator` is zero or `numerator > denominator`.
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above one");
+        self.below(u64::from(denominator)) < u64::from(numerator)
+    }
+
+    /// A random lowercase ASCII string with a length drawn from
+    /// `len_range` — handy for dictionary/text tests.
+    pub fn gen_lowercase<R: RangeBounds<usize>>(&mut self, len_range: R) -> String {
+        let len =
+            self.gen_range((len_range.start_bound().cloned(), len_range.end_bound().cloned()));
+        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+
+    /// A vector of `len_range.sample()` values drawn by `f`.
+    pub fn gen_vec<T, R: RangeBounds<usize>>(
+        &mut self,
+        len_range: R,
+        mut f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len =
+            self.gen_range((len_range.start_bound().cloned(), len_range.end_bound().cloned()));
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+    /// The predecessor value, if any (used for exclusive upper bounds).
+    fn prev(self) -> Option<Self>;
+    /// Order check used to validate ranges.
+    fn le(&self, other: &Self) -> bool;
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            fn prev(self) -> Option<Self> { self.checked_sub(1) }
+            fn le(&self, other: &Self) -> bool { self <= other }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                if lo as u128 == 0 && hi as u128 == u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            fn prev(self) -> Option<Self> { self.checked_sub(1) }
+            fn le(&self, other: &Self) -> bool { self <= other }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32, i64);
+impl_sample_unsigned!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(2);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_extremes() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "uniform draw must reach both extremes");
+        for _ in 0..200 {
+            let v = r.gen_range(0..5usize);
+            assert!(v < 5);
+            let w = r.gen_range(10..=10i32);
+            assert_eq!(w, 10);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(99);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn bool_and_ratio_probabilities() {
+        let mut r = Rng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&heads), "gen_bool(0.25) gave {heads}/10000");
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 100)).count();
+        assert!((50..170).contains(&hits), "gen_ratio(1,100) gave {hits}/10000");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        assert!(r.gen_ratio(100, 100));
+    }
+
+    #[test]
+    fn full_width_ranges_sample() {
+        let mut r = Rng::seed_from_u64(11);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+        let _ = r.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn helpers_generate_shapes() {
+        let mut r = Rng::seed_from_u64(3);
+        let w = r.gen_lowercase(1..=8);
+        assert!((1..=8).contains(&w.len()));
+        assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        let v = r.gen_vec(0..20, |r| r.gen_range(-5..=5i64));
+        assert!(v.len() < 20);
+        assert!(v.iter().all(|x| (-5..=5).contains(x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn empty_range_panics() {
+        let mut r = Rng::seed_from_u64(0);
+        let _ = r.gen_range(5..5i64);
+    }
+}

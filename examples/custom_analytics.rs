@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example custom_analytics`
 
 use q100::columnar::{Column, MemoryCatalog, Table, Value};
-use q100::core::{
-    AggOp, Bandwidth, CmpOp, QueryGraph, SimConfig, Simulator, MEMORY_ENDPOINT,
-};
+use q100::core::{AggOp, Bandwidth, CmpOp, QueryGraph, SimConfig, Simulator, MEMORY_ENDPOINT};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pages(page_id, category), views(page_id, latency_ms, country)
@@ -21,14 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     let n_views = 300_000usize;
     let views = Table::new(vec![
-        Column::from_ints("v_page_id", (0..n_views).map(|i| (i as i64 * 17) % n_pages + 1).collect::<Vec<_>>()),
-        Column::from_ints("latency_ms", (0..n_views).map(|i| (i as i64 * 31) % 900 + 5).collect::<Vec<_>>()),
-        Column::from_strs(
-            "country",
-            (0..n_views).map(|i| ["DE", "FR", "JP", "US"][(i * 7) % 4]),
+        Column::from_ints(
+            "v_page_id",
+            (0..n_views).map(|i| (i as i64 * 17) % n_pages + 1).collect::<Vec<_>>(),
         ),
+        Column::from_ints(
+            "latency_ms",
+            (0..n_views).map(|i| (i as i64 * 31) % 900 + 5).collect::<Vec<_>>(),
+        ),
+        Column::from_strs("country", (0..n_views).map(|i| ["DE", "FR", "JP", "US"][(i * 7) % 4])),
     ])?;
-    let catalog = MemoryCatalog::new(vec![("pages".to_string(), pages), ("views".to_string(), views)]);
+    let catalog =
+        MemoryCatalog::new(vec![("pages".to_string(), pages), ("views".to_string(), views)]);
 
     // SELECT category, COUNT(*) slow_views FROM pages JOIN views
     // WHERE latency_ms > 500 AND country = 'US' GROUP BY category
@@ -67,14 +69,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run under generous and starved memory bandwidth.
     for (label, bandwidth) in [
         ("ideal bandwidth", Bandwidth::ideal()),
-        ("provisioned (6.3 GB/s NoC, 10 GB/s read)", Bandwidth {
-            noc_gbps: Some(6.3),
-            mem_read_gbps: Some(10.0),
-            mem_write_gbps: Some(10.0),
-        }),
+        (
+            "provisioned (6.3 GB/s NoC, 10 GB/s read)",
+            Bandwidth {
+                noc_gbps: Some(6.3),
+                mem_read_gbps: Some(10.0),
+                mem_write_gbps: Some(10.0),
+            },
+        ),
     ] {
         let config = SimConfig::pareto().with_bandwidth(bandwidth);
-        let outcome = Simulator::new(config).run(&graph, &catalog)?;
+        let outcome = Simulator::new(&config).run(&graph, &catalog)?;
         println!(
             "{label}: {:.3} ms, {:.4} mJ, peak memory read {:.1} GB/s",
             outcome.runtime_ms(),

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use q100::columnar::{date_to_days, Column, MemoryCatalog, Table, Value};
-use q100::core::{
-    AggOp, CmpOp, QueryGraph, SimConfig, Simulator, TileKind, TileMix,
-};
+use q100::core::{AggOp, CmpOp, QueryGraph, SimConfig, Simulator, TileKind, TileMix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small SALES table: season (1..=4), quantity, ship date.
@@ -65,11 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_count(TileKind::BoolGen, 2)
         .with_count(TileKind::Aggregator, 2)
         .with_count(TileKind::Append, 2);
-    let outcome = Simulator::new(SimConfig::new(mix)).run(&graph, &catalog)?;
+    let outcome = Simulator::new(&SimConfig::new(mix)).run(&graph, &catalog)?;
 
     println!("schedule: {}", outcome.schedule);
     for (i, tinst) in outcome.schedule.tinsts.iter().enumerate() {
-        println!("  temporal instruction #{}: {} sinsts {:?}", i + 1, tinst.nodes.len(), tinst.nodes);
+        println!(
+            "  temporal instruction #{}: {} sinsts {:?}",
+            i + 1,
+            tinst.nodes.len(),
+            tinst.nodes
+        );
     }
     println!(
         "\nruntime: {} cycles at 315 MHz = {:.3} ms; energy: {:.4} mJ; spills: {} bytes",

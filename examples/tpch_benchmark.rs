@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{name:>5} {:>10.3} {:>12.3} |", software.runtime_ms, software.energy_mj);
         for (_, config) in &designs {
             let graph = (query.q100)(&db)?;
-            let outcome = Simulator::new(config.clone()).run(&graph, &db)?;
+            let outcome = Simulator::new(config).run(&graph, &db)?;
 
             // Validate: the accelerator must compute the same rows.
             let got = queries::canonical_rows(&outcome.result_table(&graph)?);
@@ -48,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert_eq!(got, want, "{name}: Q100 result diverged from software");
 
             let speedup = software.runtime_ms / outcome.runtime_ms();
-            print!(
-                " {:>7.3}ms {:>6.0}x BW",
-                outcome.runtime_ms(),
-                speedup
-            );
+            print!(" {:>7.3}ms {:>6.0}x BW", outcome.runtime_ms(), speedup);
         }
         println!();
     }

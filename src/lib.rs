@@ -27,7 +27,8 @@
 //! // Generate a small database, pick a Q100 design, run TPC-H Q6.
 //! let db = TpchData::generate(0.01);
 //! let graph: QueryGraph = queries::q06::plan(&db)?;
-//! let sim = Simulator::new(SimConfig::pareto());
+//! let config = SimConfig::pareto();
+//! let sim = Simulator::new(&config);
 //! let outcome = sim.run(&graph, &db)?;
 //! println!(
 //!     "Q6: {} cycles, {:.3} ms, {:.3} mJ",

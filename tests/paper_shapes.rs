@@ -73,8 +73,8 @@ fn noc_limit_slows_some_queries_substantially() {
     let mut sensitive = 0;
     let mut insensitive = 0;
     for (_, per_limit) in &sweep.rows {
-        for q in 0..sweep.queries.len() {
-            let slowdown = per_limit[0][q] / per_limit[1][q];
+        for (capped, ideal) in per_limit[0].iter().zip(&per_limit[1]) {
+            let slowdown = capped / ideal;
             if slowdown > 1.25 {
                 sensitive += 1;
             } else if slowdown < 1.1 {
@@ -120,7 +120,11 @@ fn dse_selects_small_fast_and_balanced_designs() {
     let space = dse::explore(&w);
     assert_eq!(space.points.len(), 150, "the paper's 150 configurations");
     let lp = space.low_power();
-    assert_eq!((lp.alus, lp.partitioners, lp.sorters), (1, 1, 1), "minimum power is the minimal mix");
+    assert_eq!(
+        (lp.alus, lp.partitioners, lp.sorters),
+        (1, 1, 1),
+        "minimum power is the minimal mix"
+    );
     let hp = space.high_perf();
     assert!(hp.power_w > lp.power_w);
     assert!(hp.runtime_ms <= lp.runtime_ms);
