@@ -9,9 +9,11 @@ pub mod timing;
 pub use data::{Catalog, Data, MemoryCatalog};
 pub use functional::{execute, execute_lean, FunctionalRun, GraphProfile, NodeProfile};
 pub use timing::{
-    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, BwStats, ConnMatrix,
-    TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, simulate_traced,
+    BwStats, ConnMatrix, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
 };
+
+use q100_trace::TraceSink;
 
 use std::sync::Arc;
 
@@ -159,11 +161,27 @@ impl<'a> Simulator<'a> {
     /// Propagates graph validation, execution, scheduling, and
     /// configuration errors.
     pub fn run(&self, graph: &QueryGraph, catalog: &dyn Catalog) -> Result<SimOutcome> {
+        self.run_traced(graph, catalog, None)
+    }
+
+    /// [`run`](Self::run), emitting structured [`q100_trace::TraceEvent`]s
+    /// from the timing layer into `sink` (see
+    /// [`timing::simulate_traced`]). `None` is exactly [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_traced(
+        &self,
+        graph: &QueryGraph,
+        catalog: &dyn Catalog,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<SimOutcome> {
         // Lean execution: intermediates are dropped as consumed, so the
         // peak footprint tracks the largest working set, not the whole
         // dataflow history.
         let functional = functional::execute_lean(graph, catalog)?;
-        self.run_profiled(graph, &functional)
+        self.run_profiled_traced(graph, &functional, sink)
     }
 
     /// Schedules and times a query whose functional run (and volume
@@ -178,10 +196,24 @@ impl<'a> Simulator<'a> {
         graph: &QueryGraph,
         functional: &FunctionalRun,
     ) -> Result<SimOutcome> {
+        self.run_profiled_traced(graph, functional, None)
+    }
+
+    /// [`run_profiled`](Self::run_profiled) with an optional trace sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_profiled`](Self::run_profiled).
+    pub fn run_profiled_traced(
+        &self,
+        graph: &QueryGraph,
+        functional: &FunctionalRun,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<SimOutcome> {
         self.config.validate()?;
         let schedule =
             sched::schedule(self.config.scheduler, graph, &self.config.mix, &functional.profile)?;
-        self.run_scheduled(graph, functional, schedule)
+        self.run_scheduled_traced(graph, functional, schedule, sink)
     }
 
     /// Times a query under an externally supplied schedule (used by the
@@ -196,8 +228,25 @@ impl<'a> Simulator<'a> {
         functional: &FunctionalRun,
         schedule: Schedule,
     ) -> Result<SimOutcome> {
+        self.run_scheduled_traced(graph, functional, schedule, None)
+    }
+
+    /// [`run_scheduled`](Self::run_scheduled) with an optional trace
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_scheduled`](Self::run_scheduled).
+    pub fn run_scheduled_traced(
+        &self,
+        graph: &QueryGraph,
+        functional: &FunctionalRun,
+        schedule: Schedule,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<SimOutcome> {
         schedule.validate(graph, &self.config.mix)?;
-        let timing = timing::simulate(graph, &schedule, &functional.profile, self.config)?;
+        let timing =
+            timing::simulate_traced(graph, &schedule, &functional.profile, self.config, sink)?;
         Ok(SimOutcome {
             cycles: timing.cycles,
             results: functional.results(graph),
@@ -261,6 +310,35 @@ mod tests {
             .unwrap();
         let b = Simulator::new(&SimConfig::new(TileMix::uniform(4))).run(&g, &cat).unwrap();
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_is_deterministic() {
+        use q100_trace::{RingRecorder, TraceEvent};
+
+        let (g, cat) = fixture();
+        // A tight mix forces multiple stages so every event variant can
+        // appear (stage boundaries, spill volumes, link peaks).
+        let config = SimConfig::new(TileMix::uniform(1));
+        let untraced = Simulator::new(&config).run(&g, &cat).unwrap();
+
+        let mut rec = RingRecorder::new();
+        let traced = Simulator::new(&config).run_traced(&g, &cat, Some(&mut rec)).unwrap();
+        assert_eq!(traced.cycles, untraced.cycles, "tracing must not perturb timing");
+        assert_eq!(rec.dropped(), 0);
+
+        let events = rec.events();
+        let begins = events.iter().filter(|e| matches!(e, TraceEvent::TinstBegin { .. })).count();
+        let ends = events.iter().filter(|e| matches!(e, TraceEvent::TinstEnd { .. })).count();
+        assert_eq!(begins, traced.schedule.stages());
+        assert_eq!(ends, traced.schedule.stages());
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::TileBusy { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::StageMem { .. })));
+
+        // Same query, same config: byte-identical event stream.
+        let mut rec2 = RingRecorder::new();
+        let _ = Simulator::new(&config).run_traced(&g, &cat, Some(&mut rec2)).unwrap();
+        assert_eq!(events, rec2.events());
     }
 
     #[test]

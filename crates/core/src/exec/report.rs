@@ -86,9 +86,36 @@ pub fn render_report(outcome: &SimOutcome, graph: &QueryGraph) -> String {
     );
     let _ = writeln!(
         out,
-        "  read  avg {:.2} GB/s (hi {:.2}), write avg {:.2} GB/s (hi {:.2})",
-        t.mem_read.avg_gbps, t.mem_read.hi_gbps, t.mem_write.avg_gbps, t.mem_write.hi_gbps
+        "  read  avg {:.2} GB/s (hi {:.2}, lo {:.2}), write avg {:.2} GB/s (hi {:.2}, lo {:.2})",
+        t.mem_read.avg_gbps,
+        t.mem_read.hi_gbps,
+        t.mem_read.lo_gbps,
+        t.mem_write.avg_gbps,
+        t.mem_write.hi_gbps,
+        t.mem_write.lo_gbps
     );
+
+    // Per-endpoint bandwidth: how hard each tile kind (and memory)
+    // drives its ingress/egress links, so the report agrees with the
+    // per-link peaks the trace exporter emits.
+    let _ = writeln!(out, "\n## Endpoint bandwidth (peak GB/s)");
+    for ep in 0..=MEMORY_ENDPOINT {
+        let mut ingress = 0.0_f64;
+        let mut egress = 0.0_f64;
+        for other in 0..=MEMORY_ENDPOINT {
+            ingress = ingress.max(t.peak_gbps.get(other, ep));
+            egress = egress.max(t.peak_gbps.get(ep, other));
+        }
+        if ingress > 0.0 || egress > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {:<12} in {:>8.1}   out {:>8.1}",
+                crate::exec::endpoint_name(ep),
+                ingress,
+                egress
+            );
+        }
+    }
 
     // Hottest links.
     let mut links: Vec<(f64, usize, usize)> = Vec::new();
@@ -137,7 +164,13 @@ mod tests {
         assert!(text.contains("Temporal instructions"));
         assert!(text.contains("Tile activity"));
         assert!(text.contains("Memory traffic"));
+        assert!(text.contains("Endpoint bandwidth"));
         assert!(text.contains("Hottest links"));
         assert!(text.contains("ColSelect"));
+        // Runtime appears in both cycles and milliseconds, and the
+        // bandwidth lines carry the full hi/lo/avg BwStats.
+        assert!(text.contains("cycles ="));
+        assert!(text.contains(" ms at "));
+        assert!(text.contains("lo "));
     }
 }

@@ -21,6 +21,8 @@
 //! the peak-bandwidth heat maps (Figures 10–12) and memory profiles
 //! (Figures 14–15) of the paper.
 
+use q100_trace::{TraceEvent, TraceSink};
+
 use crate::config::SimConfig;
 use crate::error::{CoreError, Result};
 use crate::exec::functional::GraphProfile;
@@ -283,6 +285,28 @@ pub fn simulate(
     profile: &GraphProfile,
     config: &SimConfig,
 ) -> Result<TimingResult> {
+    simulate_traced(graph, schedule, profile, config, None)
+}
+
+/// [`simulate`], additionally emitting structured [`TraceEvent`]s into
+/// `sink`: temporal-instruction boundaries, per-quantum tile occupancy
+/// and memory bandwidth samples, stage stream-buffer fill/spill
+/// volumes, and per-link peak-bandwidth updates.
+///
+/// With `sink == None` this is exactly [`simulate`]: no events are
+/// constructed and the per-quantum hot loop only pays an untaken
+/// branch, so untraced simulations keep their performance.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_traced(
+    graph: &QueryGraph,
+    schedule: &Schedule,
+    profile: &GraphProfile,
+    config: &SimConfig,
+    mut sink: Option<&mut (dyn TraceSink + '_)>,
+) -> Result<TimingResult> {
     config.validate()?;
     let noc_bpc = config.bandwidth.noc_gbps.map(gbps_to_bytes_per_cycle);
     // Dedicated point-to-point links are exempt from the per-link cap.
@@ -311,9 +335,27 @@ pub fn simulate(
     // loop below allocates nothing.
     let mut desired_scratch: Vec<f64> = Vec::new();
 
-    for tinst in &schedule.tinsts {
+    for (stage_idx, tinst) in schedule.tinsts.iter().enumerate() {
         let mut stage = build_stage(graph, schedule, profile, &tinst.nodes);
         record_connections(&mut result.connections, &stage);
+        let stage_start = result.cycles;
+        let peak_before = if let Some(s) = sink.as_deref_mut() {
+            s.record(TraceEvent::TinstBegin {
+                stage: stage_idx as u32,
+                cycle: stage_start,
+                nodes: tinst.nodes.len() as u32,
+            });
+            let (fill_bytes, spill_bytes) = stage_memory_volumes(&stage);
+            s.record(TraceEvent::StageMem {
+                stage: stage_idx as u32,
+                cycle: stage_start,
+                fill_bytes,
+                spill_bytes,
+            });
+            Some(result.peak_gbps.clone())
+        } else {
+            None
+        };
         let stage_cycles = run_stage(
             &mut stage,
             noc_bpc,
@@ -324,10 +366,32 @@ pub fn simulate(
             &mut read_samples,
             &mut write_samples,
             &mut desired_scratch,
+            stage_start,
+            sink.as_deref_mut(),
         )?;
         let cycles = stage_cycles + memory_latency_cycles();
         result.per_tinst_cycles.push(cycles);
         result.cycles += cycles;
+        if let Some(s) = sink.as_deref_mut() {
+            let end = result.cycles;
+            if let Some(before) = peak_before {
+                for src in 0..ENDPOINTS {
+                    for dst in 0..ENDPOINTS {
+                        let now = result.peak_gbps.get(src, dst);
+                        if now > before.get(src, dst) {
+                            s.record(TraceEvent::LinkPeak {
+                                stage: stage_idx as u32,
+                                cycle: end,
+                                src: src as u16,
+                                dst: dst as u16,
+                                gbps: now,
+                            });
+                        }
+                    }
+                }
+            }
+            s.record(TraceEvent::TinstEnd { stage: stage_idx as u32, cycle: end });
+        }
     }
 
     // Final result bytes: sink output ports stream to memory.
@@ -474,6 +538,28 @@ fn build_stage(
     sim
 }
 
+/// Stream-buffer volumes of a stage: bytes filled from memory (base
+/// tables plus spilled intermediates re-read) and bytes spilled back
+/// (cross-stage outputs plus final results). Reported on the stage's
+/// [`TraceEvent::StageMem`] event.
+fn stage_memory_volumes(stage: &[SimNode]) -> (u64, u64) {
+    let mut fill = 0.0_f64;
+    let mut spill = 0.0_f64;
+    for node in stage {
+        for input in &node.inputs {
+            if matches!(input.source, InputSource::Memory) {
+                fill += input.records * input.width;
+            }
+        }
+        for output in &node.outputs {
+            if output.to_memory {
+                spill += output.records * output.width;
+            }
+        }
+    }
+    (fill.round() as u64, spill.round() as u64)
+}
+
 /// Counts the connections a stage instantiates (Figures 7–9).
 fn record_connections(matrix: &mut ConnMatrix, stage: &[SimNode]) {
     for node in stage {
@@ -504,6 +590,8 @@ fn run_stage(
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
     desired: &mut Vec<f64>,
+    base_cycle: u64,
+    mut sink: Option<&mut (dyn TraceSink + '_)>,
 ) -> Result<u64> {
     // Quantum: fine enough to resolve bandwidth peaks, coarse enough to
     // finish large volumes in a bounded number of steps.
@@ -514,9 +602,16 @@ fn run_stage(
     let dt = (max_records / 8192.0).ceil().max(64.0);
     let mut cycles = 0.0_f64;
     let mut stalls = 0u32;
+    let mut busy_scratch = [0u16; TileKind::COUNT];
 
     while stage.iter().any(|n| !n.finished()) {
-        let progress = step(
+        let busy = if sink.is_some() {
+            busy_scratch = [0; TileKind::COUNT];
+            Some(&mut busy_scratch)
+        } else {
+            None
+        };
+        let stepped = step(
             stage,
             dt,
             noc_bpc,
@@ -527,7 +622,30 @@ fn run_stage(
             read_samples,
             write_samples,
             desired,
+            busy,
         );
+        if let Some(s) = sink.as_deref_mut() {
+            let cycle = base_cycle + cycles as u64;
+            for (kind, &busy) in busy_scratch.iter().enumerate() {
+                if busy > 0 {
+                    s.record(TraceEvent::TileBusy {
+                        tile: kind as u16,
+                        cycle,
+                        dt: dt as u32,
+                        busy,
+                    });
+                }
+            }
+            if stepped.read_bytes > 0.0 || stepped.write_bytes > 0.0 {
+                s.record(TraceEvent::MemSample {
+                    cycle,
+                    dt: dt as u32,
+                    read_bytes: stepped.read_bytes,
+                    write_bytes: stepped.write_bytes,
+                });
+            }
+        }
+        let progress = stepped.moved;
         cycles += dt;
         if progress <= f64::EPSILON {
             stalls += 1;
@@ -543,8 +661,18 @@ fn run_stage(
     Ok(cycles.round() as u64)
 }
 
-/// Advances the fluid network by `dt` cycles; returns total records
-/// moved.
+/// What one quantum moved: total records plus the memory bytes it
+/// transferred (also sampled into the bandwidth accumulators).
+#[derive(Debug, Clone, Copy, Default)]
+struct StepStats {
+    moved: f64,
+    read_bytes: f64,
+    write_bytes: f64,
+}
+
+/// Advances the fluid network by `dt` cycles; returns what moved. When
+/// `busy` is supplied (tracing), it is filled with the number of busy
+/// instructions per tile kind this quantum.
 #[allow(clippy::too_many_arguments)]
 fn step(
     stage: &mut [SimNode],
@@ -557,7 +685,8 @@ fn step(
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
     desired: &mut Vec<f64>,
-) -> f64 {
+    mut busy: Option<&mut [u16; TileKind::COUNT]>,
+) -> StepStats {
     let n = stage.len();
     // Pass 1: per-node desired input advance (records over this quantum)
     // ignoring the shared memory budget, plus the memory demand it
@@ -598,11 +727,14 @@ fn step(
         moved += m;
         if m > 0.0 {
             result.busy_cycles[stage[idx].kind as usize] += dt;
+            if let Some(b) = busy.as_deref_mut() {
+                b[stage[idx].kind as usize] += 1;
+            }
         }
     }
     read_samples.sample(read_bytes, dt);
     write_samples.sample(write_bytes, dt);
-    moved
+    StepStats { moved, read_bytes, write_bytes }
 }
 
 fn factor(demand: f64, budget: Option<f64>) -> f64 {

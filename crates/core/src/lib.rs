@@ -29,10 +29,18 @@ pub use config::{Bandwidth, SchedulerKind, SimConfig, TileMix};
 pub use error::{CoreError, Result};
 pub use exec::report::render_report;
 pub use exec::{
-    execute, execute_lean, simulate, BwStats, Catalog, ConnMatrix, Data, FunctionalRun,
-    GraphProfile, MemoryCatalog, SimOutcome, Simulator, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+    execute, execute_lean, simulate, simulate_traced, BwStats, Catalog, ConnMatrix, Data,
+    FunctionalRun, GraphProfile, MemoryCatalog, SimOutcome, Simulator, TimingResult, ENDPOINTS,
+    MEMORY_ENDPOINT,
 };
 pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
 pub use power::DesignBudget;
 pub use sched::{check_feasible, schedule, CacheStats, Schedule, ScheduleCache, Tinst};
 pub use tiles::{TileKind, TileSpec, FREQUENCY_MHZ, SORTER_BATCH};
+
+/// Structured tracing and metrics (re-export of [`q100_trace`]): the
+/// timing simulator emits [`trace::TraceEvent`]s into any
+/// [`trace::TraceSink`] handed to the `*_traced` entry points, and the
+/// events export to Chrome `trace_event` JSON via
+/// [`trace::chrome_trace_json`].
+pub use q100_trace as trace;

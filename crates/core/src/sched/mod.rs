@@ -251,11 +251,18 @@ where
 }
 
 /// Hit/miss counters of a [`ScheduleCache`].
+///
+/// Defined deterministically: `misses` is the number of *distinct keys
+/// inserted* since the last reset and `hits` is the remaining successful
+/// lookups. Under concurrent sweeps two workers may race to schedule the
+/// same key, but only one insertion wins, so these numbers are identical
+/// for any `--jobs` count — a property the experiments binary's stdout
+/// determinism check relies on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that ran a scheduler.
+    /// Lookups that inserted a fresh schedule.
     pub misses: u64,
 }
 
@@ -285,8 +292,13 @@ pub struct ScheduleCache {
     map: std::sync::Mutex<
         std::collections::HashMap<(u64, SchedulerKind, TileMix), std::sync::Arc<Schedule>>,
     >,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    /// Successful lookups since the last reset (call count, which is
+    /// independent of worker interleaving).
+    lookups: std::sync::atomic::AtomicU64,
+    /// Map size at the last reset; `len - base_len` is the
+    /// deterministic miss count.
+    base_len: std::sync::atomic::AtomicU64,
+    registry: Option<std::sync::Arc<q100_trace::Registry>>,
 }
 
 impl ScheduleCache {
@@ -294,6 +306,13 @@ impl ScheduleCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that additionally counts every successful lookup
+    /// into `registry` under `sched.cache.lookups`.
+    #[must_use]
+    pub fn with_metrics(registry: std::sync::Arc<q100_trace::Registry>) -> Self {
+        ScheduleCache { registry: Some(registry), ..Self::default() }
     }
 
     /// Returns the memoized schedule for `(tag, kind, mix)`, running
@@ -319,27 +338,51 @@ impl ScheduleCache {
         mix: &TileMix,
         profile: &GraphProfile,
     ) -> Result<std::sync::Arc<Schedule>> {
-        use std::sync::atomic::Ordering;
         let key = (tag, kind, *mix);
         if let Some(s) = self.map.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note_lookup();
             return Ok(std::sync::Arc::clone(s));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = std::sync::Arc::new(schedule(kind, graph, mix, profile)?);
+        self.note_lookup();
         let mut map = self.map.lock().unwrap();
         let entry = map.entry(key).or_insert(fresh);
         Ok(std::sync::Arc::clone(entry))
     }
 
-    /// Current hit/miss counters.
+    fn note_lookup(&self) {
+        self.lookups.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(r) = &self.registry {
+            r.inc("sched.cache.lookups", 1);
+        }
+    }
+
+    /// Current hit/miss counters (see [`CacheStats`] for the
+    /// deterministic definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         use std::sync::atomic::Ordering;
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        let len = self.map.lock().unwrap().len() as u64;
+        let misses = len.saturating_sub(self.base_len.load(Ordering::Relaxed));
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        CacheStats { hits: lookups.saturating_sub(misses), misses }
+    }
+
+    /// Zeroes the counters while keeping every memoized schedule, so
+    /// each sweep of a multi-figure run reports its own hit/miss line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn reset_stats(&self) {
+        use std::sync::atomic::Ordering;
+        let len = self.map.lock().unwrap().len() as u64;
+        self.base_len.store(len, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
     }
 
     /// Number of distinct memoized schedules.
@@ -366,8 +409,8 @@ impl ScheduleCache {
     pub fn clear(&self) {
         use std::sync::atomic::Ordering;
         self.map.lock().unwrap().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.base_len.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
     }
 }
 
@@ -499,6 +542,27 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn schedule_cache_reset_stats_keeps_schedules() {
+        let g = chain_graph();
+        let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };
+        let registry = std::sync::Arc::new(q100_trace::Registry::new());
+        let cache = ScheduleCache::with_metrics(std::sync::Arc::clone(&registry));
+        let mix = TileMix::uniform(1);
+        let _ = cache.get_or_schedule(1, SchedulerKind::Naive, &g, &mix, &profile).unwrap();
+        let _ = cache.get_or_schedule(1, SchedulerKind::Naive, &g, &mix, &profile).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(registry.counter("sched.cache.lookups"), 2);
+
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 1, "reset_stats must not drop memoized schedules");
+
+        // The next sweep over the same key is all hits.
+        let _ = cache.get_or_schedule(1, SchedulerKind::Naive, &g, &mix, &profile).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0 });
     }
 
     #[test]

@@ -34,6 +34,23 @@ pub struct CostStats {
 }
 
 impl CostStats {
+    /// Records every counter into `registry` under `sw.<counter>` keys,
+    /// so experiment runs can dump the software baseline's work volume
+    /// alongside the Q100 metrics. Counter adds commute, so the totals
+    /// are identical at any sweep worker count.
+    pub fn record_into(&self, registry: &q100_trace::Registry) {
+        registry.inc("sw.scan_values", self.scan_values);
+        registry.inc("sw.expr_values", self.expr_values);
+        registry.inc("sw.filter_rows", self.filter_rows);
+        registry.inc("sw.materialized_values", self.materialized_values);
+        registry.inc("sw.join_build_rows", self.join_build_rows);
+        registry.inc("sw.join_probe_rows", self.join_probe_rows);
+        registry.inc("sw.join_out_rows", self.join_out_rows);
+        registry.inc("sw.agg_rows", self.agg_rows);
+        registry.inc("sw.sort_comparisons", self.sort_comparisons);
+        registry.inc("sw.runs", 1);
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &CostStats) {
         self.scan_values += other.scan_values;

@@ -15,7 +15,9 @@
 //! * [`runner`] — shared workload preparation (functional runs are
 //!   executed once and reused across all configuration sweeps),
 //! * [`pool`] — the parallel sweep executor (`--jobs N` / `Q100_JOBS`)
-//!   with deterministic, job-count-independent result ordering.
+//!   with deterministic, job-count-independent result ordering,
+//! * [`perf_report`] — the `perf-report` subcommand: a pinned sweep
+//!   subset emitting `BENCH_<date>.json` for regression tracking.
 //!
 //! Tables 1, 3, 4 are rendered from their constant models in
 //! `q100-core`/`q100-dbms`. The `q100-experiments` binary exposes every
@@ -24,6 +26,7 @@
 pub mod ablation;
 pub mod comm;
 pub mod dse;
+pub mod perf_report;
 pub mod pool;
 pub mod runner;
 pub mod sched_study;

@@ -2,16 +2,23 @@
 //! evaluation.
 //!
 //! ```text
-//! q100-experiments [--sf <scale>] [--jobs <n>] <experiments...>
+//! q100-experiments [--sf <scale>] [--jobs <n>]
+//!                  [--trace <out.json>] [--metrics <out.json|out.csv>]
+//!                  <experiments...>
 //!
-//! experiments:
-//!   --table1 --table2 --table3 --table4
-//!   --fig3 --fig4 --fig5 --fig6 --fig7 --fig8 --fig9
-//!   --fig10 --fig11 --fig12 --fig13 --fig14 --fig15 --fig16 --fig17
-//!   --fig18 --fig19 --fig20 --fig21 --fig22 --fig23 --fig24
-//!   --fig25 --fig26 --ablation
-//!   --all        (everything; the scaled study uses --sf x 100)
+//! experiments (with or without the leading `--`):
+//!   table1 table2 table3 table4
+//!   fig3 .. fig26  ablation
+//!   all          (everything; the scaled study uses --sf x 100)
+//!   perf-report  (pinned sweep subset -> BENCH_<date>.json; --out <f>)
 //! ```
+//!
+//! `--trace` writes a Chrome `trace_event` JSON of every workload query
+//! under the Pareto design (open in `chrome://tracing` or Perfetto);
+//! `--metrics` dumps the deterministic metrics registry as JSON (or CSV
+//! when the path ends in `.csv`). Each figure's sweep prints a
+//! `schedule cache:` hits/misses line and resets the counters, so the
+//! numbers are per-figure.
 
 use std::collections::BTreeSet;
 use std::env;
@@ -19,15 +26,17 @@ use std::process::ExitCode;
 
 use q100_core::{power, Bandwidth, SimConfig, TileKind};
 use q100_experiments::{
-    ablation, comm, dse, paper_designs, pool, sched_study, sensitivity, software_cmp,
+    ablation, comm, dse, paper_designs, perf_report, pool, sched_study, sensitivity, software_cmp,
 };
 use q100_experiments::{Workload, DEFAULT_SCALE};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: q100-experiments [--sf <scale>] [--jobs <n>] --all | --tableN ... --figN ...\n\
+        "usage: q100-experiments [--sf <scale>] [--jobs <n>] [--trace <f>] [--metrics <f>]\n\
+         \x20                       all | tableN ... figN ... | perf-report [--out <f>]\n\
          regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
-         --jobs (or Q100_JOBS) caps the sweep worker count"
+         --jobs (or Q100_JOBS) caps the sweep worker count;\n\
+         --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump"
     );
     ExitCode::FAILURE
 }
@@ -39,6 +48,9 @@ fn main() -> ExitCode {
     }
     let mut scale = DEFAULT_SCALE;
     let mut wants: BTreeSet<String> = BTreeSet::new();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -55,7 +67,19 @@ fn main() -> ExitCode {
                 }
                 pool::set_jobs(Some(v));
             }
-            "--all" => {
+            "--trace" => {
+                let Some(v) = iter.next() else { return usage() };
+                trace_out = Some(v.clone());
+            }
+            "--metrics" => {
+                let Some(v) = iter.next() else { return usage() };
+                metrics_out = Some(v.clone());
+            }
+            "--out" => {
+                let Some(v) = iter.next() else { return usage() };
+                bench_out = Some(v.clone());
+            }
+            "--all" | "all" => {
                 wants.insert("ablation".to_string());
                 for t in 1..=4 {
                     wants.insert(format!("table{t}"));
@@ -67,14 +91,26 @@ fn main() -> ExitCode {
                     wants.insert(format!("fig{f}"));
                 }
             }
-            flag if flag.starts_with("--") => {
-                wants.insert(flag.trim_start_matches("--").to_string());
+            name => {
+                wants.insert(name.trim_start_matches("--").to_string());
             }
-            _ => return usage(),
         }
     }
     if wants.is_empty() {
         return usage();
+    }
+
+    if wants.remove("perf-report") {
+        match perf_report::write(bench_out.as_deref()) {
+            Ok(path) => eprintln!("perf report written to {path}"),
+            Err(e) => {
+                eprintln!("perf-report failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if wants.is_empty() && trace_out.is_none() && metrics_out.is_none() {
+            return ExitCode::SUCCESS;
+        }
     }
 
     // Constant tables need no simulation.
@@ -89,17 +125,27 @@ fn main() -> ExitCode {
     }
 
     let needs_workload =
-        wants.iter().any(|w| w.starts_with("fig") || w == "table2" || w == "ablation");
+        wants.iter().any(|w| w.starts_with("fig") || w == "table2" || w == "ablation")
+            || trace_out.is_some()
+            || metrics_out.is_some();
     if !needs_workload {
         return ExitCode::SUCCESS;
     }
 
     eprintln!("preparing workload at SF {scale} ({} sweep workers) ...", pool::jobs());
     let workload = Workload::prepare(scale);
+    // Per-figure schedule-cache summary: print, then reset so the next
+    // figure's line covers only its own sweep. The counts are
+    // deterministic at any --jobs setting (see `CacheStats`).
+    let cache_line = |label: &str| {
+        println!("{label} schedule cache: {}", workload.sched_cache_stats());
+        workload.reset_sched_cache_stats();
+    };
 
     if wants.contains("table2") {
         println!("== Table 2: tiny tiles and maximum useful counts ==");
         println!("{}", sensitivity::table2(&workload, 0.01).render());
+        cache_line("table2");
     }
     for (fig, kind) in
         [("fig3", TileKind::Aggregator), ("fig4", TileKind::Alu), ("fig5", TileKind::Sorter)]
@@ -107,6 +153,7 @@ fn main() -> ExitCode {
         if wants.contains(fig) {
             println!("== Figure {}: {} sensitivity ==", &fig[3..], kind);
             println!("{}", sensitivity::sweep(&workload, kind).render());
+            cache_line(fig);
         }
     }
     if wants.contains("fig6") {
@@ -114,6 +161,7 @@ fn main() -> ExitCode {
         let space = dse::explore(&workload);
         println!("{}", space.render_summary());
         println!("{}", space.to_csv());
+        cache_line("fig6");
     }
     for (fig, idx) in [("fig7", 0), ("fig8", 1), ("fig9", 2)] {
         if wants.contains(fig) {
@@ -127,6 +175,7 @@ fn main() -> ExitCode {
                     None
                 )
             );
+            cache_line(fig);
         }
     }
     for (fig, idx) in [("fig10", 0), ("fig11", 1), ("fig12", 2)] {
@@ -145,11 +194,13 @@ fn main() -> ExitCode {
                     Some(comm::NOC_LIMIT_GBPS),
                 )
             );
+            cache_line(fig);
         }
     }
     if wants.contains("fig13") {
         println!("== Figure 13: NoC bandwidth sweep ==");
         println!("{}", comm::bandwidth_sweep(&workload, "NoC", &[5.0, 10.0, 15.0, 20.0]).render());
+        cache_line("fig13");
     }
     for (fig, direction) in [("fig14", "read"), ("fig15", "write")] {
         if wants.contains(fig) {
@@ -160,6 +211,7 @@ fn main() -> ExitCode {
                     comm::mem_profile(&workload, &config, direction).render()
                 );
             }
+            cache_line(fig);
         }
     }
     if wants.contains("fig16") {
@@ -168,6 +220,7 @@ fn main() -> ExitCode {
             "{}",
             comm::bandwidth_sweep(&workload, "MemRead", &[10.0, 20.0, 30.0, 40.0]).render()
         );
+        cache_line("fig16");
     }
     if wants.contains("fig17") {
         println!("== Figure 17: memory write bandwidth sweep ==");
@@ -175,10 +228,12 @@ fn main() -> ExitCode {
             "{}",
             comm::bandwidth_sweep(&workload, "MemWrite", &[5.0, 10.0, 15.0, 20.0]).render()
         );
+        cache_line("fig17");
     }
     if wants.contains("fig18") {
         println!("== Figure 18: bandwidth-limit impact ==");
         println!("{}", comm::limit_stack(&workload).render());
+        cache_line("fig18");
     }
     let sched_figs = ["fig19", "fig20", "fig21", "fig22"];
     if sched_figs.iter().any(|f| wants.contains(*f)) {
@@ -186,6 +241,7 @@ fn main() -> ExitCode {
         for study in sched_study::study_all_designs(&workload) {
             println!("{}", study.render());
         }
+        cache_line("fig19-22");
     }
     if wants.contains("fig23") || wants.contains("fig24") {
         let cmp = software_cmp::compare(&workload);
@@ -204,6 +260,7 @@ fn main() -> ExitCode {
             cmp.mean_energy_gain(1),
             cmp.mean_energy_gain(2),
         );
+        cache_line("fig23-24");
     }
     if wants.contains("ablation") {
         println!("== Ablation: stream-buffer provisioning (Pareto design) ==");
@@ -212,6 +269,7 @@ fn main() -> ExitCode {
         println!("{}", ablation::render_sb_sweep(&points));
         println!("== Ablation: point-to-point links (Pareto design) ==");
         println!("{}", ablation::p2p_ablation(&workload, &SimConfig::pareto(), 5).render());
+        cache_line("ablation");
     }
     if wants.contains("fig25") || wants.contains("fig26") {
         eprintln!("preparing 100x workload at SF {} ...", scale * 100.0);
@@ -223,8 +281,33 @@ fn main() -> ExitCode {
             println!("== Figure 26: 100x data, energy vs software ==\n{}", cmp.render_energy());
         }
     }
-    eprintln!("schedule cache: {}", workload.sched_cache_stats());
+    if let Some(path) = trace_out {
+        // One serial traced pass per query under the Pareto design:
+        // byte-stable regardless of --jobs or which figures ran above.
+        let streams = workload.trace_all(&SimConfig::pareto());
+        let names: Vec<&str> =
+            (0..q100_core::ENDPOINTS).map(q100_core::exec::endpoint_name).collect();
+        let json = q100_core::trace::chrome_trace_json(
+            &streams,
+            &names,
+            q100_core::exec::bytes_per_cycle_to_gbps(1.0),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("Chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+        workload.reset_sched_cache_stats();
+    }
+    if let Some(path) = metrics_out {
+        let snapshot = workload.metrics().snapshot();
+        let dump = if path.ends_with(".csv") { snapshot.to_csv() } else { snapshot.to_json() };
+        if let Err(e) = std::fs::write(&path, dump) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
+    }
     let _ = Bandwidth::ideal();
-    let _ = SimConfig::pareto();
     ExitCode::SUCCESS
 }

@@ -18,6 +18,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use q100_trace::Registry;
+
 /// Process-wide override set by `--jobs N`; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -65,8 +67,48 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_metered(items, f, None)
+}
+
+/// [`parallel_map`] that additionally records pool metrics into
+/// `registry`:
+///
+/// * `pool.batches` / `pool.tasks` — batch and task counters,
+/// * `pool.batch_size` — histogram of batch sizes,
+/// * `pool.queue_wait_tasks` — histogram of each task's queue position
+///   at submission (its wait in *work units*; wall-clock would not be
+///   deterministic),
+/// * `~pool.worker.<w>.tasks` — tasks each worker claimed. The `~`
+///   prefix marks the key volatile: claim interleaving depends on the
+///   worker count, so these are excluded from the deterministic metrics
+///   dump (`MetricsSnapshot::to_json`) and only appear in
+///   `to_json_all`.
+///
+/// All non-volatile updates commute, so a metered sweep dumps identical
+/// metrics at any `--jobs` setting.
+///
+/// # Panics
+///
+/// As [`parallel_map`].
+pub fn parallel_map_metered<T, R, F>(items: &[T], f: F, registry: Option<&Registry>) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if let Some(r) = registry {
+        r.inc("pool.batches", 1);
+        r.inc("pool.tasks", items.len() as u64);
+        r.observe("pool.batch_size", items.len() as f64);
+        for idx in 0..items.len() {
+            r.observe("pool.queue_wait_tasks", idx as f64);
+        }
+    }
     let workers = jobs().min(items.len()).max(1);
     if workers == 1 {
+        if let Some(r) = registry {
+            r.inc("~pool.worker.0.tasks", items.len() as u64);
+        }
         return items.iter().map(&f).collect();
     }
 
@@ -76,8 +118,11 @@ where
     let slots = Mutex::new(&mut slots);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        let next = &next;
+        let slots = &slots;
+        let f = &f;
+        for worker in 0..workers {
+            scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -85,6 +130,9 @@ where
                         break;
                     }
                     local.push((idx, f(&items[idx])));
+                }
+                if let Some(r) = registry {
+                    r.inc(&format!("~pool.worker.{worker}.tasks"), local.len() as u64);
                 }
                 let mut slots = slots.lock().unwrap();
                 for (idx, value) in local {
@@ -124,6 +172,19 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, |&x| x).is_empty());
         assert_eq!(parallel_map(&[41u32], |&x| x + 1), vec![42]);
+
+        // Metered maps dump byte-identical deterministic metrics at any
+        // worker count; the per-worker split only shows up under the
+        // volatile `~` keys.
+        let serial = Registry::new();
+        set_jobs(Some(1));
+        let _ = parallel_map_metered(&items, |&x| x + 1, Some(&serial));
+        let fanned = Registry::new();
+        set_jobs(Some(4));
+        let _ = parallel_map_metered(&items, |&x| x + 1, Some(&fanned));
+        assert_eq!(serial.snapshot().to_json(), fanned.snapshot().to_json());
+        assert!(fanned.snapshot().to_json_all().contains("~pool.worker."));
+        assert_eq!(fanned.counter("pool.tasks"), items.len() as u64);
 
         // The override wins over env/default; clearing falls back.
         set_jobs(Some(3));

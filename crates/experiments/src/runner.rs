@@ -2,6 +2,9 @@
 //! Q100 configurations over the cached profiles — in parallel, with
 //! schedules memoized across configurations.
 
+use std::sync::Arc;
+
+use q100_core::trace::{Registry, RingRecorder, TraceStream};
 use q100_core::{
     CacheStats, FunctionalRun, QueryGraph, ScheduleCache, SimConfig, SimOutcome, Simulator,
 };
@@ -40,6 +43,7 @@ pub struct Workload {
     /// The prepared queries, in paper order.
     pub queries: Vec<PreparedQuery>,
     sched_cache: ScheduleCache,
+    metrics: Arc<Registry>,
 }
 
 impl Workload {
@@ -75,7 +79,17 @@ impl Workload {
                 PreparedQuery { query, graph, functional, index }
             })
             .collect();
-        Workload { db, queries, sched_cache: ScheduleCache::new() }
+        let metrics = Arc::new(Registry::new());
+        let sched_cache = ScheduleCache::with_metrics(Arc::clone(&metrics));
+        Workload { db, queries, sched_cache, metrics }
+    }
+
+    /// The workload's metrics registry: every sweep, schedule-cache
+    /// lookup and simulation records into it, and `--metrics` dumps its
+    /// deterministic snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Simulates one prepared query under `config`, reusing a memoized
@@ -98,9 +112,64 @@ impl Workload {
                 &prepared.functional.profile,
             )
             .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", prepared.query.name));
-        Simulator::new(config)
+        let outcome = Simulator::new(config)
             .run_scheduled(&prepared.graph, &prepared.functional, (*schedule).clone())
-            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name))
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
+        self.metrics.inc("sim.runs", 1);
+        self.metrics.observe("sim.cycles", outcome.cycles as f64);
+        outcome
+    }
+
+    /// Runs `prepared` under `config` with tracing enabled, returning
+    /// the outcome and the recorded event stream (named after the
+    /// query). Uses the same memoized schedule as [`simulate`], so the
+    /// traced timing matches the untraced sweeps.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`].
+    #[must_use]
+    pub fn simulate_traced(
+        &self,
+        prepared: &PreparedQuery,
+        config: &SimConfig,
+    ) -> (SimOutcome, TraceStream) {
+        let schedule = self
+            .sched_cache
+            .get_or_schedule(
+                prepared.index as u64,
+                config.scheduler,
+                &prepared.graph,
+                &config.mix,
+                &prepared.functional.profile,
+            )
+            .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", prepared.query.name));
+        let mut recorder = RingRecorder::new();
+        let outcome = Simulator::new(config)
+            .run_scheduled_traced(
+                &prepared.graph,
+                &prepared.functional,
+                (*schedule).clone(),
+                Some(&mut recorder),
+            )
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
+        self.metrics.inc("sim.runs", 1);
+        self.metrics.observe("sim.cycles", outcome.cycles as f64);
+        if recorder.dropped() > 0 {
+            eprintln!(
+                "warning: {} trace overflowed, {} oldest events dropped",
+                prepared.query.name,
+                recorder.dropped()
+            );
+        }
+        (outcome, TraceStream { name: prepared.query.name.to_string(), events: recorder.events() })
+    }
+
+    /// Traces every query of the workload under `config`, serially (one
+    /// stream per query in workload order, byte-stable across runs).
+    #[must_use]
+    pub fn trace_all(&self, config: &SimConfig) -> Vec<TraceStream> {
+        self.queries.iter().map(|p| self.simulate_traced(p, config).1).collect()
     }
 
     /// Simulates one prepared query bypassing the schedule cache
@@ -121,7 +190,7 @@ impl Workload {
     /// count).
     #[must_use]
     pub fn simulate_all(&self, config: &SimConfig) -> Vec<SimOutcome> {
-        pool::parallel_map(&self.queries, |p| self.simulate(p, config))
+        pool::parallel_map_metered(&self.queries, |p| self.simulate(p, config), Some(&self.metrics))
     }
 
     /// Evaluates many configurations in one flat parallel sweep: every
@@ -133,9 +202,11 @@ impl Workload {
     pub fn sweep(&self, configs: &[SimConfig]) -> Vec<Vec<SimOutcome>> {
         let points: Vec<(usize, usize)> =
             (0..configs.len()).flat_map(|c| (0..self.queries.len()).map(move |q| (c, q))).collect();
-        let mut flat = pool::parallel_map(&points, |&(c, q)| {
-            Some(self.simulate(&self.queries[q], &configs[c]))
-        });
+        let mut flat = pool::parallel_map_metered(
+            &points,
+            |&(c, q)| Some(self.simulate(&self.queries[q], &configs[c])),
+            Some(&self.metrics),
+        );
         // Regroup: `flat` is ordered (c0 q0..qn, c1 q0..qn, ...).
         let per = self.queries.len();
         flat.chunks_mut(per.max(1))
@@ -171,6 +242,12 @@ impl Workload {
     /// Drops memoized schedules and zeroes the cache counters.
     pub fn clear_sched_cache(&self) {
         self.sched_cache.clear();
+    }
+
+    /// Zeroes the cache hit/miss counters while keeping the memoized
+    /// schedules, so each figure's stdout line reports its own sweep.
+    pub fn reset_sched_cache_stats(&self) {
+        self.sched_cache.reset_stats();
     }
 
     /// The query names in workload order.
@@ -226,6 +303,43 @@ mod tests {
                 assert_eq!(cached.schedule, uncached.schedule, "{}", p.query.name);
             }
         }
+    }
+
+    #[test]
+    fn traced_simulation_matches_sweeps_and_metrics_are_job_independent() {
+        let config = SimConfig::pareto();
+
+        let run = |jobs: usize| {
+            crate::pool::set_jobs(Some(jobs));
+            let w = Workload::prepare_subset(0.002, &["q6", "q1"]);
+            let outcomes = w.simulate_all(&config);
+            let streams = w.trace_all(&config);
+            let names: Vec<&str> =
+                (0..q100_core::ENDPOINTS).map(q100_core::exec::endpoint_name).collect();
+            let trace_json = q100_core::trace::chrome_trace_json(
+                &streams,
+                &names,
+                q100_core::exec::bytes_per_cycle_to_gbps(1.0),
+            );
+            for (outcome, stream) in outcomes.iter().zip(&streams) {
+                assert!(!stream.events.is_empty());
+                assert_eq!(
+                    outcome.cycles,
+                    stream.events.iter().map(|e| e.cycle()).max().unwrap(),
+                    "traced timeline must end exactly at the untraced cycle count"
+                );
+            }
+            let metrics_json = w.metrics().snapshot().to_json();
+            crate::pool::set_jobs(None);
+            (trace_json, metrics_json)
+        };
+
+        let (trace_serial, metrics_serial) = run(1);
+        let (trace_jobs, metrics_jobs) = run(4);
+        assert_eq!(trace_serial, trace_jobs, "trace JSON must not depend on --jobs");
+        assert_eq!(metrics_serial, metrics_jobs, "metrics JSON must not depend on --jobs");
+        q100_core::trace::validate_chrome_trace_json(&trace_serial).unwrap();
+        q100_core::trace::validate_metrics_json(&metrics_serial).unwrap();
     }
 
     #[test]

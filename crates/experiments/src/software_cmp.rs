@@ -125,12 +125,17 @@ pub fn compare(workload: &Workload) -> Comparison {
     // software-model runs fan out per query the same way.
     let configs: Vec<_> = paper_designs().iter().map(|(_, c)| c.clone()).collect();
     let grouped = workload.sweep(&configs);
-    let software = crate::pool::parallel_map(&workload.queries, |prepared| {
-        let plan = (prepared.query.software)();
-        let (_, stats) = q100_dbms::run(&plan, &workload.db)
-            .unwrap_or_else(|e| panic!("{}: software run failed: {e}", prepared.query.name));
-        SoftwareCost::of(&stats)
-    });
+    let software = crate::pool::parallel_map_metered(
+        &workload.queries,
+        |prepared| {
+            let plan = (prepared.query.software)();
+            let (_, stats) = q100_dbms::run(&plan, &workload.db)
+                .unwrap_or_else(|e| panic!("{}: software run failed: {e}", prepared.query.name));
+            stats.record_into(workload.metrics());
+            SoftwareCost::of(&stats)
+        },
+        Some(workload.metrics()),
+    );
     let rows = workload
         .queries
         .iter()

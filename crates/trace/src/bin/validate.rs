@@ -1,0 +1,53 @@
+//! `q100-metrics-validate`: schema-check exported artifacts.
+//!
+//! ```text
+//! q100-metrics-validate [--chrome] <file>...
+//! ```
+//!
+//! Validates each file as a `q100-metrics-v1` metrics dump (default) or
+//! as a Chrome `trace_event` document (`--chrome`). Exits non-zero on
+//! the first invalid file — CI runs this against every generated
+//! metrics/trace artifact.
+
+use std::process::ExitCode;
+
+use q100_trace::{validate_chrome_trace_json, validate_metrics_json};
+
+fn main() -> ExitCode {
+    let mut chrome = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--chrome" => chrome = true,
+            "--metrics" => chrome = false,
+            "--help" | "-h" => {
+                eprintln!("usage: q100-metrics-validate [--chrome|--metrics] <file>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: q100-metrics-validate [--chrome|--metrics] <file>...");
+        return ExitCode::FAILURE;
+    }
+    for file in files {
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let result =
+            if chrome { validate_chrome_trace_json(&text) } else { validate_metrics_json(&text) };
+        match result {
+            Ok(()) => println!("{file}: ok"),
+            Err(e) => {
+                eprintln!("{file}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

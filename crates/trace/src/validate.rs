@@ -1,0 +1,170 @@
+//! Schema validators for the two export formats.
+//!
+//! Small structural checks built on the in-crate [`json`](crate::json)
+//! parser; CI runs them against every generated artifact (see the
+//! `q100-metrics-validate` binary), and the exporter tests use them as
+//! self-checks.
+
+use crate::json::{parse, Json};
+
+fn num_field(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{ctx}: missing numeric field `{key}`"))
+}
+
+/// Validates a `q100-metrics-v1` JSON dump.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation: bad JSON, a
+/// missing section, non-numeric values, histogram `counts`/`bounds`
+/// length mismatches, non-ascending bounds, or a `total` that
+/// disagrees with the bucket counts.
+pub fn validate_metrics_json(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let obj = doc.as_obj().ok_or("top level must be an object")?;
+    if doc.get("schema").and_then(Json::as_str) != Some("q100-metrics-v1") {
+        return Err("missing or unknown `schema` (want \"q100-metrics-v1\")".into());
+    }
+    for section in ["counters", "gauges", "histograms"] {
+        if obj.get(section).and_then(Json::as_obj).is_none() {
+            return Err(format!("missing `{section}` object"));
+        }
+    }
+    for (k, v) in obj["counters"].as_obj().unwrap() {
+        let n = v.as_num().ok_or_else(|| format!("counter `{k}` is not a number"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("counter `{k}` is not a non-negative integer"));
+        }
+    }
+    for (k, v) in obj["gauges"].as_obj().unwrap() {
+        v.as_num().ok_or_else(|| format!("gauge `{k}` is not a number"))?;
+    }
+    for (k, h) in obj["histograms"].as_obj().unwrap() {
+        let ctx = format!("histogram `{k}`");
+        let bounds = h
+            .get("bounds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing `bounds` array"))?;
+        let counts = h
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing `counts` array"))?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "{ctx}: {} counts for {} bounds (want bounds+1)",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let bs: Option<Vec<f64>> = bounds.iter().map(Json::as_num).collect();
+        let bs = bs.ok_or_else(|| format!("{ctx}: non-numeric bound"))?;
+        if bs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("{ctx}: bounds not strictly ascending"));
+        }
+        let mut total_counts = 0.0;
+        for c in counts {
+            let c = c.as_num().ok_or_else(|| format!("{ctx}: non-numeric count"))?;
+            if c < 0.0 || c.fract() != 0.0 {
+                return Err(format!("{ctx}: counts must be non-negative integers"));
+            }
+            total_counts += c;
+        }
+        let total = num_field(h, "total", &ctx)?;
+        if (total - total_counts).abs() > 0.5 {
+            return Err(format!("{ctx}: total {total} != sum of counts {total_counts}"));
+        }
+        num_field(h, "sum", &ctx)?;
+    }
+    Ok(())
+}
+
+/// Validates a Chrome `trace_event` JSON document structurally.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: bad JSON, a missing
+/// `traceEvents` array, an event without `ph`/`pid`, a non-metadata
+/// event without a numeric `ts`, or a complete (`X`) event without a
+/// `dur`.
+pub fn validate_chrome_trace_json(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let events =
+        doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing `traceEvents` array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = format!("traceEvents[{i}]");
+        let ph =
+            ev.get("ph").and_then(Json::as_str).ok_or_else(|| format!("{ctx}: missing `ph`"))?;
+        ev.get("pid").and_then(Json::as_num).ok_or_else(|| format!("{ctx}: missing `pid`"))?;
+        if ph != "M" {
+            let ts = num_field(ev, "ts", &ctx)?;
+            if ts < 0.0 {
+                return Err(format!("{ctx}: negative timestamp"));
+            }
+        }
+        if ph == "X" {
+            num_field(ev, "dur", &ctx)?;
+        }
+        if ph == "i" && ev.get("s").and_then(Json::as_str).is_none() {
+            return Err(format!("{ctx}: instant event without scope `s`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn accepts_registry_dump() {
+        let r = Registry::new();
+        r.inc("a", 1);
+        r.set_gauge("g", 0.5);
+        r.observe("h", 3.0);
+        let empty = Registry::new();
+        validate_metrics_json(&r.snapshot().to_json()).unwrap();
+        validate_metrics_json(&r.snapshot().to_json_all()).unwrap();
+        validate_metrics_json(&empty.snapshot().to_json()).unwrap();
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        let cases = [
+            ("{}", "schema"),
+            (r#"{"schema": "q100-metrics-v1"}"#, "counters"),
+            (
+                r#"{"schema": "q100-metrics-v1", "counters": {"a": -1}, "gauges": {}, "histograms": {}}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"schema": "q100-metrics-v1", "counters": {}, "gauges": {}, "histograms": {"h": {"bounds": [1, 2], "counts": [0, 0], "total": 0, "sum": 0}}}"#,
+                "bounds+1",
+            ),
+            (
+                r#"{"schema": "q100-metrics-v1", "counters": {}, "gauges": {}, "histograms": {"h": {"bounds": [2, 1], "counts": [0, 0, 0], "total": 0, "sum": 0}}}"#,
+                "ascending",
+            ),
+            (
+                r#"{"schema": "q100-metrics-v1", "counters": {}, "gauges": {}, "histograms": {"h": {"bounds": [1], "counts": [1, 0], "total": 5, "sum": 0}}}"#,
+                "sum of counts",
+            ),
+        ];
+        for (doc, want) in cases {
+            let err = validate_metrics_json(doc).unwrap_err();
+            assert!(err.contains(want), "`{doc}` -> `{err}` (wanted `{want}`)");
+        }
+    }
+
+    #[test]
+    fn chrome_validator_rejects_bad_events() {
+        validate_chrome_trace_json(r#"{"traceEvents": []}"#).unwrap();
+        assert!(validate_chrome_trace_json("{}").is_err());
+        let no_ts = r#"{"traceEvents": [{"ph": "C", "pid": 0}]}"#;
+        assert!(validate_chrome_trace_json(no_ts).unwrap_err().contains("ts"));
+        let no_dur = r#"{"traceEvents": [{"ph": "X", "pid": 0, "ts": 1}]}"#;
+        assert!(validate_chrome_trace_json(no_dur).unwrap_err().contains("dur"));
+    }
+}

@@ -8,6 +8,7 @@
 //! Run with: `cargo run --release --example custom_analytics`
 
 use q100::columnar::{Column, MemoryCatalog, Table, Value};
+use q100::core::trace::{RingRecorder, TraceEvent};
 use q100::core::{AggOp, Bandwidth, CmpOp, QueryGraph, SimConfig, Simulator, MEMORY_ENDPOINT};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -79,13 +80,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         let config = SimConfig::pareto().with_bandwidth(bandwidth);
-        let outcome = Simulator::new(&config).run(&graph, &catalog)?;
+        // The trace recorder captures per-link bandwidth peaks as they
+        // are set, so the hottest NoC links can be named afterwards.
+        let mut recorder = RingRecorder::new();
+        let outcome = Simulator::new(&config).run_traced(&graph, &catalog, Some(&mut recorder))?;
         println!(
             "{label}: {:.3} ms, {:.4} mJ, peak memory read {:.1} GB/s",
             outcome.runtime_ms(),
             outcome.energy_mj(),
             outcome.timing.mem_read.hi_gbps
         );
+        let mut peaks: Vec<(u16, u16, f64)> = Vec::new();
+        for ev in recorder.events() {
+            if let TraceEvent::LinkPeak { src, dst, gbps, .. } = ev {
+                // Later events supersede earlier peaks on the same link.
+                match peaks.iter_mut().find(|(s, d, _)| (*s, *d) == (src, dst)) {
+                    Some(slot) => slot.2 = gbps,
+                    None => peaks.push((src, dst, gbps)),
+                }
+            }
+        }
+        peaks.sort_by(|a, b| b.2.total_cmp(&a.2));
+        for (src, dst, gbps) in peaks.iter().take(2) {
+            println!(
+                "  hot link: {} -> {} at {gbps:.1} GB/s",
+                q100::core::exec::endpoint_name(*src as usize),
+                q100::core::exec::endpoint_name(*dst as usize),
+            );
+        }
         if label.starts_with("ideal") {
             // Which tile kinds talked to memory?
             let conns = &outcome.timing.connections;

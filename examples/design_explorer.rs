@@ -35,4 +35,14 @@ fn main() {
         hp.power_w / lp.power_w,
         lp.runtime_ms / hp.runtime_ms
     );
+
+    // The workload's metrics registry counted the exploration as it
+    // ran: simulated cycles, pool batches, and schedule-cache traffic.
+    let m = workload.metrics();
+    println!(
+        "\nexploration accounting: {} simulations over {} pool batches",
+        m.counter("sim.runs"),
+        m.counter("pool.batches"),
+    );
+    println!("schedule cache: {}", workload.sched_cache_stats());
 }

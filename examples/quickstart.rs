@@ -9,6 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use q100::columnar::{date_to_days, Column, MemoryCatalog, Table, Value};
+use q100::core::trace::{RingRecorder, TraceEvent};
 use q100::core::{AggOp, CmpOp, QueryGraph, SimConfig, Simulator, TileKind, TileMix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -63,7 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_count(TileKind::BoolGen, 2)
         .with_count(TileKind::Aggregator, 2)
         .with_count(TileKind::Append, 2);
-    let outcome = Simulator::new(&SimConfig::new(mix)).run(&graph, &catalog)?;
+    // Attach a trace recorder so the timing simulator's structured
+    // events (tinst begin/end, per-quantum tile occupancy, memory
+    // samples) are captured alongside the aggregate outcome.
+    let mut recorder = RingRecorder::new();
+    let outcome =
+        Simulator::new(&SimConfig::new(mix)).run_traced(&graph, &catalog, Some(&mut recorder))?;
 
     println!("schedule: {}", outcome.schedule);
     for (i, tinst) in outcome.schedule.tinsts.iter().enumerate() {
@@ -80,6 +86,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.runtime_ms(),
         outcome.energy_mj(),
         outcome.timing.spill_bytes
+    );
+
+    // The trace narrates the same run: one TinstBegin/TinstEnd pair per
+    // temporal instruction, with occupancy samples in between.
+    let begins =
+        recorder.events().iter().filter(|e| matches!(e, TraceEvent::TinstBegin { .. })).count();
+    println!(
+        "trace: {} events over {} temporal instructions ({} dropped)",
+        recorder.events().len(),
+        begins,
+        recorder.dropped()
     );
 
     let result = outcome.result_table(&graph)?;

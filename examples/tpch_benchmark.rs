@@ -6,16 +6,40 @@
 //! runtime, energy, and the speedup over the modeled single-thread
 //! software baseline.
 //!
-//! Run with: `cargo run --release --example tpch_benchmark [scale]`
+//! With `--trace [out.json]` it additionally records a structured event
+//! trace of Q6 end-to-end on the Pareto design, prints the three
+//! busiest tile kinds (busy-instruction-cycles summed from the
+//! `TileBusy` occupancy events), and — when an output path is given —
+//! writes a Chrome `trace_event` JSON viewable in `chrome://tracing`
+//! or Perfetto.
+//!
+//! Run with: `cargo run --release --example tpch_benchmark [scale] [--trace [out.json]]`
 
 use std::env;
 
+use q100::core::trace::{RingRecorder, TraceEvent, TraceStream};
 use q100::core::{SimConfig, Simulator};
 use q100::dbms::SoftwareCost;
 use q100::tpch::{queries, TpchData};
 
+/// The query the `--trace` flag records end-to-end.
+const TRACED_QUERY: &str = "q6";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = env::args().nth(1).map_or(0.01, |s| s.parse().expect("numeric scale factor"));
+    let mut scale = 0.01f64;
+    let mut trace = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace = true;
+            if args.peek().is_some_and(|a| a.ends_with(".json")) {
+                trace_out = args.next();
+            }
+        } else {
+            scale = arg.parse().expect("numeric scale factor or --trace");
+        }
+    }
     println!("generating TPC-H data at scale factor {scale} ...");
     let db = TpchData::generate(scale);
     println!("database: {} bytes across 8 tables\n", db.bytes());
@@ -54,5 +78,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nall Q100 results validated against the software executor");
+
+    if trace {
+        trace_one_query(&db, trace_out.as_deref())?;
+    }
+    Ok(())
+}
+
+/// Re-runs [`TRACED_QUERY`] on the Pareto design with a ring recorder
+/// attached, reports the busiest tile kinds, and optionally writes the
+/// Chrome trace.
+fn trace_one_query(db: &TpchData, out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let query = queries::by_name(TRACED_QUERY).expect("known query");
+    let graph = (query.q100)(db)?;
+    let mut recorder = RingRecorder::new();
+    let outcome =
+        Simulator::new(&SimConfig::pareto()).run_traced(&graph, db, Some(&mut recorder))?;
+
+    println!(
+        "\ntraced {TRACED_QUERY} on Pareto: {} cycles, {} events recorded ({} dropped)",
+        outcome.cycles,
+        recorder.events().len(),
+        recorder.dropped()
+    );
+
+    // Busy-instruction-cycles per tile kind: each TileBusy event says
+    // `busy` instructions of kind `tile` moved data for `dt` cycles.
+    let mut busy_cycles: Vec<(usize, u64)> = Vec::new();
+    for ev in recorder.events() {
+        if let TraceEvent::TileBusy { tile, dt, busy, .. } = ev {
+            let idx = tile as usize;
+            if busy_cycles.len() <= idx {
+                busy_cycles.resize(idx + 1, (0, 0));
+            }
+            busy_cycles[idx] = (idx, busy_cycles[idx].1 + u64::from(dt) * u64::from(busy));
+        }
+    }
+    busy_cycles.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top-3 busiest tile kinds (busy instruction-cycles):");
+    for (idx, cycles) in busy_cycles.iter().take(3) {
+        println!("  {:>12}  {cycles}", q100::core::exec::endpoint_name(*idx));
+    }
+
+    if let Some(path) = out {
+        let streams = [TraceStream { name: TRACED_QUERY.to_string(), events: recorder.events() }];
+        let names: Vec<&str> =
+            (0..q100::core::ENDPOINTS).map(q100::core::exec::endpoint_name).collect();
+        let json = q100::core::trace::chrome_trace_json(
+            &streams,
+            &names,
+            q100::core::exec::bytes_per_cycle_to_gbps(1.0),
+        );
+        std::fs::write(path, json)?;
+        println!("Chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
     Ok(())
 }
