@@ -154,26 +154,21 @@ impl<'a> Compiler<'a> {
                 return Err(CompileError::UnknownColumn(k.clone()));
             }
         }
-        match left_keys.len() {
-            1 => {
+        match (left_keys, right_keys) {
+            ([lkey], [rkey]) => {
                 let joined = if outer {
-                    b.join_outer(
-                        lrel.table,
-                        left_keys[0].clone(),
-                        rrel.table,
-                        right_keys[0].clone(),
-                    )
+                    b.join_outer(lrel.table, lkey.clone(), rrel.table, rkey.clone())
                 } else {
-                    b.join(lrel.table, left_keys[0].clone(), rrel.table, right_keys[0].clone())
+                    b.join(lrel.table, lkey.clone(), rrel.table, rkey.clone())
                 };
                 let columns = joined_columns(&lrel.columns, &rrel.columns);
                 Ok(Rel { table: joined, columns })
             }
-            2 => {
+            ([lk1, lk2], [rk1, rk2]) => {
                 // Composite keys via the concatenator (values must fit
                 // 31 bits, the tile's packing constraint).
-                let lk = rekey(b, &lrel, &left_keys[0], &left_keys[1], "__lk")?;
-                let rk = rekey(b, &rrel, &right_keys[0], &right_keys[1], "__rk")?;
+                let lk = rekey(b, &lrel, lk1, lk2, "__lk")?;
+                let rk = rekey(b, &rrel, rk1, rk2, "__rk")?;
                 let joined = if outer {
                     b.join_outer(lk.table, "__lk", rk.table, "__rk")
                 } else {
@@ -194,8 +189,11 @@ impl<'a> Compiler<'a> {
                 let t = b.stitch(&ports);
                 Ok(Rel { table: t, columns: keep })
             }
-            n => Err(CompileError::Unsupported(format!(
-                "{n}-column join keys (pre-pack them with a Project)"
+            _ => Err(CompileError::Unsupported(format!(
+                "join on {} left / {} right key columns (use matching 1- or 2-column keys, \
+                 pre-packing wider ones with a Project)",
+                left_keys.len(),
+                right_keys.len()
             ))),
         }
     }
@@ -210,6 +208,15 @@ impl<'a> Compiler<'a> {
         if group_by.len() > 1 {
             return Err(CompileError::Unsupported(
                 "multi-column GROUP BY (pre-pack the key with a Project)".into(),
+            ));
+        }
+        // Resolve every aggregation's tile op up front, so unsupported
+        // kinds surface as typed errors before any graph is built.
+        let ops: Vec<AggOp> =
+            aggs.iter().map(|(_, kind, _)| agg_op(kind)).collect::<Result<_>>()?;
+        if ops.is_empty() {
+            return Err(CompileError::Unsupported(
+                "aggregate with zero aggregations (a bare GROUP BY — add a COUNT)".into(),
             ));
         }
         let rel = self.lower(b, input)?;
@@ -281,11 +288,6 @@ impl<'a> Compiler<'a> {
             let src = match (kind, expr) {
                 // COUNT ignores its argument; count the group column.
                 (AggKind::Count, _) => group_port,
-                (AggKind::CountDistinct, _) => {
-                    return Err(CompileError::Unsupported(
-                        "COUNT(DISTINCT) (compose two aggregations, as TPC-H Q16 does)".into(),
-                    ))
-                }
                 (_, e) => lower_expr(b, &env, e)?,
             };
             let copy = b.alu_const(src, AluOp::Mul, Value::Int(1));
@@ -303,14 +305,6 @@ impl<'a> Compiler<'a> {
         } else {
             b.partition(staged, gname.clone(), bounds)
         };
-        let agg_op = |kind: &AggKind| match kind {
-            AggKind::Sum => AggOp::Sum,
-            AggKind::Min => AggOp::Min,
-            AggKind::Max => AggOp::Max,
-            AggKind::Count => AggOp::Count,
-            AggKind::Avg => AggOp::Avg,
-            AggKind::CountDistinct => unreachable!("rejected above"),
-        };
         // The aggregator tile names its output `<op>_<data column>`.
         let agg_col_name =
             |op: AggOp, i: usize| format!("{}_{}", op, format_args!("__a{i}")).to_lowercase();
@@ -319,13 +313,17 @@ impl<'a> Compiler<'a> {
             let part = if presort { b.sort(part, gname.clone()) } else { part };
             let g = b.col_select(part, gname.clone());
             let mut agg_tables = Vec::with_capacity(aggs.len());
-            for (i, (_, kind, _)) in aggs.iter().enumerate() {
+            for (i, &op) in ops.iter().enumerate() {
                 let d = b.col_select(part, format!("__a{i}"));
-                agg_tables.push((b.aggregate(agg_op(kind), d, g), agg_op(kind), i));
+                agg_tables.push((b.aggregate(op, d, g), op, i));
             }
             // Re-stitch [group, agg0, agg1, ...]; the aggregates share
-            // group runs, so rows align.
-            let gout = b.col_select(agg_tables[0].0, gname.clone());
+            // group runs, so rows align. `ops` is non-empty (checked
+            // above), so the first aggregate table always exists.
+            let Some(&(first, _, _)) = agg_tables.first() else {
+                return Err(CompileError::Unsupported("aggregate with zero aggregations".into()));
+            };
+            let gout = b.col_select(first, gname.clone());
             let mut out_cols = vec![gout];
             for &(t, op, i) in &agg_tables {
                 let c = b.col_select(t, agg_col_name(op, i));
@@ -346,8 +344,8 @@ impl<'a> Compiler<'a> {
             final_ports.push(p);
             final_names.push(g.clone());
         }
-        for (i, (name, kind, _)) in aggs.iter().enumerate() {
-            let p = b.col_select(combined, agg_col_name(agg_op(kind), i));
+        for (i, ((name, _, _), &op)) in aggs.iter().zip(&ops).enumerate() {
+            let p = b.col_select(combined, agg_col_name(op, i));
             b.name_output(p, name.clone());
             final_ports.push(p);
             final_names.push(name.clone());
@@ -362,12 +360,12 @@ impl<'a> Compiler<'a> {
         input: &Plan,
         keys: &[(String, bool)],
     ) -> Result<Rel> {
-        if keys.len() != 1 {
+        let [(key, descending)] = keys else {
             return Err(CompileError::Unsupported(
                 "multi-column ORDER BY (pre-pack the key with a Project)".into(),
             ));
-        }
-        let (key, descending) = (&keys[0].0, keys[0].1);
+        };
+        let descending = *descending;
         let rel = self.lower(b, input)?;
         if !rel.columns.iter().any(|c| c == key) {
             return Err(CompileError::UnknownColumn(key.clone()));
@@ -412,6 +410,20 @@ impl<'a> Compiler<'a> {
             b.append_all(&sorted)
         };
         Ok(Rel { table: sorted, columns: rel.columns })
+    }
+}
+
+/// Maps an aggregation kind to its aggregator-tile op.
+fn agg_op(kind: &AggKind) -> Result<AggOp> {
+    match kind {
+        AggKind::Sum => Ok(AggOp::Sum),
+        AggKind::Min => Ok(AggOp::Min),
+        AggKind::Max => Ok(AggOp::Max),
+        AggKind::Count => Ok(AggOp::Count),
+        AggKind::Avg => Ok(AggOp::Avg),
+        AggKind::CountDistinct => Err(CompileError::Unsupported(
+            "COUNT(DISTINCT) (compose two aggregations, as TPC-H Q16 does)".into(),
+        )),
     }
 }
 

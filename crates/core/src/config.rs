@@ -234,6 +234,13 @@ pub struct SimConfig {
     /// some cost to instruction mapping flexibility"; this knob models
     /// that option.
     pub p2p_links: Vec<(crate::tiles::TileKind, crate::tiles::TileKind)>,
+    /// Derating factors applied by the resilience layer (frequency-
+    /// derated tiles, degraded NoC links, throttled memory channels,
+    /// transient per-tinst stalls). `None` — the default everywhere —
+    /// takes the exact fault-free simulation path, so configurations
+    /// without faults are byte-identical to builds that predate the
+    /// resilience layer.
+    pub derate: Option<crate::resilience::Derate>,
 }
 
 impl SimConfig {
@@ -248,6 +255,7 @@ impl SimConfig {
             read_buffers: 6,
             write_buffers: 2,
             p2p_links: Vec::new(),
+            derate: None,
         }
     }
 
@@ -262,6 +270,7 @@ impl SimConfig {
             read_buffers: 4,
             write_buffers: 2,
             p2p_links: Vec::new(),
+            derate: None,
         }
     }
 
@@ -276,6 +285,7 @@ impl SimConfig {
             read_buffers: 6,
             write_buffers: 2,
             p2p_links: Vec::new(),
+            derate: None,
         }
     }
 
@@ -290,6 +300,7 @@ impl SimConfig {
             read_buffers: 6,
             write_buffers: 2,
             p2p_links: Vec::new(),
+            derate: None,
         }
     }
 
@@ -336,6 +347,9 @@ impl SimConfig {
             if cap <= 0.0 || !cap.is_finite() {
                 return Err(CoreError::BadConfig(format!("bandwidth cap {cap} must be positive")));
             }
+        }
+        if let Some(derate) = &self.derate {
+            derate.validate()?;
         }
         Ok(())
     }

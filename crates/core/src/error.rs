@@ -43,6 +43,10 @@ pub enum CoreError {
     },
     /// A simulation was asked to run with an invalid configuration.
     BadConfig(String),
+    /// An internal model invariant was violated — always a bug in this
+    /// crate, surfaced as a typed error instead of a panic so callers
+    /// (sweeps, services) can report it and keep running.
+    Internal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +65,9 @@ impl fmt::Display for CoreError {
                 write!(f, "cannot schedule: {kind} tiles insufficient ({reason})")
             }
             CoreError::BadConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            CoreError::Internal(reason) => {
+                write!(f, "internal invariant violated (please report): {reason}")
+            }
         }
     }
 }

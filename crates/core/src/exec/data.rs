@@ -17,6 +17,13 @@ pub enum Data {
 }
 
 impl Data {
+    /// A zero-record column stream, used as the placeholder payload for
+    /// streams whose contents have been dropped (e.g. lean execution).
+    #[must_use]
+    pub fn empty() -> Self {
+        Data::Col(Column::from_ints("freed", Vec::new()))
+    }
+
     /// Number of records in the stream.
     #[must_use]
     pub fn records(&self) -> u64 {

@@ -149,7 +149,7 @@ fn execute_inner(
     for id in graph.sinks() {
         remaining[id] = usize::MAX;
     }
-    let placeholder = Arc::new(Data::Col(Column::from_ints("freed", Vec::new())));
+    let placeholder = Arc::new(Data::empty());
 
     for (id, inst) in graph.nodes().iter().enumerate() {
         let inputs: Vec<Arc<Data>> =
@@ -183,6 +183,18 @@ fn execute_inner(
     Ok(FunctionalRun { outputs, profile })
 }
 
+/// The input stream wired to `slot`, as a typed error — never a panic —
+/// when the graph wired fewer inputs than the operator consumes.
+fn input(inputs: &[Arc<Data>], slot: usize, node: NodeId) -> Result<&Data> {
+    inputs.get(slot).map(Arc::as_ref).ok_or_else(|| CoreError::BadOperands {
+        node,
+        reason: format!(
+            "operator reads input slot {slot} but only {} inputs are wired",
+            inputs.len()
+        ),
+    })
+}
+
 fn eval(
     id: NodeId,
     inst: &crate::isa::graph::SpatialInst,
@@ -207,12 +219,12 @@ fn eval(
                     prof.mem_read_bytes = col.bytes();
                     col
                 }
-                None => inputs[0].as_tab(id)?.column(column)?.clone(),
+                None => input(inputs, 0, id)?.as_tab(id)?.column(column)?.clone(),
             };
             Ok(vec![Data::Col(named(col))])
         }
         SpatialOp::BoolGen { cmp, rhs } => {
-            let a = inputs[0].as_col(id)?;
+            let a = input(inputs, 0, id)?.as_col(id)?;
             let bools: Vec<bool> = match rhs {
                 Operand::Const(v) => {
                     // A constant absent from a string dictionary matches
@@ -222,7 +234,7 @@ fn eval(
                     a.iter().map(|&x| cmp.eval(x, rhs_phys)).collect()
                 }
                 Operand::Column => {
-                    let b = inputs[1].as_col(id)?;
+                    let b = input(inputs, 1, id)?.as_col(id)?;
                     if a.len() != b.len() {
                         return Err(CoreError::BadOperands {
                             node: id,
@@ -236,8 +248,8 @@ fn eval(
             Ok(vec![Data::Col(named(out))])
         }
         SpatialOp::ColFilter => {
-            let data = inputs[0].as_col(id)?;
-            let bools = inputs[1].as_col(id)?;
+            let data = input(inputs, 0, id)?.as_col(id)?;
+            let bools = input(inputs, 1, id)?.as_col(id)?;
             if data.len() != bools.len() {
                 return Err(CoreError::BadOperands {
                     node: id,
@@ -248,7 +260,7 @@ fn eval(
             Ok(vec![Data::Col(named(data.filter(&keep)))])
         }
         SpatialOp::Alu { op, rhs } => {
-            let a = inputs[0].as_col(id)?;
+            let a = input(inputs, 0, id)?.as_col(id)?;
             let data: Vec<i64> = if op.is_unary() {
                 a.iter().map(|&x| op.eval(x, 0)).collect()
             } else {
@@ -258,7 +270,7 @@ fn eval(
                         a.iter().map(|&x| op.eval(x, c)).collect()
                     }
                     Operand::Column => {
-                        let b = inputs[1].as_col(id)?;
+                        let b = input(inputs, 1, id)?.as_col(id)?;
                         if a.len() != b.len() {
                             return Err(CoreError::BadOperands {
                                 node: id,
@@ -286,12 +298,12 @@ fn eval(
             Ok(vec![Data::Col(named(out))])
         }
         SpatialOp::Joiner { left_key, right_key, outer } => {
-            let pk = inputs[0].as_tab(id)?;
-            let fk = inputs[1].as_tab(id)?;
+            let pk = input(inputs, 0, id)?.as_tab(id)?;
+            let fk = input(inputs, 1, id)?.as_tab(id)?;
             Ok(vec![Data::Tab(join(id, pk, left_key, fk, right_key, *outer)?)])
         }
         SpatialOp::Partitioner { key, bounds } => {
-            let table = inputs[0].as_tab(id)?;
+            let table = input(inputs, 0, id)?.as_tab(id)?;
             let keys = table.column(key)?;
             let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); bounds.len() + 1];
             for (row, &k) in keys.iter().enumerate() {
@@ -302,7 +314,7 @@ fn eval(
             Ok(buckets.into_iter().map(|rows| Data::Tab(table.gather(&rows))).collect())
         }
         SpatialOp::Sorter { key, descending } => {
-            let table = inputs[0].as_tab(id)?;
+            let table = input(inputs, 0, id)?.as_tab(id)?;
             let keys = table.column(key)?;
             let n = table.row_count();
             prof.sorter_batches = (n as u64).div_ceil(SORTER_BATCH as u64).max(1);
@@ -319,8 +331,8 @@ fn eval(
             Ok(vec![Data::Tab(table.gather(&order))])
         }
         SpatialOp::Aggregator { op } => {
-            let data = inputs[0].as_col(id)?;
-            let group = inputs[1].as_col(id)?;
+            let data = input(inputs, 0, id)?.as_col(id)?;
+            let group = input(inputs, 1, id)?.as_col(id)?;
             if data.len() != group.len() {
                 return Err(CoreError::BadOperands {
                     node: id,
@@ -330,13 +342,13 @@ fn eval(
             Ok(vec![Data::Tab(aggregate(*op, data, group)?)])
         }
         SpatialOp::Append => {
-            let mut first = inputs[0].as_tab(id)?.clone();
-            first.append(inputs[1].as_tab(id)?)?;
+            let mut first = input(inputs, 0, id)?.as_tab(id)?.clone();
+            first.append(input(inputs, 1, id)?.as_tab(id)?)?;
             Ok(vec![Data::Tab(first)])
         }
         SpatialOp::Concat => {
-            let a = inputs[0].as_col(id)?;
-            let b = inputs[1].as_col(id)?;
+            let a = input(inputs, 0, id)?.as_col(id)?;
+            let b = input(inputs, 1, id)?.as_col(id)?;
             if a.len() != b.len() {
                 return Err(CoreError::BadOperands {
                     node: id,

@@ -66,6 +66,18 @@ impl SimOutcome {
         }
     }
 
+    /// Slowdown relative to a baseline cycle count (e.g. the fault-free
+    /// run of the same query). Returns 1.0 when the baseline is zero so
+    /// degenerate queries never divide by zero.
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline_cycles: u64) -> f64 {
+        if baseline_cycles == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / baseline_cycles as f64
+        }
+    }
+
     /// Renders a human-readable execution report (timeline, tile
     /// activity, memory traffic, hottest links).
     #[must_use]

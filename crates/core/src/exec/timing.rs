@@ -27,6 +27,7 @@ use crate::config::SimConfig;
 use crate::error::{CoreError, Result};
 use crate::exec::functional::GraphProfile;
 use crate::isa::graph::{NodeId, QueryGraph, SpatialOp};
+use crate::resilience::Derate;
 use crate::sched::Schedule;
 use crate::tiles::{memory_latency_cycles, TileKind, FREQUENCY_MHZ, SORTER_BATCH};
 
@@ -308,14 +309,28 @@ pub fn simulate_traced(
     mut sink: Option<&mut (dyn TraceSink + '_)>,
 ) -> Result<TimingResult> {
     config.validate()?;
-    let noc_bpc = config.bandwidth.noc_gbps.map(gbps_to_bytes_per_cycle);
+    // Resilience derating (fault injection): provisioned bandwidth caps
+    // shrink by the respective factors, tiles stream slower inside the
+    // quantum loop, and stages pay transient stall cycles. `None` (the
+    // fault-free default) takes the exact pre-resilience code path.
+    let derate = config.derate.as_ref();
+    let noc_bpc = config
+        .bandwidth
+        .noc_gbps
+        .map(|g| gbps_to_bytes_per_cycle(g) * derate.map_or(1.0, |d| d.noc_factor));
     // Dedicated point-to-point links are exempt from the per-link cap.
     let mut p2p = [[false; TileKind::COUNT]; TileKind::COUNT];
     for &(src, dst) in &config.p2p_links {
         p2p[src as usize][dst as usize] = true;
     }
-    let read_bpc = config.bandwidth.mem_read_gbps.map(gbps_to_bytes_per_cycle);
-    let write_bpc = config.bandwidth.mem_write_gbps.map(gbps_to_bytes_per_cycle);
+    let read_bpc = config
+        .bandwidth
+        .mem_read_gbps
+        .map(|g| gbps_to_bytes_per_cycle(g) * derate.map_or(1.0, |d| d.mem_read_factor));
+    let write_bpc = config
+        .bandwidth
+        .mem_write_gbps
+        .map(|g| gbps_to_bytes_per_cycle(g) * derate.map_or(1.0, |d| d.mem_write_factor));
 
     let mut result = TimingResult {
         cycles: 0,
@@ -336,7 +351,7 @@ pub fn simulate_traced(
     let mut desired_scratch: Vec<f64> = Vec::new();
 
     for (stage_idx, tinst) in schedule.tinsts.iter().enumerate() {
-        let mut stage = build_stage(graph, schedule, profile, &tinst.nodes);
+        let mut stage = build_stage(graph, schedule, profile, &tinst.nodes)?;
         record_connections(&mut result.connections, &stage);
         let stage_start = result.cycles;
         let peak_before = if let Some(s) = sink.as_deref_mut() {
@@ -367,9 +382,14 @@ pub fn simulate_traced(
             &mut write_samples,
             &mut desired_scratch,
             stage_start,
+            derate,
+            stage_idx as u32,
             sink.as_deref_mut(),
         )?;
-        let cycles = stage_cycles + memory_latency_cycles();
+        // Transient per-tinst stalls (resilience layer) are charged like
+        // an extended memory startup latency.
+        let stall = derate.map_or(0, |d| d.stall_cycles(stage_idx));
+        let cycles = stage_cycles + memory_latency_cycles() + stall;
         result.per_tinst_cycles.push(cycles);
         result.cycles += cycles;
         if let Some(s) = sink.as_deref_mut() {
@@ -447,38 +467,52 @@ fn consume_mode(op: &SpatialOp) -> ConsumeMode {
 }
 
 /// Assembles the fluid network of one temporal instruction.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Internal`] if the schedule names a same-stage
+/// producer that is absent from the stage's node list — an invariant
+/// [`Schedule::validate`] guarantees, surfaced as a typed error rather
+/// than a panic so resilient sweeps can report a scheduling bug and
+/// keep running.
 fn build_stage(
     graph: &QueryGraph,
     schedule: &Schedule,
     profile: &GraphProfile,
     nodes: &[NodeId],
-) -> Vec<SimNode> {
+) -> Result<Vec<SimNode>> {
     let index_of = |id: NodeId| nodes.iter().position(|&n| n == id);
-    let stage = schedule.stage_of[nodes[0]];
+    let Some(&first) = nodes.first() else {
+        return Err(CoreError::Internal("empty temporal instruction in schedule".into()));
+    };
+    let stage = schedule.stage_of[first];
     let mut sim: Vec<SimNode> = nodes
         .iter()
-        .map(|&id| {
+        .map(|&id| -> Result<SimNode> {
             let inst = graph.node(id);
             let prof = &profile.nodes[id];
             let mut inputs: Vec<SimInput> = inst
                 .inputs
                 .iter()
                 .enumerate()
-                .map(|(slot, p)| {
+                .map(|(slot, p)| -> Result<SimInput> {
                     let records = prof.in_records.get(slot).copied().unwrap_or(0) as f64;
                     let bytes = prof.in_bytes.get(slot).copied().unwrap_or(0) as f64;
                     let width = if records > 0.0 { bytes / records } else { 0.0 };
                     let source = if schedule.stage_of[p.node] == stage {
-                        InputSource::InStage {
-                            node: index_of(p.node).expect("producer in stage"),
-                            port: p.port,
-                        }
+                        let node = index_of(p.node).ok_or_else(|| {
+                            CoreError::Internal(format!(
+                                "node {} scheduled in stage {stage} but absent from its tinst",
+                                p.node
+                            ))
+                        })?;
+                        InputSource::InStage { node, port: p.port }
                     } else {
                         InputSource::Memory
                     };
-                    SimInput { source, records, width, done: 0.0 }
+                    Ok(SimInput { source, records, width, done: 0.0 })
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             // Base-table reads are a memory input not represented as a
             // graph edge.
             if let SpatialOp::ColSelect { base: Some(_), .. } = &inst.op {
@@ -515,16 +549,16 @@ fn build_stage(
                     }
                 })
                 .collect();
-            SimNode {
+            Ok(SimNode {
                 id,
                 kind: inst.op.tile_kind(),
                 mode: consume_mode(&inst.op),
                 inputs,
                 outputs,
                 is_sorter: matches!(inst.op, SpatialOp::Sorter { .. }),
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_>>()?;
 
     // Mark zero-volume streams done up front.
     for node in &mut sim {
@@ -535,7 +569,7 @@ fn build_stage(
             }
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// Stream-buffer volumes of a stage: bytes filled from memory (base
@@ -591,6 +625,8 @@ fn run_stage(
     write_samples: &mut TraceAccum,
     desired: &mut Vec<f64>,
     base_cycle: u64,
+    derate: Option<&Derate>,
+    stage_idx: u32,
     mut sink: Option<&mut (dyn TraceSink + '_)>,
 ) -> Result<u64> {
     // Quantum: fine enough to resolve bandwidth peaks, coarse enough to
@@ -622,10 +658,14 @@ fn run_stage(
             read_samples,
             write_samples,
             desired,
+            derate,
             busy,
         );
         if let Some(s) = sink.as_deref_mut() {
             let cycle = base_cycle + cycles as u64;
+            if derate.is_some() {
+                s.record(TraceEvent::DegradedQuantum { stage: stage_idx, cycle, dt: dt as u32 });
+            }
             for (kind, &busy) in busy_scratch.iter().enumerate() {
                 if busy > 0 {
                     s.record(TraceEvent::TileBusy {
@@ -685,6 +725,7 @@ fn step(
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
     desired: &mut Vec<f64>,
+    derate: Option<&Derate>,
     mut busy: Option<&mut [u16; TileKind::COUNT]>,
 ) -> StepStats {
     let n = stage.len();
@@ -697,7 +738,7 @@ fn step(
     let mut read_demand = 0.0_f64;
     let mut write_demand = 0.0_f64;
     for idx in 0..n {
-        let d = desired_advance(stage, idx, dt, noc_bpc, p2p);
+        let d = desired_advance(stage, idx, dt, noc_bpc, p2p, derate);
         desired[idx] = d;
         let (r, w) = memory_demand(&stage[idx], d, dt);
         read_demand += r;
@@ -721,7 +762,7 @@ fn step(
         if reads_memory {
             adv *= read_factor;
         }
-        let (r, w, m) = apply_advance(stage, idx, adv, dt, write_factor, result);
+        let (r, w, m) = apply_advance(stage, idx, adv, dt, write_factor, derate, result);
         read_bytes += r;
         write_bytes += w;
         moved += m;
@@ -754,11 +795,13 @@ fn desired_advance(
     dt: f64,
     noc_bpc: Option<f64>,
     p2p: &[[bool; TileKind::COUNT]; TileKind::COUNT],
+    derate: Option<&Derate>,
 ) -> f64 {
     let node = &stage[idx];
     let dst_kind = node.kind as usize;
-    // Tile throughput: one record per cycle on the consuming stream.
-    let mut adv: f64 = dt;
+    // Tile throughput: one record per cycle on the consuming stream,
+    // scaled down when the tile kind is frequency-derated (resilience).
+    let mut adv: f64 = dt * derate.map_or(1.0, |d| d.tile_factor[dst_kind]);
 
     match node.mode {
         ConsumeMode::Lockstep => {
@@ -871,12 +914,14 @@ fn memory_demand(node: &SimNode, adv: f64, dt: f64) -> (f64, f64) {
 /// Applies an input advance of `adv` records to node `idx`, updating
 /// progress, bandwidth samples and peak-link statistics. Returns
 /// `(read_bytes, write_bytes, records_moved)`.
+#[allow(clippy::too_many_arguments)]
 fn apply_advance(
     stage: &mut [SimNode],
     idx: usize,
     adv: f64,
     dt: f64,
     write_factor: f64,
+    derate: Option<&Derate>,
     result: &mut TimingResult,
 ) -> (f64, f64, f64) {
     let mut read_bytes = 0.0;
@@ -935,10 +980,12 @@ fn apply_advance(
     // Advance outputs to their currently allowed level (bounded by one
     // record per cycle of streaming, scaled by the shared write budget
     // for memory-bound ports).
+    // A frequency-derated tile also emits records proportionally slower.
+    let out_dt = dt * derate.map_or(1.0, |d| d.tile_factor[dst_kind]);
     for port in 0..stage[idx].outputs.len() {
         let allowed = stage[idx].out_available(port);
         let output = &stage[idx].outputs[port];
-        let stream_cap = if output.to_memory { dt * write_factor } else { dt };
+        let stream_cap = if output.to_memory { out_dt * write_factor } else { out_dt };
         let target = allowed.min(output.done + stream_cap).min(output.records);
         let produced = (target - output.done).max(0.0);
         if produced <= 0.0 {

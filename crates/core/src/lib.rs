@@ -22,6 +22,7 @@ pub mod error;
 pub mod exec;
 pub mod isa;
 pub mod power;
+pub mod resilience;
 pub mod sched;
 pub mod tiles;
 
@@ -35,6 +36,7 @@ pub use exec::{
 };
 pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
 pub use power::DesignBudget;
+pub use resilience::{run_resilient, Derate, Fault, FaultScenario, ResilientOutcome};
 pub use sched::{check_feasible, schedule, CacheStats, Schedule, ScheduleCache, Tinst};
 pub use tiles::{TileKind, TileSpec, FREQUENCY_MHZ, SORTER_BATCH};
 

@@ -1,0 +1,610 @@
+//! Fault injection and graceful degradation.
+//!
+//! Q100's scheduler already knows how to slice a query graph across
+//! *fewer* tiles than it wants (Section 3.4) — exactly the mechanism a
+//! real DPU would use to keep serving queries when tiles are binned
+//! out, a NoC link degrades, or a memory channel is throttled. This
+//! module layers deterministic fault injection on top of that:
+//!
+//! 1. [`FaultScenario::generate`] draws a fault set from a
+//!    [`q100_xrand`] seed — byte-reproducible at any `--jobs` count,
+//!    because each sweep point derives its own seed from stable point
+//!    identity (never a shared mutable RNG).
+//! 2. [`FaultScenario::apply`] turns a healthy [`SimConfig`] into a
+//!    degraded one: killed instances leave the [`TileMix`], the
+//!    remaining derates become a [`Derate`] attached to the config.
+//! 3. [`run_resilient`] reschedules the query on the degraded mix
+//!    (through the shared [`ScheduleCache`], whose key includes the
+//!    full mix) and runs the timing simulation with the derating
+//!    factors active in the quantum loop. Infeasible degraded mixes
+//!    surface as [`CoreError::Unschedulable`] — never a panic — so
+//!    sweeps report the failure and keep going.
+//!
+//! An empty scenario applies to *no change at all* (`derate: None`),
+//! so a fault-rate-0 run reproduces baseline cycle counts exactly.
+
+use q100_trace::{Registry, TraceEvent, TraceSink};
+use q100_xrand::Rng;
+
+use crate::config::{SimConfig, TileMix};
+use crate::error::Result;
+use crate::exec::{FunctionalRun, SimOutcome, Simulator, MEMORY_ENDPOINT};
+use crate::isa::QueryGraph;
+use crate::sched::ScheduleCache;
+use crate::tiles::TileKind;
+
+/// Maximum temporal-instruction slots considered for transient stalls
+/// when generating a scenario (stalls drawn for slots beyond the actual
+/// schedule length simply never fire).
+pub const MAX_STALL_SLOTS: usize = 8;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// One instance of `kind` is binned out of the mix entirely.
+    TileKilled {
+        /// The tile kind losing an instance.
+        kind: TileKind,
+    },
+    /// Every instance of `kind` runs at a derated clock: per-quantum
+    /// record throughput is multiplied by `factor` (in `(0, 1]`).
+    TileDerated {
+        /// The derated tile kind (shared clock domain).
+        kind: TileKind,
+        /// Throughput multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Every NoC link's provisioned bandwidth cap is multiplied by
+    /// `factor`. Under ideal (uncapped) bandwidth this fault has no
+    /// effect — the model derates provisioned links only.
+    NocDegraded {
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// The memory channels are throttled: provisioned read/write
+    /// bandwidth caps are multiplied by the respective factors.
+    MemThrottled {
+        /// Read-bandwidth multiplier in `(0, 1]`.
+        read_factor: f64,
+        /// Write-bandwidth multiplier in `(0, 1]`.
+        write_factor: f64,
+    },
+    /// A transient stall: temporal instruction `slot` pays `cycles`
+    /// extra cycles (e.g. an ECC scrub or a tile-local retry storm).
+    TinstStall {
+        /// Temporal-instruction index within the schedule.
+        slot: u32,
+        /// Extra cycles charged to that stage.
+        cycles: u64,
+    },
+}
+
+impl Fault {
+    /// Numeric taxonomy code stamped into
+    /// [`TraceEvent::FaultInjected`] events.
+    #[must_use]
+    pub fn code(&self) -> u16 {
+        match self {
+            Fault::TileKilled { .. } => 0,
+            Fault::TileDerated { .. } => 1,
+            Fault::NocDegraded { .. } => 2,
+            Fault::MemThrottled { .. } => 3,
+            Fault::TinstStall { .. } => 4,
+        }
+    }
+
+    /// The endpoint index the fault applies to (tile kind index, the
+    /// memory endpoint, or the stall slot for transient stalls).
+    #[must_use]
+    pub fn endpoint(&self) -> u16 {
+        match self {
+            Fault::TileKilled { kind } | Fault::TileDerated { kind, .. } => *kind as u16,
+            Fault::NocDegraded { .. } | Fault::MemThrottled { .. } => MEMORY_ENDPOINT as u16,
+            Fault::TinstStall { slot, .. } => u16::try_from(*slot).unwrap_or(u16::MAX),
+        }
+    }
+
+    /// The fault magnitude stamped into trace events: instances removed
+    /// for kills, the derating factor for derates, stall cycles for
+    /// stalls.
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        match self {
+            Fault::TileKilled { .. } => 1.0,
+            Fault::TileDerated { factor, .. } | Fault::NocDegraded { factor } => *factor,
+            Fault::MemThrottled { read_factor, .. } => *read_factor,
+            Fault::TinstStall { cycles, .. } => {
+                let c = *cycles;
+                c as f64
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::TileKilled { kind } => write!(f, "kill {}", kind.spec().name),
+            Fault::TileDerated { kind, factor } => {
+                write!(f, "derate {} x{factor:.2}", kind.spec().name)
+            }
+            Fault::NocDegraded { factor } => write!(f, "noc x{factor:.2}"),
+            Fault::MemThrottled { read_factor, write_factor } => {
+                write!(f, "mem r x{read_factor:.2} / w x{write_factor:.2}")
+            }
+            Fault::TinstStall { slot, cycles } => write!(f, "stall tinst {slot} +{cycles}cyc"),
+        }
+    }
+}
+
+/// Derating factors the timing simulator applies inside its quantum
+/// loop. Produced by [`FaultScenario::derate`]; attached to a
+/// simulation via [`SimConfig::derate`].
+///
+/// All factors live in `(0, 1]`; a factor of exactly `1.0` is a no-op
+/// (multiplication by `1.0` is exact in IEEE 754, so even an attached
+/// all-ones `Derate` cannot perturb cycle counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derate {
+    /// Per-tile-kind throughput multiplier, in [`TileKind`] order.
+    pub tile_factor: [f64; TileKind::COUNT],
+    /// Multiplier on the provisioned per-NoC-link bandwidth cap.
+    pub noc_factor: f64,
+    /// Multiplier on the provisioned memory read bandwidth cap.
+    pub mem_read_factor: f64,
+    /// Multiplier on the provisioned memory write bandwidth cap.
+    pub mem_write_factor: f64,
+    /// Extra stall cycles charged to each temporal instruction, indexed
+    /// by stage; stages beyond the vector's length stall zero cycles.
+    pub tinst_stall_cycles: Vec<u64>,
+}
+
+impl Derate {
+    /// The identity derate: every factor `1.0`, no stalls.
+    #[must_use]
+    pub fn none() -> Self {
+        Derate {
+            tile_factor: [1.0; TileKind::COUNT],
+            noc_factor: 1.0,
+            mem_read_factor: 1.0,
+            mem_write_factor: 1.0,
+            tinst_stall_cycles: Vec::new(),
+        }
+    }
+
+    /// Whether this derate changes nothing.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.tile_factor.iter().all(|&f| f == 1.0)
+            && self.noc_factor == 1.0
+            && self.mem_read_factor == 1.0
+            && self.mem_write_factor == 1.0
+            && self.tinst_stall_cycles.iter().all(|&c| c == 0)
+    }
+
+    /// The stall cycles charged to stage `stage` (0 beyond the vector).
+    #[must_use]
+    pub fn stall_cycles(&self, stage: usize) -> u64 {
+        self.tinst_stall_cycles.get(stage).copied().unwrap_or(0)
+    }
+
+    /// Validates all factors are finite and in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::BadConfig`] naming the bad factor.
+    pub fn validate(&self) -> Result<()> {
+        let named = self.tile_factor.iter().copied().map(|f| ("tile", f)).chain([
+            ("noc", self.noc_factor),
+            ("mem read", self.mem_read_factor),
+            ("mem write", self.mem_write_factor),
+        ]);
+        for (what, f) in named {
+            if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                return Err(crate::CoreError::BadConfig(format!(
+                    "{what} derate factor {f} must be in (0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Derate {
+    fn default() -> Self {
+        Derate::none()
+    }
+}
+
+/// A deterministic set of injected faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScenario {
+    /// The injected faults, in generation order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultScenario {
+    /// Draws a scenario from `seed` at the given per-category fault
+    /// probability `rate` (clamped to `[0, 1]`), against a healthy
+    /// `mix`:
+    ///
+    /// * each tile *instance* is killed with probability `rate / 2`;
+    /// * each tile *kind* still present is frequency-derated (factor
+    ///   0.50–0.95) with probability `rate`;
+    /// * the NoC (factor 0.40–0.90) and the memory channels (factors
+    ///   0.40–0.90) are each degraded with probability `rate`;
+    /// * each of the first [`MAX_STALL_SLOTS`] temporal instructions
+    ///   stalls 64–2047 extra cycles with probability `rate`.
+    ///
+    /// The draw order is fixed, so the same `(seed, rate, mix)` always
+    /// yields the same scenario; `rate == 0.0` yields an empty one.
+    #[must_use]
+    pub fn generate(seed: u64, rate: f64, mix: &TileMix) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        for kind in TileKind::ALL {
+            for _ in 0..mix.count(kind) {
+                if rng.gen_bool(rate / 2.0) {
+                    faults.push(Fault::TileKilled { kind });
+                }
+            }
+        }
+        for kind in TileKind::ALL {
+            if mix.count(kind) > 0 && rng.gen_bool(rate) {
+                let factor = 0.50 + f64::from(rng.gen_range(0u32..46)) / 100.0;
+                faults.push(Fault::TileDerated { kind, factor });
+            }
+        }
+        if rng.gen_bool(rate) {
+            let factor = 0.40 + f64::from(rng.gen_range(0u32..51)) / 100.0;
+            faults.push(Fault::NocDegraded { factor });
+        }
+        if rng.gen_bool(rate) {
+            let read_factor = 0.40 + f64::from(rng.gen_range(0u32..51)) / 100.0;
+            let write_factor = 0.40 + f64::from(rng.gen_range(0u32..51)) / 100.0;
+            faults.push(Fault::MemThrottled { read_factor, write_factor });
+        }
+        for slot in 0..MAX_STALL_SLOTS {
+            if rng.gen_bool(rate) {
+                let cycles = rng.gen_range(64u64..2048);
+                faults.push(Fault::TinstStall { slot: slot as u32, cycles });
+            }
+        }
+        FaultScenario { faults }
+    }
+
+    /// Whether no fault was injected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Tile instances removed by kill faults.
+    #[must_use]
+    pub fn tiles_lost(&self) -> u32 {
+        self.faults.iter().filter(|f| matches!(f, Fault::TileKilled { .. })).count() as u32
+    }
+
+    /// The mix left after removing killed instances (counts saturate at
+    /// zero; a kind driven to zero makes graphs that need it
+    /// [`crate::CoreError::Unschedulable`], which callers must handle).
+    #[must_use]
+    pub fn degraded_mix(&self, base: &TileMix) -> TileMix {
+        let mut counts = *base.counts();
+        for fault in &self.faults {
+            if let Fault::TileKilled { kind } = fault {
+                let c = &mut counts[*kind as usize];
+                *c = c.saturating_sub(1);
+            }
+        }
+        TileMix::new(counts)
+    }
+
+    /// The derating factors of this scenario, or `None` when no
+    /// derating fault (tile/NoC/memory derate or stall) was injected —
+    /// kills alone degrade the mix but keep the survivors at full
+    /// speed, and `None` preserves the exact fault-free timing path.
+    #[must_use]
+    pub fn derate(&self) -> Option<Derate> {
+        let mut d = Derate::none();
+        let mut any = false;
+        for fault in &self.faults {
+            match *fault {
+                Fault::TileKilled { .. } => {}
+                Fault::TileDerated { kind, factor } => {
+                    d.tile_factor[kind as usize] *= factor;
+                    any = true;
+                }
+                Fault::NocDegraded { factor } => {
+                    d.noc_factor *= factor;
+                    any = true;
+                }
+                Fault::MemThrottled { read_factor, write_factor } => {
+                    d.mem_read_factor *= read_factor;
+                    d.mem_write_factor *= write_factor;
+                    any = true;
+                }
+                Fault::TinstStall { slot, cycles } => {
+                    let slot = slot as usize;
+                    if d.tinst_stall_cycles.len() <= slot {
+                        d.tinst_stall_cycles.resize(slot + 1, 0);
+                    }
+                    d.tinst_stall_cycles[slot] += cycles;
+                    any = true;
+                }
+            }
+        }
+        any.then_some(d)
+    }
+
+    /// The degraded configuration: `base` minus killed instances, with
+    /// this scenario's [`Derate`] attached. An empty scenario returns a
+    /// configuration equal to `base`.
+    #[must_use]
+    pub fn apply(&self, base: &SimConfig) -> SimConfig {
+        let mut cfg = base.clone();
+        cfg.mix = self.degraded_mix(&base.mix);
+        cfg.derate = self.derate();
+        cfg
+    }
+}
+
+impl std::fmt::Display for FaultScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.faults.is_empty() {
+            return f.write_str("no faults");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a resilient run.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The completed (possibly degraded) simulation.
+    pub outcome: SimOutcome,
+    /// Faults injected by the scenario.
+    pub faults: usize,
+    /// Whether kills forced a different mix (and thus a reschedule).
+    pub rescheduled: bool,
+    /// The mix the query actually ran on.
+    pub degraded_mix: TileMix,
+}
+
+/// Applies `scenario` to `base`, reschedules the query on the degraded
+/// mix through `cache` (keyed by the full mix, so degraded mixes never
+/// reuse a stale schedule), and runs the timing simulation with the
+/// derating factors active.
+///
+/// Emits [`TraceEvent::FaultInjected`] per fault and
+/// [`TraceEvent::Reschedule`] when kills changed the mix into `sink`,
+/// and bumps `resilience.faults.injected` / `resilience.reschedules` /
+/// `resilience.runs.degraded` counters on `registry`.
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError::Unschedulable`] when the degraded mix
+/// can no longer host the graph (callers report, not panic), and
+/// propagates simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient(
+    graph: &QueryGraph,
+    functional: &FunctionalRun,
+    base: &SimConfig,
+    scenario: &FaultScenario,
+    cache: &ScheduleCache,
+    tag: u64,
+    mut sink: Option<&mut (dyn TraceSink + '_)>,
+    registry: Option<&Registry>,
+) -> Result<ResilientOutcome> {
+    if let Some(sink) = sink.as_deref_mut() {
+        for fault in &scenario.faults {
+            sink.record(TraceEvent::FaultInjected {
+                cycle: 0,
+                kind: fault.code(),
+                endpoint: fault.endpoint(),
+                magnitude: fault.magnitude(),
+            });
+        }
+    }
+    if let Some(r) = registry {
+        r.inc("resilience.faults.injected", scenario.faults.len() as u64);
+        if !scenario.is_empty() {
+            r.inc("resilience.runs.degraded", 1);
+        }
+    }
+
+    let degraded = scenario.apply(base);
+    let rescheduled = degraded.mix != base.mix;
+    let schedule = cache.get_or_schedule(
+        tag,
+        degraded.scheduler,
+        graph,
+        &degraded.mix,
+        &functional.profile,
+    )?;
+    if rescheduled {
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.record(TraceEvent::Reschedule {
+                cycle: 0,
+                stages: schedule.tinsts.len() as u32,
+                tiles_lost: scenario.tiles_lost(),
+            });
+        }
+        if let Some(r) = registry {
+            r.inc("resilience.reschedules", 1);
+        }
+    }
+
+    let sim = Simulator::new(&degraded);
+    let outcome = sim.run_scheduled_traced(graph, functional, (*schedule).clone(), sink)?;
+    Ok(ResilientOutcome {
+        outcome,
+        faults: scenario.faults.len(),
+        rescheduled,
+        degraded_mix: degraded.mix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use crate::exec::MemoryCatalog;
+    use crate::isa::CmpOp;
+    use q100_columnar::{Column, Table, Value};
+    use q100_trace::RingRecorder;
+
+    fn catalog() -> MemoryCatalog {
+        let ids: Vec<i64> = (0..4096).collect();
+        let vals: Vec<i64> = (0..4096).map(|i| (i * 7) % 100).collect();
+        let t =
+            Table::new(vec![Column::from_ints("id", ids), Column::from_ints("v", vals)]).unwrap();
+        MemoryCatalog::new(vec![("t".into(), t)])
+    }
+
+    fn graph() -> crate::isa::QueryGraph {
+        let mut b = QueryGraph::builder("rq");
+        let id = b.col_select_base("t", "id");
+        let v = b.col_select_base("t", "v");
+        let pred = b.bool_gen_const(v, CmpOp::Gt, Value::Int(50));
+        let fid = b.col_filter(id, pred);
+        let fv = b.col_filter(v, pred);
+        let _tab = b.stitch(&[fid, fv]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing_and_changes_nothing() {
+        let base = SimConfig::pareto();
+        let s = FaultScenario::generate(42, 0.0, &base.mix);
+        assert!(s.is_empty());
+        assert_eq!(s.apply(&base), base);
+        assert!(s.derate().is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed_rate_and_mix() {
+        let mix = TileMix::high_perf();
+        let a = FaultScenario::generate(7, 0.3, &mix);
+        let b = FaultScenario::generate(7, 0.3, &mix);
+        assert_eq!(a, b);
+        let c = FaultScenario::generate(8, 0.3, &mix);
+        assert_ne!(a, c, "different seeds should differ at a 0.3 rate (66 draws)");
+    }
+
+    #[test]
+    fn kills_never_underflow_and_derates_validate() {
+        let mix = TileMix::low_power();
+        for seed in 0..32 {
+            let s = FaultScenario::generate(seed, 0.9, &mix);
+            let degraded = s.degraded_mix(&mix);
+            assert!(degraded.total() <= mix.total());
+            if let Some(d) = s.derate() {
+                d.validate().unwrap();
+                assert!(!d.is_noop());
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_run_without_faults_matches_baseline_exactly() {
+        let cat = catalog();
+        let g = graph();
+        let base = SimConfig::pareto();
+        let baseline = Simulator::new(&base).run(&g, &cat).unwrap();
+
+        let functional = crate::exec::execute(&g, &cat).unwrap();
+        let cache = ScheduleCache::new();
+        let scenario = FaultScenario::generate(42, 0.0, &base.mix);
+        let run = run_resilient(&g, &functional, &base, &scenario, &cache, 0, None, None).unwrap();
+        assert_eq!(run.outcome.cycles, baseline.cycles);
+        assert!(!run.rescheduled);
+        assert_eq!(run.degraded_mix, base.mix);
+    }
+
+    #[test]
+    fn derated_run_is_slower_and_emits_events() {
+        let cat = catalog();
+        let g = graph();
+        let base = SimConfig::pareto();
+        let functional = crate::exec::execute(&g, &cat).unwrap();
+        let cache = ScheduleCache::new();
+        let baseline = Simulator::new(&base).run_profiled(&g, &functional).unwrap();
+
+        // Hand-build a scenario: derate every tile kind and stall the
+        // first stage.
+        let mut faults = vec![Fault::TinstStall { slot: 0, cycles: 500 }];
+        for kind in TileKind::ALL {
+            faults.push(Fault::TileDerated { kind, factor: 0.5 });
+        }
+        let scenario = FaultScenario { faults };
+        let registry = Registry::new();
+        let mut rec = RingRecorder::new();
+        let run = run_resilient(
+            &g,
+            &functional,
+            &base,
+            &scenario,
+            &cache,
+            0,
+            Some(&mut rec),
+            Some(&registry),
+        )
+        .unwrap();
+        assert!(
+            run.outcome.cycles > baseline.cycles,
+            "derated {} vs baseline {}",
+            run.outcome.cycles,
+            baseline.cycles
+        );
+        assert_eq!(registry.counter("resilience.faults.injected"), 12);
+        let events = rec.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FaultInjected { kind: 4, magnitude, .. } if *magnitude == 500.0)));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::DegradedQuantum { .. })));
+    }
+
+    #[test]
+    fn killed_required_kind_reports_unschedulable() {
+        let cat = catalog();
+        let g = graph();
+        // LowPower has exactly one of each swept tile; kill enough
+        // ColFilters to run out.
+        let base = SimConfig::new(TileMix::uniform(1));
+        let functional = crate::exec::execute(&g, &cat).unwrap();
+        let cache = ScheduleCache::new();
+        let scenario =
+            FaultScenario { faults: vec![Fault::TileKilled { kind: TileKind::ColFilter }] };
+        let err =
+            run_resilient(&g, &functional, &base, &scenario, &cache, 0, None, None).unwrap_err();
+        assert!(matches!(err, crate::CoreError::Unschedulable { .. }), "got {err}");
+    }
+
+    #[test]
+    fn rescheduled_run_uses_degraded_mix_and_distinct_cache_entry() {
+        let cat = catalog();
+        let g = graph();
+        let base = SimConfig::new(TileMix::uniform(2));
+        let functional = crate::exec::execute(&g, &cat).unwrap();
+        let cache = ScheduleCache::new();
+        // Warm the cache with the healthy mix.
+        cache
+            .get_or_schedule(0, SchedulerKind::DataAware, &g, &base.mix, &functional.profile)
+            .unwrap();
+        let scenario =
+            FaultScenario { faults: vec![Fault::TileKilled { kind: TileKind::ColSelect }] };
+        let run = run_resilient(&g, &functional, &base, &scenario, &cache, 0, None, None).unwrap();
+        assert!(run.rescheduled);
+        assert_eq!(run.degraded_mix.count(TileKind::ColSelect), 1);
+        assert_eq!(cache.len(), 2, "degraded mix must get its own cache entry");
+    }
+}

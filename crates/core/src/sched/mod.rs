@@ -566,6 +566,34 @@ mod tests {
     }
 
     #[test]
+    fn schedule_cache_key_includes_full_tile_mix() {
+        // Regression test for the resilience layer: rescheduling a query
+        // on a *degraded* mix (same tag, same scheduler) must never be
+        // answered with the full-mix schedule. The cache key carries the
+        // entire TileMix, so a one-tile delta is a distinct entry.
+        let g = chain_graph();
+        let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };
+        let cache = ScheduleCache::new();
+        let full = TileMix::uniform(2);
+        let degraded = full.with_count(TileKind::ColFilter, 1);
+
+        let s_full =
+            cache.get_or_schedule(3, SchedulerKind::DataAware, &g, &full, &profile).unwrap();
+        let s_degraded =
+            cache.get_or_schedule(3, SchedulerKind::DataAware, &g, &degraded, &profile).unwrap();
+        assert_eq!(cache.len(), 2, "degraded mix must occupy its own cache slot");
+        assert!(
+            !std::sync::Arc::ptr_eq(&s_full, &s_degraded),
+            "degraded lookup must not alias the full-mix schedule"
+        );
+        // The degraded schedule respects the degraded capacity...
+        s_degraded.validate(&g, &degraded).unwrap();
+        // ...while the full-mix schedule packs both ColFilters into one
+        // stage and would be illegal on the degraded machine.
+        assert!(s_full.validate(&g, &degraded).is_err());
+    }
+
+    #[test]
     fn schedule_cache_does_not_memoize_failures() {
         let g = chain_graph();
         let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };

@@ -9,8 +9,8 @@ use q100_xrand::Rng;
 
 use q100_columnar::{Column, MemoryCatalog, Table, Value};
 use q100_core::{
-    execute, schedule, AggOp, Bandwidth, CmpOp, GraphProfile, QueryGraph, SchedulerKind, SimConfig,
-    Simulator, TileKind, TileMix,
+    check_feasible, execute, schedule, AggOp, AluOp, Bandwidth, CmpOp, CoreError, GraphProfile,
+    PortRef, QueryGraph, SchedulerKind, SimConfig, Simulator, TileKind, TileMix,
 };
 
 const CASES: u64 = 64;
@@ -201,6 +201,103 @@ fn schedulers_always_legal() {
         let roomy = TileMix::uniform(16);
         let s = schedule(SchedulerKind::DataAware, &g, &roomy, &run.profile).unwrap();
         assert_eq!(s.spill_bytes(&g, &run.profile), 0);
+    });
+}
+
+/// Builds a random DAG touching most tile kinds, without ever executing
+/// it — names every fresh column so later table ops can re-select it.
+fn random_graph(rng: &mut Rng) -> QueryGraph {
+    let mut b = QueryGraph::builder("rand");
+    let k = b.col_select_base("t", "k");
+    let v = b.col_select_base("t", "v");
+    let mut cols: Vec<(String, PortRef)> = vec![("k".into(), k), ("v".into(), v)];
+    let mut next = 0usize;
+    let mut fresh = |b: &mut _, port: PortRef, cols: &mut Vec<(String, PortRef)>| {
+        let name = format!("x{next}");
+        next += 1;
+        q100_core::GraphBuilder::name_output(b, port, name.clone());
+        cols.push((name, port));
+    };
+    for _ in 0..rng.gen_range(1usize..10) {
+        let (n1, p1) = cols[rng.gen_range(0usize..cols.len())].clone();
+        let (n2, p2) = cols[rng.gen_range(0usize..cols.len())].clone();
+        match rng.gen_range(0u32..9) {
+            0 => {
+                let o = b.alu_const(p1, AluOp::Add, Value::Int(1));
+                fresh(&mut b, o, &mut cols);
+            }
+            1 => {
+                let o = b.bool_gen(p1, CmpOp::Lt, p2);
+                fresh(&mut b, o, &mut cols);
+            }
+            2 => {
+                let o = b.bool_gen_const(p1, CmpOp::Gt, Value::Int(0));
+                fresh(&mut b, o, &mut cols);
+            }
+            3 => {
+                let flag = b.bool_gen_const(p1, CmpOp::Gt, Value::Int(0));
+                let o = b.col_filter(p1, flag);
+                fresh(&mut b, o, &mut cols);
+            }
+            4 => {
+                let o = b.concat(p1, p2);
+                fresh(&mut b, o, &mut cols);
+            }
+            5 => {
+                let t = b.stitch(&[p1]);
+                let s = b.sort(t, n1.clone());
+                let o = b.col_select(s, n1.clone());
+                cols.push((n1, o));
+            }
+            6 => {
+                let t = b.stitch(&[p1]);
+                let parts = b.partition(t, n1.clone(), vec![0]);
+                let app = b.append_all(&parts);
+                let o = b.col_select(app, n1.clone());
+                cols.push((n1, o));
+            }
+            7 => {
+                // Aggregator output names depend on its inputs; leave it
+                // a sink.
+                let _t = b.aggregate(AggOp::Sum, p1, p2);
+            }
+            _ => {
+                if n1 != n2 {
+                    let t1 = b.stitch(&[p1]);
+                    let t2 = b.stitch(&[p2]);
+                    let _j = b.join(t1, n1, t2, n2);
+                }
+            }
+        }
+    }
+    b.finish().unwrap()
+}
+
+/// Random graphs on random — often undersized — mixes: every scheduler
+/// either returns a validating schedule (iff the mix is feasible) or a
+/// typed `Unschedulable`; it never panics and never succeeds on an
+/// infeasible mix.
+#[test]
+fn schedulers_never_panic_on_random_graphs_and_mixes() {
+    for_each_case(|rng| {
+        let g = random_graph(rng);
+        let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };
+        let mut mix = TileMix::uniform(0);
+        for kind in TileKind::ALL {
+            mix = mix.with_count(kind, rng.gen_range(0u32..3));
+        }
+        let feasible = check_feasible(&g, &mix).is_ok();
+        for kind in [SchedulerKind::Naive, SchedulerKind::DataAware, SchedulerKind::SemiExhaustive]
+        {
+            match (feasible, schedule(kind, &g, &mix, &profile)) {
+                (true, Ok(s)) => s.validate(&g, &mix).unwrap(),
+                (false, Err(CoreError::Unschedulable { .. })) => {}
+                (f, r) => panic!(
+                    "{kind:?}: feasible={f} but scheduler returned {:?}",
+                    r.map(|s| s.stages())
+                ),
+            }
+        }
     });
 }
 

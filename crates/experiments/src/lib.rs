@@ -28,6 +28,7 @@ pub mod comm;
 pub mod dse;
 pub mod perf_report;
 pub mod pool;
+pub mod resilience;
 pub mod runner;
 pub mod sched_study;
 pub mod sensitivity;

@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! q100-experiments [--sf <scale>] [--jobs <n>]
+//! q100-experiments [--sf <scale>] [--jobs <n>] [--seed <n>]
 //!                  [--trace <out.json>] [--metrics <out.json|out.csv>]
 //!                  <experiments...>
 //!
@@ -11,7 +11,12 @@
 //!   fig3 .. fig26  ablation
 //!   all          (everything; the scaled study uses --sf x 100)
 //!   perf-report  (pinned sweep subset -> BENCH_<date>.json; --out <f>)
+//!   resilience   (injected-fault sweep over the paper designs; --seed
+//!                 picks the fault campaign, --out writes the JSON)
 //! ```
+//!
+//! Unknown experiment names and malformed flag values exit with code 2
+//! and a one-line diagnostic on stderr.
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of every workload query
 //! under the Pareto design (open in `chrome://tracing` or Perfetto);
@@ -26,19 +31,45 @@ use std::process::ExitCode;
 
 use q100_core::{power, Bandwidth, SimConfig, TileKind};
 use q100_experiments::{
-    ablation, comm, dse, paper_designs, perf_report, pool, sched_study, sensitivity, software_cmp,
+    ablation, comm, dse, paper_designs, perf_report, pool, resilience, sched_study, sensitivity,
+    software_cmp,
 };
 use q100_experiments::{Workload, DEFAULT_SCALE};
 
+fn usage_text() -> String {
+    "usage: q100-experiments [--sf <scale>] [--jobs <n>] [--seed <n>] [--trace <f>] [--metrics <f>]\n\
+     \x20                       all | tableN ... figN ... | perf-report | resilience [--out <f>]\n\
+     regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
+     --jobs (or Q100_JOBS) caps the sweep worker count;\n\
+     --seed picks the resilience fault campaign (default 42);\n\
+     --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump"
+        .to_string()
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: q100-experiments [--sf <scale>] [--jobs <n>] [--trace <f>] [--metrics <f>]\n\
-         \x20                       all | tableN ... figN ... | perf-report [--out <f>]\n\
-         regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
-         --jobs (or Q100_JOBS) caps the sweep worker count;\n\
-         --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump"
-    );
+    eprintln!("{}", usage_text());
     ExitCode::FAILURE
+}
+
+/// Exit path for malformed invocations: one-line diagnostic, exit
+/// code 2 (distinct from runtime failures, which exit 1).
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("q100-experiments: error: {msg}");
+    ExitCode::from(2)
+}
+
+/// Whether `name` (already stripped of a leading `--`) is a known
+/// experiment selector.
+fn is_known_experiment(name: &str) -> bool {
+    matches!(name, "ablation" | "perf-report" | "resilience")
+        || name
+            .strip_prefix("table")
+            .and_then(|n| n.parse::<u32>().ok())
+            .is_some_and(|n| (1..=4).contains(&n))
+        || name
+            .strip_prefix("fig")
+            .and_then(|n| n.parse::<u32>().ok())
+            .is_some_and(|n| (3..=26).contains(&n))
 }
 
 fn main() -> ExitCode {
@@ -47,6 +78,7 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut scale = DEFAULT_SCALE;
+    let mut seed = 42u64;
     let mut wants: BTreeSet<String> = BTreeSet::new();
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -54,29 +86,44 @@ fn main() -> ExitCode {
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                return ExitCode::SUCCESS;
+            }
             "--sf" => {
-                let Some(v) = iter.next() else { return usage() };
-                let Ok(v) = v.parse::<f64>() else { return usage() };
+                let Some(v) = iter.next() else { return fail("--sf requires a scale factor") };
+                let Ok(v) = v.parse::<f64>() else {
+                    return fail(&format!("--sf: `{v}` is not a number"));
+                };
                 scale = v;
             }
             "--jobs" => {
-                let Some(v) = iter.next() else { return usage() };
-                let Ok(v) = v.parse::<usize>() else { return usage() };
+                let Some(v) = iter.next() else { return fail("--jobs requires a worker count") };
+                let Ok(v) = v.parse::<usize>() else {
+                    return fail(&format!("--jobs: `{v}` is not a positive integer"));
+                };
                 if v == 0 {
-                    return usage();
+                    return fail("--jobs: worker count must be at least 1");
                 }
                 pool::set_jobs(Some(v));
             }
+            "--seed" => {
+                let Some(v) = iter.next() else { return fail("--seed requires an integer") };
+                let Ok(v) = v.parse::<u64>() else {
+                    return fail(&format!("--seed: `{v}` is not an unsigned integer"));
+                };
+                seed = v;
+            }
             "--trace" => {
-                let Some(v) = iter.next() else { return usage() };
+                let Some(v) = iter.next() else { return fail("--trace requires a path") };
                 trace_out = Some(v.clone());
             }
             "--metrics" => {
-                let Some(v) = iter.next() else { return usage() };
+                let Some(v) = iter.next() else { return fail("--metrics requires a path") };
                 metrics_out = Some(v.clone());
             }
             "--out" => {
-                let Some(v) = iter.next() else { return usage() };
+                let Some(v) = iter.next() else { return fail("--out requires a path") };
                 bench_out = Some(v.clone());
             }
             "--all" | "all" => {
@@ -92,7 +139,13 @@ fn main() -> ExitCode {
                 }
             }
             name => {
-                wants.insert(name.trim_start_matches("--").to_string());
+                let trimmed = name.trim_start_matches("--");
+                if !is_known_experiment(trimmed) {
+                    return fail(&format!(
+                        "unknown experiment `{trimmed}` (run with --help for the list)"
+                    ));
+                }
+                wants.insert(trimmed.to_string());
             }
         }
     }
@@ -124,10 +177,11 @@ fn main() -> ExitCode {
         println!("== Table 4: software platform ==\n{}", q100_dbms::render_table4());
     }
 
-    let needs_workload =
-        wants.iter().any(|w| w.starts_with("fig") || w == "table2" || w == "ablation")
-            || trace_out.is_some()
-            || metrics_out.is_some();
+    let needs_workload = wants
+        .iter()
+        .any(|w| w.starts_with("fig") || w == "table2" || w == "ablation" || w == "resilience")
+        || trace_out.is_some()
+        || metrics_out.is_some();
     if !needs_workload {
         return ExitCode::SUCCESS;
     }
@@ -270,6 +324,19 @@ fn main() -> ExitCode {
         println!("== Ablation: point-to-point links (Pareto design) ==");
         println!("{}", ablation::p2p_ablation(&workload, &SimConfig::pareto(), 5).render());
         cache_line("ablation");
+    }
+    if wants.contains("resilience") {
+        println!("== Resilience: injected-fault sweep over the paper designs ==");
+        let study = resilience::study(&workload, seed, &resilience::DEFAULT_RATES);
+        print!("{}", study.render());
+        if let Some(path) = &bench_out {
+            if let Err(e) = std::fs::write(path, study.to_json()) {
+                eprintln!("cannot write resilience JSON to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("resilience study written to {path}");
+        }
+        cache_line("resilience");
     }
     if wants.contains("fig25") || wants.contains("fig26") {
         eprintln!("preparing 100x workload at SF {} ...", scale * 100.0);

@@ -172,6 +172,37 @@ impl Workload {
         self.queries.iter().map(|p| self.simulate_traced(p, config).1).collect()
     }
 
+    /// Simulates one prepared query under `base` with `scenario`'s
+    /// faults injected — killed tiles reschedule on the degraded mix
+    /// (through the shared schedule cache, which keys on the full mix),
+    /// deratings slow the fluid timing layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`q100_core::CoreError::Unschedulable`] when the faults
+    /// removed a tile kind the query needs; resilience sweeps record
+    /// that as a data point rather than aborting.
+    pub fn simulate_resilient(
+        &self,
+        prepared: &PreparedQuery,
+        base: &SimConfig,
+        scenario: &q100_core::FaultScenario,
+    ) -> q100_core::Result<q100_core::ResilientOutcome> {
+        let out = q100_core::run_resilient(
+            &prepared.graph,
+            &prepared.functional,
+            base,
+            scenario,
+            &self.sched_cache,
+            prepared.index as u64,
+            None,
+            Some(&self.metrics),
+        )?;
+        self.metrics.inc("sim.runs", 1);
+        self.metrics.observe("sim.cycles", out.outcome.cycles as f64);
+        Ok(out)
+    }
+
     /// Simulates one prepared query bypassing the schedule cache
     /// (schedules from scratch). Used to validate cache transparency.
     ///

@@ -1,0 +1,56 @@
+//! Smoke tests of the `q100-experiments` binary's error handling: bad
+//! flags and unknown experiment names must exit with code 2 and a
+//! one-line diagnostic, never a panic or a silent success. Only error
+//! paths run here, so no workload is ever prepared and the tests stay
+//! fast in debug builds.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_q100-experiments"))
+        .args(args)
+        .output()
+        .expect("binary must spawn");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unknown_experiment_name_exits_2_with_diagnostic() {
+    for name in ["fig99", "fig2", "table9", "frobnicate", "--resilliance"] {
+        let (code, _, stderr) = run(&[name]);
+        assert_eq!(code, Some(2), "`{name}` must exit 2, stderr: {stderr}");
+        assert!(stderr.contains("unknown experiment"), "`{name}` diagnostic: {stderr}");
+        assert_eq!(stderr.lines().count(), 1, "one-line diagnostic for `{name}`: {stderr}");
+    }
+}
+
+#[test]
+fn malformed_flag_values_exit_2_with_diagnostic() {
+    for (args, needle) in [
+        (&["--jobs", "frog", "fig13"][..], "--jobs"),
+        (&["--jobs", "0", "fig13"][..], "--jobs"),
+        (&["--sf", "tiny", "fig13"][..], "--sf"),
+        (&["--seed", "-1", "resilience"][..], "--seed"),
+        (&["--sf"][..], "--sf"),
+    ] {
+        let (code, _, stderr) = run(args);
+        assert_eq!(code, Some(2), "{args:?} must exit 2, stderr: {stderr}");
+        assert!(stderr.contains(needle), "{args:?} diagnostic must name the flag: {stderr}");
+    }
+}
+
+#[test]
+fn help_exits_0_and_no_args_exits_1() {
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("usage:"));
+    assert!(stdout.contains("resilience"));
+
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, Some(1), "bare invocation keeps the usage exit");
+    assert!(stderr.contains("usage:"));
+}
