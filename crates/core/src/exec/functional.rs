@@ -305,11 +305,17 @@ fn eval(
         SpatialOp::Partitioner { key, bounds } => {
             let table = input(inputs, 0, id)?.as_tab(id)?;
             let keys = table.column(key)?;
-            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); bounds.len() + 1];
-            for (row, &k) in keys.iter().enumerate() {
+            // Two passes: count each bucket's rows first, so every
+            // bucket vector is allocated exactly once at its final size.
+            let mut counts = vec![0usize; bounds.len() + 1];
+            for &k in keys.iter() {
                 // First bound greater than k picks the bucket.
-                let bucket = bounds.partition_point(|&b| b <= k);
-                buckets[bucket].push(row);
+                counts[bounds.partition_point(|&b| b <= k)] += 1;
+            }
+            let mut buckets: Vec<Vec<usize>> =
+                counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+            for (row, &k) in keys.iter().enumerate() {
+                buckets[bounds.partition_point(|&b| b <= k)].push(row);
             }
             Ok(buckets.into_iter().map(|rows| Data::Tab(table.gather(&rows))).collect())
         }
@@ -320,14 +326,30 @@ fn eval(
             prof.sorter_batches = (n as u64).div_ceil(SORTER_BATCH as u64).max(1);
             prof.capacity_violation = n > SORTER_BATCH;
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                let ord = keys.cmp_rows(a, b);
+            if keys.ty() == LogicalType::Str {
+                // Dictionary-ordered comparison per pair; stable sort
+                // keeps equal keys in stream order.
+                order.sort_by(|&a, &b| {
+                    let ord = keys.cmp_rows(a, b);
+                    if *descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+            } else {
+                // Numeric value order is physical order: fetch the key
+                // column once and sort on the plain i64s, skipping the
+                // per-comparison type dispatch. Stability gives the
+                // same tie-break as the comparator path (`Equal`
+                // reversed is still `Equal`).
+                let data = keys.data();
                 if *descending {
-                    ord.reverse()
+                    order.sort_by_key(|&r| std::cmp::Reverse(data[r]));
                 } else {
-                    ord
+                    order.sort_by_key(|&r| data[r]);
                 }
-            });
+            }
             Ok(vec![Data::Tab(table.gather(&order))])
         }
         SpatialOp::Aggregator { op } => {
@@ -398,6 +420,101 @@ fn eval(
     }
 }
 
+/// The splitmix64 finalizer (the same mixer [`q100_xrand`] seeds from):
+/// a bijective, deterministic avalanche over `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Single-shot [`std::hash::Hasher`] for `i64` join keys: one mix64
+/// round instead of seeded SipHash, so hashing is both cheaper and
+/// deterministic across processes (the std default re-randomizes its
+/// seed every run).
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by i64 keys): fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = mix64(self.0 ^ u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.0 = mix64(i as u64);
+    }
+}
+
+/// Unique-key → row index for the join build side.
+///
+/// TPC-H primary keys are dense integers, so the common case is a
+/// direct-addressed array (one bounds-check per probe, no hashing at
+/// all); sparse key domains fall back to a [`KeyHasher`]-seeded map.
+enum JoinIndex {
+    /// `slots[(k - base) as usize]` is the PK row holding key `k`
+    /// (`usize::MAX` = empty).
+    Dense {
+        base: i64,
+        slots: Vec<usize>,
+    },
+    Hashed(HashMap<i64, usize, std::hash::BuildHasherDefault<KeyHasher>>),
+}
+
+impl JoinIndex {
+    /// How much larger than the key count a dense key span may be
+    /// before the hashed fallback wins (4x wastes at most 24 bytes per
+    /// key, well under the hash map's own overhead).
+    const DENSE_SLACK: usize = 4;
+
+    /// Indexes `keys`, erroring via `dup` on the first duplicate key.
+    fn build(keys: &[i64], dup: impl Fn(i64) -> CoreError) -> Result<JoinIndex> {
+        let dense_span = || {
+            let (min, max) = (keys.iter().min()?, keys.iter().max()?);
+            let span = usize::try_from(max.checked_sub(*min)?).ok()?.checked_add(1)?;
+            (span <= keys.len().saturating_mul(Self::DENSE_SLACK).max(64)).then_some((*min, span))
+        };
+        if let Some((base, span)) = dense_span() {
+            let mut slots = vec![usize::MAX; span];
+            for (row, &k) in keys.iter().enumerate() {
+                let slot = &mut slots[(k - base) as usize];
+                if *slot != usize::MAX {
+                    return Err(dup(k));
+                }
+                *slot = row;
+            }
+            Ok(JoinIndex::Dense { base, slots })
+        } else {
+            let mut map = HashMap::with_capacity_and_hasher(keys.len(), Default::default());
+            for (row, &k) in keys.iter().enumerate() {
+                if map.insert(k, row).is_some() {
+                    return Err(dup(k));
+                }
+            }
+            Ok(JoinIndex::Hashed(map))
+        }
+    }
+
+    /// The row holding key `k`, if any.
+    fn get(&self, k: i64) -> Option<usize> {
+        match self {
+            JoinIndex::Dense { base, slots } => {
+                let slot = usize::try_from(k.checked_sub(*base)?).ok()?;
+                slots.get(slot).copied().filter(|&row| row != usize::MAX)
+            }
+            JoinIndex::Hashed(map) => map.get(&k).copied(),
+        }
+    }
+}
+
 /// PK–FK equijoin: each foreign-key row joins the unique primary-key
 /// row with the matching key; FK rows without a match are dropped.
 /// Output preserves FK stream order, which is how the hardware streams
@@ -413,20 +530,16 @@ fn join(
 ) -> Result<Table> {
     let pk_keys = pk.column(left_key)?;
     let fk_keys = fk.column(right_key)?;
-    let mut index: HashMap<i64, usize> = HashMap::with_capacity(pk_keys.len());
-    for (row, &k) in pk_keys.iter().enumerate() {
-        if index.insert(k, row).is_some() {
-            return Err(CoreError::BadOperands {
-                node: id,
-                reason: format!("joiner primary-key side has duplicate key {k} in `{left_key}`"),
-            });
-        }
-    }
-    let mut pk_rows: Vec<usize> = Vec::new();
-    let mut fk_rows: Vec<usize> = Vec::new();
+    let index = JoinIndex::build(pk_keys.data(), |k| CoreError::BadOperands {
+        node: id,
+        reason: format!("joiner primary-key side has duplicate key {k} in `{left_key}`"),
+    })?;
+    // Every FK row matching is the common case — size for it once.
+    let mut pk_rows: Vec<usize> = Vec::with_capacity(fk_keys.len());
+    let mut fk_rows: Vec<usize> = Vec::with_capacity(fk_keys.len());
     let mut pk_matched = vec![false; pk_keys.len()];
-    for (row, k) in fk_keys.iter().enumerate() {
-        if let Some(&pk_row) = index.get(k) {
+    for (row, &k) in fk_keys.iter().enumerate() {
+        if let Some(pk_row) = index.get(k) {
             pk_rows.push(pk_row);
             fk_rows.push(row);
             pk_matched[pk_row] = true;

@@ -3,14 +3,17 @@
 
 mod data;
 pub mod functional;
+pub mod plan;
 pub mod report;
 pub mod timing;
 
 pub use data::{Catalog, Data, MemoryCatalog};
 pub use functional::{execute, execute_lean, FunctionalRun, GraphProfile, NodeProfile};
+pub use plan::{PlanCache, SimScratch, StagePlan};
 pub use timing::{
-    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, simulate_traced,
-    BwStats, ConnMatrix, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, simulate_plan,
+    simulate_plan_traced, simulate_traced, BwStats, ConnMatrix, TimingResult, ENDPOINTS,
+    MEMORY_ENDPOINT,
 };
 
 use q100_trace::TraceSink;
@@ -32,8 +35,9 @@ use crate::tiles::TileKind;
 pub struct SimOutcome {
     /// End-to-end cycles at 315 MHz.
     pub cycles: u64,
-    /// The schedule that was executed.
-    pub schedule: Schedule,
+    /// The schedule that was executed (shared with the compiled
+    /// [`StagePlan`] it ran from).
+    pub schedule: Arc<Schedule>,
     /// Detailed timing (bandwidth traces, busy cycles, spills).
     pub timing: TimingResult,
     /// The query's result streams (sink outputs).
@@ -257,12 +261,47 @@ impl<'a> Simulator<'a> {
         sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Result<SimOutcome> {
         schedule.validate(graph, &self.config.mix)?;
-        let timing =
-            timing::simulate_traced(graph, &schedule, &functional.profile, self.config, sink)?;
+        let plan = StagePlan::compile(graph, Arc::new(schedule), &functional.profile)?;
+        let mut scratch = SimScratch::new();
+        self.run_planned_traced(&plan, functional, graph, &mut scratch, sink)
+    }
+
+    /// Times a query from a pre-compiled [`StagePlan`], reusing
+    /// `scratch` for all mutable simulation state — the sweep hot path.
+    /// The plan's schedule was validated when it was compiled, so no
+    /// per-run validation is repeated here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_planned(
+        &self,
+        plan: &StagePlan,
+        functional: &FunctionalRun,
+        graph: &QueryGraph,
+        scratch: &mut SimScratch,
+    ) -> Result<SimOutcome> {
+        self.run_planned_traced(plan, functional, graph, scratch, None)
+    }
+
+    /// [`run_planned`](Self::run_planned) with an optional trace sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_planned`](Self::run_planned).
+    pub fn run_planned_traced(
+        &self,
+        plan: &StagePlan,
+        functional: &FunctionalRun,
+        graph: &QueryGraph,
+        scratch: &mut SimScratch,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<SimOutcome> {
+        let timing = timing::simulate_plan_traced(plan, self.config, scratch, sink)?;
         Ok(SimOutcome {
             cycles: timing.cycles,
             results: functional.results(graph),
-            schedule,
+            schedule: Arc::clone(plan.schedule()),
             timing,
             config: self.config.clone(),
         })

@@ -1,0 +1,588 @@
+//! Compiled stage plans: the immutable half of a timing simulation.
+//!
+//! The fluid-flow simulator in [`crate::exec::timing`] drains a
+//! constrained dataflow network per temporal instruction. Everything
+//! about that network's *shape* — node topology, consumer lists, record
+//! counts, stream widths, consume modes, per-stage quanta, spill
+//! volumes, the connection census — depends only on the `(graph,
+//! schedule, profile)` triple, never on the swept [`SimConfig`]
+//! (bandwidth caps, derates, p2p links). A [`StagePlan`] captures all
+//! of it once, in O(V+E) from a single adjacency pass, so a
+//! 150-configuration sweep resolves the topology once per (query,
+//! schedule) and every simulation only carries tiny mutable progress
+//! state in a reusable [`SimScratch`].
+//!
+//! Every stream (each node input and each output port) gets a dense
+//! stage-local *stream id*; per-run progress is then a flat `f64`
+//! vector indexed by stream id instead of nested `SimNode` structs,
+//! which is what lets the hot quantum loop run allocation-free.
+//!
+//! [`SimConfig`]: crate::config::SimConfig
+
+use std::sync::Arc;
+
+use crate::config::{SchedulerKind, TileMix};
+use crate::error::{CoreError, Result};
+use crate::exec::functional::GraphProfile;
+use crate::exec::timing::{consume_mode, ConnMatrix, ConsumeMode, MEMORY_ENDPOINT};
+use crate::isa::graph::{NodeId, PortRef, QueryGraph, SpatialOp};
+use crate::sched::{CacheStats, Schedule, ScheduleCache};
+use crate::tiles::TileKind;
+
+/// Where an input stream comes from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PlanSource {
+    /// Streamed from a producer in the same temporal instruction:
+    /// `src_sid` is the producer port's stream id, `src_kind` the
+    /// producer's tile kind (an endpoint index for NoC/peak lookups).
+    InStage { src_sid: usize, src_kind: usize },
+    /// Streamed from memory (base table, or an intermediate spilled by
+    /// an earlier temporal instruction).
+    Memory,
+}
+
+/// One input stream of a plan node.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanInput {
+    pub(crate) source: PlanSource,
+    pub(crate) records: f64,
+    pub(crate) width: f64,
+    /// `records.max(1.0)`, hoisted for the streaming-fraction formulas.
+    pub(crate) records_max1: f64,
+    /// Stage-local stream id of this input's progress counter.
+    pub(crate) sid: usize,
+}
+
+/// One output port of a plan node.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanOutput {
+    pub(crate) records: f64,
+    pub(crate) width: f64,
+    /// `(node index in stage, consumer input stream id)` of each
+    /// in-stage consumer, in graph edge order.
+    pub(crate) consumers: Vec<(usize, usize)>,
+    /// Whether this port also streams to memory (spill or final result).
+    pub(crate) to_memory: bool,
+    /// `records / in_total`, or `0.0` when either is zero — the
+    /// output-records-per-input-record ratio backpressure translates
+    /// through.
+    pub(crate) ratio: f64,
+    /// Stage-local stream id of this port's progress counter.
+    pub(crate) sid: usize,
+}
+
+/// One node of a compiled stage.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanNode {
+    pub(crate) kind: TileKind,
+    pub(crate) mode: ConsumeMode,
+    pub(crate) inputs: Vec<PlanInput>,
+    pub(crate) outputs: Vec<PlanOutput>,
+    pub(crate) is_sorter: bool,
+    /// Sum of input records (the denominator of output ratios).
+    pub(crate) in_total: f64,
+}
+
+/// One compiled temporal instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct StageTopo {
+    pub(crate) nodes: Vec<PlanNode>,
+    /// The stage's cycle quantum.
+    pub(crate) dt: f64,
+    /// Number of stream ids (inputs + output ports) in this stage.
+    pub(crate) streams: usize,
+    /// Bytes filled from memory (base tables + re-read spills).
+    pub(crate) fill_bytes: u64,
+    /// Bytes spilled back to memory (cross-stage outputs + results).
+    pub(crate) spill_bytes: u64,
+}
+
+/// A compiled, immutable per-(query, schedule) simulation artifact.
+///
+/// Built once by [`StagePlan::compile`] and shared (e.g. behind an
+/// `Arc` in [`crate::sched::PlanCache`]) across every configuration of
+/// a sweep; see the module docs for what it captures.
+#[derive(Debug, Clone)]
+pub struct StagePlan {
+    /// The schedule this plan was compiled from, shared with every
+    /// [`SimOutcome`](crate::exec::SimOutcome) the plan produces.
+    pub(crate) schedule: Arc<Schedule>,
+    pub(crate) stages: Vec<StageTopo>,
+    /// Connection census over all stages (Figures 7–9).
+    pub(crate) connections: ConnMatrix,
+    pub(crate) spill_bytes: u64,
+    pub(crate) input_bytes: u64,
+    pub(crate) output_bytes: u64,
+    /// Max `streams` over stages — the scratch vectors' working size.
+    pub(crate) max_streams: usize,
+    /// Max node count over stages.
+    pub(crate) max_nodes: usize,
+}
+
+impl StagePlan {
+    /// Compiles the fluid-network topology of every temporal
+    /// instruction of `schedule`, in O(V+E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Internal`] if the schedule contains an
+    /// empty temporal instruction or names a same-stage producer absent
+    /// from its stage's node list — invariants
+    /// [`Schedule::validate`] guarantees, surfaced as typed errors so
+    /// resilient sweeps can report a scheduling bug and keep running.
+    pub fn compile(
+        graph: &QueryGraph,
+        schedule: Arc<Schedule>,
+        profile: &GraphProfile,
+    ) -> Result<StagePlan> {
+        // One adjacency pass replaces the per-port `graph.edges()`
+        // scans: consumers of (producer, port) in edge order.
+        let mut adj: Vec<Vec<(PortRef, NodeId)>> = vec![Vec::new(); graph.len()];
+        for (p, c) in graph.edges() {
+            adj[p.node].push((p, c));
+        }
+        // Stage-local position of each node, valid only while its stage
+        // is being compiled.
+        let mut pos: Vec<usize> = vec![usize::MAX; graph.len()];
+
+        let mut stages = Vec::with_capacity(schedule.stages());
+        let mut connections = ConnMatrix::zero();
+        let mut max_streams = 0usize;
+        let mut max_nodes = 0usize;
+
+        for tinst in &schedule.tinsts {
+            let Some(&first) = tinst.nodes.first() else {
+                return Err(CoreError::Internal("empty temporal instruction in schedule".into()));
+            };
+            let stage = schedule.stage_of[first];
+            for (i, &id) in tinst.nodes.iter().enumerate() {
+                pos[id] = i;
+            }
+
+            // Stream ids are assigned node by node, inputs then output
+            // ports; precomputing each node's base lets producer /
+            // consumer stream ids resolve in one pass.
+            let mut sid_base = Vec::with_capacity(tinst.nodes.len());
+            let mut streams = 0usize;
+            for &id in &tinst.nodes {
+                sid_base.push(streams);
+                let inst = graph.node(id);
+                let extra =
+                    usize::from(matches!(inst.op, SpatialOp::ColSelect { base: Some(_), .. }));
+                streams += inst.inputs.len() + extra + inst.op.output_ports();
+            }
+            let input_sid = |node: usize, slot: usize| sid_base[node] + slot;
+            let output_sid = |node: usize, id: NodeId, port: usize| {
+                let inst = graph.node(id);
+                let extra =
+                    usize::from(matches!(inst.op, SpatialOp::ColSelect { base: Some(_), .. }));
+                sid_base[node] + inst.inputs.len() + extra + port
+            };
+
+            let nodes: Vec<PlanNode> = tinst
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| -> Result<PlanNode> {
+                    let inst = graph.node(id);
+                    let prof = &profile.nodes[id];
+                    let mut inputs: Vec<PlanInput> = inst
+                        .inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, p)| -> Result<PlanInput> {
+                            let records = prof.in_records.get(slot).copied().unwrap_or(0) as f64;
+                            let bytes = prof.in_bytes.get(slot).copied().unwrap_or(0) as f64;
+                            let width = if records > 0.0 { bytes / records } else { 0.0 };
+                            let source = if schedule.stage_of[p.node] == stage {
+                                let src = pos[p.node];
+                                if src == usize::MAX {
+                                    return Err(CoreError::Internal(format!(
+                                        "node {} scheduled in stage {stage} but absent from its tinst",
+                                        p.node
+                                    )));
+                                }
+                                PlanSource::InStage {
+                                    src_sid: output_sid(src, p.node, p.port),
+                                    src_kind: graph.node(p.node).op.tile_kind() as usize,
+                                }
+                            } else {
+                                PlanSource::Memory
+                            };
+                            Ok(PlanInput {
+                                source,
+                                records,
+                                width,
+                                records_max1: records.max(1.0),
+                                sid: input_sid(i, slot),
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    // Base-table reads are a memory input not represented
+                    // as a graph edge.
+                    if let SpatialOp::ColSelect { base: Some(_), .. } = &inst.op {
+                        let records = prof.out_records.first().copied().unwrap_or(0) as f64;
+                        let bytes = prof.mem_read_bytes as f64;
+                        let width = if records > 0.0 { bytes / records } else { 0.0 };
+                        inputs.push(PlanInput {
+                            source: PlanSource::Memory,
+                            records,
+                            width,
+                            records_max1: records.max(1.0),
+                            sid: input_sid(i, inst.inputs.len()),
+                        });
+                    }
+                    let in_total: f64 = inputs.iter().map(|inp| inp.records).sum();
+                    let outputs: Vec<PlanOutput> = (0..inst.op.output_ports())
+                        .map(|port| {
+                            let records = prof.out_records.get(port).copied().unwrap_or(0) as f64;
+                            let bytes = prof.out_bytes.get(port).copied().unwrap_or(0) as f64;
+                            let width = if records > 0.0 { bytes / records } else { 0.0 };
+                            let port_edges =
+                                adj[id].iter().filter(|(p, _)| p.port == port);
+                            let consumers: Vec<(usize, usize)> = port_edges
+                                .clone()
+                                .filter(|(_, c)| schedule.stage_of[*c] == stage)
+                                .filter_map(|&(p, c)| {
+                                    let slot =
+                                        graph.node(c).inputs.iter().position(|q| *q == p)?;
+                                    let cn = pos[c];
+                                    if cn == usize::MAX {
+                                        return None;
+                                    }
+                                    Some((cn, input_sid(cn, slot)))
+                                })
+                                .collect();
+                            let mut any_edge = false;
+                            let cross_stage = port_edges.clone().any(|&(_, c)| {
+                                any_edge = true;
+                                schedule.stage_of[c] != stage
+                            });
+                            let to_memory = cross_stage || !any_edge;
+                            PlanOutput {
+                                records,
+                                width,
+                                consumers,
+                                to_memory,
+                                ratio: if in_total > 0.0 { records / in_total } else { 0.0 },
+                                sid: output_sid(i, id, port),
+                            }
+                        })
+                        .collect();
+                    Ok(PlanNode {
+                        kind: inst.op.tile_kind(),
+                        mode: consume_mode(&inst.op),
+                        inputs,
+                        outputs,
+                        is_sorter: matches!(inst.op, SpatialOp::Sorter { .. }),
+                        in_total,
+                    })
+                })
+                .collect::<Result<_>>()?;
+
+            for &id in &tinst.nodes {
+                pos[id] = usize::MAX;
+            }
+
+            // Connection census, memory volumes, and the quantum — all
+            // config-independent.
+            let mut fill = 0.0_f64;
+            let mut spill = 0.0_f64;
+            let mut max_records = 0.0_f64;
+            for node in &nodes {
+                let dst = node.kind as usize;
+                for input in &node.inputs {
+                    let src = match input.source {
+                        PlanSource::InStage { src_kind, .. } => src_kind,
+                        PlanSource::Memory => {
+                            fill += input.records * input.width;
+                            MEMORY_ENDPOINT
+                        }
+                    };
+                    connections.add(src, dst, 1.0);
+                    max_records = max_records.max(input.records);
+                }
+                for output in &node.outputs {
+                    if output.to_memory {
+                        connections.add(dst, MEMORY_ENDPOINT, 1.0);
+                        spill += output.records * output.width;
+                    }
+                    max_records = max_records.max(output.records);
+                }
+            }
+            let dt = (max_records / 8192.0).ceil().max(64.0);
+            max_streams = max_streams.max(streams);
+            max_nodes = max_nodes.max(nodes.len());
+            stages.push(StageTopo {
+                nodes,
+                dt,
+                streams,
+                fill_bytes: fill.round() as u64,
+                spill_bytes: spill.round() as u64,
+            });
+        }
+
+        let mut output_bytes = 0u64;
+        for id in graph.sinks() {
+            for port in 0..graph.node(id).op.output_ports() {
+                output_bytes += profile.edge_bytes(id, port);
+            }
+        }
+
+        Ok(StagePlan {
+            stages,
+            connections,
+            spill_bytes: schedule.spill_bytes(graph, profile),
+            input_bytes: profile.input_bytes(),
+            output_bytes,
+            max_streams,
+            max_nodes,
+            schedule,
+        })
+    }
+
+    /// Number of compiled temporal instructions.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The schedule this plan was compiled from.
+    #[must_use]
+    pub fn schedule(&self) -> &Arc<Schedule> {
+        &self.schedule
+    }
+}
+
+/// Caller-owned mutable state of a plan-driven simulation.
+///
+/// Holds every per-run vector the quantum loop touches — stream
+/// progress, pass-1 scratch, quantum-jump delta buffers, and hoisted
+/// per-node rates — sized once to the plan's maxima and reused across
+/// simulations, so the hot path never allocates. One scratch serves any
+/// number of sequential runs over any plans (it regrows to the largest
+/// seen); sweeps keep one per worker.
+#[derive(Debug)]
+pub struct SimScratch {
+    /// Progress (records done) per stream id.
+    pub(crate) done: Vec<f64>,
+    /// Pass-1 desired advance per node.
+    pub(crate) desired: Vec<f64>,
+    /// `out_available` per output stream id, shared within a pass.
+    pub(crate) allowed: Vec<f64>,
+    /// Per-stream advance of the current quantum (jump detection).
+    pub(crate) deltas: Vec<f64>,
+    /// Per-stream advance of the previous quantum.
+    pub(crate) prev_deltas: Vec<f64>,
+    /// Per-node derated quantum advance (`dt * tile_factor`).
+    pub(crate) adv0: Vec<f64>,
+    /// Per-input-stream NoC cap in records (`+inf` when uncapped).
+    pub(crate) noc_in: Vec<f64>,
+    /// Per-output-stream NoC base cap in records (valid when capped).
+    pub(crate) noc_out: Vec<f64>,
+    /// Whether each output stream has a NoC-capped consumer link.
+    pub(crate) out_capped: Vec<bool>,
+    /// Whether the quantum-jump fast path may engage (`true` by
+    /// default; clear it to force pure stepping, e.g. for A/B
+    /// validation of the fused update).
+    pub jump_enabled: bool,
+    /// Quanta skipped by the quantum-jump fast path in the last run.
+    pub jumped_quanta: u64,
+    /// Quanta executed step-by-step in the last run.
+    pub stepped_quanta: u64,
+    /// Number of fused jumps taken in the last run.
+    pub jumps: u64,
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        Self {
+            done: Vec::new(),
+            desired: Vec::new(),
+            allowed: Vec::new(),
+            deltas: Vec::new(),
+            prev_deltas: Vec::new(),
+            adv0: Vec::new(),
+            noc_in: Vec::new(),
+            noc_out: Vec::new(),
+            out_capped: Vec::new(),
+            jump_enabled: true,
+            jumped_quanta: 0,
+            stepped_quanta: 0,
+            jumps: 0,
+        }
+    }
+}
+
+impl SimScratch {
+    /// A fresh, empty scratch (vectors grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes all vectors for `plan` and zeroes the run statistics.
+    pub(crate) fn begin_run(&mut self, plan: &StagePlan) {
+        let s = plan.max_streams;
+        if self.done.len() < s {
+            self.done.resize(s, 0.0);
+            self.allowed.resize(s, 0.0);
+            self.deltas.resize(s, 0.0);
+            self.prev_deltas.resize(s, 0.0);
+            self.noc_in.resize(s, 0.0);
+            self.noc_out.resize(s, 0.0);
+            self.out_capped.resize(s, false);
+        }
+        if self.desired.len() < plan.max_nodes {
+            self.desired.resize(plan.max_nodes, 0.0);
+            self.adv0.resize(plan.max_nodes, 0.0);
+        }
+        self.jumped_quanta = 0;
+        self.stepped_quanta = 0;
+        self.jumps = 0;
+    }
+}
+
+/// A thread-safe memo of compiled plans keyed by *query tag ×
+/// scheduler × tile mix* — the plan-layer twin of
+/// [`ScheduleCache`].
+///
+/// A [`StagePlan`] depends on exactly what its schedule depends on (the
+/// query graph, scheduler, tile mix, and volume profile), so the two
+/// caches share key semantics: callers assign each distinct (graph,
+/// profile) pair a stable `tag`. On a miss, [`PlanCache::get_or_compile`]
+/// first resolves the schedule through the supplied [`ScheduleCache`]
+/// (keeping the schedule memo warm for callers that still want bare
+/// schedules) and then compiles the topology once; every subsequent
+/// configuration of a sweep reuses the compiled artifact.
+///
+/// Compilation runs outside the map lock, so concurrent sweep workers
+/// never serialize on it — at worst two workers race to fill the same
+/// key and one result wins. Hit/miss counters follow the same
+/// deterministic definition as [`CacheStats`].
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: std::sync::Mutex<std::collections::HashMap<(u64, SchedulerKind, TileMix), Arc<StagePlan>>>,
+    /// Successful lookups since the last reset (call count, which is
+    /// independent of worker interleaving).
+    lookups: std::sync::atomic::AtomicU64,
+    /// Map size at the last reset; `len - base_len` is the
+    /// deterministic miss count.
+    base_len: std::sync::atomic::AtomicU64,
+    registry: Option<Arc<q100_trace::Registry>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache that additionally counts every successful lookup
+    /// into `registry` under `plan.cache.lookups`.
+    #[must_use]
+    pub fn with_metrics(registry: Arc<q100_trace::Registry>) -> Self {
+        PlanCache { registry: Some(registry), ..Self::default() }
+    }
+
+    /// Returns the memoized plan for `(tag, kind, mix)`, scheduling
+    /// (via `sched_cache`) and compiling on a miss.
+    ///
+    /// `tag` must uniquely identify the (graph, profile) pair among all
+    /// users of this cache, with the same failure mode as
+    /// [`ScheduleCache::get_or_schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and compilation errors; failures are not
+    /// cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn get_or_compile(
+        &self,
+        tag: u64,
+        kind: SchedulerKind,
+        graph: &QueryGraph,
+        mix: &TileMix,
+        profile: &GraphProfile,
+        sched_cache: &ScheduleCache,
+    ) -> Result<Arc<StagePlan>> {
+        let key = (tag, kind, *mix);
+        if let Some(p) = self.map.lock().unwrap().get(&key) {
+            self.note_lookup();
+            return Ok(Arc::clone(p));
+        }
+        let schedule = sched_cache.get_or_schedule(tag, kind, graph, mix, profile)?;
+        let fresh = Arc::new(StagePlan::compile(graph, schedule, profile)?);
+        self.note_lookup();
+        let mut map = self.map.lock().unwrap();
+        let entry = map.entry(key).or_insert(fresh);
+        Ok(Arc::clone(entry))
+    }
+
+    fn note_lookup(&self) {
+        self.lookups.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(r) = &self.registry {
+            r.inc("plan.cache.lookups", 1);
+        }
+    }
+
+    /// Current hit/miss counters (see [`CacheStats`] for the
+    /// deterministic definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        use std::sync::atomic::Ordering;
+        let len = self.map.lock().unwrap().len() as u64;
+        let misses = len.saturating_sub(self.base_len.load(Ordering::Relaxed));
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        CacheStats { hits: lookups.saturating_sub(misses), misses }
+    }
+
+    /// Zeroes the counters while keeping every memoized plan, so each
+    /// sweep of a multi-figure run reports its own hit/miss line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn reset_stats(&self) {
+        use std::sync::atomic::Ordering;
+        let len = self.map.lock().unwrap().len() as u64;
+        self.base_len.store(len, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every memoized plan and zeroes the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn clear(&self) {
+        use std::sync::atomic::Ordering;
+        self.map.lock().unwrap().clear();
+        self.base_len.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of distinct memoized plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -20,13 +20,29 @@
 //! Each quantum also samples per-link and memory bandwidth, producing
 //! the peak-bandwidth heat maps (Figures 10–12) and memory profiles
 //! (Figures 14–15) of the paper.
+//!
+//! The network *topology* is compiled once per (query, schedule) into a
+//! [`StagePlan`] (see [`crate::exec::plan`]); the simulation itself runs
+//! off that immutable plan plus a caller-owned [`SimScratch`], via
+//! [`simulate_plan`] / [`simulate_plan_traced`]. [`simulate`] and
+//! [`simulate_traced`] remain as compile-then-run conveniences.
+//!
+//! When a stage's per-quantum advance pattern repeats exactly (every
+//! bandwidth cap disabled, no fault derating, no trace sink), the
+//! quantum loop takes a *quantum jump*: it computes how many quanta the
+//! current per-stream rates provably persist and applies them in one
+//! fused update that is bit-identical to stepping (see [`jump_horizon`]
+//! for the invariants).
+
+use std::sync::Arc;
 
 use q100_trace::{TraceEvent, TraceSink};
 
 use crate::config::SimConfig;
 use crate::error::{CoreError, Result};
 use crate::exec::functional::GraphProfile;
-use crate::isa::graph::{NodeId, QueryGraph, SpatialOp};
+use crate::exec::plan::{PlanInput, PlanNode, PlanSource, SimScratch, StagePlan, StageTopo};
+use crate::isa::graph::{QueryGraph, SpatialOp};
 use crate::resilience::Derate;
 use crate::sched::Schedule;
 use crate::tiles::{memory_latency_cycles, TileKind, FREQUENCY_MHZ, SORTER_BATCH};
@@ -171,7 +187,7 @@ const QUEUE_RECORDS: f64 = 1024.0;
 
 /// How a tile consumes its multiple inputs.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum ConsumeMode {
+pub(crate) enum ConsumeMode {
     /// All inputs advance in lockstep (filter, ALU, aggregator, ...).
     Lockstep,
     /// Inputs are consumed one after another (append; the joiner builds
@@ -180,100 +196,17 @@ enum ConsumeMode {
     Sequential,
 }
 
-#[derive(Debug, Clone)]
-enum InputSource {
-    /// Streamed from a producer in the same temporal instruction.
-    InStage { node: usize, port: usize },
-    /// Streamed from memory (base table, or an intermediate spilled by
-    /// an earlier temporal instruction).
-    Memory,
-}
-
-#[derive(Debug, Clone)]
-struct SimInput {
-    source: InputSource,
-    records: f64,
-    width: f64,
-    done: f64,
-}
-
-#[derive(Debug, Clone)]
-struct SimOutput {
-    records: f64,
-    width: f64,
-    /// (node index in stage, input slot) of each in-stage consumer.
-    consumers: Vec<(usize, usize)>,
-    /// Whether this port also streams to memory (spill or final result).
-    to_memory: bool,
-    done: f64,
-}
-
-#[derive(Debug, Clone)]
-struct SimNode {
-    #[allow(dead_code)] // retained for debugging stage dumps
-    id: NodeId,
-    kind: TileKind,
-    mode: ConsumeMode,
-    inputs: Vec<SimInput>,
-    outputs: Vec<SimOutput>,
-    is_sorter: bool,
-}
-
-impl SimNode {
-    fn in_total(&self) -> f64 {
-        self.inputs.iter().map(|i| i.records).sum()
-    }
-
-    fn in_done(&self) -> f64 {
-        self.inputs.iter().map(|i| i.done).sum()
-    }
-
-    fn finished(&self) -> bool {
-        self.inputs.iter().all(|i| i.done >= i.records)
-            && self.outputs.iter().all(|o| o.done >= o.records)
-    }
-
-    /// Output records currently allowed on `port`, given input progress
-    /// and the operator's streaming semantics.
-    fn out_available(&self, port: usize) -> f64 {
-        let out = &self.outputs[port];
-        let in_total = self.in_total();
-        if in_total <= 0.0 {
-            return out.records;
-        }
-        if self.is_sorter {
-            // A batch becomes available only once fully loaded.
-            let done = self.inputs[0].done;
-            let total = self.inputs[0].records;
-            if done >= total {
-                return out.records;
-            }
-            let batches = (done / SORTER_BATCH as f64).floor();
-            return (batches * SORTER_BATCH as f64).min(out.records);
-        }
-        match self.mode {
-            ConsumeMode::Lockstep => {
-                let frac = self.inputs[0].done / self.inputs[0].records.max(1.0);
-                out.records * frac.min(1.0)
-            }
-            ConsumeMode::Sequential => {
-                // Joiner: output flows while the second input streams.
-                // Append: output equals total consumed.
-                if self.inputs.len() == 2 && out.width > 0.0 {
-                    let frac = self.inputs[1].done / self.inputs[1].records.max(1.0);
-                    match self.kind {
-                        TileKind::Joiner => out.records * frac.min(1.0),
-                        _ => self.in_done().min(out.records),
-                    }
-                } else {
-                    self.in_done().min(out.records)
-                }
-            }
-        }
+pub(crate) fn consume_mode(op: &SpatialOp) -> ConsumeMode {
+    match op {
+        SpatialOp::Joiner { .. } | SpatialOp::Append => ConsumeMode::Sequential,
+        _ => ConsumeMode::Lockstep,
     }
 }
 
 /// Simulates one scheduled query and returns its timing result.
+///
+/// Compiles a throwaway [`StagePlan`] and runs it; sweeps that revisit
+/// a (query, schedule) should compile once and call [`simulate_plan`].
 ///
 /// # Errors
 ///
@@ -306,6 +239,38 @@ pub fn simulate_traced(
     schedule: &Schedule,
     profile: &GraphProfile,
     config: &SimConfig,
+    sink: Option<&mut (dyn TraceSink + '_)>,
+) -> Result<TimingResult> {
+    config.validate()?;
+    let plan = StagePlan::compile(graph, Arc::new(schedule.clone()), profile)?;
+    let mut scratch = SimScratch::new();
+    simulate_plan_traced(&plan, config, &mut scratch, sink)
+}
+
+/// Simulates a compiled plan under `config`, reusing `scratch` for all
+/// mutable state — the allocation-free sweep hot path.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_plan(
+    plan: &StagePlan,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Result<TimingResult> {
+    simulate_plan_traced(plan, config, scratch, None)
+}
+
+/// [`simulate_plan`] with an optional trace sink (see
+/// [`simulate_traced`] for the event inventory).
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_plan_traced(
+    plan: &StagePlan,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
     mut sink: Option<&mut (dyn TraceSink + '_)>,
 ) -> Result<TimingResult> {
     config.validate()?;
@@ -332,47 +297,43 @@ pub fn simulate_traced(
         .mem_write_gbps
         .map(|g| gbps_to_bytes_per_cycle(g) * derate.map_or(1.0, |d| d.mem_write_factor));
 
+    scratch.begin_run(plan);
     let mut result = TimingResult {
         cycles: 0,
-        per_tinst_cycles: Vec::with_capacity(schedule.stages()),
+        per_tinst_cycles: Vec::with_capacity(plan.stages.len()),
         busy_cycles: [0.0; TileKind::COUNT],
-        connections: ConnMatrix::zero(),
+        connections: plan.connections.clone(),
         peak_gbps: ConnMatrix::zero(),
         mem_read: BwStats::default(),
         mem_write: BwStats::default(),
-        spill_bytes: schedule.spill_bytes(graph, profile),
-        input_bytes: profile.input_bytes(),
-        output_bytes: 0,
+        spill_bytes: plan.spill_bytes,
+        input_bytes: plan.input_bytes,
+        output_bytes: plan.output_bytes,
     };
     let mut read_samples = TraceAccum::default();
     let mut write_samples = TraceAccum::default();
-    // Scratch reused across every quantum of every stage, so the hot
-    // loop below allocates nothing.
-    let mut desired_scratch: Vec<f64> = Vec::new();
 
-    for (stage_idx, tinst) in schedule.tinsts.iter().enumerate() {
-        let mut stage = build_stage(graph, schedule, profile, &tinst.nodes)?;
-        record_connections(&mut result.connections, &stage);
+    for (stage_idx, topo) in plan.stages.iter().enumerate() {
         let stage_start = result.cycles;
         let peak_before = if let Some(s) = sink.as_deref_mut() {
             s.record(TraceEvent::TinstBegin {
                 stage: stage_idx as u32,
                 cycle: stage_start,
-                nodes: tinst.nodes.len() as u32,
+                nodes: topo.nodes.len() as u32,
             });
-            let (fill_bytes, spill_bytes) = stage_memory_volumes(&stage);
             s.record(TraceEvent::StageMem {
                 stage: stage_idx as u32,
                 cycle: stage_start,
-                fill_bytes,
-                spill_bytes,
+                fill_bytes: topo.fill_bytes,
+                spill_bytes: topo.spill_bytes,
             });
             Some(result.peak_gbps.clone())
         } else {
             None
         };
         let stage_cycles = run_stage(
-            &mut stage,
+            topo,
+            scratch,
             noc_bpc,
             &p2p,
             read_bpc,
@@ -380,7 +341,6 @@ pub fn simulate_traced(
             &mut result,
             &mut read_samples,
             &mut write_samples,
-            &mut desired_scratch,
             stage_start,
             derate,
             stage_idx as u32,
@@ -411,13 +371,6 @@ pub fn simulate_traced(
                 }
             }
             s.record(TraceEvent::TinstEnd { stage: stage_idx as u32, cycle: end });
-        }
-    }
-
-    // Final result bytes: sink output ports stream to memory.
-    for id in graph.sinks() {
-        for port in 0..graph.node(id).op.output_ports() {
-            result.output_bytes += profile.edge_bytes(id, port);
         }
     }
 
@@ -459,163 +412,12 @@ impl TraceAccum {
     }
 }
 
-fn consume_mode(op: &SpatialOp) -> ConsumeMode {
-    match op {
-        SpatialOp::Joiner { .. } | SpatialOp::Append => ConsumeMode::Sequential,
-        _ => ConsumeMode::Lockstep,
-    }
-}
-
-/// Assembles the fluid network of one temporal instruction.
-///
-/// # Errors
-///
-/// Returns [`CoreError::Internal`] if the schedule names a same-stage
-/// producer that is absent from the stage's node list — an invariant
-/// [`Schedule::validate`] guarantees, surfaced as a typed error rather
-/// than a panic so resilient sweeps can report a scheduling bug and
-/// keep running.
-fn build_stage(
-    graph: &QueryGraph,
-    schedule: &Schedule,
-    profile: &GraphProfile,
-    nodes: &[NodeId],
-) -> Result<Vec<SimNode>> {
-    let index_of = |id: NodeId| nodes.iter().position(|&n| n == id);
-    let Some(&first) = nodes.first() else {
-        return Err(CoreError::Internal("empty temporal instruction in schedule".into()));
-    };
-    let stage = schedule.stage_of[first];
-    let mut sim: Vec<SimNode> = nodes
-        .iter()
-        .map(|&id| -> Result<SimNode> {
-            let inst = graph.node(id);
-            let prof = &profile.nodes[id];
-            let mut inputs: Vec<SimInput> = inst
-                .inputs
-                .iter()
-                .enumerate()
-                .map(|(slot, p)| -> Result<SimInput> {
-                    let records = prof.in_records.get(slot).copied().unwrap_or(0) as f64;
-                    let bytes = prof.in_bytes.get(slot).copied().unwrap_or(0) as f64;
-                    let width = if records > 0.0 { bytes / records } else { 0.0 };
-                    let source = if schedule.stage_of[p.node] == stage {
-                        let node = index_of(p.node).ok_or_else(|| {
-                            CoreError::Internal(format!(
-                                "node {} scheduled in stage {stage} but absent from its tinst",
-                                p.node
-                            ))
-                        })?;
-                        InputSource::InStage { node, port: p.port }
-                    } else {
-                        InputSource::Memory
-                    };
-                    Ok(SimInput { source, records, width, done: 0.0 })
-                })
-                .collect::<Result<_>>()?;
-            // Base-table reads are a memory input not represented as a
-            // graph edge.
-            if let SpatialOp::ColSelect { base: Some(_), .. } = &inst.op {
-                let records = prof.out_records.first().copied().unwrap_or(0) as f64;
-                let bytes = prof.mem_read_bytes as f64;
-                let width = if records > 0.0 { bytes / records } else { 0.0 };
-                inputs.push(SimInput { source: InputSource::Memory, records, width, done: 0.0 });
-            }
-            let outputs: Vec<SimOutput> = (0..inst.op.output_ports())
-                .map(|port| {
-                    let records = prof.out_records.get(port).copied().unwrap_or(0) as f64;
-                    let bytes = prof.out_bytes.get(port).copied().unwrap_or(0) as f64;
-                    let width = if records > 0.0 { bytes / records } else { 0.0 };
-                    let consumers: Vec<(usize, usize)> = graph
-                        .edges()
-                        .filter(|(p, _)| p.node == id && p.port == port)
-                        .filter(|(_, c)| schedule.stage_of[*c] == stage)
-                        .filter_map(|(p, c)| {
-                            let slot = graph.node(c).inputs.iter().position(|q| *q == p)?;
-                            Some((index_of(c)?, slot))
-                        })
-                        .collect();
-                    let cross_stage_or_sink = graph
-                        .edges()
-                        .filter(|(p, _)| p.node == id && p.port == port)
-                        .any(|(_, c)| schedule.stage_of[c] != stage)
-                        || !graph.edges().any(|(p, _)| p.node == id && p.port == port);
-                    SimOutput {
-                        records,
-                        width,
-                        consumers,
-                        to_memory: cross_stage_or_sink,
-                        done: 0.0,
-                    }
-                })
-                .collect();
-            Ok(SimNode {
-                id,
-                kind: inst.op.tile_kind(),
-                mode: consume_mode(&inst.op),
-                inputs,
-                outputs,
-                is_sorter: matches!(inst.op, SpatialOp::Sorter { .. }),
-            })
-        })
-        .collect::<Result<_>>()?;
-
-    // Mark zero-volume streams done up front.
-    for node in &mut sim {
-        for i in &mut node.inputs {
-            if i.records <= 0.0 {
-                i.done = 0.0;
-                i.records = 0.0;
-            }
-        }
-    }
-    Ok(sim)
-}
-
-/// Stream-buffer volumes of a stage: bytes filled from memory (base
-/// tables plus spilled intermediates re-read) and bytes spilled back
-/// (cross-stage outputs plus final results). Reported on the stage's
-/// [`TraceEvent::StageMem`] event.
-fn stage_memory_volumes(stage: &[SimNode]) -> (u64, u64) {
-    let mut fill = 0.0_f64;
-    let mut spill = 0.0_f64;
-    for node in stage {
-        for input in &node.inputs {
-            if matches!(input.source, InputSource::Memory) {
-                fill += input.records * input.width;
-            }
-        }
-        for output in &node.outputs {
-            if output.to_memory {
-                spill += output.records * output.width;
-            }
-        }
-    }
-    (fill.round() as u64, spill.round() as u64)
-}
-
-/// Counts the connections a stage instantiates (Figures 7–9).
-fn record_connections(matrix: &mut ConnMatrix, stage: &[SimNode]) {
-    for node in stage {
-        let dst = node.kind as usize;
-        for input in &node.inputs {
-            let src = match &input.source {
-                InputSource::InStage { node: p, .. } => stage[*p].kind as usize,
-                InputSource::Memory => MEMORY_ENDPOINT,
-            };
-            matrix.add(src, dst, 1.0);
-        }
-        for output in &node.outputs {
-            if output.to_memory {
-                matrix.add(dst, MEMORY_ENDPOINT, 1.0);
-            }
-        }
-    }
-}
-
+/// Runs one compiled temporal instruction to completion; returns its
+/// cycle count (excluding the memory startup latency).
 #[allow(clippy::too_many_arguments)]
 fn run_stage(
-    stage: &mut [SimNode],
+    topo: &StageTopo,
+    scratch: &mut SimScratch,
     noc_bpc: Option<f64>,
     p2p: &[[bool; TileKind::COUNT]; TileKind::COUNT],
     read_bpc: Option<f64>,
@@ -623,44 +425,119 @@ fn run_stage(
     result: &mut TimingResult,
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
-    desired: &mut Vec<f64>,
     base_cycle: u64,
     derate: Option<&Derate>,
     stage_idx: u32,
     mut sink: Option<&mut (dyn TraceSink + '_)>,
 ) -> Result<u64> {
     // Quantum: fine enough to resolve bandwidth peaks, coarse enough to
-    // finish large volumes in a bounded number of steps.
-    let max_records = stage
-        .iter()
-        .flat_map(|n| n.inputs.iter().map(|i| i.records).chain(n.outputs.iter().map(|o| o.records)))
-        .fold(0.0_f64, f64::max);
-    let dt = (max_records / 8192.0).ceil().max(64.0);
+    // finish large volumes in a bounded number of steps (precomputed at
+    // plan compile time from the stage's largest stream).
+    let dt = topo.dt;
+    let streams = topo.streams;
+    // The fused fast path only engages when every quantum is provably
+    // identical work: no bandwidth caps, no fault derating (both can
+    // make rate patterns config-dependent in ways the monitors don't
+    // model), and no trace sink (jumped quanta emit no events).
+    let jump_ok = scratch.jump_enabled
+        && noc_bpc.is_none()
+        && read_bpc.is_none()
+        && write_bpc.is_none()
+        && derate.is_none()
+        && sink.is_none();
+
+    {
+        // Per-(stage, run) reset and hoisted per-node/per-stream rates.
+        let SimScratch { done, prev_deltas, adv0, noc_in, noc_out, out_capped, .. } = &mut *scratch;
+        for sid in 0..streams {
+            done[sid] = 0.0;
+            // Sentinel: no quantum matches until one has been stepped.
+            prev_deltas[sid] = -1.0;
+        }
+        for (idx, node) in topo.nodes.iter().enumerate() {
+            let dst = node.kind as usize;
+            adv0[idx] = dt * derate.map_or(1.0, |d| d.tile_factor[dst]);
+            for input in &node.inputs {
+                let mut cap = f64::INFINITY;
+                if let PlanSource::InStage { src_kind, .. } = input.source {
+                    if let Some(bpc) = noc_bpc {
+                        if input.width > 0.0 && !p2p[src_kind][dst] {
+                            cap = bpc * dt / input.width;
+                        }
+                    }
+                }
+                noc_in[input.sid] = cap;
+            }
+            for output in &node.outputs {
+                let mut capped = false;
+                if let Some(bpc) = noc_bpc {
+                    let any_capped = output
+                        .consumers
+                        .iter()
+                        .any(|&(c, _)| !p2p[dst][topo.nodes[c].kind as usize]);
+                    if any_capped && output.width > 0.0 {
+                        noc_out[output.sid] = bpc * dt / output.width;
+                        capped = true;
+                    }
+                }
+                out_capped[output.sid] = capped;
+            }
+        }
+    }
+
     let mut cycles = 0.0_f64;
     let mut stalls = 0u32;
     let mut busy_scratch = [0u16; TileKind::COUNT];
 
-    while stage.iter().any(|n| !n.finished()) {
+    loop {
+        let unfinished = topo.nodes.iter().any(|n| {
+            n.inputs.iter().any(|i| scratch.done[i.sid] < i.records)
+                || n.outputs.iter().any(|o| scratch.done[o.sid] < o.records)
+        });
+        if !unfinished {
+            break;
+        }
         let busy = if sink.is_some() {
             busy_scratch = [0; TileKind::COUNT];
             Some(&mut busy_scratch)
         } else {
             None
         };
-        let stepped = step(
-            stage,
-            dt,
-            noc_bpc,
-            p2p,
-            read_bpc,
-            write_bpc,
-            result,
-            read_samples,
-            write_samples,
-            desired,
-            derate,
-            busy,
-        );
+        let stepped = {
+            let SimScratch {
+                done,
+                desired,
+                allowed,
+                deltas,
+                adv0,
+                noc_in,
+                noc_out,
+                out_capped,
+                ..
+            } = &mut *scratch;
+            for d in deltas[..streams].iter_mut() {
+                *d = 0.0;
+            }
+            step(
+                topo,
+                dt,
+                read_bpc,
+                write_bpc,
+                done,
+                desired,
+                allowed,
+                deltas,
+                adv0,
+                noc_in,
+                noc_out,
+                out_capped,
+                result,
+                read_samples,
+                write_samples,
+                busy,
+            )
+        };
+        scratch.stepped_quanta += 1;
         if let Some(s) = sink.as_deref_mut() {
             let cycle = base_cycle + cycles as u64;
             if derate.is_some() {
@@ -696,9 +573,318 @@ fn run_stage(
             }
         } else {
             stalls = 0;
+            if jump_ok && rates_stable(scratch, streams) {
+                let k = jump_horizon(topo, scratch, dt);
+                if k >= 1 {
+                    fold_jump(topo, scratch, k, dt, &stepped, result, read_samples, write_samples);
+                    cycles += k as f64 * dt;
+                }
+            }
         }
+        // This quantum's deltas become the reference pattern; the old
+        // reference buffer is recycled as next quantum's delta scratch.
+        let SimScratch { deltas, prev_deltas, .. } = &mut *scratch;
+        std::mem::swap(deltas, prev_deltas);
     }
     Ok(cycles.round() as u64)
+}
+
+/// Whether the quantum just stepped repeated the previous quantum's
+/// per-stream advances exactly, with every advance and every progress
+/// counter integral (so fused multiples stay exact in f64).
+fn rates_stable(scratch: &SimScratch, streams: usize) -> bool {
+    let d = &scratch.deltas[..streams];
+    d == &scratch.prev_deltas[..streams]
+        && d.iter().all(|x| x.fract() == 0.0)
+        && scratch.done[..streams].iter().all(|x| x.fract() == 0.0)
+}
+
+/// Applies `k` quanta of the current (validated-stable) per-stream
+/// rates in one fused update, bit-identical to stepping `k` times.
+///
+/// Exactness: all deltas and progress counters are integral (checked by
+/// [`rates_stable`]) and far below 2^53, so `done + k·δ` equals `k`
+/// sequential additions; `dt` is integral so the cycle and busy-cycle
+/// accumulators fold the same way. Bandwidth peaks are max-updates of a
+/// repeated value (idempotent), and the byte accumulators replay `k`
+/// additions of the repeated per-quantum byte counts to preserve the
+/// exact floating-point accumulation order.
+#[allow(clippy::too_many_arguments)]
+fn fold_jump(
+    topo: &StageTopo,
+    scratch: &mut SimScratch,
+    k: u64,
+    dt: f64,
+    stepped: &StepStats,
+    result: &mut TimingResult,
+    read_samples: &mut TraceAccum,
+    write_samples: &mut TraceAccum,
+) {
+    let kf = k as f64;
+    for node in &topo.nodes {
+        let mut m = 0.0_f64;
+        for input in &node.inputs {
+            let d = scratch.deltas[input.sid];
+            scratch.done[input.sid] += kf * d;
+            m += d;
+        }
+        for output in &node.outputs {
+            let d = scratch.deltas[output.sid];
+            scratch.done[output.sid] += kf * d;
+            m += d;
+        }
+        if m > 0.0 {
+            result.busy_cycles[node.kind as usize] += kf * dt;
+        }
+    }
+    if stepped.read_bytes > 0.0 {
+        for _ in 0..k {
+            read_samples.total_bytes += stepped.read_bytes;
+        }
+    }
+    if stepped.write_bytes > 0.0 {
+        for _ in 0..k {
+            write_samples.total_bytes += stepped.write_bytes;
+        }
+    }
+    scratch.jumped_quanta += k;
+    scratch.jumps += 1;
+}
+
+/// How many further quanta the current per-stream rate pattern provably
+/// persists (0 = don't jump).
+///
+/// The per-quantum step is piecewise-affine in the progress vector:
+/// every `min`/`max` clamp in [`desired_advance`] / [`apply_advance`]
+/// is a kink, and between kinks repeating the same rates is exact. Each
+/// monitor below bounds the number of quanta until one clamp could
+/// newly engage (or disengage), with a safety margin `M = 2·dt + 2`
+/// records so boundary roundoff can never flip a comparison inside the
+/// horizon:
+///
+/// 1. **completion** — an advancing stream must stay `M` short of its
+///    total, so `remaining`-clamps and finished-flags cannot trip;
+/// 2. **producer gap** — an in-stage consumer's availability window
+///    (`done_src − done_in`) must stay clear of the margin unless it is
+///    exactly constant;
+/// 3. **sorter batch** — a filling sorter must not cross its next
+///    1024-record batch boundary (availability is a step function);
+/// 4. **apply target** — `produced = min(allowed, done+dt, records) −
+///    done` must keep the same branch: either `allowed` stays ≥ 1
+///    record clear above `done+dt`, or it is binding and drifts at
+///    exactly the output's rate;
+/// 5. **desired backpressure** — the `out_cap/ratio` terms (buffer
+///    slack and consumer queue headroom) must stay strictly above the
+///    node's input advance `A` (plus one record), or be exactly
+///    constant/synchronous.
+fn jump_horizon(topo: &StageTopo, scratch: &SimScratch, dt: f64) -> u64 {
+    let done = &scratch.done[..];
+    let delta = &scratch.deltas[..];
+    let allowed = &scratch.allowed[..];
+    let margin = 2.0 * dt + 2.0;
+    let mut k = f64::INFINITY;
+
+    for node in &topo.nodes {
+        // (1) completion.
+        for input in &node.inputs {
+            let d = delta[input.sid];
+            if d > 0.0 {
+                k = k.min(((input.records - done[input.sid] - margin) / d).floor());
+            }
+        }
+        for output in &node.outputs {
+            let d = delta[output.sid];
+            if d > 0.0 {
+                k = k.min(((output.records - done[output.sid] - margin) / d).floor());
+            }
+        }
+        if k < 1.0 {
+            return 0;
+        }
+
+        // (2) producer gap, on the inputs the consume mode actually
+        // reads this quantum (lockstep: all unfinished; sequential:
+        // the active slot — (1) keeps it active across the horizon).
+        let gap_bound = |input: &PlanInput, k: f64| -> f64 {
+            let PlanSource::InStage { src_sid, .. } = input.source else {
+                return k;
+            };
+            let gap = done[src_sid] - done[input.sid];
+            let drift = delta[src_sid] - delta[input.sid];
+            if drift == 0.0 {
+                // Constant gap: the same clamp value recomputes.
+                return k;
+            }
+            if gap <= margin {
+                return 0.0;
+            }
+            if drift < 0.0 {
+                return k.min(((gap - margin) / -drift).floor());
+            }
+            // Widening gap already clear of the margin: stays clear.
+            k
+        };
+        match node.mode {
+            ConsumeMode::Lockstep => {
+                for input in &node.inputs {
+                    if done[input.sid] < input.records {
+                        k = gap_bound(input, k);
+                    }
+                }
+            }
+            ConsumeMode::Sequential => {
+                if let Some(input) = node.inputs.iter().find(|i| done[i.sid] < i.records) {
+                    k = gap_bound(input, k);
+                }
+            }
+        }
+        if k < 1.0 {
+            return 0;
+        }
+
+        // (3) sorter batch boundary.
+        if node.is_sorter {
+            if let Some(input0) = node.inputs.first() {
+                let d0 = done[input0.sid];
+                let dl = delta[input0.sid];
+                if d0 < input0.records && dl > 0.0 {
+                    let batch = SORTER_BATCH as f64;
+                    let next = (d0 / batch).floor() * batch + batch;
+                    k = k.min(((next - 1.0 - d0) / dl).floor());
+                }
+            }
+        }
+        if k < 1.0 {
+            return 0;
+        }
+
+        // (4)+(5) output-side clamps. `a` over-approximates the input
+        // advance the output caps compete against.
+        let a = node.inputs.iter().map(|i| delta[i.sid]).fold(0.0_f64, f64::max);
+        for (port, output) in node.outputs.iter().enumerate() {
+            let sid = output.sid;
+            let d_out = delta[sid];
+            let (da, exact) = allowed_drift(node, port, done, delta, &mut k);
+            if k < 1.0 {
+                return 0;
+            }
+            let d = da - d_out;
+
+            // (4) apply target (finished outputs always produce 0 via
+            // the `records` clamp — nothing to monitor).
+            if done[sid] < output.records {
+                let slack_b = allowed[sid] - done[sid] - dt;
+                if slack_b >= 1.0 {
+                    if d < -1e-9 {
+                        k = k.min(((slack_b - 1.0) / -d).floor());
+                    }
+                } else if !(d == 0.0 && exact) {
+                    return 0;
+                }
+            }
+
+            // (5) desired-side caps only exist on ports the desired
+            // loop doesn't skip.
+            if output.records > 0.0 && output.ratio > 0.0 {
+                let slack_a = allowed[sid] - done[sid];
+                let t_a = (dt + slack_a.max(0.0)) / output.ratio;
+                if t_a <= a + 1.0 {
+                    if !(d == 0.0 && exact) {
+                        return 0;
+                    }
+                } else if slack_a > 0.0 && d < -1e-9 {
+                    k = k.min(((t_a - a - 1.0) / (-d / output.ratio)).floor());
+                }
+
+                for &(_, cons_sid) in &output.consumers {
+                    let h = done[cons_sid] + QUEUE_RECORDS - done[sid];
+                    let dh = delta[cons_sid] - d_out;
+                    if dh == 0.0 {
+                        // Constant headroom recomputes identically.
+                        continue;
+                    }
+                    if h > 0.0 {
+                        let t_h = (h + dt) / output.ratio;
+                        if t_h <= a + 1.0 {
+                            return 0;
+                        }
+                        if dh < 0.0 {
+                            k = k.min(((t_h - a - 1.0) / (-dh / output.ratio)).floor());
+                            // Also stay on this side of the max(0) kink.
+                            k = k.min(((h - 1.0) / -dh).floor());
+                        }
+                    } else if dh > 0.0 {
+                        // Saturated queue (cap = dt): keep it saturated.
+                        k = k.min((-h / dh).floor());
+                    }
+                }
+            }
+            if k < 1.0 {
+                return 0;
+            }
+        }
+    }
+    if k < 1.0 || !k.is_finite() {
+        // Infinite means nothing moved, which the caller's progress
+        // check already excludes — refuse defensively.
+        return 0;
+    }
+    k as u64
+}
+
+/// Per-quantum drift of one output port's availability
+/// ([`out_available`]) under the current rates, and whether that drift
+/// is *exact* (an integer, so "binding and perfectly synchronous" can
+/// be trusted). For the sequential-append form (`in_done.min(records)`)
+/// the affine region is additionally enforced through `k`.
+fn allowed_drift(
+    node: &PlanNode,
+    port: usize,
+    done: &[f64],
+    delta: &[f64],
+    k: &mut f64,
+) -> (f64, bool) {
+    let output = &node.outputs[port];
+    if node.in_total <= 0.0 || node.is_sorter {
+        // Constant `records`, or a batch plateau ((3) pins the horizon
+        // inside one batch).
+        return (0.0, true);
+    }
+    match node.mode {
+        ConsumeMode::Lockstep => {
+            let i0 = &node.inputs[0];
+            let d0 = delta[i0.sid];
+            if done[i0.sid] >= i0.records || i0.records <= 0.0 || d0 == 0.0 {
+                (0.0, true)
+            } else {
+                // min(frac, 1) stays on the linear branch: (1) keeps
+                // done0 a margin below records0.
+                (output.records * d0 / i0.records_max1, false)
+            }
+        }
+        ConsumeMode::Sequential => {
+            if node.inputs.len() == 2 && output.width > 0.0 && node.kind == TileKind::Joiner {
+                let i1 = &node.inputs[1];
+                let d1 = delta[i1.sid];
+                if done[i1.sid] >= i1.records || i1.records <= 0.0 || d1 == 0.0 {
+                    (0.0, true)
+                } else {
+                    (output.records * d1 / i1.records_max1, false)
+                }
+            } else {
+                let in_done: f64 = node.inputs.iter().map(|i| done[i.sid]).sum();
+                if in_done >= output.records {
+                    return (0.0, true);
+                }
+                let drift: f64 = node.inputs.iter().map(|i| delta[i.sid]).sum();
+                if drift > 0.0 {
+                    // Stay where min(in_done, records) picks in_done.
+                    *k = k.min(((output.records - 1.0 - in_done) / drift).floor());
+                }
+                (drift, true)
+            }
+        }
+    }
 }
 
 /// What one quantum moved: total records plus the memory bytes it
@@ -710,37 +896,85 @@ struct StepStats {
     write_bytes: f64,
 }
 
+/// Output records currently allowed on `port`, given input progress and
+/// the operator's streaming semantics.
+fn out_available(node: &PlanNode, port: usize, done: &[f64]) -> f64 {
+    let out = &node.outputs[port];
+    if node.in_total <= 0.0 {
+        return out.records;
+    }
+    if node.is_sorter {
+        // A batch becomes available only once fully loaded.
+        let done0 = done[node.inputs[0].sid];
+        let total = node.inputs[0].records;
+        if done0 >= total {
+            return out.records;
+        }
+        let batches = (done0 / SORTER_BATCH as f64).floor();
+        return (batches * SORTER_BATCH as f64).min(out.records);
+    }
+    match node.mode {
+        ConsumeMode::Lockstep => {
+            let i0 = &node.inputs[0];
+            let frac = done[i0.sid] / i0.records_max1;
+            out.records * frac.min(1.0)
+        }
+        ConsumeMode::Sequential => {
+            // Joiner: output flows while the second input streams.
+            // Append: output equals total consumed.
+            if node.inputs.len() == 2 && out.width > 0.0 {
+                match node.kind {
+                    TileKind::Joiner => {
+                        let i1 = &node.inputs[1];
+                        let frac = done[i1.sid] / i1.records_max1;
+                        out.records * frac.min(1.0)
+                    }
+                    _ => in_done(node, done).min(out.records),
+                }
+            } else {
+                in_done(node, done).min(out.records)
+            }
+        }
+    }
+}
+
+fn in_done(node: &PlanNode, done: &[f64]) -> f64 {
+    node.inputs.iter().map(|i| done[i.sid]).sum()
+}
+
 /// Advances the fluid network by `dt` cycles; returns what moved. When
 /// `busy` is supplied (tracing), it is filled with the number of busy
 /// instructions per tile kind this quantum.
 #[allow(clippy::too_many_arguments)]
 fn step(
-    stage: &mut [SimNode],
+    topo: &StageTopo,
     dt: f64,
-    noc_bpc: Option<f64>,
-    p2p: &[[bool; TileKind::COUNT]; TileKind::COUNT],
     read_bpc: Option<f64>,
     write_bpc: Option<f64>,
+    done: &mut [f64],
+    desired: &mut [f64],
+    allowed: &mut [f64],
+    deltas: &mut [f64],
+    adv0: &[f64],
+    noc_in: &[f64],
+    noc_out: &[f64],
+    out_capped: &[bool],
     result: &mut TimingResult,
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
-    desired: &mut Vec<f64>,
-    derate: Option<&Derate>,
     mut busy: Option<&mut [u16; TileKind::COUNT]>,
 ) -> StepStats {
-    let n = stage.len();
+    let n = topo.nodes.len();
     // Pass 1: per-node desired input advance (records over this quantum)
     // ignoring the shared memory budget, plus the memory demand it
-    // implies. `desired` is caller-owned scratch: cleared and refilled
-    // each quantum without reallocating.
-    desired.clear();
-    desired.resize(n, 0.0);
+    // implies. `allowed` caches each port's availability for the pass.
     let mut read_demand = 0.0_f64;
     let mut write_demand = 0.0_f64;
     for idx in 0..n {
-        let d = desired_advance(stage, idx, dt, noc_bpc, p2p, derate);
+        let node = &topo.nodes[idx];
+        let d = desired_advance(node, adv0[idx], dt, done, allowed, noc_in, noc_out, out_capped);
         desired[idx] = d;
-        let (r, w) = memory_demand(&stage[idx], d, dt);
+        let (r, w) = memory_demand(node, d, dt, done, allowed);
         read_demand += r;
         write_demand += w;
     }
@@ -754,22 +988,34 @@ fn step(
     let mut read_bytes = 0.0_f64;
     let mut write_bytes = 0.0_f64;
     for idx in 0..n {
+        let node = &topo.nodes[idx];
         let mut adv = desired[idx].max(0.0);
-        let reads_memory = stage[idx]
+        let reads_memory = node
             .inputs
             .iter()
-            .any(|i| matches!(i.source, InputSource::Memory) && i.done < i.records);
+            .any(|i| matches!(i.source, PlanSource::Memory) && done[i.sid] < i.records);
         if reads_memory {
             adv *= read_factor;
         }
-        let (r, w, m) = apply_advance(stage, idx, adv, dt, write_factor, derate, result);
+        let (r, w, m) = apply_advance(
+            topo,
+            idx,
+            adv,
+            dt,
+            adv0[idx],
+            write_factor,
+            done,
+            allowed,
+            deltas,
+            result,
+        );
         read_bytes += r;
         write_bytes += w;
         moved += m;
         if m > 0.0 {
-            result.busy_cycles[stage[idx].kind as usize] += dt;
+            result.busy_cycles[node.kind as usize] += dt;
             if let Some(b) = busy.as_deref_mut() {
-                b[stage[idx].kind as usize] += 1;
+                b[node.kind as usize] += 1;
             }
         }
     }
@@ -785,36 +1031,34 @@ fn factor(demand: f64, budget: Option<f64>) -> f64 {
     }
 }
 
-/// How many input records node `idx` wants to (and may) consume this
+/// How many input records a node wants to (and may) consume this
 /// quantum, considering tile throughput, upstream availability, NoC
 /// caps, and downstream backpressure — everything except the shared
-/// memory budget.
+/// memory budget. Caches each output port's availability in `allowed`.
+#[allow(clippy::too_many_arguments)]
 fn desired_advance(
-    stage: &[SimNode],
-    idx: usize,
+    node: &PlanNode,
+    adv0: f64,
     dt: f64,
-    noc_bpc: Option<f64>,
-    p2p: &[[bool; TileKind::COUNT]; TileKind::COUNT],
-    derate: Option<&Derate>,
+    done: &[f64],
+    allowed: &mut [f64],
+    noc_in: &[f64],
+    noc_out: &[f64],
+    out_capped: &[bool],
 ) -> f64 {
-    let node = &stage[idx];
-    let dst_kind = node.kind as usize;
     // Tile throughput: one record per cycle on the consuming stream,
     // scaled down when the tile kind is frequency-derated (resilience).
-    let mut adv: f64 = dt * derate.map_or(1.0, |d| d.tile_factor[dst_kind]);
+    let mut adv: f64 = adv0;
 
     match node.mode {
         ConsumeMode::Lockstep => {
             for input in &node.inputs {
-                let remaining = input.records - input.done;
+                let remaining = input.records - done[input.sid];
                 let mut cap = remaining;
-                if let InputSource::InStage { node: p, port } = input.source {
-                    cap = cap.min(stage[p].outputs[port].done - input.done);
-                    if let Some(bpc) = noc_bpc {
-                        if input.width > 0.0 && !p2p[stage[p].kind as usize][dst_kind] {
-                            cap = cap.min(bpc * dt / input.width);
-                        }
-                    }
+                if let PlanSource::InStage { src_sid, .. } = input.source {
+                    cap = cap.min(done[src_sid] - done[input.sid]);
+                    // `+inf` when uncapped, so the min is the identity.
+                    cap = cap.min(noc_in[input.sid]);
                 }
                 // All lockstep inputs advance together, so the slowest
                 // governs (except already-exhausted zero-record inputs).
@@ -827,19 +1071,14 @@ fn desired_advance(
             }
         }
         ConsumeMode::Sequential => {
-            let active = node.inputs.iter().position(|i| i.done < i.records);
+            let active = node.inputs.iter().find(|i| done[i.sid] < i.records);
             match active {
                 None => adv = 0.0,
-                Some(slot) => {
-                    let input = &node.inputs[slot];
-                    let mut cap = input.records - input.done;
-                    if let InputSource::InStage { node: p, port } = input.source {
-                        cap = cap.min(stage[p].outputs[port].done - input.done);
-                        if let Some(bpc) = noc_bpc {
-                            if input.width > 0.0 && !p2p[stage[p].kind as usize][dst_kind] {
-                                cap = cap.min(bpc * dt / input.width);
-                            }
-                        }
+                Some(input) => {
+                    let mut cap = input.records - done[input.sid];
+                    if let PlanSource::InStage { src_sid, .. } = input.source {
+                        cap = cap.min(done[src_sid] - done[input.sid]);
+                        cap = cap.min(noc_in[input.sid]);
                     }
                     adv = adv.min(cap);
                 }
@@ -850,32 +1089,26 @@ fn desired_advance(
 
     // Backpressure and NoC caps on outputs: translate output limits back
     // into input records via the port's output/input ratio.
-    let in_total = node.in_total();
     for (port, output) in node.outputs.iter().enumerate() {
+        let avail = out_available(node, port, done);
+        allowed[output.sid] = avail;
         if output.records <= 0.0 {
             continue;
         }
-        let ratio = if in_total > 0.0 { output.records / in_total } else { 0.0 };
-        if ratio <= 0.0 {
+        if output.ratio <= 0.0 {
             continue;
         }
         let mut out_cap = f64::INFINITY;
         // Output streaming rate is itself bounded by one record/cycle.
-        out_cap = out_cap.min(dt + (node.out_available(port) - output.done).max(0.0));
-        if let Some(bpc) = noc_bpc {
-            let any_capped =
-                output.consumers.iter().any(|&(c, _)| !p2p[dst_kind][stage[c].kind as usize]);
-            if any_capped && output.width > 0.0 {
-                out_cap = out_cap.min(
-                    bpc * dt / output.width + (node.out_available(port) - output.done).max(0.0),
-                );
-            }
+        out_cap = out_cap.min(dt + (avail - done[output.sid]).max(0.0));
+        if out_capped[output.sid] {
+            out_cap = out_cap.min(noc_out[output.sid] + (avail - done[output.sid]).max(0.0));
         }
-        for &(c, slot) in &output.consumers {
-            let headroom = stage[c].inputs[slot].done + QUEUE_RECORDS - output.done;
+        for &(_, cons_sid) in &output.consumers {
+            let headroom = done[cons_sid] + QUEUE_RECORDS - done[output.sid];
             out_cap = out_cap.min(headroom.max(0.0) + dt);
         }
-        adv = adv.min(out_cap / ratio);
+        adv = adv.min(out_cap / output.ratio);
     }
     adv.max(0.0)
 }
@@ -883,111 +1116,138 @@ fn desired_advance(
 /// Memory bytes (read, write) that consuming `adv` input records implies
 /// for this node. Write demand also covers output-only drains (e.g. a
 /// sorter emitting a completed batch while its input is exhausted).
-fn memory_demand(node: &SimNode, adv: f64, dt: f64) -> (f64, f64) {
+fn memory_demand(node: &PlanNode, adv: f64, dt: f64, done: &[f64], allowed: &[f64]) -> (f64, f64) {
     let mut read = 0.0;
     match node.mode {
         ConsumeMode::Lockstep => {
             for input in &node.inputs {
-                if matches!(input.source, InputSource::Memory) && input.done < input.records {
-                    read += adv.min(input.records - input.done) * input.width;
+                if matches!(input.source, PlanSource::Memory) && done[input.sid] < input.records {
+                    read += adv.min(input.records - done[input.sid]) * input.width;
                 }
             }
         }
         ConsumeMode::Sequential => {
-            if let Some(input) = node.inputs.iter().find(|i| i.done < i.records) {
-                if matches!(input.source, InputSource::Memory) {
-                    read += adv.min(input.records - input.done) * input.width;
+            if let Some(input) = node.inputs.iter().find(|i| done[i.sid] < i.records) {
+                if matches!(input.source, PlanSource::Memory) {
+                    read += adv.min(input.records - done[input.sid]) * input.width;
                 }
             }
         }
     }
     let mut write = 0.0;
-    for (port, output) in node.outputs.iter().enumerate() {
+    for output in &node.outputs {
         if output.to_memory {
-            let target = node.out_available(port).min(output.done + dt).min(output.records);
-            write += (target - output.done).max(0.0) * output.width;
+            let target = allowed[output.sid].min(done[output.sid] + dt).min(output.records);
+            write += (target - done[output.sid]).max(0.0) * output.width;
         }
     }
     (read, write)
 }
 
+/// Advances one input stream by up to `adv` records (shared by both
+/// consume modes of [`apply_advance`]).
+#[allow(clippy::too_many_arguments)]
+fn advance_input(
+    input: &PlanInput,
+    adv: f64,
+    dt: f64,
+    dst_kind: usize,
+    done: &mut [f64],
+    deltas: &mut [f64],
+    result: &mut TimingResult,
+    read_bytes: &mut f64,
+    moved: &mut f64,
+) {
+    let step_records = adv.min(input.records - done[input.sid]);
+    if step_records <= 0.0 {
+        return;
+    }
+    let bytes = step_records * input.width;
+    let src = match input.source {
+        PlanSource::Memory => {
+            *read_bytes += bytes;
+            MEMORY_ENDPOINT
+        }
+        PlanSource::InStage { src_kind, .. } => src_kind,
+    };
+    result.peak_gbps.max_in(src, dst_kind, bytes_per_cycle_to_gbps(bytes / dt));
+    done[input.sid] += step_records;
+    deltas[input.sid] += step_records;
+    *moved += step_records;
+}
+
 /// Applies an input advance of `adv` records to node `idx`, updating
-/// progress, bandwidth samples and peak-link statistics. Returns
-/// `(read_bytes, write_bytes, records_moved)`.
+/// progress, per-stream deltas, bandwidth samples and peak-link
+/// statistics. Returns `(read_bytes, write_bytes, records_moved)`.
 #[allow(clippy::too_many_arguments)]
 fn apply_advance(
-    stage: &mut [SimNode],
+    topo: &StageTopo,
     idx: usize,
     adv: f64,
     dt: f64,
+    out_dt: f64,
     write_factor: f64,
-    derate: Option<&Derate>,
+    done: &mut [f64],
+    allowed: &mut [f64],
+    deltas: &mut [f64],
     result: &mut TimingResult,
 ) -> (f64, f64, f64) {
+    let node = &topo.nodes[idx];
     let mut read_bytes = 0.0;
     let mut write_bytes = 0.0;
     let mut moved = 0.0;
-    let dst_kind = stage[idx].kind as usize;
+    let dst_kind = node.kind as usize;
 
     // Advance inputs.
-    match stage[idx].mode {
+    match node.mode {
         ConsumeMode::Lockstep => {
-            for slot in 0..stage[idx].inputs.len() {
-                let input = &stage[idx].inputs[slot];
+            for input in &node.inputs {
                 if input.records <= 0.0 || adv <= 0.0 {
                     continue;
                 }
-                let step_records = adv.min(input.records - input.done);
-                if step_records <= 0.0 {
-                    continue;
-                }
-                let bytes = step_records * input.width;
-                let src = match input.source {
-                    InputSource::Memory => {
-                        read_bytes += bytes;
-                        MEMORY_ENDPOINT
-                    }
-                    InputSource::InStage { node: p, .. } => stage[p].kind as usize,
-                };
-                result.peak_gbps.max_in(src, dst_kind, bytes_per_cycle_to_gbps(bytes / dt));
-                stage[idx].inputs[slot].done += step_records;
-                moved += step_records;
+                advance_input(
+                    input,
+                    adv,
+                    dt,
+                    dst_kind,
+                    done,
+                    deltas,
+                    result,
+                    &mut read_bytes,
+                    &mut moved,
+                );
             }
         }
         ConsumeMode::Sequential => {
-            if let Some(slot) =
-                stage[idx].inputs.iter().position(|i| i.done < i.records).filter(|_| adv > 0.0)
-            {
-                let input = &stage[idx].inputs[slot];
-                let step_records = adv.min(input.records - input.done);
-                if step_records > 0.0 {
-                    let bytes = step_records * input.width;
-                    let src = match input.source {
-                        InputSource::Memory => {
-                            read_bytes += bytes;
-                            MEMORY_ENDPOINT
-                        }
-                        InputSource::InStage { node: p, .. } => stage[p].kind as usize,
-                    };
-                    result.peak_gbps.max_in(src, dst_kind, bytes_per_cycle_to_gbps(bytes / dt));
-                    stage[idx].inputs[slot].done += step_records;
-                    moved += step_records;
+            if adv > 0.0 {
+                if let Some(input) = node.inputs.iter().find(|i| done[i.sid] < i.records) {
+                    advance_input(
+                        input,
+                        adv,
+                        dt,
+                        dst_kind,
+                        done,
+                        deltas,
+                        result,
+                        &mut read_bytes,
+                        &mut moved,
+                    );
                 }
             }
         }
     }
 
     // Advance outputs to their currently allowed level (bounded by one
-    // record per cycle of streaming, scaled by the shared write budget
-    // for memory-bound ports).
-    // A frequency-derated tile also emits records proportionally slower.
-    let out_dt = dt * derate.map_or(1.0, |d| d.tile_factor[dst_kind]);
-    for port in 0..stage[idx].outputs.len() {
-        let allowed = stage[idx].out_available(port);
-        let output = &stage[idx].outputs[port];
+    // record per cycle of streaming — `out_dt`, pre-scaled for
+    // frequency-derated tiles — and by the shared write budget for
+    // memory-bound ports). Availability is recomputed after this node's
+    // own input advance and re-cached for the jump monitors.
+    for (port, output) in node.outputs.iter().enumerate() {
+        let avail = out_available(node, port, done);
+        allowed[output.sid] = avail;
         let stream_cap = if output.to_memory { out_dt * write_factor } else { out_dt };
-        let target = allowed.min(output.done + stream_cap).min(output.records);
-        let produced = (target - output.done).max(0.0);
+        let target = avail.min(done[output.sid] + stream_cap).min(output.records);
+        let produced = (target - done[output.sid]).max(0.0);
         if produced <= 0.0 {
             continue;
         }
@@ -996,19 +1256,17 @@ fn apply_advance(
             write_bytes += bytes;
             result.peak_gbps.max_in(dst_kind, MEMORY_ENDPOINT, bytes_per_cycle_to_gbps(bytes / dt));
         }
-        // One link per consumer; each sees the full stream. Indexed
-        // access keeps the borrow local, so no per-quantum collection.
-        for ci in 0..stage[idx].outputs[port].consumers.len() {
-            let (c, _) = stage[idx].outputs[port].consumers[ci];
-            let ck = stage[c].kind as usize;
+        // One link per consumer; each sees the full stream.
+        for &(c, _) in &output.consumers {
+            let ck = topo.nodes[c].kind as usize;
             result.peak_gbps.max_in(dst_kind, ck, bytes_per_cycle_to_gbps(bytes / dt));
         }
-        stage[idx].outputs[port].done += produced;
+        done[output.sid] += produced;
+        deltas[output.sid] += produced;
         moved += produced;
     }
     (read_bytes, write_bytes, moved)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

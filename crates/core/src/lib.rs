@@ -31,8 +31,8 @@ pub use error::{CoreError, Result};
 pub use exec::report::render_report;
 pub use exec::{
     execute, execute_lean, simulate, simulate_traced, BwStats, Catalog, ConnMatrix, Data,
-    FunctionalRun, GraphProfile, MemoryCatalog, SimOutcome, Simulator, TimingResult, ENDPOINTS,
-    MEMORY_ENDPOINT,
+    FunctionalRun, GraphProfile, MemoryCatalog, PlanCache, SimOutcome, SimScratch, Simulator,
+    StagePlan, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
 };
 pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
 pub use power::DesignBudget;

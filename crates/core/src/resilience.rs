@@ -28,7 +28,7 @@ use q100_xrand::Rng;
 
 use crate::config::{SimConfig, TileMix};
 use crate::error::Result;
-use crate::exec::{FunctionalRun, SimOutcome, Simulator, MEMORY_ENDPOINT};
+use crate::exec::{FunctionalRun, PlanCache, SimOutcome, SimScratch, Simulator, MEMORY_ENDPOINT};
 use crate::isa::QueryGraph;
 use crate::sched::ScheduleCache;
 use crate::tiles::TileKind;
@@ -379,9 +379,10 @@ pub struct ResilientOutcome {
 }
 
 /// Applies `scenario` to `base`, reschedules the query on the degraded
-/// mix through `cache` (keyed by the full mix, so degraded mixes never
-/// reuse a stale schedule), and runs the timing simulation with the
-/// derating factors active.
+/// mix through `plans` (whose key includes the full mix, so degraded
+/// mixes never reuse a stale schedule or compiled plan; `cache` backs
+/// the schedule half of each plan miss), and runs the timing simulation
+/// with the derating factors active.
 ///
 /// Emits [`TraceEvent::FaultInjected`] per fault and
 /// [`TraceEvent::Reschedule`] when kills changed the mix into `sink`,
@@ -400,6 +401,7 @@ pub fn run_resilient(
     base: &SimConfig,
     scenario: &FaultScenario,
     cache: &ScheduleCache,
+    plans: &PlanCache,
     tag: u64,
     mut sink: Option<&mut (dyn TraceSink + '_)>,
     registry: Option<&Registry>,
@@ -423,18 +425,19 @@ pub fn run_resilient(
 
     let degraded = scenario.apply(base);
     let rescheduled = degraded.mix != base.mix;
-    let schedule = cache.get_or_schedule(
+    let plan = plans.get_or_compile(
         tag,
         degraded.scheduler,
         graph,
         &degraded.mix,
         &functional.profile,
+        cache,
     )?;
     if rescheduled {
         if let Some(sink) = sink.as_deref_mut() {
             sink.record(TraceEvent::Reschedule {
                 cycle: 0,
-                stages: schedule.tinsts.len() as u32,
+                stages: plan.schedule().tinsts.len() as u32,
                 tiles_lost: scenario.tiles_lost(),
             });
         }
@@ -444,7 +447,8 @@ pub fn run_resilient(
     }
 
     let sim = Simulator::new(&degraded);
-    let outcome = sim.run_scheduled_traced(graph, functional, (*schedule).clone(), sink)?;
+    let mut scratch = SimScratch::new();
+    let outcome = sim.run_planned_traced(&plan, functional, graph, &mut scratch, sink)?;
     Ok(ResilientOutcome {
         outcome,
         faults: scenario.faults.len(),
@@ -523,8 +527,10 @@ mod tests {
 
         let functional = crate::exec::execute(&g, &cat).unwrap();
         let cache = ScheduleCache::new();
+        let plans = PlanCache::new();
         let scenario = FaultScenario::generate(42, 0.0, &base.mix);
-        let run = run_resilient(&g, &functional, &base, &scenario, &cache, 0, None, None).unwrap();
+        let run = run_resilient(&g, &functional, &base, &scenario, &cache, &plans, 0, None, None)
+            .unwrap();
         assert_eq!(run.outcome.cycles, baseline.cycles);
         assert!(!run.rescheduled);
         assert_eq!(run.degraded_mix, base.mix);
@@ -537,6 +543,7 @@ mod tests {
         let base = SimConfig::pareto();
         let functional = crate::exec::execute(&g, &cat).unwrap();
         let cache = ScheduleCache::new();
+        let plans = PlanCache::new();
         let baseline = Simulator::new(&base).run_profiled(&g, &functional).unwrap();
 
         // Hand-build a scenario: derate every tile kind and stall the
@@ -554,6 +561,7 @@ mod tests {
             &base,
             &scenario,
             &cache,
+            &plans,
             0,
             Some(&mut rec),
             Some(&registry),
@@ -582,10 +590,11 @@ mod tests {
         let base = SimConfig::new(TileMix::uniform(1));
         let functional = crate::exec::execute(&g, &cat).unwrap();
         let cache = ScheduleCache::new();
+        let plans = PlanCache::new();
         let scenario =
             FaultScenario { faults: vec![Fault::TileKilled { kind: TileKind::ColFilter }] };
-        let err =
-            run_resilient(&g, &functional, &base, &scenario, &cache, 0, None, None).unwrap_err();
+        let err = run_resilient(&g, &functional, &base, &scenario, &cache, &plans, 0, None, None)
+            .unwrap_err();
         assert!(matches!(err, crate::CoreError::Unschedulable { .. }), "got {err}");
     }
 
@@ -596,13 +605,15 @@ mod tests {
         let base = SimConfig::new(TileMix::uniform(2));
         let functional = crate::exec::execute(&g, &cat).unwrap();
         let cache = ScheduleCache::new();
+        let plans = PlanCache::new();
         // Warm the cache with the healthy mix.
         cache
             .get_or_schedule(0, SchedulerKind::DataAware, &g, &base.mix, &functional.profile)
             .unwrap();
         let scenario =
             FaultScenario { faults: vec![Fault::TileKilled { kind: TileKind::ColSelect }] };
-        let run = run_resilient(&g, &functional, &base, &scenario, &cache, 0, None, None).unwrap();
+        let run = run_resilient(&g, &functional, &base, &scenario, &cache, &plans, 0, None, None)
+            .unwrap();
         assert!(run.rescheduled);
         assert_eq!(run.degraded_mix.count(TileKind::ColSelect), 1);
         assert_eq!(cache.len(), 2, "degraded mix must get its own cache entry");

@@ -2,7 +2,7 @@
 
 use crate::config::TileMix;
 use crate::exec::functional::GraphProfile;
-use crate::isa::graph::{NodeId, QueryGraph};
+use crate::isa::graph::QueryGraph;
 use crate::sched::{list_schedule, Schedule};
 
 /// Greedy scheduler that uses per-edge data volumes to co-locate heavy
@@ -26,48 +26,12 @@ use crate::sched::{list_schedule, Schedule};
 /// naive.
 #[must_use]
 pub fn schedule_data_aware(graph: &QueryGraph, mix: &TileMix, profile: &GraphProfile) -> Schedule {
-    // Precompute, for every node, its input edges (producer port -> bytes)
-    // and its heaviest output edge.
-    let n = graph.len();
-    let mut in_edges: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); n];
-    let mut best_out: Vec<u64> = vec![0; n];
-    for (id, node) in graph.nodes().iter().enumerate() {
-        for p in &node.inputs {
-            let bytes = profile.edge_bytes(p.node, p.port);
-            in_edges[id].push((p.node, bytes));
-            best_out[p.node] = best_out[p.node].max(bytes);
-        }
-    }
-
-    let mut in_current = vec![false; n];
-    let volume_greedy = list_schedule(graph, mix, move |candidates, current| {
-        // `current` only ever grows within a stage and resets between
-        // stages; rebuild the membership mask cheaply.
-        in_current.iter_mut().for_each(|b| *b = false);
-        for &c in current {
-            in_current[c] = true;
-        }
-        let mut best = candidates[0];
-        let mut best_score = (0u64, 0u64);
-        for &c in candidates {
-            let resident: u64 = in_edges[c]
-                .iter()
-                .filter(|(producer, _)| in_current[*producer])
-                .map(|&(_, bytes)| bytes)
-                .sum();
-            // Primary: volume flowing from the current stage into the
-            // candidate (kept on-chip if co-scheduled). Secondary: the
-            // candidate's heaviest outgoing edge, so big pipelines get
-            // seats first. Ties fall back to topological order via the
-            // scan direction.
-            let score = (resident, best_out[c]);
-            if score > best_score {
-                best_score = score;
-                best = c;
-            }
-        }
-        best
-    });
+    // The shared list-scheduling core scores every ready candidate by
+    // (volume flowing from the current stage into it, its heaviest
+    // outgoing edge), places the maximum, and breaks ties toward the
+    // lowest id: heavy pipelines are extended first and, failing that,
+    // started first.
+    let volume_greedy = list_schedule(graph, mix, Some(profile));
     let naive = crate::sched::schedule_naive(graph, mix);
     if naive.spill_bytes(graph, profile) < volume_greedy.spill_bytes(graph, profile) {
         naive

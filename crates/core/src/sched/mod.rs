@@ -117,27 +117,33 @@ impl Schedule {
     /// once.
     #[must_use]
     pub fn spill_bytes(&self, graph: &QueryGraph, profile: &GraphProfile) -> u64 {
-        let mut total = 0u64;
-        for (id, node) in graph.nodes().iter().enumerate() {
-            for port in 0..node.op.output_ports() {
-                let bytes = profile.edge_bytes(id, port);
-                if bytes == 0 {
-                    continue;
-                }
-                let mut consumer_stages: Vec<usize> = graph
-                    .edges()
-                    .filter(|(p, _)| p.node == id && p.port == port)
-                    .map(|(_, c)| self.stage_of[c])
-                    .filter(|&s| s != self.stage_of[id])
-                    .collect();
-                consumer_stages.sort_unstable();
-                consumer_stages.dedup();
-                if !consumer_stages.is_empty() {
-                    // One write by the producer stage, one read per
-                    // distinct later stage.
-                    total += bytes * (1 + consumer_stages.len() as u64);
-                }
+        // One edge pass groups the cross-stage consumer stages of each
+        // producer port; sorting then deduplicates distinct stages, so
+        // the whole computation is O(E log E) instead of a full edge
+        // rescan per output port.
+        let mut crossings: Vec<(NodeId, usize, usize)> = Vec::new();
+        for (p, c) in graph.edges() {
+            if self.stage_of[c] != self.stage_of[p.node] {
+                crossings.push((p.node, p.port, self.stage_of[c]));
             }
+        }
+        crossings.sort_unstable();
+        crossings.dedup();
+        let mut total = 0u64;
+        let mut i = 0;
+        while i < crossings.len() {
+            let (node, port, _) = crossings[i];
+            let mut j = i;
+            while j < crossings.len() && (crossings[j].0, crossings[j].1) == (node, port) {
+                j += 1;
+            }
+            let bytes = profile.edge_bytes(node, port);
+            if bytes > 0 {
+                // One write by the producer stage, one read per distinct
+                // consumer stage.
+                total += bytes * (1 + (j - i) as u64);
+            }
+            i = j;
         }
         total
     }
@@ -198,49 +204,125 @@ pub fn schedule(
     Ok(s)
 }
 
-/// Shared greedy list-scheduling core: repeatedly fills one stage with
-/// ready instructions chosen by `pick`, then advances.
+/// Shared greedy list-scheduling core used by the naive and data-aware
+/// algorithms: repeatedly fills one stage with ready instructions, then
+/// advances.
 ///
-/// `pick` receives the candidate node ids (unplaced, producers all
-/// placed, tile capacity available in the current stage) and the ids
-/// already in the current stage; it returns the next node to place.
-pub(crate) fn list_schedule<F>(graph: &QueryGraph, mix: &TileMix, mut pick: F) -> Schedule
-where
-    F: FnMut(&[NodeId], &[NodeId]) -> NodeId,
-{
+/// Readiness is tracked incrementally — per-node pending-producer
+/// counters plus one ordered ready set per tile kind — so a placement
+/// costs O(log V) instead of a full O(V) candidate rescan, and the whole
+/// schedule is built in O((V + E) log V). Each ready set is keyed by
+///
+/// ```text
+/// (resident volume into the current stage, heaviest out-edge, Reverse(id))
+/// ```
+///
+/// whose set *maximum* is exactly the candidate the previous
+/// rescan-and-argmax implementation picked: largest resident volume,
+/// then heaviest outgoing edge, ties to the lowest node id. With
+/// `profile` absent both scores are zero for every node and the pick
+/// degenerates to lowest id, i.e. topological (naive) order.
+///
+/// A node's resident volume only changes when one of its producers is
+/// placed, and every producer is placed before the node enters a ready
+/// set, so keys never need re-ordering mid-stage; at a stage boundary
+/// the residency of touched ready nodes resets to zero and only those
+/// few keys are rebuilt.
+pub(crate) fn list_schedule(
+    graph: &QueryGraph,
+    mix: &TileMix,
+    profile: Option<&GraphProfile>,
+) -> Schedule {
+    use std::cmp::Reverse;
+    use std::collections::BTreeSet;
+
+    type Key = (u64, u64, Reverse<NodeId>);
+
     let n = graph.len();
     let mut stage_of = vec![usize::MAX; n];
+    if n == 0 {
+        return Schedule::from_stages(stage_of);
+    }
+
+    // Static per-node data: tile kind, consumer adjacency (with edge
+    // volumes in data-aware mode), pending-producer counts, and the
+    // heaviest outgoing edge (the secondary score).
+    let mut kind_of: Vec<usize> = Vec::with_capacity(n);
+    let mut pending: Vec<u32> = vec![0; n];
+    let mut consumers: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); n];
+    let mut best_out: Vec<u64> = vec![0; n];
+    for (id, node) in graph.nodes().iter().enumerate() {
+        kind_of.push(node.op.tile_kind() as usize);
+        pending[id] = u32::try_from(node.inputs.len()).expect("input count fits in u32");
+        for p in &node.inputs {
+            let bytes = profile.map_or(0, |pr| pr.edge_bytes(p.node, p.port));
+            consumers[p.node].push((id, bytes));
+            best_out[p.node] = best_out[p.node].max(bytes);
+        }
+    }
+
+    let mut ready: Vec<BTreeSet<Key>> = vec![BTreeSet::new(); TileKind::COUNT];
+    let mut resident: Vec<u64> = vec![0; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    for id in 0..n {
+        if pending[id] == 0 {
+            ready[kind_of[id]].insert((0, best_out[id], Reverse(id)));
+        }
+    }
+
+    let capacity: Vec<u32> = TileKind::ALL.iter().map(|&k| mix.count(k)).collect();
     let mut placed = 0usize;
     let mut stage = 0usize;
     while placed < n {
         let mut used = [0u32; TileKind::COUNT];
-        let mut current: Vec<NodeId> = Vec::new();
         loop {
-            let candidates: Vec<NodeId> =
-                (0..n)
-                    .filter(|&id| {
-                        stage_of[id] == usize::MAX
-                            && graph.node(id).inputs.iter().all(|p| {
-                                stage_of[p.node] <= stage && stage_of[p.node] != usize::MAX
-                            })
-                            && {
-                                let k = graph.node(id).op.tile_kind();
-                                used[k as usize] < mix.count(k)
-                            }
-                    })
-                    .collect();
-            if candidates.is_empty() {
-                break;
+            // Best candidate across kinds with free capacity. Keys are
+            // unique (ids differ), so `>` is a total order here.
+            let mut best: Option<(Key, usize)> = None;
+            for (k, set) in ready.iter().enumerate() {
+                if used[k] >= capacity[k] {
+                    continue;
+                }
+                if let Some(&key) = set.iter().next_back() {
+                    if best.is_none_or(|(b, _)| key > b) {
+                        best = Some((key, k));
+                    }
+                }
             }
-            let chosen = pick(&candidates, &current);
-            debug_assert!(candidates.contains(&chosen));
-            let k = graph.node(chosen).op.tile_kind();
-            used[k as usize] += 1;
-            stage_of[chosen] = stage;
-            current.push(chosen);
+            let Some((key, k)) = best else { break };
+            let id = key.2 .0;
+            ready[k].remove(&key);
+            stage_of[id] = stage;
+            used[k] += 1;
             placed += 1;
+            for &(c, bytes) in &consumers[id] {
+                pending[c] -= 1;
+                // Every producer of `c` is placed before `c` becomes
+                // ready, so `c` is never inside a ready set here and its
+                // resident volume can grow without re-keying.
+                if bytes > 0 {
+                    if resident[c] == 0 {
+                        touched.push(c);
+                    }
+                    resident[c] += bytes;
+                }
+                if pending[c] == 0 {
+                    ready[kind_of[c]].insert((resident[c], best_out[c], Reverse(c)));
+                }
+            }
         }
         stage += 1;
+        // Residency is relative to the current stage: nodes readied with
+        // a same-stage producer drop back to score zero when it closes.
+        for &t in &touched {
+            if stage_of[t] == usize::MAX && pending[t] == 0 {
+                let set = &mut ready[kind_of[t]];
+                set.remove(&(resident[t], best_out[t], Reverse(t)));
+                set.insert((0, best_out[t], Reverse(t)));
+            }
+            resident[t] = 0;
+        }
+        touched.clear();
         // A stage can never be empty: any unplaced node with all
         // producers placed fits in a fresh stage (capacity >= 1 per
         // check_feasible), and at least one such node always exists in a

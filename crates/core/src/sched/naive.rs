@@ -12,9 +12,9 @@ use crate::sched::{list_schedule, Schedule};
 /// no effort to minimize data transfer between temporal instructions."
 #[must_use]
 pub fn schedule_naive(graph: &QueryGraph, mix: &TileMix) -> Schedule {
-    // Candidates arrive in ascending id (= topological) order; always
-    // take the first.
-    list_schedule(graph, mix, |candidates, _current| candidates[0])
+    // Without a profile every ready node scores zero and the shared core
+    // always places the lowest ready id: topological order.
+    list_schedule(graph, mix, None)
 }
 
 #[cfg(test)]

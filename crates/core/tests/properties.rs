@@ -333,6 +333,48 @@ fn bandwidth_is_monotone() {
     });
 }
 
+/// The quantum-jump fast path is invisible: on random executable
+/// graphs, a run with jumping enabled produces a bit-identical
+/// [`q100_core::TimingResult`] to pure stepping of the same compiled
+/// plan — cycles, per-link peaks, and memory statistics all match.
+#[test]
+fn quantum_jump_matches_pure_stepping_on_random_graphs() {
+    use std::sync::Arc;
+
+    let mut compared = 0u64;
+    let mut jumped_quanta = 0u64;
+    for_each_case(|rng| {
+        let g = random_graph(rng);
+        let values = rng.gen_vec(1..3000, |r| r.gen_range(-1000i64..1000));
+        let cat = catalog_of(&values);
+        // Random graphs are not all executable (e.g. joins drawing
+        // duplicate primary keys); skip those cases.
+        let Ok(run) = execute(&g, &cat) else { return };
+        let mut mix = TileMix::uniform(0);
+        for kind in TileKind::ALL {
+            mix = mix.with_count(kind, rng.gen_range(1u32..4));
+        }
+        if check_feasible(&g, &mix).is_err() {
+            return;
+        }
+        let config = SimConfig::new(mix);
+        let sched = schedule(config.scheduler, &g, &config.mix, &run.profile).unwrap();
+        let plan = q100_core::StagePlan::compile(&g, Arc::new(sched), &run.profile).unwrap();
+        let mut scratch = q100_core::SimScratch::new();
+        let jumped = q100_core::exec::simulate_plan(&plan, &config, &mut scratch).unwrap();
+        jumped_quanta += scratch.jumped_quanta;
+        scratch.jump_enabled = false;
+        let stepped = q100_core::exec::simulate_plan(&plan, &config, &mut scratch).unwrap();
+        assert_eq!(jumped, stepped, "jumped and stepped timing must agree bit-for-bit");
+        compared += 1;
+    });
+    // Join-bearing random graphs often draw duplicate primary keys and
+    // are skipped; a third of the cases surviving still compares
+    // thousands of quanta.
+    assert!(compared >= CASES / 4, "only {compared} executable cases out of {CASES}");
+    assert!(jumped_quanta > 0, "no case engaged the quantum-jump fast path");
+}
+
 /// Non-proptest sanity: profiles drive the schedulers, so an empty
 /// profile must still schedule legally (volumes default to zero).
 #[test]

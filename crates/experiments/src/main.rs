@@ -193,6 +193,7 @@ fn main() -> ExitCode {
     // deterministic at any --jobs setting (see `CacheStats`).
     let cache_line = |label: &str| {
         println!("{label} schedule cache: {}", workload.sched_cache_stats());
+        println!("{label} plan cache: {}", workload.plan_cache_stats());
         workload.reset_sched_cache_stats();
     };
 

@@ -50,7 +50,9 @@ pub struct PerfReport {
     pub prepare_wall_ms: f64,
     /// The benchmarked figures.
     pub figures: Vec<FigureBench>,
-    /// Schedule-cache counters over the whole report.
+    /// Plan-cache counters over the whole report (one lookup per
+    /// simulation — numerically what the schedule cache reported before
+    /// compiled plans existed, so the JSON schema is unchanged).
     pub cache: q100_core::CacheStats,
 }
 
@@ -138,7 +140,7 @@ pub fn run() -> PerfReport {
         jobs: pool::jobs(),
         prepare_wall_ms,
         figures,
-        cache: workload.sched_cache_stats(),
+        cache: workload.plan_cache_stats(),
     }
 }
 

@@ -2,16 +2,25 @@
 //! Q100 configurations over the cached profiles — in parallel, with
 //! schedules memoized across configurations.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use q100_core::trace::{Registry, RingRecorder, TraceStream};
 use q100_core::{
-    CacheStats, FunctionalRun, QueryGraph, ScheduleCache, SimConfig, SimOutcome, Simulator,
+    CacheStats, FunctionalRun, PlanCache, QueryGraph, ScheduleCache, SimConfig, SimOutcome,
+    SimScratch, Simulator, StagePlan,
 };
 use q100_tpch::queries::{self, TpchQuery};
 use q100_tpch::TpchData;
 
 use crate::pool;
+
+thread_local! {
+    /// One simulation scratch per worker thread: every plan-driven run
+    /// on this thread reuses the same grown-once vectors, so sweep hot
+    /// loops never allocate (see [`SimScratch`]).
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
 
 /// Default scale factor for the evaluation experiments. Small enough
 /// that a full 150-configuration sweep finishes in minutes, large
@@ -43,6 +52,7 @@ pub struct Workload {
     /// The prepared queries, in paper order.
     pub queries: Vec<PreparedQuery>,
     sched_cache: ScheduleCache,
+    plan_cache: PlanCache,
     metrics: Arc<Registry>,
 }
 
@@ -81,7 +91,8 @@ impl Workload {
             .collect();
         let metrics = Arc::new(Registry::new());
         let sched_cache = ScheduleCache::with_metrics(Arc::clone(&metrics));
-        Workload { db, queries, sched_cache, metrics }
+        let plan_cache = PlanCache::with_metrics(Arc::clone(&metrics));
+        Workload { db, queries, sched_cache, plan_cache, metrics }
     }
 
     /// The workload's metrics registry: every sweep, schedule-cache
@@ -92,9 +103,32 @@ impl Workload {
         &self.metrics
     }
 
+    /// Resolves the compiled [`StagePlan`] for `(prepared, config)`,
+    /// scheduling and compiling on the first sight of this (query,
+    /// scheduler, mix) key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot run the query (all evaluation
+    /// configurations can).
+    #[must_use]
+    fn plan(&self, prepared: &PreparedQuery, config: &SimConfig) -> Arc<StagePlan> {
+        self.plan_cache
+            .get_or_compile(
+                prepared.index as u64,
+                config.scheduler,
+                &prepared.graph,
+                &config.mix,
+                &prepared.functional.profile,
+                &self.sched_cache,
+            )
+            .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", prepared.query.name))
+    }
+
     /// Simulates one prepared query under `config`, reusing a memoized
-    /// schedule when this (query, scheduler, mix) was seen before —
-    /// bandwidth sweeps then only re-run the fluid timing layer.
+    /// compiled plan (and its schedule) when this (query, scheduler,
+    /// mix) was seen before — bandwidth sweeps then only re-run the
+    /// fluid timing layer, against this worker's reused scratch.
     ///
     /// # Panics
     ///
@@ -102,18 +136,16 @@ impl Workload {
     /// configurations can).
     #[must_use]
     pub fn simulate(&self, prepared: &PreparedQuery, config: &SimConfig) -> SimOutcome {
-        let schedule = self
-            .sched_cache
-            .get_or_schedule(
-                prepared.index as u64,
-                config.scheduler,
-                &prepared.graph,
-                &config.mix,
-                &prepared.functional.profile,
-            )
-            .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", prepared.query.name));
-        let outcome = Simulator::new(config)
-            .run_scheduled(&prepared.graph, &prepared.functional, (*schedule).clone())
+        let plan = self.plan(prepared, config);
+        let outcome = SCRATCH
+            .with(|s| {
+                Simulator::new(config).run_planned(
+                    &plan,
+                    &prepared.functional,
+                    &prepared.graph,
+                    &mut s.borrow_mut(),
+                )
+            })
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
         self.metrics.inc("sim.runs", 1);
         self.metrics.observe("sim.cycles", outcome.cycles as f64);
@@ -134,24 +166,18 @@ impl Workload {
         prepared: &PreparedQuery,
         config: &SimConfig,
     ) -> (SimOutcome, TraceStream) {
-        let schedule = self
-            .sched_cache
-            .get_or_schedule(
-                prepared.index as u64,
-                config.scheduler,
-                &prepared.graph,
-                &config.mix,
-                &prepared.functional.profile,
-            )
-            .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", prepared.query.name));
+        let plan = self.plan(prepared, config);
         let mut recorder = RingRecorder::new();
-        let outcome = Simulator::new(config)
-            .run_scheduled_traced(
-                &prepared.graph,
-                &prepared.functional,
-                (*schedule).clone(),
-                Some(&mut recorder),
-            )
+        let outcome = SCRATCH
+            .with(|s| {
+                Simulator::new(config).run_planned_traced(
+                    &plan,
+                    &prepared.functional,
+                    &prepared.graph,
+                    &mut s.borrow_mut(),
+                    Some(&mut recorder),
+                )
+            })
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
         self.metrics.inc("sim.runs", 1);
         self.metrics.observe("sim.cycles", outcome.cycles as f64);
@@ -194,6 +220,7 @@ impl Workload {
             base,
             scenario,
             &self.sched_cache,
+            &self.plan_cache,
             prepared.index as u64,
             None,
             Some(&self.metrics),
@@ -265,20 +292,35 @@ impl Workload {
     }
 
     /// Schedule-cache hit/miss counters accumulated by this workload.
+    /// With plan-driven simulation the schedule cache is consulted only
+    /// on plan misses, so its hits count cross-layer reuse (e.g. a
+    /// resilience scenario landing on an already-planned mix).
     #[must_use]
     pub fn sched_cache_stats(&self) -> CacheStats {
         self.sched_cache.stats()
     }
 
-    /// Drops memoized schedules and zeroes the cache counters.
-    pub fn clear_sched_cache(&self) {
-        self.sched_cache.clear();
+    /// Plan-cache hit/miss counters accumulated by this workload — one
+    /// lookup per simulation, so these match what the schedule cache
+    /// reported before plans existed.
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
-    /// Zeroes the cache hit/miss counters while keeping the memoized
-    /// schedules, so each figure's stdout line reports its own sweep.
+    /// Drops memoized schedules and compiled plans, and zeroes both
+    /// caches' counters.
+    pub fn clear_sched_cache(&self) {
+        self.sched_cache.clear();
+        self.plan_cache.clear();
+    }
+
+    /// Zeroes both caches' hit/miss counters while keeping the memoized
+    /// schedules and plans, so each figure's stdout lines report their
+    /// own sweep.
     pub fn reset_sched_cache_stats(&self) {
         self.sched_cache.reset_stats();
+        self.plan_cache.reset_stats();
     }
 
     /// The query names in workload order.
@@ -318,9 +360,12 @@ mod tests {
         let a = w.simulate(&w.queries[0], &SimConfig::low_power());
         let b = w.simulate(&w.queries[0], &SimConfig::low_power());
         assert_eq!(a.cycles, b.cycles);
-        // The second simulation reused the first's schedule.
-        let stats = w.sched_cache_stats();
-        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The second simulation reused the first's compiled plan; the
+        // schedule cache was consulted only on the plan miss.
+        let plan_stats = w.plan_cache_stats();
+        assert_eq!((plan_stats.hits, plan_stats.misses), (1, 1));
+        let sched_stats = w.sched_cache_stats();
+        assert_eq!((sched_stats.hits, sched_stats.misses), (0, 1));
     }
 
     #[test]

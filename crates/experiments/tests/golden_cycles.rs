@@ -1,0 +1,76 @@
+//! Golden-cycle regression pins: exact simulated cycle counts for the
+//! pinned perf-report workload (q1, q6, q14 at SF 0.01) under the three
+//! paper designs. Any timing-model change — intended or not — shows up
+//! here as an exact diff, and the quantum-jump fast path is checked
+//! bit-for-bit against pure stepping on the same compiled plans.
+
+use std::sync::Arc;
+
+use q100_core::exec::simulate_plan;
+use q100_core::{schedule, SimScratch, StagePlan};
+use q100_experiments::{paper_designs, Workload};
+
+/// The pinned scale factor (matches `perf_report::PINNED_SCALE`).
+const SCALE: f64 = 0.01;
+
+/// Exact cycle counts per query under (LowPower, Pareto, HighPerf).
+/// Regenerate by running this test and copying the printed actuals —
+/// but only after convincing yourself the timing model *should* have
+/// changed.
+const GOLDEN: [(&str, [u64; 3]); 3] = [
+    ("q1", [735_584, 401_624, 401_624]),
+    ("q6", [244_126, 61_988, 61_988]),
+    ("q14", [90_994, 70_978, 70_160]),
+];
+
+#[test]
+fn paper_design_cycles_are_pinned() {
+    let names: Vec<&str> = GOLDEN.iter().map(|(q, _)| *q).collect();
+    let w = Workload::prepare_subset(SCALE, &names);
+    let mut actual = Vec::new();
+    for (prepared, (name, _)) in w.queries.iter().zip(&GOLDEN) {
+        let mut cycles = [0u64; 3];
+        for (i, (_, config)) in paper_designs().iter().enumerate() {
+            cycles[i] = w.simulate(prepared, config).cycles;
+        }
+        actual.push((*name, cycles));
+    }
+    assert_eq!(actual, GOLDEN.to_vec(), "golden cycle counts diverged; actuals: {actual:?}");
+}
+
+/// On the real TPC-H workload, a jumped simulation must be
+/// bit-identical to pure stepping of the same compiled plan, and the
+/// fast path must actually engage somewhere in this workload. The
+/// paper designs run with provisioned bandwidth caps — where jumping
+/// deliberately never engages — so this check uses their mixes under
+/// ideal bandwidth, the fig6 design-space configuration, on the two
+/// queries whose long steady-state stages dominate fig6 engagement
+/// (q20 and q21; short-stage queries like q6 never settle into an
+/// integral repeating pattern, so they step every quantum).
+#[test]
+fn quantum_jump_is_bit_identical_on_tpch() {
+    let w = Workload::prepare_subset(SCALE, &["q20", "q21"]);
+    let mut jumped_quanta = 0u64;
+    for prepared in &w.queries {
+        for (design, capped) in paper_designs() {
+            let config = q100_core::SimConfig::new(capped.mix);
+            let sched = schedule(
+                config.scheduler,
+                &prepared.graph,
+                &config.mix,
+                &prepared.functional.profile,
+            )
+            .unwrap();
+            let plan =
+                StagePlan::compile(&prepared.graph, Arc::new(sched), &prepared.functional.profile)
+                    .unwrap();
+            let mut scratch = SimScratch::new();
+            let jumped = simulate_plan(&plan, &config, &mut scratch).unwrap();
+            jumped_quanta += scratch.jumped_quanta;
+            scratch.jump_enabled = false;
+            let stepped = simulate_plan(&plan, &config, &mut scratch).unwrap();
+            assert_eq!(jumped, stepped, "{design}/{}", prepared.query.name);
+        }
+    }
+    assert!(jumped_quanta > 0, "no (query, design) engaged the quantum-jump fast path");
+}

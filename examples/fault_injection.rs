@@ -10,13 +10,16 @@
 //! Run with: `cargo run --release --example fault_injection`
 
 use q100::core::trace::RingRecorder;
-use q100::core::{execute_lean, run_resilient, CoreError, FaultScenario, ScheduleCache, SimConfig};
+use q100::core::{
+    execute_lean, run_resilient, CoreError, FaultScenario, PlanCache, ScheduleCache, SimConfig,
+};
 use q100::tpch::{queries, TpchData};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = TpchData::generate(0.01);
     let base = SimConfig::pareto();
     let cache = ScheduleCache::new();
+    let plans = PlanCache::new();
 
     for (tag, name) in [(0u64, "q6"), (1, "q14")] {
         let query = queries::by_name(name).expect("known query");
@@ -25,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // The fault-free baseline.
         let clean = FaultScenario { faults: Vec::new() };
-        let baseline = run_resilient(&graph, &functional, &base, &clean, &cache, tag, None, None)?;
+        let baseline =
+            run_resilient(&graph, &functional, &base, &clean, &cache, &plans, tag, None, None)?;
         println!("{name}: fault-free baseline {} cycles", baseline.outcome.cycles);
 
         // Escalating fault campaigns from fixed seeds.
@@ -38,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &base,
                 &scenario,
                 &cache,
+                &plans,
                 tag,
                 Some(&mut rec),
                 None,
