@@ -1,0 +1,257 @@
+//! CI perf-regression gate: diffs a freshly generated `q100-bench-v1`
+//! perf report against the committed baseline and fails when any
+//! deterministic cycle count drifted beyond the tolerance.
+//!
+//! ```text
+//! compare-bench <baseline.json> <fresh.json> [--tolerance <pct>]
+//! ```
+//!
+//! Compared keys, all `--jobs`-independent:
+//!
+//! * every figure's `sim_cycles` (design sweeps plus the NoC sweep),
+//! * every per-(design, query) `cycles` row from the `blame` section —
+//!   the per-query granularity that localizes a figure-level
+//!   regression to the query that caused it.
+//!
+//! Tolerance is symmetric (default ±10%): a large *improvement* fails
+//! too, because it means the committed baseline no longer describes the
+//! simulator and must be refreshed. Refresh with:
+//!
+//! ```text
+//! SOURCE_DATE_EPOCH=0 cargo run --release -p q100-experiments -- \
+//!     perf-report --jobs 1 --out ci/baselines/BENCH_baseline.json
+//! ```
+//!
+//! Exit codes: 0 in-tolerance, 1 regression (delta table on stderr),
+//! 2 usage or unreadable/invalid input.
+
+use std::process::ExitCode;
+
+use q100_trace::json::{self, Json};
+
+/// Default symmetric tolerance, in percent.
+const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
+
+/// One compared key with its cycle counts in both reports.
+#[derive(Debug)]
+struct Delta {
+    key: String,
+    base: f64,
+    fresh: Option<f64>,
+}
+
+impl Delta {
+    /// Signed drift in percent (`None` when the key vanished).
+    fn pct(&self) -> Option<f64> {
+        let fresh = self.fresh?;
+        if self.base == 0.0 {
+            return Some(if fresh == 0.0 { 0.0 } else { f64::INFINITY });
+        }
+        Some((fresh - self.base) / self.base * 100.0)
+    }
+
+    fn out_of_tolerance(&self, tol_pct: f64) -> bool {
+        self.pct().is_none_or(|p| p.abs() > tol_pct)
+    }
+}
+
+/// Pulls every deterministic cycle key out of a `q100-bench-v1` doc.
+fn extract(text: &str, ctx: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = json::parse(text).map_err(|e| format!("{ctx}: {e}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some("q100-bench-v1") {
+        return Err(format!("{ctx}: missing or unknown `schema` (want \"q100-bench-v1\")"));
+    }
+    let mut rows = Vec::new();
+    let figures =
+        doc.get("figures").and_then(Json::as_arr).ok_or(format!("{ctx}: missing `figures`"))?;
+    for f in figures {
+        let name =
+            f.get("name").and_then(Json::as_str).ok_or(format!("{ctx}: figure without `name`"))?;
+        let cycles = f
+            .get("sim_cycles")
+            .and_then(Json::as_num)
+            .ok_or(format!("{ctx}: figure `{name}` without numeric `sim_cycles`"))?;
+        rows.push((format!("figure {name}"), cycles));
+    }
+    // Older baselines may predate the blame section; compare it only
+    // when present so the gate can be introduced without a flag day.
+    if let Some(blame) = doc.get("blame").and_then(Json::as_arr) {
+        for b in blame {
+            let design = b
+                .get("design")
+                .and_then(Json::as_str)
+                .ok_or(format!("{ctx}: blame row without `design`"))?;
+            let query = b
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or(format!("{ctx}: blame row without `query`"))?;
+            let cycles = b
+                .get("cycles")
+                .and_then(Json::as_num)
+                .ok_or(format!("{ctx}: blame row {design}/{query} without `cycles`"))?;
+            rows.push((format!("{design}/{query}"), cycles));
+        }
+    }
+    Ok(rows)
+}
+
+/// Pairs baseline keys with the fresh report's values, in baseline
+/// order. Keys only the fresh report has are additions, not drift.
+fn diff(base: &[(String, f64)], fresh: &[(String, f64)]) -> Vec<Delta> {
+    base.iter()
+        .map(|(key, b)| Delta {
+            key: key.clone(),
+            base: *b,
+            fresh: fresh.iter().find(|(k, _)| k == key).map(|(_, v)| *v),
+        })
+        .collect()
+}
+
+/// Renders the per-key delta table (baseline order).
+fn render(deltas: &[Delta], tol_pct: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>14} {:>14} {:>9}  within +/-{tol_pct}%",
+        "key", "baseline", "fresh", "delta"
+    );
+    for d in deltas {
+        let fresh = d.fresh.map_or("MISSING".to_string(), |v| format!("{v:.0}"));
+        let pct = d.pct().map_or("-".to_string(), |p| format!("{p:+.2}%"));
+        let verdict = if d.out_of_tolerance(tol_pct) { "FAIL" } else { "ok" };
+        let _ = writeln!(out, "{:<24} {:>14.0} {:>14} {:>9}  {verdict}", d.key, d.base, fresh, pct);
+    }
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: compare-bench <baseline.json> <fresh.json> [--tolerance <pct>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol_pct = DEFAULT_TOLERANCE_PCT;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return usage(),
+            "--tolerance" => {
+                let Some(v) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("compare-bench: --tolerance requires a percentage");
+                    return ExitCode::from(2);
+                };
+                tol_pct = v;
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [base_path, fresh_path] = paths.as_slice() else { return usage() };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let result = (|| -> Result<(Vec<Delta>, bool), String> {
+        let base = extract(&read(base_path)?, base_path)?;
+        let fresh = extract(&read(fresh_path)?, fresh_path)?;
+        if base.is_empty() {
+            return Err(format!("{base_path}: no comparable keys"));
+        }
+        let deltas = diff(&base, &fresh);
+        let ok = deltas.iter().all(|d| !d.out_of_tolerance(tol_pct));
+        Ok((deltas, ok))
+    })();
+
+    match result {
+        Err(e) => {
+            eprintln!("compare-bench: error: {e}");
+            ExitCode::from(2)
+        }
+        Ok((deltas, true)) => {
+            println!("compare-bench: {} keys within +/-{tol_pct}% of {base_path}", deltas.len());
+            ExitCode::SUCCESS
+        }
+        Ok((deltas, false)) => {
+            eprintln!("compare-bench: cycle counts drifted beyond +/-{tol_pct}%:\n");
+            eprint!("{}", render(&deltas, tol_pct));
+            eprintln!(
+                "\nif the drift is intended, refresh the baseline:\n  SOURCE_DATE_EPOCH=0 cargo \
+                 run --release -p q100-experiments -- perf-report --jobs 1 --out {base_path}"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(q1: u64, fig: u64) -> String {
+        format!(
+            concat!(
+                "{{\"schema\": \"q100-bench-v1\", \"figures\": [",
+                "{{\"name\": \"design:Pareto\", \"sim_cycles\": {fig}, \"wall_ms\": 1.0}}],",
+                "\"blame\": [",
+                "{{\"design\": \"Pareto\", \"query\": \"q1\", \"cycles\": {q1}, ",
+                "\"top_cause\": \"tile_wait\", \"top_cause_cycles\": 1.0}},",
+                "{{\"design\": \"Pareto\", \"query\": \"q6\", \"cycles\": 1000, ",
+                "\"top_cause\": \"tile_wait\", \"top_cause_cycles\": 1.0}}",
+                "]}}"
+            ),
+            fig = fig,
+            q1 = q1,
+        )
+    }
+
+    fn verdict(base: &str, fresh: &str, tol: f64) -> bool {
+        let b = extract(base, "base").unwrap();
+        let f = extract(fresh, "fresh").unwrap();
+        diff(&b, &f).iter().all(|d| !d.out_of_tolerance(tol))
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        assert!(verdict(&doc(5000, 9000), &doc(5000, 9000), 10.0));
+    }
+
+    #[test]
+    fn small_drift_passes_large_fails() {
+        // +5% on one query: within the symmetric +/-10%.
+        assert!(verdict(&doc(5000, 9000), &doc(5250, 9000), 10.0));
+        // An injected +12% per-query regression trips the gate even
+        // though the figure total is untouched.
+        assert!(!verdict(&doc(5000, 9000), &doc(5600, 9000), 10.0));
+        // A -15% "improvement" fails too: the baseline is stale.
+        assert!(!verdict(&doc(5000, 9000), &doc(4250, 9000), 10.0));
+        // Figure-level regressions are caught independently.
+        assert!(!verdict(&doc(5000, 9000), &doc(5000, 10_000), 10.0));
+    }
+
+    #[test]
+    fn missing_key_fails() {
+        let base = doc(5000, 9000);
+        let fresh = base.replace("\"query\": \"q6\"", "\"query\": \"q6_renamed\"");
+        assert!(!verdict(&base, &fresh, 10.0));
+    }
+
+    #[test]
+    fn baseline_without_blame_section_still_compares_figures() {
+        let legacy = r#"{"schema": "q100-bench-v1", "figures": [
+            {"name": "design:Pareto", "sim_cycles": 9000, "wall_ms": 1.0}]}"#;
+        assert!(verdict(legacy, &doc(5000, 9000), 10.0));
+        assert!(!verdict(legacy, &doc(5000, 11_000), 10.0));
+    }
+
+    #[test]
+    fn delta_table_names_failures() {
+        let b = extract(&doc(5000, 9000), "base").unwrap();
+        let f = extract(&doc(5600, 9000), "fresh").unwrap();
+        let table = render(&diff(&b, &f), 10.0);
+        assert!(table.contains("Pareto/q1"));
+        assert!(table.contains("+12.00%"));
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("figure design:Pareto"));
+    }
+}

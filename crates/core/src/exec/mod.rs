@@ -1,22 +1,24 @@
 //! Execution: functional semantics, timing model, and the simulator
 //! facade combining them.
 
+pub mod blame;
 mod data;
 pub mod functional;
 pub mod plan;
 pub mod report;
 pub mod timing;
 
+pub use blame::BlameRecorder;
 pub use data::{Catalog, Data, MemoryCatalog};
 pub use functional::{execute, execute_lean, FunctionalRun, GraphProfile, NodeProfile};
 pub use plan::{PlanCache, SimScratch, StagePlan};
 pub use timing::{
     bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, simulate_plan,
-    simulate_plan_traced, simulate_traced, BwStats, ConnMatrix, TimingResult, ENDPOINTS,
-    MEMORY_ENDPOINT,
+    simulate_plan_blamed, simulate_plan_traced, simulate_traced, BwStats, ConnMatrix, TimingResult,
+    ENDPOINTS, MEMORY_ENDPOINT,
 };
 
-use q100_trace::TraceSink;
+use q100_trace::{BlameReport, TraceSink};
 
 use std::sync::Arc;
 
@@ -297,7 +299,27 @@ impl<'a> Simulator<'a> {
         scratch: &mut SimScratch,
         sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Result<SimOutcome> {
-        let timing = timing::simulate_plan_traced(plan, self.config, scratch, sink)?;
+        self.run_planned_blamed(plan, functional, graph, scratch, sink, None)
+    }
+
+    /// [`run_planned_traced`](Self::run_planned_traced) with an optional
+    /// stall-blame recorder (see [`timing::simulate_plan_blamed`]).
+    /// Cycle counts are identical with or without the recorder; only the
+    /// quantum-jump fast path is bypassed while recording.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_planned`](Self::run_planned).
+    pub fn run_planned_blamed(
+        &self,
+        plan: &StagePlan,
+        functional: &FunctionalRun,
+        graph: &QueryGraph,
+        scratch: &mut SimScratch,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+        blame: Option<&mut BlameRecorder>,
+    ) -> Result<SimOutcome> {
+        let timing = timing::simulate_plan_blamed(plan, self.config, scratch, sink, blame)?;
         Ok(SimOutcome {
             cycles: timing.cycles,
             results: functional.results(graph),
@@ -305,6 +327,39 @@ impl<'a> Simulator<'a> {
             timing,
             config: self.config.clone(),
         })
+    }
+
+    /// [`run`](Self::run) with stall-blame attribution: simulates the
+    /// query once with a [`BlameRecorder`] attached and returns the
+    /// outcome together with the per-node cycle ledger (see
+    /// [`q100_trace::BlameReport`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_attributed(
+        &self,
+        graph: &QueryGraph,
+        catalog: &dyn Catalog,
+    ) -> Result<(SimOutcome, BlameReport)> {
+        self.config.validate()?;
+        let functional = functional::execute_lean(graph, catalog)?;
+        let schedule =
+            sched::schedule(self.config.scheduler, graph, &self.config.mix, &functional.profile)?;
+        schedule.validate(graph, &self.config.mix)?;
+        let plan = StagePlan::compile(graph, Arc::new(schedule), &functional.profile)?;
+        let mut scratch = SimScratch::new();
+        let mut recorder = BlameRecorder::new();
+        let outcome = self.run_planned_blamed(
+            &plan,
+            &functional,
+            graph,
+            &mut scratch,
+            None,
+            Some(&mut recorder),
+        )?;
+        let report = recorder.report(&outcome.timing, &self.config.mix);
+        Ok((outcome, report))
     }
 }
 
@@ -390,6 +445,22 @@ mod tests {
         let mut rec2 = RingRecorder::new();
         let _ = Simulator::new(&config).run_traced(&g, &cat, Some(&mut rec2)).unwrap();
         assert_eq!(events, rec2.events());
+    }
+
+    #[test]
+    fn attributed_run_matches_plain_and_balances() {
+        let (g, cat) = fixture();
+        // Tight mix: multiple stages, so TileWait/Drained spans appear.
+        let config = SimConfig::new(TileMix::uniform(1));
+        let plain = Simulator::new(&config).run(&g, &cat).unwrap();
+        let (out, report) = Simulator::new(&config).run_attributed(&g, &cat).unwrap();
+        assert_eq!(out.cycles, plain.cycles, "blame recording must not perturb timing");
+        assert_eq!(report.cycles, out.cycles);
+        assert!(!report.nodes.is_empty());
+        report.check_invariant().unwrap();
+        // Attribution is deterministic.
+        let (_, again) = Simulator::new(&config).run_attributed(&g, &cat).unwrap();
+        assert_eq!(report.nodes, again.nodes);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub(crate) struct PlanInput {
     pub(crate) records_max1: f64,
     /// Stage-local stream id of this input's progress counter.
     pub(crate) sid: usize,
+    /// Graph node id of the producer, whether in-stage or spilled by an
+    /// earlier stage (`None` for base-table reads) — the plan-DAG edge
+    /// blame analysis walks.
+    pub(crate) producer: Option<NodeId>,
 }
 
 /// One output port of a plan node.
@@ -74,6 +78,8 @@ pub(crate) struct PlanOutput {
 /// One node of a compiled stage.
 #[derive(Debug, Clone)]
 pub(crate) struct PlanNode {
+    /// Graph node id this plan node was compiled from.
+    pub(crate) node: NodeId,
     pub(crate) kind: TileKind,
     pub(crate) mode: ConsumeMode,
     pub(crate) inputs: Vec<PlanInput>,
@@ -215,6 +221,7 @@ impl StagePlan {
                                 width,
                                 records_max1: records.max(1.0),
                                 sid: input_sid(i, slot),
+                                producer: Some(p.node),
                             })
                         })
                         .collect::<Result<_>>()?;
@@ -230,6 +237,7 @@ impl StagePlan {
                             width,
                             records_max1: records.max(1.0),
                             sid: input_sid(i, inst.inputs.len()),
+                            producer: None,
                         });
                     }
                     let in_total: f64 = inputs.iter().map(|inp| inp.records).sum();
@@ -270,6 +278,7 @@ impl StagePlan {
                         })
                         .collect();
                     Ok(PlanNode {
+                        node: id,
                         kind: inst.op.tile_kind(),
                         mode: consume_mode(&inst.op),
                         inputs,

@@ -36,10 +36,11 @@
 
 use std::sync::Arc;
 
-use q100_trace::{TraceEvent, TraceSink};
+use q100_trace::{BlameCause, TraceEvent, TraceSink};
 
 use crate::config::SimConfig;
 use crate::error::{CoreError, Result};
+use crate::exec::blame::BlameRecorder;
 use crate::exec::functional::GraphProfile;
 use crate::exec::plan::{PlanInput, PlanNode, PlanSource, SimScratch, StagePlan, StageTopo};
 use crate::isa::graph::{QueryGraph, SpatialOp};
@@ -271,7 +272,29 @@ pub fn simulate_plan_traced(
     plan: &StagePlan,
     config: &SimConfig,
     scratch: &mut SimScratch,
+    sink: Option<&mut (dyn TraceSink + '_)>,
+) -> Result<TimingResult> {
+    simulate_plan_blamed(plan, config, scratch, sink, None)
+}
+
+/// [`simulate_plan_traced`], additionally classifying every node's
+/// cycles into the exhaustive [`BlameCause`] taxonomy through `blame`
+/// (see [`crate::exec::blame`]). With `blame == None` this is exactly
+/// [`simulate_plan_traced`]: the hot loop pays untaken branches only,
+/// and the quantum-jump fast path stays armed. With a recorder
+/// attached, jumping is disabled (mirroring the trace-sink guard) so
+/// every quantum is observed; the simulated cycle counts are unchanged
+/// either way.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_plan_blamed(
+    plan: &StagePlan,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
     mut sink: Option<&mut (dyn TraceSink + '_)>,
+    mut blame: Option<&mut BlameRecorder>,
 ) -> Result<TimingResult> {
     config.validate()?;
     // Resilience derating (fault injection): provisioned bandwidth caps
@@ -298,6 +321,9 @@ pub fn simulate_plan_traced(
         .map(|g| gbps_to_bytes_per_cycle(g) * derate.map_or(1.0, |d| d.mem_write_factor));
 
     scratch.begin_run(plan);
+    if let Some(b) = blame.as_deref_mut() {
+        b.begin_run(plan);
+    }
     let mut result = TimingResult {
         cycles: 0,
         per_tinst_cycles: Vec::with_capacity(plan.stages.len()),
@@ -345,6 +371,7 @@ pub fn simulate_plan_traced(
             derate,
             stage_idx as u32,
             sink.as_deref_mut(),
+            blame.as_deref_mut(),
         )?;
         // Transient per-tinst stalls (resilience layer) are charged like
         // an extended memory startup latency.
@@ -352,6 +379,9 @@ pub fn simulate_plan_traced(
         let cycles = stage_cycles + memory_latency_cycles() + stall;
         result.per_tinst_cycles.push(cycles);
         result.cycles += cycles;
+        if let Some(b) = blame.as_deref_mut() {
+            b.end_stage(stage_idx, cycles, memory_latency_cycles(), stall);
+        }
         if let Some(s) = sink.as_deref_mut() {
             let end = result.cycles;
             if let Some(before) = peak_before {
@@ -429,6 +459,7 @@ fn run_stage(
     derate: Option<&Derate>,
     stage_idx: u32,
     mut sink: Option<&mut (dyn TraceSink + '_)>,
+    mut blame: Option<&mut BlameRecorder>,
 ) -> Result<u64> {
     // Quantum: fine enough to resolve bandwidth peaks, coarse enough to
     // finish large volumes in a bounded number of steps (precomputed at
@@ -438,13 +469,18 @@ fn run_stage(
     // The fused fast path only engages when every quantum is provably
     // identical work: no bandwidth caps, no fault derating (both can
     // make rate patterns config-dependent in ways the monitors don't
-    // model), and no trace sink (jumped quanta emit no events).
+    // model), no trace sink (jumped quanta emit no events), and no
+    // blame recorder (jumped quanta are never classified).
     let jump_ok = scratch.jump_enabled
         && noc_bpc.is_none()
         && read_bpc.is_none()
         && write_bpc.is_none()
         && derate.is_none()
-        && sink.is_none();
+        && sink.is_none()
+        && blame.is_none();
+    if let Some(b) = blame.as_deref_mut() {
+        b.begin_stage(stage_idx as usize);
+    }
 
     {
         // Per-(stage, run) reset and hoisted per-node/per-stream rates.
@@ -503,6 +539,9 @@ fn run_stage(
         } else {
             None
         };
+        if let Some(b) = blame.as_deref_mut() {
+            b.begin_quantum();
+        }
         let stepped = {
             let SimScratch {
                 done,
@@ -535,6 +574,7 @@ fn run_stage(
                 read_samples,
                 write_samples,
                 busy,
+                blame.as_deref_mut(),
             )
         };
         scratch.stepped_quanta += 1;
@@ -560,6 +600,22 @@ fn run_stage(
                     read_bytes: stepped.read_bytes,
                     write_bytes: stepped.write_bytes,
                 });
+            }
+            // Blame counter tracks: per-quantum blamed cycles per
+            // cause, visible in chrome://tracing when both a sink and
+            // a recorder are attached.
+            if let Some(b) = blame.as_deref() {
+                for (cause, &v) in b.quantum_causes().iter().enumerate() {
+                    if v > 0.0 {
+                        s.record(TraceEvent::BlameSample {
+                            stage: stage_idx,
+                            cycle,
+                            dt: dt as u32,
+                            cause: cause as u16,
+                            cycles: v,
+                        });
+                    }
+                }
             }
         }
         let progress = stepped.moved;
@@ -963,6 +1019,7 @@ fn step(
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
     mut busy: Option<&mut [u16; TileKind::COUNT]>,
+    mut blame: Option<&mut BlameRecorder>,
 ) -> StepStats {
     let n = topo.nodes.len();
     // Pass 1: per-node desired input advance (records over this quantum)
@@ -972,7 +1029,26 @@ fn step(
     let mut write_demand = 0.0_f64;
     for idx in 0..n {
         let node = &topo.nodes[idx];
-        let d = desired_advance(node, adv0[idx], dt, done, allowed, noc_in, noc_out, out_capped);
+        let d = if let Some(b) = blame.as_deref_mut() {
+            let mut track = Tracked { cause: BlameCause::InputStarvation };
+            let d = desired_advance(
+                node, adv0[idx], dt, done, allowed, noc_in, noc_out, out_capped, &mut track,
+            );
+            b.set_pass_cause(idx, track.cause);
+            d
+        } else {
+            desired_advance(
+                node,
+                adv0[idx],
+                dt,
+                done,
+                allowed,
+                noc_in,
+                noc_out,
+                out_capped,
+                &mut NoTrack,
+            )
+        };
         desired[idx] = d;
         let (r, w) = memory_demand(node, d, dt, done, allowed);
         read_demand += r;
@@ -997,7 +1073,15 @@ fn step(
         if reads_memory {
             adv *= read_factor;
         }
-        let (r, w, m) = apply_advance(
+        // Pre-advance state the blame classifier needs (consuming vs
+        // draining vs finished), captured only when recording.
+        let pre_state = blame.is_some().then(|| {
+            (
+                node.inputs.iter().any(|i| done[i.sid] < i.records),
+                node.outputs.iter().all(|o| done[o.sid] >= o.records),
+            )
+        });
+        let (r, w, m, produced_max) = apply_advance(
             topo,
             idx,
             adv,
@@ -1018,6 +1102,19 @@ fn step(
                 b[node.kind as usize] += 1;
             }
         }
+        if let Some(b) = blame.as_deref_mut() {
+            let (inputs_unfinished, outputs_done_pre) = pre_state.unwrap_or((false, true));
+            if inputs_unfinished {
+                b.quantum_streaming(idx, dt, adv0[idx], desired[idx].max(0.0), adv);
+            } else if outputs_done_pre {
+                b.quantum_idle(idx, dt);
+            } else {
+                let finishing = node.outputs.iter().all(|o| done[o.sid] >= o.records);
+                let write_capped = write_factor < 1.0 && node.outputs.iter().any(|o| o.to_memory);
+                let throttle = write_capped.then_some(write_factor);
+                b.quantum_drain(idx, dt, adv0[idx], produced_max, throttle, finishing);
+            }
+        }
     }
     read_samples.sample(read_bytes, dt);
     write_samples.sample(write_bytes, dt);
@@ -1031,12 +1128,71 @@ fn factor(demand: f64, budget: Option<f64>) -> f64 {
     }
 }
 
+/// Attribution hook for the clamps inside [`desired_advance`]: records
+/// which limit was the binding one. Monomorphized so the disabled case
+/// ([`NoTrack`]) compiles back to the plain `min` chain — the untraced
+/// hot path keeps its exact float semantics and codegen.
+trait CauseTrack {
+    /// `cur.min(cap)`, remembering `cause` in `slot` when `cap` is the
+    /// new strict minimum.
+    fn min_cause(&mut self, cur: f64, cap: f64, cause: BlameCause, slot: &mut BlameCause) -> f64;
+    /// `*adv = adv.min(cap)`, recording `cause` when `cap` strictly
+    /// binds. Ties keep the earlier cause (`min` is insensitive to the
+    /// order of equal operands, so attribution never changes a value).
+    fn clamp(&mut self, adv: &mut f64, cap: f64, cause: BlameCause);
+}
+
+/// The disabled tracker: pure `min`s, no attribution.
+struct NoTrack;
+
+impl CauseTrack for NoTrack {
+    #[inline(always)]
+    fn min_cause(&mut self, cur: f64, cap: f64, _: BlameCause, _: &mut BlameCause) -> f64 {
+        cur.min(cap)
+    }
+
+    #[inline(always)]
+    fn clamp(&mut self, adv: &mut f64, cap: f64, _: BlameCause) {
+        *adv = adv.min(cap);
+    }
+}
+
+/// The recording tracker: keeps the cause of the binding clamp.
+struct Tracked {
+    cause: BlameCause,
+}
+
+impl CauseTrack for Tracked {
+    #[inline(always)]
+    fn min_cause(&mut self, cur: f64, cap: f64, cause: BlameCause, slot: &mut BlameCause) -> f64 {
+        if cap < cur {
+            *slot = cause;
+            cap
+        } else {
+            cur
+        }
+    }
+
+    #[inline(always)]
+    fn clamp(&mut self, adv: &mut f64, cap: f64, cause: BlameCause) {
+        if cap < *adv {
+            *adv = cap;
+            self.cause = cause;
+        }
+    }
+}
+
 /// How many input records a node wants to (and may) consume this
 /// quantum, considering tile throughput, upstream availability, NoC
 /// caps, and downstream backpressure — everything except the shared
 /// memory budget. Caches each output port's availability in `allowed`.
+///
+/// `track` attributes the binding clamp (blame accounting); pass
+/// [`NoTrack`] for the plain computation. Every clamp below is a `min`
+/// in both modes, so the returned advance is bit-identical regardless
+/// of tracker.
 #[allow(clippy::too_many_arguments)]
-fn desired_advance(
+fn desired_advance<T: CauseTrack>(
     node: &PlanNode,
     adv0: f64,
     dt: f64,
@@ -1045,25 +1201,31 @@ fn desired_advance(
     noc_in: &[f64],
     noc_out: &[f64],
     out_capped: &[bool],
+    track: &mut T,
 ) -> f64 {
     // Tile throughput: one record per cycle on the consuming stream,
     // scaled down when the tile kind is frequency-derated (resilience).
     let mut adv: f64 = adv0;
 
+    // Clamp an input stream: the tail of the stream itself (finishing —
+    // `Drained`), the producer's published progress (`InputStarvation`),
+    // and the per-link NoC cap (`+inf` when uncapped, so the min is the
+    // identity).
     match node.mode {
         ConsumeMode::Lockstep => {
             for input in &node.inputs {
-                let remaining = input.records - done[input.sid];
-                let mut cap = remaining;
-                if let PlanSource::InStage { src_sid, .. } = input.source {
-                    cap = cap.min(done[src_sid] - done[input.sid]);
-                    // `+inf` when uncapped, so the min is the identity.
-                    cap = cap.min(noc_in[input.sid]);
-                }
                 // All lockstep inputs advance together, so the slowest
                 // governs (except already-exhausted zero-record inputs).
                 if input.records > 0.0 {
-                    adv = adv.min(cap);
+                    track.clamp(&mut adv, input.records - done[input.sid], BlameCause::Drained);
+                    if let PlanSource::InStage { src_sid, .. } = input.source {
+                        track.clamp(
+                            &mut adv,
+                            done[src_sid] - done[input.sid],
+                            BlameCause::InputStarvation,
+                        );
+                        track.clamp(&mut adv, noc_in[input.sid], BlameCause::NocBandwidth);
+                    }
                 }
             }
             if node.inputs.is_empty() {
@@ -1075,12 +1237,15 @@ fn desired_advance(
             match active {
                 None => adv = 0.0,
                 Some(input) => {
-                    let mut cap = input.records - done[input.sid];
+                    track.clamp(&mut adv, input.records - done[input.sid], BlameCause::Drained);
                     if let PlanSource::InStage { src_sid, .. } = input.source {
-                        cap = cap.min(done[src_sid] - done[input.sid]);
-                        cap = cap.min(noc_in[input.sid]);
+                        track.clamp(
+                            &mut adv,
+                            done[src_sid] - done[input.sid],
+                            BlameCause::InputStarvation,
+                        );
+                        track.clamp(&mut adv, noc_in[input.sid], BlameCause::NocBandwidth);
                     }
-                    adv = adv.min(cap);
                 }
             }
         }
@@ -1098,17 +1263,27 @@ fn desired_advance(
         if output.ratio <= 0.0 {
             continue;
         }
-        let mut out_cap = f64::INFINITY;
         // Output streaming rate is itself bounded by one record/cycle.
-        out_cap = out_cap.min(dt + (avail - done[output.sid]).max(0.0));
+        let mut out_cap = dt + (avail - done[output.sid]).max(0.0);
+        let mut oc = BlameCause::OutputBackpressure;
         if out_capped[output.sid] {
-            out_cap = out_cap.min(noc_out[output.sid] + (avail - done[output.sid]).max(0.0));
+            out_cap = track.min_cause(
+                out_cap,
+                noc_out[output.sid] + (avail - done[output.sid]).max(0.0),
+                BlameCause::NocBandwidth,
+                &mut oc,
+            );
         }
         for &(_, cons_sid) in &output.consumers {
             let headroom = done[cons_sid] + QUEUE_RECORDS - done[output.sid];
-            out_cap = out_cap.min(headroom.max(0.0) + dt);
+            out_cap = track.min_cause(
+                out_cap,
+                headroom.max(0.0) + dt,
+                BlameCause::OutputBackpressure,
+                &mut oc,
+            );
         }
-        adv = adv.min(out_cap / output.ratio);
+        track.clamp(&mut adv, out_cap / output.ratio, oc);
     }
     adv.max(0.0)
 }
@@ -1178,7 +1353,10 @@ fn advance_input(
 
 /// Applies an input advance of `adv` records to node `idx`, updating
 /// progress, per-stream deltas, bandwidth samples and peak-link
-/// statistics. Returns `(read_bytes, write_bytes, records_moved)`.
+/// statistics. Returns
+/// `(read_bytes, write_bytes, records_moved, produced_max)` — the last
+/// being the largest per-port output advance this quantum, which blame
+/// accounting reads as the node's drain-phase activity.
 #[allow(clippy::too_many_arguments)]
 fn apply_advance(
     topo: &StageTopo,
@@ -1191,11 +1369,12 @@ fn apply_advance(
     allowed: &mut [f64],
     deltas: &mut [f64],
     result: &mut TimingResult,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, f64) {
     let node = &topo.nodes[idx];
     let mut read_bytes = 0.0;
     let mut write_bytes = 0.0;
     let mut moved = 0.0;
+    let mut produced_max = 0.0_f64;
     let dst_kind = node.kind as usize;
 
     // Advance inputs.
@@ -1248,6 +1427,7 @@ fn apply_advance(
         let stream_cap = if output.to_memory { out_dt * write_factor } else { out_dt };
         let target = avail.min(done[output.sid] + stream_cap).min(output.records);
         let produced = (target - done[output.sid]).max(0.0);
+        produced_max = produced_max.max(produced);
         if produced <= 0.0 {
             continue;
         }
@@ -1265,7 +1445,7 @@ fn apply_advance(
         deltas[output.sid] += produced;
         moved += produced;
     }
-    (read_bytes, write_bytes, moved)
+    (read_bytes, write_bytes, moved, produced_max)
 }
 #[cfg(test)]
 mod tests {

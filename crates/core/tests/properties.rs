@@ -375,6 +375,59 @@ fn quantum_jump_matches_pure_stepping_on_random_graphs() {
     assert!(jumped_quanta > 0, "no case engaged the quantum-jump fast path");
 }
 
+/// Stall-blame accounting is exhaustive: on random executable graphs ×
+/// random undersized mixes (half of them with tight bandwidth caps so
+/// the NoC and memory causes engage), every node's ledger balances —
+/// `active + Σ blamed` equals the query's total cycles — and attaching
+/// the recorder never perturbs the timing result.
+#[test]
+fn blame_accounting_is_exhaustive_on_random_graphs() {
+    use std::sync::Arc;
+
+    let mut checked = 0u64;
+    for_each_case(|rng| {
+        let g = random_graph(rng);
+        let values = rng.gen_vec(1..3000, |r| r.gen_range(-1000i64..1000));
+        let cat = catalog_of(&values);
+        let Ok(run) = execute(&g, &cat) else { return };
+        let mut mix = TileMix::uniform(0);
+        for kind in TileKind::ALL {
+            mix = mix.with_count(kind, rng.gen_range(1u32..4));
+        }
+        if check_feasible(&g, &mix).is_err() {
+            return;
+        }
+        let mut config = SimConfig::new(mix);
+        if rng.gen_range(0u32..2) == 0 {
+            let cap = 1.0 + rng.gen_range(0u32..20_000) as f64 / 1000.0;
+            config = config.with_bandwidth(Bandwidth {
+                noc_gbps: Some(cap),
+                mem_read_gbps: Some(cap),
+                mem_write_gbps: Some(cap),
+            });
+        }
+        let sched = schedule(config.scheduler, &g, &config.mix, &run.profile).unwrap();
+        let plan = q100_core::StagePlan::compile(&g, Arc::new(sched), &run.profile).unwrap();
+        let mut scratch = q100_core::SimScratch::new();
+        let plain = q100_core::exec::simulate_plan(&plan, &config, &mut scratch).unwrap();
+        let mut rec = q100_core::BlameRecorder::new();
+        let blamed = q100_core::exec::simulate_plan_blamed(
+            &plan,
+            &config,
+            &mut scratch,
+            None,
+            Some(&mut rec),
+        )
+        .unwrap();
+        assert_eq!(plain, blamed, "blame recording must not perturb timing");
+        let report = rec.report(&blamed, &config.mix);
+        report.check_invariant().unwrap_or_else(|e| panic!("blame invariant violated: {e}"));
+        assert_eq!(report.nodes.len(), g.len(), "every scheduled node gets a ledger");
+        checked += 1;
+    });
+    assert!(checked >= CASES / 4, "only {checked} executable cases out of {CASES}");
+}
+
 /// Non-proptest sanity: profiles drive the schedulers, so an empty
 /// profile must still schedule legally (volumes default to zero).
 #[test]

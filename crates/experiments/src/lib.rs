@@ -17,13 +17,17 @@
 //! * [`pool`] — the parallel sweep executor (`--jobs N` / `Q100_JOBS`)
 //!   with deterministic, job-count-independent result ordering,
 //! * [`perf_report`] — the `perf-report` subcommand: a pinned sweep
-//!   subset emitting `BENCH_<date>.json` for regression tracking.
+//!   subset emitting `BENCH_<date>.json` for regression tracking,
+//! * [`analyze`] — the `analyze` subcommand: stall-blame bottleneck
+//!   attribution per query × design (`q100-blame-v1` JSON plus a
+//!   top-bottlenecks table).
 //!
 //! Tables 1, 3, 4 are rendered from their constant models in
 //! `q100-core`/`q100-dbms`. The `q100-experiments` binary exposes every
 //! experiment behind a flag (see `--help`).
 
 pub mod ablation;
+pub mod analyze;
 pub mod comm;
 pub mod dse;
 pub mod perf_report;

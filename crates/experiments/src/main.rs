@@ -13,6 +13,8 @@
 //!   perf-report  (pinned sweep subset -> BENCH_<date>.json; --out <f>)
 //!   resilience   (injected-fault sweep over the paper designs; --seed
 //!                 picks the fault campaign, --out writes the JSON)
+//!   analyze      (stall-blame bottleneck attribution per query x
+//!                 design; --out writes the q100-blame-v1 JSON)
 //! ```
 //!
 //! Unknown experiment names and malformed flag values exit with code 2
@@ -23,7 +25,8 @@
 //! `--metrics` dumps the deterministic metrics registry as JSON (or CSV
 //! when the path ends in `.csv`). Each figure's sweep prints a
 //! `schedule cache:` hits/misses line and resets the counters, so the
-//! numbers are per-figure.
+//! numbers are per-figure; figures that never consult the shared caches
+//! print no cache lines at all.
 
 use std::collections::BTreeSet;
 use std::env;
@@ -31,18 +34,20 @@ use std::process::ExitCode;
 
 use q100_core::{power, Bandwidth, SimConfig, TileKind};
 use q100_experiments::{
-    ablation, comm, dse, paper_designs, perf_report, pool, resilience, sched_study, sensitivity,
-    software_cmp,
+    ablation, analyze, comm, dse, paper_designs, perf_report, pool, resilience, sched_study,
+    sensitivity, software_cmp,
 };
 use q100_experiments::{Workload, DEFAULT_SCALE};
 
 fn usage_text() -> String {
     "usage: q100-experiments [--sf <scale>] [--jobs <n>] [--seed <n>] [--trace <f>] [--metrics <f>]\n\
-     \x20                       all | tableN ... figN ... | perf-report | resilience [--out <f>]\n\
+     \x20                       all | tableN ... figN ... | analyze | perf-report | resilience [--out <f>]\n\
      regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
      --jobs (or Q100_JOBS) caps the sweep worker count;\n\
      --seed picks the resilience fault campaign (default 42);\n\
-     --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump"
+     --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump;\n\
+     analyze attributes every stall cycle to a cause per query x design\n\
+     (top-bottlenecks table on stdout, --out writes the q100-blame-v1 JSON)"
         .to_string()
 }
 
@@ -61,7 +66,7 @@ fn fail(msg: &str) -> ExitCode {
 /// Whether `name` (already stripped of a leading `--`) is a known
 /// experiment selector.
 fn is_known_experiment(name: &str) -> bool {
-    matches!(name, "ablation" | "perf-report" | "resilience")
+    matches!(name, "ablation" | "analyze" | "perf-report" | "resilience")
         || name
             .strip_prefix("table")
             .and_then(|n| n.parse::<u32>().ok())
@@ -149,7 +154,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    if wants.is_empty() {
+    // `--trace`/`--metrics` without experiment selectors is a valid
+    // observability run: prepare the workload, dump, run nothing else.
+    if wants.is_empty() && trace_out.is_none() && metrics_out.is_none() {
         return usage();
     }
 
@@ -177,10 +184,13 @@ fn main() -> ExitCode {
         println!("== Table 4: software platform ==\n{}", q100_dbms::render_table4());
     }
 
-    let needs_workload = wants
-        .iter()
-        .any(|w| w.starts_with("fig") || w == "table2" || w == "ablation" || w == "resilience")
-        || trace_out.is_some()
+    let needs_workload = wants.iter().any(|w| {
+        w.starts_with("fig")
+            || w == "table2"
+            || w == "ablation"
+            || w == "analyze"
+            || w == "resilience"
+    }) || trace_out.is_some()
         || metrics_out.is_some();
     if !needs_workload {
         return ExitCode::SUCCESS;
@@ -192,8 +202,16 @@ fn main() -> ExitCode {
     // figure's line covers only its own sweep. The counts are
     // deterministic at any --jobs setting (see `CacheStats`).
     let cache_line = |label: &str| {
-        println!("{label} schedule cache: {}", workload.sched_cache_stats());
-        println!("{label} plan cache: {}", workload.plan_cache_stats());
+        let sched = workload.sched_cache_stats();
+        let plan = workload.plan_cache_stats();
+        // Suppress the lines when nothing consulted the shared caches
+        // (e.g. a study that prepares its own scaled workload) —
+        // `0 hits / 0 misses` would only be noise. Counters still reset
+        // so the next figure's lines stay per-figure.
+        if sched.hits + sched.misses + plan.hits + plan.misses > 0 {
+            println!("{label} schedule cache: {sched}");
+            println!("{label} plan cache: {plan}");
+        }
         workload.reset_sched_cache_stats();
     };
 
@@ -339,6 +357,19 @@ fn main() -> ExitCode {
         }
         cache_line("resilience");
     }
+    if wants.contains("analyze") {
+        println!("== Bottleneck attribution: stall-blame per query x design ==");
+        let study = analyze::study(&workload, scale);
+        print!("{}", study.render_table());
+        if let Some(path) = &bench_out {
+            if let Err(e) = std::fs::write(path, study.to_json()) {
+                eprintln!("cannot write blame JSON to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("blame report written to {path}");
+        }
+        cache_line("analyze");
+    }
     if wants.contains("fig25") || wants.contains("fig26") {
         eprintln!("preparing 100x workload at SF {} ...", scale * 100.0);
         let cmp = software_cmp::compare_scaled(scale);
@@ -348,6 +379,10 @@ fn main() -> ExitCode {
         if wants.contains("fig26") {
             println!("== Figure 26: 100x data, energy vs software ==\n{}", cmp.render_energy());
         }
+        // The scaled study prepares its own workload, so the shared
+        // caches saw zero lookups — the suppression above keeps this
+        // from printing noise while still resetting the counters.
+        cache_line("fig25-26");
     }
     if let Some(path) = trace_out {
         // One serial traced pass per query under the Pareto design:
@@ -376,6 +411,10 @@ fn main() -> ExitCode {
         }
         eprintln!("metrics written to {path}");
     }
+    // Invocations that prepared a workload but ran no cache-consulting
+    // figure (e.g. a bare --metrics dump) end with zero counters; the
+    // suppressed line keeps stdout free of `0 hits / 0 misses` noise.
+    cache_line("total");
     let _ = Bandwidth::ideal();
     ExitCode::SUCCESS
 }

@@ -38,6 +38,23 @@ pub struct FigureBench {
     pub wall_ms: f64,
 }
 
+/// Per-query blame summary for one paper design: the deterministic
+/// per-query cycle count (the regression gate's unit of comparison) and
+/// the dominant stall cause from the attribution ledger.
+#[derive(Debug, Clone)]
+pub struct QueryBlame {
+    /// Design name (`LowPower`/`Pareto`/`HighPerf`).
+    pub design: String,
+    /// Query name.
+    pub query: String,
+    /// Simulated cycles of this (design, query) point.
+    pub cycles: u64,
+    /// Dominant blame cause (snake_case name).
+    pub top_cause: String,
+    /// Cycles blamed on the dominant cause, summed over nodes.
+    pub top_cause_cycles: f64,
+}
+
 /// A complete perf report.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -50,6 +67,10 @@ pub struct PerfReport {
     pub prepare_wall_ms: f64,
     /// The benchmarked figures.
     pub figures: Vec<FigureBench>,
+    /// Per-(design, query) cycles and dominant stall cause. The
+    /// per-query cycles here are what `compare-bench` diffs against the
+    /// committed baseline.
+    pub blame: Vec<QueryBlame>,
     /// Plan-cache counters over the whole report (one lookup per
     /// simulation — numerically what the schedule cache reported before
     /// compiled plans existed, so the JSON schema is unchanged).
@@ -85,6 +106,17 @@ impl PerfReport {
                 f.name, f.sim_cycles, f.wall_ms
             );
             out.push_str(if i + 1 < self.figures.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"blame\": [\n");
+        for (i, b) in self.blame.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"design\": \"{}\", \"query\": \"{}\", \"cycles\": {}, \
+                 \"top_cause\": \"{}\", \"top_cause_cycles\": {:.3}}}",
+                b.design, b.query, b.cycles, b.top_cause, b.top_cause_cycles
+            );
+            out.push_str(if i + 1 < self.blame.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ],\n");
         let _ = writeln!(out, "  \"total_sim_cycles\": {},", self.total_sim_cycles());
@@ -135,11 +167,33 @@ pub fn run() -> PerfReport {
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
     });
 
+    // Per-(design, query) cycles and the dominant stall cause; the
+    // regression gate diffs these per-query rows, so a figure-total
+    // regression can be localized to the query that caused it.
+    let mut blame = Vec::new();
+    for (name, config) in paper_designs() {
+        for prepared in &workload.queries {
+            let (outcome, report) = workload.simulate_blamed(prepared, &config);
+            let (cause, cycles) = report
+                .top_causes()
+                .first()
+                .map_or((q100_core::trace::BlameCause::Drained, 0.0), |&(c, v)| (c, v));
+            blame.push(QueryBlame {
+                design: name.to_string(),
+                query: prepared.query.name.to_string(),
+                cycles: outcome.cycles,
+                top_cause: cause.name().to_string(),
+                top_cause_cycles: cycles,
+            });
+        }
+    }
+
     PerfReport {
         date: today(),
         jobs: pool::jobs(),
         prepare_wall_ms,
         figures,
+        blame,
         cache: workload.plan_cache_stats(),
     }
 }
@@ -205,7 +259,8 @@ mod tests {
 
     #[test]
     fn report_sim_cycles_are_job_count_independent() {
-        let extract = |text: &str| -> (Vec<(String, f64)>, f64, f64) {
+        type Extracted = (Vec<(String, f64)>, Vec<(String, String, f64, String)>, f64, f64);
+        let extract = |text: &str| -> Extracted {
             let v = json::parse(text).unwrap();
             assert_eq!(v.get("schema").unwrap().as_str(), Some("q100-bench-v1"));
             let figs = v
@@ -221,9 +276,24 @@ mod tests {
                     )
                 })
                 .collect();
+            let blame = v
+                .get("blame")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|b| {
+                    (
+                        b.get("design").unwrap().as_str().unwrap().to_string(),
+                        b.get("query").unwrap().as_str().unwrap().to_string(),
+                        b.get("cycles").unwrap().as_num().unwrap(),
+                        b.get("top_cause").unwrap().as_str().unwrap().to_string(),
+                    )
+                })
+                .collect();
             let hits = v.get("cache").unwrap().get("hits").unwrap().as_num().unwrap();
             let misses = v.get("cache").unwrap().get("misses").unwrap().as_num().unwrap();
-            (figs, hits, misses)
+            (figs, blame, hits, misses)
         };
 
         pool::set_jobs(Some(1));
@@ -235,5 +305,14 @@ mod tests {
         assert_eq!(serial, fanned, "deterministic fields must not depend on --jobs");
         assert_eq!(serial.0.len(), 4, "three designs plus the NoC sweep");
         assert!(serial.0.iter().all(|(_, c)| *c > 0.0));
+        assert_eq!(serial.1.len(), 9, "three designs x three pinned queries");
+        // Per-query blame cycles are consistent with the design figure
+        // totals the gate also checks.
+        for (name, total) in &serial.0 {
+            if let Some(design) = name.strip_prefix("design:") {
+                let sum: f64 = serial.1.iter().filter(|b| b.0 == design).map(|b| b.2).sum();
+                assert_eq!(sum, *total, "blame rows must sum to the {design} figure");
+            }
+        }
     }
 }

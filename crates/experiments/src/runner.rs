@@ -191,6 +191,41 @@ impl Workload {
         (outcome, TraceStream { name: prepared.query.name.to_string(), events: recorder.events() })
     }
 
+    /// Simulates one prepared query under `config` with stall-blame
+    /// attribution, returning the outcome and the per-node cycle
+    /// ledger. Uses the same memoized plan as [`simulate`], so the
+    /// attributed cycle count is bit-identical to the sweeps (the
+    /// recorder only disables the quantum-jump fast path).
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`].
+    #[must_use]
+    pub fn simulate_blamed(
+        &self,
+        prepared: &PreparedQuery,
+        config: &SimConfig,
+    ) -> (SimOutcome, q100_core::trace::BlameReport) {
+        let plan = self.plan(prepared, config);
+        let mut recorder = q100_core::BlameRecorder::new();
+        let outcome = SCRATCH
+            .with(|s| {
+                Simulator::new(config).run_planned_blamed(
+                    &plan,
+                    &prepared.functional,
+                    &prepared.graph,
+                    &mut s.borrow_mut(),
+                    None,
+                    Some(&mut recorder),
+                )
+            })
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
+        self.metrics.inc("sim.runs", 1);
+        self.metrics.observe("sim.cycles", outcome.cycles as f64);
+        let report = recorder.report(&outcome.timing, &config.mix);
+        (outcome, report)
+    }
+
     /// Traces every query of the workload under `config`, serially (one
     /// stream per query in workload order, byte-stable across runs).
     #[must_use]

@@ -1,8 +1,8 @@
 //! Smoke tests of the `q100-experiments` binary's error handling: bad
 //! flags and unknown experiment names must exit with code 2 and a
-//! one-line diagnostic, never a panic or a silent success. Only error
-//! paths run here, so no workload is ever prepared and the tests stay
-//! fast in debug builds.
+//! one-line diagnostic, never a panic or a silent success. Error paths
+//! never prepare a workload; the one success-path test uses a trivial
+//! scale factor so the suite stays fast in debug builds.
 
 use std::process::Command;
 
@@ -44,11 +44,27 @@ fn malformed_flag_values_exit_2_with_diagnostic() {
 }
 
 #[test]
+fn zero_lookup_runs_print_no_cache_lines() {
+    // A bare --metrics dump prepares the workload but never simulates,
+    // so every cache counter stays at zero — the per-figure cache lines
+    // must be suppressed, not printed as `0 hits / 0 misses`.
+    let dir = std::env::temp_dir().join(format!("q100-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.json");
+    let (code, stdout, stderr) = run(&["--sf", "0.0005", "--metrics", metrics.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(!stdout.contains("cache:"), "zero-lookup run must print no cache lines, got: {stdout}");
+    assert!(metrics.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn help_exits_0_and_no_args_exits_1() {
     let (code, stdout, _) = run(&["--help"]);
     assert_eq!(code, Some(0));
     assert!(stdout.contains("usage:"));
     assert!(stdout.contains("resilience"));
+    assert!(stdout.contains("analyze"));
 
     let (code, _, stderr) = run(&[]);
     assert_eq!(code, Some(1), "bare invocation keeps the usage exit");

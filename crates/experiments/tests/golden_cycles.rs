@@ -38,6 +38,40 @@ fn paper_design_cycles_are_pinned() {
     assert_eq!(actual, GOLDEN.to_vec(), "golden cycle counts diverged; actuals: {actual:?}");
 }
 
+/// Golden blame pins: the dominant stall cause — and its blamed cycle
+/// total, rounded — per pinned query × (LowPower, Pareto, HighPerf).
+/// Every ledger is also rebalanced against the invariant and against
+/// the unblamed cycle count, so an attribution-rule change (intended or
+/// not) shows up as an exact diff here. Regenerate like `GOLDEN`.
+const GOLDEN_BLAME: [(&str, [(&str, u64); 3]); 3] = [
+    ("q1", [("tile_wait", 58_484_390), ("tile_wait", 27_221_844), ("tile_wait", 27_162_402)]),
+    ("q6", [("tile_wait", 3_138_532), ("tile_wait", 602_740), ("tile_wait", 543_042)]),
+    ("q14", [("tile_wait", 5_558_876), ("tile_wait", 4_604_512), ("tile_wait", 4_569_972)]),
+];
+
+#[test]
+fn paper_design_blame_is_pinned() {
+    let names: Vec<&str> = GOLDEN_BLAME.iter().map(|(q, _)| *q).collect();
+    let w = Workload::prepare_subset(SCALE, &names);
+    let mut actual = Vec::new();
+    for (prepared, (name, _)) in w.queries.iter().zip(&GOLDEN_BLAME) {
+        let mut rows = Vec::new();
+        for (_, config) in paper_designs() {
+            let (outcome, report) = w.simulate_blamed(prepared, &config);
+            assert_eq!(
+                outcome.cycles,
+                w.simulate(prepared, &config).cycles,
+                "{name}: blame recording must not perturb timing"
+            );
+            report.check_invariant().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (cause, cycles) = report.top_causes()[0];
+            rows.push((cause.name(), cycles.round() as u64));
+        }
+        actual.push((*name, [rows[0], rows[1], rows[2]]));
+    }
+    assert_eq!(actual, GOLDEN_BLAME.to_vec(), "golden blame pins diverged; actuals: {actual:?}");
+}
+
 /// On the real TPC-H workload, a jumped simulation must be
 /// bit-identical to pure stepping of the same compiled plan, and the
 /// fast path must actually engage somewhere in this workload. The

@@ -1,34 +1,44 @@
 //! `q100-metrics-validate`: schema-check exported artifacts.
 //!
 //! ```text
-//! q100-metrics-validate [--chrome] <file>...
+//! q100-metrics-validate [--chrome|--blame] <file>...
 //! ```
 //!
-//! Validates each file as a `q100-metrics-v1` metrics dump (default) or
-//! as a Chrome `trace_event` document (`--chrome`). Exits non-zero on
-//! the first invalid file — CI runs this against every generated
-//! metrics/trace artifact.
+//! Validates each file as a `q100-metrics-v1` metrics dump (default),
+//! a Chrome `trace_event` document (`--chrome`), or a `q100-blame-v1`
+//! bottleneck-attribution report (`--blame`). Exits non-zero on the
+//! first invalid file — CI runs this against every generated artifact.
 
 use std::process::ExitCode;
 
-use q100_trace::{validate_chrome_trace_json, validate_metrics_json};
+use q100_trace::{validate_blame_json, validate_chrome_trace_json, validate_metrics_json};
+
+#[derive(Clone, Copy)]
+enum Schema {
+    Metrics,
+    Chrome,
+    Blame,
+}
+
+const USAGE: &str = "usage: q100-metrics-validate [--chrome|--metrics|--blame] <file>...";
 
 fn main() -> ExitCode {
-    let mut chrome = false;
+    let mut schema = Schema::Metrics;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
-            "--chrome" => chrome = true,
-            "--metrics" => chrome = false,
+            "--chrome" => schema = Schema::Chrome,
+            "--metrics" => schema = Schema::Metrics,
+            "--blame" => schema = Schema::Blame,
             "--help" | "-h" => {
-                eprintln!("usage: q100-metrics-validate [--chrome|--metrics] <file>...");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: q100-metrics-validate [--chrome|--metrics] <file>...");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
     for file in files {
@@ -39,8 +49,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let result =
-            if chrome { validate_chrome_trace_json(&text) } else { validate_metrics_json(&text) };
+        let result = match schema {
+            Schema::Metrics => validate_metrics_json(&text),
+            Schema::Chrome => validate_chrome_trace_json(&text),
+            Schema::Blame => validate_blame_json(&text),
+        };
         match result {
             Ok(()) => println!("{file}: ok"),
             Err(e) => {

@@ -19,6 +19,7 @@
 
 use std::fmt::Write as _;
 
+use crate::analyze::BlameCause;
 use crate::metrics::{json_escape, json_num};
 use crate::sink::TraceEvent;
 
@@ -96,6 +97,8 @@ pub fn chrome_trace_json(
         let mut tinst_begin: Option<(u32, u64, u32)> = None;
         // (end_cycle, read, write) of the open memory-counter run.
         let mut mem_run: Option<u64> = None;
+        // End cycle of the open per-cause blame counter run.
+        let mut blame_run: [Option<u64>; BlameCause::COUNT] = [None; BlameCause::COUNT];
 
         for ev in &stream.events {
             match *ev {
@@ -210,6 +213,19 @@ pub fn chrome_trace_json(
                 // One event per quantum would dwarf every other track;
                 // programmatic consumers read these from the recorder.
                 TraceEvent::DegradedQuantum { .. } => {}
+                TraceEvent::BlameSample { cycle, dt, cause, cycles, .. } => {
+                    let c = usize::from(cause).min(BlameCause::COUNT - 1);
+                    let name = format!("blame {}", BlameCause::ALL[c].name());
+                    if blame_run[c].is_some_and(|end| end < cycle) {
+                        let end = blame_run[c].take().unwrap();
+                        counter(&mut out, tinst_pid, tid, end, &name, "cycles", 0.0);
+                    }
+                    // Normalize to blamed cycles per simulated cycle so
+                    // variable-length quanta plot on a comparable axis.
+                    let rate = cycles / f64::from(dt.max(1));
+                    counter(&mut out, tinst_pid, tid, cycle, &name, "cycles", rate);
+                    blame_run[c] = Some(cycle + u64::from(dt));
+                }
             }
         }
         // Close open counter runs so tracks return to zero.
@@ -220,6 +236,12 @@ pub fn chrome_trace_json(
         }
         if let Some(end) = mem_run {
             counter2(&mut out, mem_pid, tid, end, "bandwidth GB/s", 0.0, 0.0);
+        }
+        for (c, run) in blame_run.into_iter().enumerate() {
+            if let Some(end) = run {
+                let name = format!("blame {}", BlameCause::ALL[c].name());
+                counter(&mut out, tinst_pid, tid, end, &name, "cycles", 0.0);
+            }
         }
     }
 
@@ -319,6 +341,27 @@ mod tests {
         assert!(text.contains("\"tiles_lost\": 1"));
         // DegradedQuantum is deliberately not exported.
         assert!(!text.contains("degraded"));
+    }
+
+    #[test]
+    fn blame_samples_export_as_counter_tracks() {
+        let s = TraceStream {
+            name: "q14".into(),
+            events: vec![
+                TraceEvent::TinstBegin { stage: 0, cycle: 0, nodes: 2 },
+                TraceEvent::BlameSample { stage: 0, cycle: 0, dt: 64, cause: 0, cycles: 32.0 },
+                TraceEvent::BlameSample { stage: 0, cycle: 64, dt: 64, cause: 2, cycles: 16.0 },
+                TraceEvent::TinstEnd { stage: 0, cycle: 128 },
+            ],
+        };
+        let text = chrome_trace_json(&[s], &NAMES, 2.52);
+        validate_chrome_trace_json(&text).unwrap();
+        assert!(text.contains("\"name\": \"blame input_starvation\""));
+        assert!(text.contains("\"name\": \"blame noc_bandwidth\""));
+        // Rates normalized by dt, and every open run closes to zero.
+        assert!(text.contains("\"cycles\": 0.5"));
+        assert!(text.contains("\"cycles\": 0.25"));
+        assert_eq!(text.matches("\"cycles\": 0}").count(), 2);
     }
 
     #[test]

@@ -21,18 +21,27 @@
 //!   per tile, loadable in `chrome://tracing` or Perfetto) and flat
 //!   metrics JSON/CSV dumps, plus [`json`], a minimal JSON parser
 //!   backing the [schema validators](validate) used by tests and CI.
+//! * [`analyze`] — the **bottleneck attribution** layer: the
+//!   [`BlameCause`]/[`BlameReport`] cycle-ledger data model the timing
+//!   simulator fills in, plus critical-path extraction, utilization
+//!   summaries, and analytical what-if estimates over it.
 //!
 //! The crate deliberately has no dependency on `q100-core`; the
 //! simulator depends on *it* and reports tiles as endpoint indices
 //! which exporters resolve through a caller-supplied name table.
 
+pub mod analyze;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod validate;
 
+pub use analyze::{
+    critical_path, kind_utilization, link_utilization, utilization_histogram, what_ifs, BlameCause,
+    BlameReport, CriticalPath, KindUtilization, LinkUtilization, NodeBlame, WhatIf,
+};
 pub use export::{chrome_trace_json, TraceStream};
 pub use metrics::{Histogram, MetricsSnapshot, Registry, DEFAULT_BOUNDS};
 pub use sink::{NullSink, RingRecorder, TraceEvent, TraceSink};
-pub use validate::{validate_chrome_trace_json, validate_metrics_json};
+pub use validate::{validate_blame_json, validate_chrome_trace_json, validate_metrics_json};

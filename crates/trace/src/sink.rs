@@ -118,6 +118,22 @@ pub enum TraceEvent {
         /// Quantum length in cycles.
         dt: u32,
     },
+    /// Stall-blame cycles attributed during one simulation quantum,
+    /// aggregated over the running stage's nodes. Emitted only when a
+    /// [`BlameRecorder`](crate::analyze) rides along a traced run; the
+    /// Chrome exporter renders one counter track per cause.
+    BlameSample {
+        /// Stage index within the schedule.
+        stage: u32,
+        /// Global cycle at the start of the quantum.
+        cycle: u64,
+        /// Quantum length in cycles.
+        dt: u32,
+        /// [`BlameCause`](crate::analyze::BlameCause) index.
+        cause: u16,
+        /// Blamed cycles (summed over the stage's nodes).
+        cycles: f64,
+    },
 }
 
 impl TraceEvent {
@@ -133,7 +149,8 @@ impl TraceEvent {
             | TraceEvent::StageMem { cycle, .. }
             | TraceEvent::FaultInjected { cycle, .. }
             | TraceEvent::Reschedule { cycle, .. }
-            | TraceEvent::DegradedQuantum { cycle, .. } => cycle,
+            | TraceEvent::DegradedQuantum { cycle, .. }
+            | TraceEvent::BlameSample { cycle, .. } => cycle,
         }
     }
 }

@@ -1,10 +1,13 @@
-//! Schema validators for the two export formats.
+//! Schema validators for the export formats.
 //!
 //! Small structural checks built on the in-crate [`json`](crate::json)
 //! parser; CI runs them against every generated artifact (see the
 //! `q100-metrics-validate` binary), and the exporter tests use them as
-//! self-checks.
+//! self-checks. Covers the metrics dump (`q100-metrics-v1`), Chrome
+//! `trace_event` documents, and the bottleneck-attribution report
+//! (`q100-blame-v1`).
 
+use crate::analyze::BlameCause;
 use crate::json::{parse, Json};
 
 fn num_field(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
@@ -113,6 +116,82 @@ pub fn validate_chrome_trace_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `q100-blame-v1` bottleneck-attribution report.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation: bad JSON,
+/// a missing/unknown `schema`, a design without a name or `queries`
+/// array, a query entry missing its name, a non-integer `cycles`, a
+/// `causes` object that does not carry every [`BlameCause`] as a
+/// non-negative number, a `critical_path.fraction` outside `[0, 1]`,
+/// or a `what_if` entry without `label`/`est_cycles`/`delta_pct`.
+pub fn validate_blame_json(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    if doc.as_obj().is_none() {
+        return Err("top level must be an object".into());
+    }
+    if doc.get("schema").and_then(Json::as_str) != Some("q100-blame-v1") {
+        return Err("missing or unknown `schema` (want \"q100-blame-v1\")".into());
+    }
+    let designs = doc.get("designs").and_then(Json::as_arr).ok_or("missing `designs` array")?;
+    for (d, design) in designs.iter().enumerate() {
+        let name = design
+            .get("design")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("designs[{d}]: missing `design` name"))?;
+        let queries = design
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("design `{name}`: missing `queries` array"))?;
+        for (q, query) in queries.iter().enumerate() {
+            let qn = query
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("design `{name}` queries[{q}]: missing `query` name"))?;
+            let ctx = format!("design `{name}` query `{qn}`");
+            let cycles = num_field(query, "cycles", &ctx)?;
+            if cycles < 0.0 || cycles.fract() != 0.0 {
+                return Err(format!("{ctx}: `cycles` is not a non-negative integer"));
+            }
+            let causes = query
+                .get("causes")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("{ctx}: missing `causes` object"))?;
+            for cause in BlameCause::ALL {
+                let v = causes
+                    .iter()
+                    .find(|(k, _)| k.as_str() == cause.name())
+                    .and_then(|(_, v)| v.as_num())
+                    .ok_or_else(|| format!("{ctx}: `causes` missing numeric `{}`", cause.name()))?;
+                if v < 0.0 {
+                    return Err(format!("{ctx}: cause `{}` is negative", cause.name()));
+                }
+            }
+            let cp = query
+                .get("critical_path")
+                .ok_or_else(|| format!("{ctx}: missing `critical_path`"))?;
+            let fraction = num_field(cp, "fraction", &ctx)?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(format!("{ctx}: `critical_path.fraction` outside [0, 1]"));
+            }
+            let what_if = query
+                .get("what_if")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{ctx}: missing `what_if` array"))?;
+            for (w, entry) in what_if.iter().enumerate() {
+                let wctx = format!("{ctx} what_if[{w}]");
+                if entry.get("label").and_then(Json::as_str).is_none() {
+                    return Err(format!("{wctx}: missing `label`"));
+                }
+                num_field(entry, "est_cycles", &wctx)?;
+                num_field(entry, "delta_pct", &wctx)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +235,36 @@ mod tests {
             let err = validate_metrics_json(doc).unwrap_err();
             assert!(err.contains(want), "`{doc}` -> `{err}` (wanted `{want}`)");
         }
+    }
+
+    #[test]
+    fn blame_validator_checks_structure() {
+        let causes: Vec<String> =
+            BlameCause::ALL.iter().map(|c| format!("\"{}\": 1.5", c.name())).collect();
+        let good = format!(
+            concat!(
+                "{{\"schema\": \"q100-blame-v1\", \"designs\": [{{\"design\": \"Pareto\", ",
+                "\"queries\": [{{\"query\": \"q1\", \"cycles\": 100, \"causes\": {{{}}}, ",
+                "\"critical_path\": {{\"fraction\": 0.5}}, ",
+                "\"what_if\": [{{\"label\": \"+1 Joiner\", \"est_cycles\": 90, ",
+                "\"delta_pct\": -10.0}}]}}]}}]}}"
+            ),
+            causes.join(", ")
+        );
+        validate_blame_json(&good).unwrap();
+        let cases = [
+            (good.replace("q100-blame-v1", "nope"), "schema"),
+            (good.replace("\"cycles\": 100", "\"cycles\": 1.5"), "integer"),
+            (good.replace("\"input_starvation\": 1.5", "\"input_starvation\": -1"), "negative"),
+            (good.replace("\"fraction\": 0.5", "\"fraction\": 1.5"), "[0, 1]"),
+            (good.replace("\"label\": \"+1 Joiner\", ", ""), "label"),
+        ];
+        for (doc, want) in cases {
+            let err = validate_blame_json(&doc).unwrap_err();
+            assert!(err.contains(want), "-> `{err}` (wanted `{want}`)");
+        }
+        let missing_cause = good.replace("\"tile_wait\": 1.5", "\"tile_wait_typo\": 1.5");
+        assert!(validate_blame_json(&missing_cause).unwrap_err().contains("tile_wait"));
     }
 
     #[test]

@@ -79,6 +79,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nall Q100 results validated against the software executor");
 
+    // Bottleneck attribution on the Pareto design: re-simulate each
+    // query with the stall-blame recorder attached and report where the
+    // cycles went. `top_causes` ranks the blame ledger; the critical
+    // path is the heaviest active-cycle chain through the stage DAG.
+    println!("\nwhere the cycles go (Pareto design, stall-blame attribution):");
+    println!("{:>5} {:>10}  {:<42} {:>10}", "query", "cycles", "top-3 blame causes", "crit.path");
+    let pareto = SimConfig::pareto();
+    for name in ["q1", "q3", "q5", "q6", "q12", "q14", "q19"] {
+        let query = queries::by_name(name).expect("known query");
+        let graph = (query.q100)(&db)?;
+        let (outcome, report) = Simulator::new(&pareto).run_attributed(&graph, &db)?;
+        let ledger: f64 = report.cause_totals().iter().sum::<f64>() + report.active_total();
+        let causes: Vec<String> = report
+            .top_causes()
+            .iter()
+            .take(3)
+            .map(|(c, cy)| format!("{} {:.0}%", c.name(), cy / ledger.max(1.0) * 100.0))
+            .collect();
+        let cp = q100::core::trace::critical_path(&report);
+        println!(
+            "{name:>5} {:>10}  {:<42} {:>9.0}%",
+            outcome.cycles,
+            causes.join(", "),
+            cp.fraction * 100.0
+        );
+    }
+
     if trace {
         trace_one_query(&db, trace_out.as_deref())?;
     }
