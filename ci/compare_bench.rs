@@ -107,6 +107,19 @@ fn diff(base: &[(String, f64)], fresh: &[(String, f64)]) -> Vec<Delta> {
         .collect()
 }
 
+/// Keys present only in the fresh report, in fresh order. These cannot
+/// drift (there is nothing to compare against), but silently ignoring
+/// them would hide a figure that never made it into the baseline — so
+/// the gate reports each one as an explicit "new key, skipped" line and
+/// reminds the operator to refresh.
+fn fresh_only(base: &[(String, f64)], fresh: &[(String, f64)]) -> Vec<String> {
+    fresh
+        .iter()
+        .filter(|(key, _)| !base.iter().any(|(k, _)| k == key))
+        .map(|(key, _)| key.clone())
+        .collect()
+}
+
 /// Renders the per-key delta table (baseline order).
 fn render(deltas: &[Delta], tol_pct: f64) -> String {
     use std::fmt::Write as _;
@@ -152,7 +165,7 @@ fn main() -> ExitCode {
 
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
-    let result = (|| -> Result<(Vec<Delta>, bool), String> {
+    let result = (|| -> Result<(Vec<Delta>, Vec<String>, bool), String> {
         let base = extract(&read(base_path)?, base_path)?;
         let fresh = extract(&read(fresh_path)?, fresh_path)?;
         if base.is_empty() {
@@ -160,7 +173,7 @@ fn main() -> ExitCode {
         }
         let deltas = diff(&base, &fresh);
         let ok = deltas.iter().all(|d| !d.out_of_tolerance(tol_pct));
-        Ok((deltas, ok))
+        Ok((deltas, fresh_only(&base, &fresh), ok))
     })();
 
     match result {
@@ -168,11 +181,21 @@ fn main() -> ExitCode {
             eprintln!("compare-bench: error: {e}");
             ExitCode::from(2)
         }
-        Ok((deltas, true)) => {
+        Ok((deltas, new_keys, true)) => {
+            for key in &new_keys {
+                println!("compare-bench: new key `{key}`, skipped (not in baseline)");
+            }
             println!("compare-bench: {} keys within +/-{tol_pct}% of {base_path}", deltas.len());
+            if !new_keys.is_empty() {
+                println!(
+                    "compare-bench: {} new key(s) not yet gated — refresh the baseline to \
+                     include them",
+                    new_keys.len()
+                );
+            }
             ExitCode::SUCCESS
         }
-        Ok((deltas, false)) => {
+        Ok((deltas, _, false)) => {
             eprintln!("compare-bench: cycle counts drifted beyond +/-{tol_pct}%:\n");
             eprint!("{}", render(&deltas, tol_pct));
             eprintln!(
@@ -227,6 +250,22 @@ mod tests {
         assert!(!verdict(&doc(5000, 9000), &doc(4250, 9000), 10.0));
         // Figure-level regressions are caught independently.
         assert!(!verdict(&doc(5000, 9000), &doc(5000, 10_000), 10.0));
+    }
+
+    #[test]
+    fn fresh_only_keys_are_reported_not_compared() {
+        let base = doc(5000, 9000);
+        let fresh = doc(5000, 9000).replace(
+            "\"figures\": [",
+            "\"figures\": [{\"name\": \"serve:soak\", \"sim_cycles\": 777, \"wall_ms\": 1.0},",
+        );
+        // The new figure doesn't trip the gate...
+        assert!(verdict(&base, &fresh, 10.0));
+        // ...but it is surfaced as an explicit new key.
+        let b = extract(&base, "base").unwrap();
+        let f = extract(&fresh, "fresh").unwrap();
+        assert_eq!(fresh_only(&b, &f), vec!["figure serve:soak".to_string()]);
+        assert!(fresh_only(&b, &b).is_empty());
     }
 
     #[test]

@@ -464,6 +464,46 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_capacity_bounds_residency_and_counts_evictions() {
+        use crate::config::SchedulerKind;
+        use crate::sched::ScheduleCache;
+
+        let (g, cat) = fixture();
+        let functional = functional::execute(&g, &cat).unwrap();
+        let sched_cache = ScheduleCache::new();
+        let plans = PlanCache::with_capacity(2);
+        for tag in 0..5 {
+            let _ = plans
+                .get_or_compile(
+                    tag,
+                    SchedulerKind::DataAware,
+                    &g,
+                    &TileMix::uniform(1),
+                    &functional.profile,
+                    &sched_cache,
+                )
+                .unwrap();
+        }
+        assert_eq!(plans.len(), 2, "capacity must bound resident plans");
+        assert_eq!(plans.evictions(), 3);
+        // An evicted-then-revisited key recompiles rather than erroring.
+        let _ = plans
+            .get_or_compile(
+                0,
+                SchedulerKind::DataAware,
+                &g,
+                &TileMix::uniform(1),
+                &functional.profile,
+                &sched_cache,
+            )
+            .unwrap();
+        plans.clear();
+        assert_eq!(plans.evictions(), 0);
+        // Default-capacity caches never evict at sweep scales.
+        assert_eq!(PlanCache::new().evictions(), 0);
+    }
+
+    #[test]
     fn spill_ratio_zero_for_single_stage() {
         let (g, cat) = fixture();
         let out = Simulator::new(&SimConfig::new(TileMix::uniform(8))).run(&g, &cat).unwrap();

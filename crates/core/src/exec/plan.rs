@@ -469,7 +469,13 @@ impl SimScratch {
 /// never serialize on it — at worst two workers race to fill the same
 /// key and one result wins. Hit/miss counters follow the same
 /// deterministic definition as [`CacheStats`].
-#[derive(Debug, Default)]
+///
+/// Like [`ScheduleCache`], the cache is bounded: inserting a fresh key
+/// at capacity evicts one resident entry (arbitrary victim — plans are
+/// pure functions of their keys, so eviction only costs a
+/// recompilation) and bumps the eviction counter plus the
+/// `cache.evictions` registry metric.
+#[derive(Debug)]
 pub struct PlanCache {
     map: std::sync::Mutex<std::collections::HashMap<(u64, SchedulerKind, TileMix), Arc<StagePlan>>>,
     /// Successful lookups since the last reset (call count, which is
@@ -478,18 +484,49 @@ pub struct PlanCache {
     /// Map size at the last reset; `len - base_len` is the
     /// deterministic miss count.
     base_len: std::sync::atomic::AtomicU64,
+    /// Maximum resident entries before eviction kicks in.
+    capacity: usize,
+    /// Entries evicted to respect `capacity` since construction (or the
+    /// last [`PlanCache::clear`]).
+    evictions: std::sync::atomic::AtomicU64,
     registry: Option<Arc<q100_trace::Registry>>,
 }
 
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            map: std::sync::Mutex::default(),
+            lookups: std::sync::atomic::AtomicU64::new(0),
+            base_len: std::sync::atomic::AtomicU64::new(0),
+            capacity: Self::DEFAULT_CAPACITY,
+            evictions: std::sync::atomic::AtomicU64::new(0),
+            registry: None,
+        }
+    }
+}
+
 impl PlanCache {
-    /// An empty cache.
+    /// Default capacity, matching [`ScheduleCache::DEFAULT_CAPACITY`]:
+    /// far above what any shipped sweep populates, so all existing runs
+    /// stay eviction-free, while a serving loop churning through
+    /// degraded mixes cannot grow memory without bound.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An empty cache with the default capacity.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache bounded to `capacity` resident entries (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache { capacity: capacity.max(1), ..Self::default() }
+    }
+
     /// An empty cache that additionally counts every successful lookup
-    /// into `registry` under `plan.cache.lookups`.
+    /// into `registry` under `plan.cache.lookups` (and evictions under
+    /// `cache.evictions`).
     #[must_use]
     pub fn with_metrics(registry: Arc<q100_trace::Registry>) -> Self {
         PlanCache { registry: Some(registry), ..Self::default() }
@@ -528,6 +565,12 @@ impl PlanCache {
         let fresh = Arc::new(StagePlan::compile(graph, schedule, profile)?);
         self.note_lookup();
         let mut map = self.map.lock().unwrap();
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            if let Some(victim) = map.keys().next().copied() {
+                map.remove(&victim);
+                self.note_eviction();
+            }
+        }
         let entry = map.entry(key).or_insert(fresh);
         Ok(Arc::clone(entry))
     }
@@ -537,6 +580,20 @@ impl PlanCache {
         if let Some(r) = &self.registry {
             r.inc("plan.cache.lookups", 1);
         }
+    }
+
+    fn note_eviction(&self) {
+        self.evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(r) = &self.registry {
+            r.inc("cache.evictions", 1);
+        }
+    }
+
+    /// Entries evicted to respect the capacity bound since construction
+    /// (or the last [`PlanCache::clear`]).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Current hit/miss counters (see [`CacheStats`] for the
@@ -577,6 +634,7 @@ impl PlanCache {
         self.map.lock().unwrap().clear();
         self.base_len.store(0, Ordering::Relaxed);
         self.lookups.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Number of distinct memoized plans.

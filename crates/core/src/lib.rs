@@ -36,7 +36,9 @@ pub use exec::{
 };
 pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
 pub use power::DesignBudget;
-pub use resilience::{run_resilient, Derate, Fault, FaultScenario, ResilientOutcome};
+pub use resilience::{
+    estimate_service_cycles, run_resilient, Derate, Fault, FaultScenario, ResilientOutcome,
+};
 pub use sched::{check_feasible, schedule, CacheStats, Schedule, ScheduleCache, Tinst};
 pub use tiles::{TileKind, TileSpec, FREQUENCY_MHZ, SORTER_BATCH};
 

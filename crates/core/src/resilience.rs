@@ -457,6 +457,34 @@ pub fn run_resilient(
     })
 }
 
+/// The serving layer's fallible cycle-estimate entry point: runs
+/// `scenario` against `(graph, functional, base)` through the shared
+/// caches — exactly like [`run_resilient`], but without tracing or
+/// metrics plumbing — and returns only the end-to-end simulated cycle
+/// count.
+///
+/// An empty scenario reproduces the fault-free cycle count exactly
+/// (see [`FaultScenario::apply`]), which lets callers memoize the
+/// healthy baseline and skip re-simulation for fault-free requests.
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError::Unschedulable`] when the degraded mix
+/// can no longer host the graph — the signal a serving layer uses to
+/// fall back to the software path — and propagates simulation errors.
+pub fn estimate_service_cycles(
+    graph: &QueryGraph,
+    functional: &FunctionalRun,
+    base: &SimConfig,
+    scenario: &FaultScenario,
+    cache: &ScheduleCache,
+    plans: &PlanCache,
+    tag: u64,
+) -> Result<u64> {
+    run_resilient(graph, functional, base, scenario, cache, plans, tag, None, None)
+        .map(|run| run.outcome.cycles)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,6 +623,29 @@ mod tests {
             FaultScenario { faults: vec![Fault::TileKilled { kind: TileKind::ColFilter }] };
         let err = run_resilient(&g, &functional, &base, &scenario, &cache, &plans, 0, None, None)
             .unwrap_err();
+        assert!(matches!(err, crate::CoreError::Unschedulable { .. }), "got {err}");
+    }
+
+    #[test]
+    fn estimate_service_cycles_matches_baseline_and_types_unschedulable() {
+        let cat = catalog();
+        let g = graph();
+        let base = SimConfig::pareto();
+        let functional = crate::exec::execute(&g, &cat).unwrap();
+        let cache = ScheduleCache::new();
+        let plans = PlanCache::new();
+
+        let baseline = Simulator::new(&base).run_profiled(&g, &functional).unwrap();
+        let empty = FaultScenario::default();
+        let cycles =
+            estimate_service_cycles(&g, &functional, &base, &empty, &cache, &plans, 0).unwrap();
+        assert_eq!(cycles, baseline.cycles, "empty scenario must reproduce the baseline");
+
+        // A killed required kind surfaces as a typed error, never a panic.
+        let tight = SimConfig::new(TileMix::uniform(1));
+        let kill = FaultScenario { faults: vec![Fault::TileKilled { kind: TileKind::ColFilter }] };
+        let err =
+            estimate_service_cycles(&g, &functional, &tight, &kill, &cache, &plans, 0).unwrap_err();
         assert!(matches!(err, crate::CoreError::Unschedulable { .. }), "got {err}");
     }
 

@@ -369,7 +369,16 @@ impl fmt::Display for CacheStats {
 /// The scheduler itself runs outside the map lock, so concurrent sweep
 /// workers never serialize on a scheduling search — at worst two
 /// workers race to fill the same key and one result wins.
-#[derive(Debug, Default)]
+///
+/// The cache is bounded: inserting a fresh key at capacity first evicts
+/// one resident entry (arbitrary victim — every value is a pure
+/// function of its key, so eviction can never change a result, only
+/// force a recomputation) and bumps the eviction counter plus the
+/// `cache.evictions` registry metric. The default capacity is far above
+/// what any shipped sweep populates, so evictions stay at zero unless a
+/// long-running serving loop genuinely churns through more
+/// configurations than the bound.
+#[derive(Debug)]
 pub struct ScheduleCache {
     map: std::sync::Mutex<
         std::collections::HashMap<(u64, SchedulerKind, TileMix), std::sync::Arc<Schedule>>,
@@ -380,18 +389,50 @@ pub struct ScheduleCache {
     /// Map size at the last reset; `len - base_len` is the
     /// deterministic miss count.
     base_len: std::sync::atomic::AtomicU64,
+    /// Maximum resident entries before eviction kicks in.
+    capacity: usize,
+    /// Entries evicted to respect `capacity` since construction (or the
+    /// last [`ScheduleCache::clear`]).
+    evictions: std::sync::atomic::AtomicU64,
     registry: Option<std::sync::Arc<q100_trace::Registry>>,
 }
 
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        ScheduleCache {
+            map: std::sync::Mutex::default(),
+            lookups: std::sync::atomic::AtomicU64::new(0),
+            base_len: std::sync::atomic::AtomicU64::new(0),
+            capacity: Self::DEFAULT_CAPACITY,
+            evictions: std::sync::atomic::AtomicU64::new(0),
+            registry: None,
+        }
+    }
+}
+
 impl ScheduleCache {
-    /// An empty cache.
+    /// Default capacity: a full 19-query workload revisits well under a
+    /// hundred (tag, scheduler, mix) keys per sweep, and even the chaos
+    /// experiments' degraded mixes stay in the hundreds, so 4096 keeps
+    /// every shipped run eviction-free while bounding a pathological
+    /// serving loop to a few MB of schedules.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An empty cache with the default capacity.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache bounded to `capacity` resident entries (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ScheduleCache { capacity: capacity.max(1), ..Self::default() }
+    }
+
     /// An empty cache that additionally counts every successful lookup
-    /// into `registry` under `sched.cache.lookups`.
+    /// into `registry` under `sched.cache.lookups` (and evictions under
+    /// `cache.evictions`).
     #[must_use]
     pub fn with_metrics(registry: std::sync::Arc<q100_trace::Registry>) -> Self {
         ScheduleCache { registry: Some(registry), ..Self::default() }
@@ -428,6 +469,12 @@ impl ScheduleCache {
         let fresh = std::sync::Arc::new(schedule(kind, graph, mix, profile)?);
         self.note_lookup();
         let mut map = self.map.lock().unwrap();
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            if let Some(victim) = map.keys().next().copied() {
+                map.remove(&victim);
+                self.note_eviction();
+            }
+        }
         let entry = map.entry(key).or_insert(fresh);
         Ok(std::sync::Arc::clone(entry))
     }
@@ -437,6 +484,20 @@ impl ScheduleCache {
         if let Some(r) = &self.registry {
             r.inc("sched.cache.lookups", 1);
         }
+    }
+
+    fn note_eviction(&self) {
+        self.evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(r) = &self.registry {
+            r.inc("cache.evictions", 1);
+        }
+    }
+
+    /// Entries evicted to respect the capacity bound since construction
+    /// (or the last [`ScheduleCache::clear`]).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Current hit/miss counters (see [`CacheStats`] for the
@@ -493,6 +554,7 @@ impl ScheduleCache {
         self.map.lock().unwrap().clear();
         self.base_len.store(0, Ordering::Relaxed);
         self.lookups.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -645,6 +707,45 @@ mod tests {
         // The next sweep over the same key is all hits.
         let _ = cache.get_or_schedule(1, SchedulerKind::Naive, &g, &mix, &profile).unwrap();
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn schedule_cache_capacity_bounds_residency_and_counts_evictions() {
+        let g = chain_graph();
+        let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };
+        let registry = std::sync::Arc::new(q100_trace::Registry::new());
+        let cache = ScheduleCache {
+            registry: Some(std::sync::Arc::clone(&registry)),
+            ..ScheduleCache::with_capacity(2)
+        };
+        for tag in 0..5 {
+            let _ = cache
+                .get_or_schedule(tag, SchedulerKind::Naive, &g, &TileMix::uniform(1), &profile)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2, "capacity must bound resident entries");
+        assert_eq!(cache.evictions(), 3);
+        assert_eq!(registry.counter("cache.evictions"), 3);
+        // An evicted-then-revisited key still resolves (recompute, not error).
+        let _ = cache
+            .get_or_schedule(0, SchedulerKind::Naive, &g, &TileMix::uniform(1), &profile)
+            .unwrap();
+        cache.clear();
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn default_capacity_sees_zero_evictions_in_ordinary_use() {
+        let g = chain_graph();
+        let profile = GraphProfile { nodes: vec![Default::default(); g.len()] };
+        let cache = ScheduleCache::new();
+        for tag in 0..64 {
+            let _ = cache
+                .get_or_schedule(tag, SchedulerKind::Naive, &g, &TileMix::uniform(1), &profile)
+                .unwrap();
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 64);
     }
 
     #[test]

@@ -42,4 +42,6 @@ pub use error::{DbmsError, Result};
 pub use exec::{run, CostStats};
 pub use expr::{ArithKind, CmpKind, Evaluated, Expr};
 pub use plan::{AggKind, JoinType, Plan};
-pub use xeon::{render_table4, CostModel, Platform, SoftwareCost, ACTIVE_POWER_W, PLATFORM};
+pub use xeon::{
+    render_table4, CostModel, FallbackAccount, Platform, SoftwareCost, ACTIVE_POWER_W, PLATFORM,
+};

@@ -146,6 +146,22 @@ impl SoftwareCost {
         SoftwareCost { runtime_ms: runtime_s * 1e3, energy_mj: runtime_s * ACTIVE_POWER_W * 1e3 }
     }
 
+    /// This execution's runtime expressed in cycles of a `clock_mhz`
+    /// device clock — the conversion the serving layer uses to place a
+    /// software-fallback run on the Q100 simulator's virtual timeline
+    /// (pass `q100_core::FREQUENCY_MHZ`). Rounded up, and at least 1
+    /// cycle so a fallback can never be free.
+    #[must_use]
+    pub fn service_cycles(&self, clock_mhz: f64) -> u64 {
+        // ms × (MHz × 1e3 cycles/ms), exact for the magnitudes involved.
+        let cycles = (self.runtime_ms * clock_mhz * 1e3).ceil();
+        if cycles < 1.0 {
+            1
+        } else {
+            cycles as u64
+        }
+    }
+
     /// The idealized 24-thread reference: 24× faster at the same
     /// average power (so 24× less energy... the paper holds energy
     /// equal to 1T — it assumes the same average power over a 24×
@@ -164,6 +180,36 @@ impl SoftwareCost {
 impl fmt::Display for SoftwareCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.3} ms, {:.3} mJ", self.runtime_ms, self.energy_mj)
+    }
+}
+
+/// A running account of software-fallback executions: how much work the
+/// software baseline absorbed when the accelerated path shed, timed
+/// out, or could not schedule a query. Sums are plain accumulations of
+/// [`SoftwareCost`] values, so the account is deterministic whenever the
+/// set of absorbed costs is.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FallbackAccount {
+    /// Queries executed on the software path.
+    pub runs: u64,
+    /// Total single-thread runtime absorbed, in milliseconds.
+    pub runtime_ms: f64,
+    /// Total energy absorbed, in millijoules.
+    pub energy_mj: f64,
+}
+
+impl FallbackAccount {
+    /// Adds one software execution to the account.
+    pub fn absorb(&mut self, cost: &SoftwareCost) {
+        self.runs += 1;
+        self.runtime_ms += cost.runtime_ms;
+        self.energy_mj += cost.energy_mj;
+    }
+}
+
+impl fmt::Display for FallbackAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} runs, {:.3} ms, {:.3} mJ", self.runs, self.runtime_ms, self.energy_mj)
     }
 }
 
@@ -214,6 +260,27 @@ mod tests {
         let c = SoftwareCost::of(&stats);
         let implied_w = c.energy_mj / c.runtime_ms;
         assert!((implied_w - ACTIVE_POWER_W).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_cycles_converts_ms_to_device_cycles() {
+        let c = SoftwareCost { runtime_ms: 2.0, energy_mj: 0.0 };
+        // 2 ms at a 315 MHz device clock = 630k cycles.
+        assert_eq!(c.service_cycles(315.0), 630_000);
+        // Never free, even for a vanishingly cheap query.
+        let tiny = SoftwareCost { runtime_ms: 0.0, energy_mj: 0.0 };
+        assert_eq!(tiny.service_cycles(315.0), 1);
+    }
+
+    #[test]
+    fn fallback_account_accumulates() {
+        let mut acct = FallbackAccount::default();
+        acct.absorb(&SoftwareCost { runtime_ms: 1.5, energy_mj: 21.0 });
+        acct.absorb(&SoftwareCost { runtime_ms: 0.5, energy_mj: 7.0 });
+        assert_eq!(acct.runs, 2);
+        assert!((acct.runtime_ms - 2.0).abs() < 1e-12);
+        assert!((acct.energy_mj - 28.0).abs() < 1e-12);
+        assert!(format!("{acct}").contains("2 runs"));
     }
 
     #[test]

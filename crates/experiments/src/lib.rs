@@ -18,6 +18,10 @@
 //!   with deterministic, job-count-independent result ordering,
 //! * [`perf_report`] — the `perf-report` subcommand: a pinned sweep
 //!   subset emitting `BENCH_<date>.json` for regression tracking,
+//! * [`serve`] — the `serve` subcommand: multi-tenant query streams
+//!   through each design behind the `q100-serve` robustness policies
+//!   (admission control, deadlines, retries, circuit breaking,
+//!   software fallback), swept over load level × fault rate,
 //! * [`analyze`] — the `analyze` subcommand: stall-blame bottleneck
 //!   attribution per query × design (`q100-blame-v1` JSON plus a
 //!   top-bottlenecks table).
@@ -36,6 +40,7 @@ pub mod resilience;
 pub mod runner;
 pub mod sched_study;
 pub mod sensitivity;
+pub mod serve;
 pub mod software_cmp;
 
 pub use runner::{paper_designs, Workload, DEFAULT_SCALE};

@@ -15,6 +15,11 @@
 //!                 picks the fault campaign, --out writes the JSON)
 //!   analyze      (stall-blame bottleneck attribution per query x
 //!                 design; --out writes the q100-blame-v1 JSON)
+//!   serve        (multi-tenant query streams through each design under
+//!                 the q100-serve robustness policies, swept over load x
+//!                 fault rate; --requests sizes each cell, --soak runs
+//!                 the single Pareto/heavy/20%-fault chaos cell instead,
+//!                 --out writes the q100-serve-v1 JSON)
 //! ```
 //!
 //! Unknown experiment names and malformed flag values exit with code 2
@@ -35,19 +40,22 @@ use std::process::ExitCode;
 use q100_core::{power, Bandwidth, SimConfig, TileKind};
 use q100_experiments::{
     ablation, analyze, comm, dse, paper_designs, perf_report, pool, resilience, sched_study,
-    sensitivity, software_cmp,
+    sensitivity, serve, software_cmp,
 };
 use q100_experiments::{Workload, DEFAULT_SCALE};
 
 fn usage_text() -> String {
     "usage: q100-experiments [--sf <scale>] [--jobs <n>] [--seed <n>] [--trace <f>] [--metrics <f>]\n\
-     \x20                       all | tableN ... figN ... | analyze | perf-report | resilience [--out <f>]\n\
+     \x20                       all | tableN ... figN ... | analyze | perf-report | resilience | serve [--out <f>]\n\
      regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
      --jobs (or Q100_JOBS) caps the sweep worker count;\n\
-     --seed picks the resilience fault campaign (default 42);\n\
+     --seed picks the resilience fault campaign and serve streams (default 42);\n\
      --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump;\n\
      analyze attributes every stall cycle to a cause per query x design\n\
-     (top-bottlenecks table on stdout, --out writes the q100-blame-v1 JSON)"
+     (top-bottlenecks table on stdout, --out writes the q100-blame-v1 JSON);\n\
+     serve sweeps multi-tenant query streams over load x fault rate\n\
+     (--requests sizes each cell, --soak runs the chaos cell instead,\n\
+     --out writes the q100-serve-v1 JSON)"
         .to_string()
 }
 
@@ -66,7 +74,7 @@ fn fail(msg: &str) -> ExitCode {
 /// Whether `name` (already stripped of a leading `--`) is a known
 /// experiment selector.
 fn is_known_experiment(name: &str) -> bool {
-    matches!(name, "ablation" | "analyze" | "perf-report" | "resilience")
+    matches!(name, "ablation" | "analyze" | "perf-report" | "resilience" | "serve")
         || name
             .strip_prefix("table")
             .and_then(|n| n.parse::<u32>().ok())
@@ -88,6 +96,8 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut requests = serve::DEFAULT_REQUESTS;
+    let mut soak = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -131,6 +141,17 @@ fn main() -> ExitCode {
                 let Some(v) = iter.next() else { return fail("--out requires a path") };
                 bench_out = Some(v.clone());
             }
+            "--requests" => {
+                let Some(v) = iter.next() else { return fail("--requests requires a count") };
+                let Ok(v) = v.parse::<usize>() else {
+                    return fail(&format!("--requests: `{v}` is not a positive integer"));
+                };
+                if v == 0 {
+                    return fail("--requests: count must be at least 1");
+                }
+                requests = v;
+            }
+            "--soak" => soak = true,
             "--all" | "all" => {
                 wants.insert("ablation".to_string());
                 for t in 1..=4 {
@@ -190,6 +211,7 @@ fn main() -> ExitCode {
             || w == "ablation"
             || w == "analyze"
             || w == "resilience"
+            || w == "serve"
     }) || trace_out.is_some()
         || metrics_out.is_some();
     if !needs_workload {
@@ -356,6 +378,27 @@ fn main() -> ExitCode {
             eprintln!("resilience study written to {path}");
         }
         cache_line("resilience");
+    }
+    if wants.contains("serve") {
+        let study = if soak {
+            println!(
+                "== Serve: chaos soak (Pareto, heavy load, 20% faults, {requests} requests) =="
+            );
+            let cell = serve::soak(&workload, seed, requests);
+            serve::ServeStudy { seed, requests, rates: vec![cell.rate], cells: vec![cell] }
+        } else {
+            println!("== Serve: multi-tenant streams over load x fault rate ==");
+            serve::study(&workload, seed, requests, &serve::DEFAULT_RATES)
+        };
+        print!("{}", study.render());
+        if let Some(path) = &bench_out {
+            if let Err(e) = std::fs::write(path, study.to_json()) {
+                eprintln!("cannot write serve JSON to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("serve study written to {path}");
+        }
+        cache_line("serve");
     }
     if wants.contains("analyze") {
         println!("== Bottleneck attribution: stall-blame per query x design ==");

@@ -26,6 +26,11 @@ pub const PINNED_SCALE: f64 = 0.01;
 /// NoC limits of the pinned fig13-style sweep, in GB/s.
 pub const PINNED_NOC_LIMITS: [f64; 2] = [5.0, 10.0];
 
+/// Requests of the pinned serving cell (Pareto design, heavy load, 20%
+/// faults): small enough for CI, long enough that shedding, retries and
+/// deadline policies all fire.
+pub const PINNED_SERVE_REQUESTS: usize = 120;
+
 /// One benchmarked figure: its deterministic simulated-cycle total and
 /// the wall-clock it took to produce.
 #[derive(Debug, Clone)]
@@ -167,6 +172,19 @@ pub fn run() -> PerfReport {
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
     });
 
+    // The pinned serving cell: total request latency (arrival to
+    // answer) in simulated cycles, so a regression in the serving
+    // policies or the resilient timing path lands in the same gate as
+    // the sweeps.
+    let t = Instant::now();
+    let cell = crate::serve::soak(&workload, 42, PINNED_SERVE_REQUESTS);
+    let sim_cycles = cell.report.outcomes.iter().map(|o| o.finish - o.arrival).sum();
+    figures.push(FigureBench {
+        name: "serve:soak".to_string(),
+        sim_cycles,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+
     // Per-(design, query) cycles and the dominant stall cause; the
     // regression gate diffs these per-query rows, so a figure-total
     // regression can be localized to the query that caused it.
@@ -303,7 +321,7 @@ mod tests {
         pool::set_jobs(None);
 
         assert_eq!(serial, fanned, "deterministic fields must not depend on --jobs");
-        assert_eq!(serial.0.len(), 4, "three designs plus the NoC sweep");
+        assert_eq!(serial.0.len(), 5, "three designs, the NoC sweep, and the serve cell");
         assert!(serial.0.iter().all(|(_, c)| *c > 0.0));
         assert_eq!(serial.1.len(), 9, "three designs x three pinned queries");
         // Per-query blame cycles are consistent with the design figure

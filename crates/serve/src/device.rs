@@ -1,0 +1,126 @@
+//! The served device: a Q100 design plus the query table it serves.
+
+use q100_core::{
+    estimate_service_cycles, FaultScenario, FunctionalRun, PlanCache, QueryGraph, Result,
+    ScheduleCache, SimConfig, FREQUENCY_MHZ,
+};
+use q100_dbms::SoftwareCost;
+
+/// One query the service can run: its spatial-instruction graph, the
+/// functional run (data volumes drive the timing model), and the
+/// measured software-baseline cost used when the request falls back.
+#[derive(Debug, Clone)]
+pub struct ServiceQuery<'w> {
+    /// Display name (e.g. `"q6"`).
+    pub name: String,
+    /// The compiled spatial-instruction graph.
+    pub graph: &'w QueryGraph,
+    /// Functional run of `graph` against the serving catalog.
+    pub functional: &'w FunctionalRun,
+    /// Software-baseline cost of the same query (the degradation path).
+    pub software: SoftwareCost,
+}
+
+/// A Q100 design wrapped behind a fallible cycle-estimate interface,
+/// owning its own bounded schedule/plan caches so repeated requests for
+/// the same query are cheap.
+#[derive(Debug)]
+pub struct Q100Device<'w> {
+    config: SimConfig,
+    queries: Vec<ServiceQuery<'w>>,
+    sched_cache: ScheduleCache,
+    plans: PlanCache,
+    baseline_cycles: Vec<u64>,
+}
+
+impl<'w> Q100Device<'w> {
+    /// Builds a device for `config`, validating it and precomputing the
+    /// fault-free baseline cycle count of every query (this also warms
+    /// the schedule/plan caches, so serving-time estimates only pay for
+    /// fault-specific rescheduling).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`q100_core::CoreError`] when the config is invalid or
+    /// any query cannot be scheduled on the healthy mix.
+    pub fn new(config: SimConfig, queries: Vec<ServiceQuery<'w>>) -> Result<Self> {
+        config.validate()?;
+        let sched_cache = ScheduleCache::default();
+        let plans = PlanCache::default();
+        let empty = FaultScenario { faults: Vec::new() };
+        let mut baseline_cycles = Vec::with_capacity(queries.len());
+        for (tag, q) in queries.iter().enumerate() {
+            baseline_cycles.push(estimate_service_cycles(
+                q.graph,
+                q.functional,
+                &config,
+                &empty,
+                &sched_cache,
+                &plans,
+                tag as u64,
+            )?);
+        }
+        Ok(Q100Device { config, queries, sched_cache, plans, baseline_cycles })
+    }
+
+    /// Device cycles to run query `query` under `scenario`. An empty
+    /// scenario returns the memoized fault-free baseline (the resilience
+    /// layer guarantees it is byte-identical to a fresh estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`q100_core::CoreError::Unschedulable`] when the faulted
+    /// mix can no longer host the query — the caller's signal to fall
+    /// back to the software baseline.
+    pub fn service_cycles(&self, query: usize, scenario: &FaultScenario) -> Result<u64> {
+        if scenario.is_empty() {
+            return Ok(self.baseline_cycles[query]);
+        }
+        let q = &self.queries[query];
+        estimate_service_cycles(
+            q.graph,
+            q.functional,
+            &self.config,
+            scenario,
+            &self.sched_cache,
+            &self.plans,
+            query as u64,
+        )
+    }
+
+    /// Cycles the software baseline needs for `query`, expressed on the
+    /// device clock so the two paths share one timeline.
+    #[must_use]
+    pub fn software_cycles(&self, query: usize) -> u64 {
+        self.queries[query].software.service_cycles(FREQUENCY_MHZ)
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The query table.
+    #[must_use]
+    pub fn queries(&self) -> &[ServiceQuery<'w>] {
+        &self.queries
+    }
+
+    /// The memoized fault-free baseline for one query.
+    #[must_use]
+    pub fn baseline_cycles(&self, query: usize) -> u64 {
+        self.baseline_cycles[query]
+    }
+
+    /// Mean fault-free baseline across the query table (useful for
+    /// scaling load levels and policy knobs to the workload).
+    #[must_use]
+    pub fn mean_baseline_cycles(&self) -> u64 {
+        if self.baseline_cycles.is_empty() {
+            return 0;
+        }
+        let sum: u64 = self.baseline_cycles.iter().sum();
+        sum / self.baseline_cycles.len() as u64
+    }
+}

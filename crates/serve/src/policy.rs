@@ -1,0 +1,165 @@
+//! Serving policies: admission control, deadlines, retries, and the
+//! per-device circuit breaker.
+
+/// Knobs of the serving loop. All durations are **simulated cycles** on
+/// the service's virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePolicy {
+    /// Maximum admitted requests in flight (queued or on the device);
+    /// arrivals beyond this depth are shed to the software path.
+    pub queue_depth: usize,
+    /// Total Q100 attempts per admitted request (min 1); attempts
+    /// beyond the first are retries against fresh transient faults.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based): `backoff_base_cycles << (k - 1)`.
+    pub backoff_base_cycles: u64,
+    /// Device cycles burned detecting one failed attempt before the
+    /// request can back off or fall back.
+    pub fail_cost_cycles: u64,
+    /// Consecutive device failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Cycles an open breaker waits before half-opening for a probe.
+    pub breaker_cooldown_cycles: u64,
+    /// Per-category fault probability fed to
+    /// [`FaultScenario::generate`](q100_core::FaultScenario::generate)
+    /// for every Q100 attempt.
+    pub fault_rate: f64,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy {
+            queue_depth: 8,
+            max_attempts: 3,
+            backoff_base_cycles: 4096,
+            fail_cost_cycles: 1024,
+            breaker_threshold: 4,
+            breaker_cooldown_cycles: 1 << 18,
+            fault_rate: 0.0,
+        }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all arrivals admitted.
+    Closed,
+    /// Tripped: arrivals are shed until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probes are admitted; the first success closes
+    /// the breaker, the first failure reopens it.
+    HalfOpen,
+}
+
+/// A per-device circuit breaker on the virtual clock: opens after
+/// `threshold` *consecutive* device failures (requests whose Q100
+/// attempts were exhausted or that proved unschedulable — deadline
+/// misses of a healthy device do not count), half-opens `cooldown`
+/// cycles later, and closes again on the first success.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u64,
+    consecutive_failures: u32,
+    state: BreakerState,
+    open_until: u64,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker (threshold min 1).
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: u64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            open_until: 0,
+            opens: 0,
+        }
+    }
+
+    /// Whether an arrival at cycle `now` may reach the device. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the probe.
+    pub fn admits(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open if now >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Records a device-level success (closes a half-open breaker).
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a device-level failure observed at cycle `now`; opens
+    /// the breaker when the failure streak reaches the threshold, or
+    /// immediately when a half-open probe fails.
+    pub fn on_failure(&mut self, now: u64) {
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
+            self.state = BreakerState::Open;
+            self.open_until = now.saturating_add(self.cooldown);
+            self.consecutive_failures = 0;
+            self.opens += 1;
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has opened.
+    #[must_use]
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_on_cooldown() {
+        let mut b = CircuitBreaker::new(3, 1000);
+        assert!(b.admits(0));
+        b.on_failure(10);
+        b.on_failure(20);
+        assert_eq!(b.state(), BreakerState::Closed, "two failures stay under threshold 3");
+        b.on_failure(30);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.admits(100), "still cooling down");
+        assert!(b.admits(1030), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A failed probe reopens immediately.
+        b.on_failure(1040);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        // A successful probe closes.
+        assert!(b.admits(3000));
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.on_failure(0);
+        b.on_success();
+        b.on_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken by the success");
+    }
+}

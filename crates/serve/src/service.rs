@@ -1,0 +1,462 @@
+//! The deterministic serving loop.
+
+use q100_dbms::FallbackAccount;
+use q100_trace::{Registry, TraceEvent, TraceSink};
+
+use crate::device::Q100Device;
+use crate::mix_seed;
+use crate::policy::{CircuitBreaker, ServePolicy};
+use crate::tenant::{generate_requests, TenantSpec};
+use q100_core::FaultScenario;
+
+/// Why an arrival was shed before reaching the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admitted-work queue was at the policy's depth.
+    QueueFull,
+    /// The circuit breaker was open.
+    BreakerOpen,
+}
+
+/// The final fate of one request. Every request gets exactly one — the
+/// service never drops a request silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Ran on the Q100 and finished inside its deadline.
+    Completed,
+    /// Never admitted; answered by the software baseline.
+    Shed(ShedReason),
+    /// Admitted, but the device could not produce an answer (attempts
+    /// exhausted or unschedulable); answered by the software baseline.
+    Degraded,
+    /// Admitted, but its deadline expired before the device could
+    /// finish; answered (late) by the software baseline.
+    DeadlineMissed,
+}
+
+impl Disposition {
+    /// Stable numeric code used in trace events: 0 = completed,
+    /// 1 = shed, 2 = degraded, 3 = deadline missed.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Disposition::Completed => 0,
+            Disposition::Shed(_) => 1,
+            Disposition::Degraded => 2,
+            Disposition::DeadlineMissed => 3,
+        }
+    }
+}
+
+/// Which engine produced the request's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The Q100 device.
+    Q100,
+    /// The software baseline (MonetDB-style cost model).
+    Software,
+}
+
+/// The audited outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Index into the tenant table.
+    pub tenant: usize,
+    /// Per-tenant sequence number.
+    pub seq: u32,
+    /// Index into the device's query table.
+    pub query: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Cycle the answer was produced (on whichever backend).
+    pub finish: u64,
+    /// Final disposition.
+    pub disposition: Disposition,
+    /// Backend that produced the answer.
+    pub backend: Backend,
+    /// Q100 attempts made (0 for shed requests).
+    pub attempts: u32,
+}
+
+/// Per-tenant slice of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests offered by this tenant.
+    pub offered: u64,
+    /// Requests admitted past the shedding policies.
+    pub admitted: u64,
+    /// Requests shed (queue full or breaker open).
+    pub shed: u64,
+    /// Requests completed on the Q100 inside their deadline.
+    pub completed: u64,
+    /// Requests degraded to the software baseline.
+    pub degraded: u64,
+    /// Requests whose deadline expired.
+    pub deadline_missed: u64,
+    /// Median latency (arrival to answer) in cycles, nearest-rank.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile latency in cycles, nearest-rank.
+    pub p99_latency_cycles: u64,
+}
+
+/// The full, deterministic record of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests offered (equals `outcomes.len()`).
+    pub offered: u64,
+    /// Requests admitted past the shedding policies.
+    pub admitted: u64,
+    /// Requests shed before reaching the device.
+    pub shed: u64,
+    /// Shed because the queue was at depth.
+    pub shed_queue_full: u64,
+    /// Shed because the breaker was open.
+    pub shed_breaker: u64,
+    /// Admitted requests completed on the Q100 inside their deadline.
+    pub completed: u64,
+    /// Admitted requests degraded to the software baseline.
+    pub degraded: u64,
+    /// Admitted requests whose deadline expired.
+    pub deadline_missed: u64,
+    /// Q100 retry attempts beyond each request's first.
+    pub retries: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Aggregate software-baseline work absorbed by fallbacks.
+    pub fallback: FallbackAccount,
+    /// Per-tenant slices, in tenant-table order.
+    pub tenants: Vec<TenantReport>,
+    /// Every request's audited outcome, in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ServeReport {
+    /// Proves the no-silent-drop accounting:
+    ///
+    /// * `offered == outcomes.len() == admitted + shed`
+    /// * `admitted == completed + degraded + deadline_missed`
+    /// * `shed == shed_queue_full + shed_breaker`
+    /// * every `finish >= arrival`
+    /// * per-tenant counters sum to the aggregate ones
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.offered != self.outcomes.len() as u64 {
+            return Err(format!(
+                "offered {} != recorded outcomes {}",
+                self.offered,
+                self.outcomes.len()
+            ));
+        }
+        if self.offered != self.admitted + self.shed {
+            return Err(format!(
+                "offered {} != admitted {} + shed {}",
+                self.offered, self.admitted, self.shed
+            ));
+        }
+        if self.admitted != self.completed + self.degraded + self.deadline_missed {
+            return Err(format!(
+                "admitted {} != completed {} + degraded {} + deadline_missed {}",
+                self.admitted, self.completed, self.degraded, self.deadline_missed
+            ));
+        }
+        if self.shed != self.shed_queue_full + self.shed_breaker {
+            return Err(format!(
+                "shed {} != queue_full {} + breaker {}",
+                self.shed, self.shed_queue_full, self.shed_breaker
+            ));
+        }
+        if let Some(o) = self.outcomes.iter().find(|o| o.finish < o.arrival) {
+            return Err(format!(
+                "tenant {} seq {} finishes at {} before arriving at {}",
+                o.tenant, o.seq, o.finish, o.arrival
+            ));
+        }
+        let tenant_offered: u64 = self.tenants.iter().map(|t| t.offered).sum();
+        if tenant_offered != self.offered {
+            return Err(format!(
+                "per-tenant offered sums to {tenant_offered}, aggregate is {}",
+                self.offered
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample; 0 when empty.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the serving loop: `total` requests generated from
+/// `(seed, tenants)` via [`generate_requests`], pushed through `device`
+/// under `policy`. Everything — arrivals, faults, backoff, deadlines —
+/// lives on one virtual clock in simulated device cycles, so the
+/// returned [`ServeReport`] is byte-identical for identical inputs
+/// regardless of thread count or wall-clock timing.
+///
+/// Each arrival is disposed of in order:
+///
+/// 1. **Breaker** — an open breaker sheds the request to software.
+/// 2. **Admission** — more than `queue_depth` admitted requests still
+///    in flight sheds it to software.
+/// 3. **Deadline at dispatch** — if the device queue alone already
+///    pushes the start past the deadline, the request is counted as a
+///    deadline miss and answered (late) by software.
+/// 4. **Attempts** — up to `max_attempts` Q100 estimates, each against
+///    a fresh [`FaultScenario`] derived from the request seed and the
+///    attempt number, with exponential backoff between attempts.
+///    Success inside the deadline completes the request; success past
+///    it is aborted at the deadline (miss); exhausted attempts or an
+///    unschedulable degraded mix degrade it to software and feed the
+///    circuit breaker.
+///
+/// When `sink` is given, every request emits a
+/// [`TraceEvent::ServeRequest`] slice; when `registry` is given, the
+/// `serve.*` counters and the `serve.latency.cycles` histogram are
+/// populated.
+#[allow(clippy::too_many_lines)]
+pub fn run_service(
+    device: &Q100Device<'_>,
+    tenants: &[TenantSpec],
+    policy: &ServePolicy,
+    seed: u64,
+    total: usize,
+    mut sink: Option<&mut dyn TraceSink>,
+    registry: Option<&Registry>,
+) -> ServeReport {
+    let requests = generate_requests(seed, tenants, total);
+    let mut breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown_cycles);
+    let max_attempts = policy.max_attempts.max(1);
+
+    // The device runs admitted requests FIFO; `device_free` is when it
+    // next idles, `inflight` holds the release cycles of admitted
+    // requests still occupying queue slots.
+    let mut device_free = 0u64;
+    let mut inflight: Vec<u64> = Vec::new();
+
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut fallback = FallbackAccount::default();
+    let mut retries = 0u64;
+    let (mut shed_queue_full, mut shed_breaker) = (0u64, 0u64);
+
+    for req in &requests {
+        let now = req.arrival;
+        inflight.retain(|&free| free > now);
+
+        let software_cycles = device.software_cycles(req.query);
+        let software = device.queries()[req.query].software;
+
+        let (disposition, backend, finish, attempts) = if !breaker.admits(now) {
+            (
+                Disposition::Shed(ShedReason::BreakerOpen),
+                Backend::Software,
+                now + software_cycles,
+                0,
+            )
+        } else if inflight.len() >= policy.queue_depth {
+            (Disposition::Shed(ShedReason::QueueFull), Backend::Software, now + software_cycles, 0)
+        } else {
+            let start = now.max(device_free);
+            if start >= req.deadline {
+                // The queue alone blows the deadline: don't waste
+                // device time, answer late in software. The healthy
+                // device is not to blame, so the breaker is untouched.
+                inflight.push(req.deadline);
+                (Disposition::DeadlineMissed, Backend::Software, req.deadline + software_cycles, 0)
+            } else {
+                // Attempt loop on the device.
+                let mut t = start;
+                let mut attempts = 0u32;
+                let mut success = None;
+                let mut deadline_stop = false;
+                loop {
+                    attempts += 1;
+                    let scenario = FaultScenario::generate(
+                        mix_seed(req.seed, &[u64::from(attempts)]),
+                        policy.fault_rate,
+                        &device.config().mix,
+                    );
+                    match device.service_cycles(req.query, &scenario) {
+                        Ok(cycles) => {
+                            success = Some(cycles);
+                            break;
+                        }
+                        Err(_) => {
+                            t += policy.fail_cost_cycles;
+                            if attempts >= max_attempts {
+                                break;
+                            }
+                            if t >= req.deadline {
+                                deadline_stop = true;
+                                break;
+                            }
+                            t += policy.backoff_base_cycles << (attempts - 1).min(32);
+                            if t >= req.deadline {
+                                deadline_stop = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                retries += u64::from(attempts - 1);
+                match success {
+                    Some(cycles) if t + cycles <= req.deadline => {
+                        let finish = t + cycles;
+                        device_free = finish;
+                        inflight.push(finish);
+                        breaker.on_success();
+                        (Disposition::Completed, Backend::Q100, finish, attempts)
+                    }
+                    Some(_) => {
+                        // The run would finish past the deadline: abort
+                        // it at the deadline and answer in software.
+                        device_free = req.deadline;
+                        inflight.push(req.deadline);
+                        breaker.on_success();
+                        (
+                            Disposition::DeadlineMissed,
+                            Backend::Software,
+                            req.deadline + software_cycles,
+                            attempts,
+                        )
+                    }
+                    None => {
+                        device_free = t;
+                        inflight.push(t);
+                        breaker.on_failure(t);
+                        let disposition = if deadline_stop {
+                            Disposition::DeadlineMissed
+                        } else {
+                            Disposition::Degraded
+                        };
+                        (disposition, Backend::Software, t + software_cycles, attempts)
+                    }
+                }
+            }
+        };
+
+        match disposition {
+            Disposition::Shed(ShedReason::QueueFull) => shed_queue_full += 1,
+            Disposition::Shed(ShedReason::BreakerOpen) => shed_breaker += 1,
+            _ => {}
+        }
+        if backend == Backend::Software {
+            fallback.absorb(&software);
+        }
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.record(TraceEvent::ServeRequest {
+                cycle: req.arrival,
+                end_cycle: finish,
+                tenant: req.tenant as u16,
+                query: req.query as u16,
+                disposition: disposition.code(),
+            });
+        }
+        outcomes.push(RequestOutcome {
+            tenant: req.tenant,
+            seq: req.seq,
+            query: req.query,
+            arrival: req.arrival,
+            finish,
+            disposition,
+            backend,
+            attempts,
+        });
+    }
+
+    let count = |pred: &dyn Fn(&RequestOutcome) -> bool| -> u64 {
+        outcomes.iter().filter(|o| pred(o)).count() as u64
+    };
+    let shed = shed_queue_full + shed_breaker;
+    let completed = count(&|o| o.disposition == Disposition::Completed);
+    let degraded = count(&|o| o.disposition == Disposition::Degraded);
+    let deadline_missed = count(&|o| o.disposition == Disposition::DeadlineMissed);
+    let offered = outcomes.len() as u64;
+    let admitted = offered - shed;
+
+    let tenant_reports = tenants
+        .iter()
+        .enumerate()
+        .map(|(idx, spec)| {
+            let mine: Vec<&RequestOutcome> = outcomes.iter().filter(|o| o.tenant == idx).collect();
+            let mut latencies: Vec<u64> = mine.iter().map(|o| o.finish - o.arrival).collect();
+            latencies.sort_unstable();
+            let shed_here =
+                mine.iter().filter(|o| matches!(o.disposition, Disposition::Shed(_))).count()
+                    as u64;
+            TenantReport {
+                name: spec.name.clone(),
+                offered: mine.len() as u64,
+                admitted: mine.len() as u64 - shed_here,
+                shed: shed_here,
+                completed: mine.iter().filter(|o| o.disposition == Disposition::Completed).count()
+                    as u64,
+                degraded: mine.iter().filter(|o| o.disposition == Disposition::Degraded).count()
+                    as u64,
+                deadline_missed: mine
+                    .iter()
+                    .filter(|o| o.disposition == Disposition::DeadlineMissed)
+                    .count() as u64,
+                p50_latency_cycles: percentile(&latencies, 50.0),
+                p99_latency_cycles: percentile(&latencies, 99.0),
+            }
+        })
+        .collect();
+
+    if let Some(reg) = registry {
+        reg.inc("serve.offered", offered);
+        reg.inc("serve.admitted", admitted);
+        reg.inc("serve.shed", shed);
+        reg.inc("serve.shed.queue_full", shed_queue_full);
+        reg.inc("serve.shed.breaker", shed_breaker);
+        reg.inc("serve.completed", completed);
+        reg.inc("serve.degraded", degraded);
+        reg.inc("serve.deadline_missed", deadline_missed);
+        reg.inc("serve.retries", retries);
+        reg.inc("serve.fallback.runs", fallback.runs);
+        reg.inc("serve.breaker.opens", breaker.opens());
+        for o in &outcomes {
+            reg.observe("serve.latency.cycles", (o.finish - o.arrival) as f64);
+        }
+    }
+
+    ServeReport {
+        offered,
+        admitted,
+        shed,
+        shed_queue_full,
+        shed_breaker,
+        completed,
+        degraded,
+        deadline_missed,
+        retries,
+        breaker_opens: breaker.opens(),
+        fallback,
+        tenants: tenant_reports,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 100);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+}

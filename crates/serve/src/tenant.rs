@@ -1,0 +1,178 @@
+//! Tenants and the seeded arrival stream.
+
+use q100_xrand::Rng;
+
+use crate::mix_seed;
+
+/// One tenant of the service: how often it sends queries, how long it
+/// is willing to wait, and which queries it runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Display name (reported per tenant).
+    pub name: String,
+    /// Mean inter-arrival gap in simulated cycles (min 1). Gaps are
+    /// drawn uniformly from `[1, 2 * period_cycles]`.
+    pub period_cycles: u64,
+    /// Relative deadline in simulated cycles from arrival.
+    pub deadline_cycles: u64,
+    /// Indices into the device's query table this tenant draws from
+    /// (uniformly per request). Must be non-empty.
+    pub queries: Vec<usize>,
+    /// Relative share of the total offered request count.
+    pub weight: u32,
+}
+
+/// One request of the offered stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Index into the tenant table.
+    pub tenant: usize,
+    /// Per-tenant sequence number (generation order).
+    pub seq: u32,
+    /// Index into the device's query table.
+    pub query: usize,
+    /// Arrival cycle on the service's virtual clock.
+    pub arrival: u64,
+    /// Absolute deadline cycle (`arrival + deadline_cycles`).
+    pub deadline: u64,
+    /// Per-request fault seed; each retry attempt mixes its attempt
+    /// number in, so retries see *fresh* transient faults.
+    pub seed: u64,
+}
+
+/// Generates the offered stream: `total` requests split across
+/// `tenants` proportionally to their weights (remainders to the
+/// lowest-indexed tenants), each tenant's arrivals drawn from its own
+/// [`q100_xrand`] stream seeded by `(seed, tenant index)`, merged in
+/// `(arrival, tenant, seq)` order.
+///
+/// Fully deterministic in `(seed, tenants, total)` — the stream never
+/// depends on thread count or iteration timing.
+///
+/// # Panics
+///
+/// Panics if a tenant with a non-zero share has an empty query list or
+/// a total tenant weight of zero is combined with `total > 0`.
+#[must_use]
+pub fn generate_requests(seed: u64, tenants: &[TenantSpec], total: usize) -> Vec<Request> {
+    if tenants.is_empty() || total == 0 {
+        return Vec::new();
+    }
+    let total_weight: u64 = tenants.iter().map(|t| u64::from(t.weight)).sum();
+    assert!(total_weight > 0, "at least one tenant must have a non-zero weight");
+
+    // Largest-share split with remainders to the lowest-indexed
+    // tenants: deterministic and exactly `total` requests.
+    let mut counts: Vec<usize> = tenants
+        .iter()
+        .map(|t| ((total as u64 * u64::from(t.weight)) / total_weight) as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    let mut i = 0;
+    while assigned < total {
+        if tenants[i % tenants.len()].weight > 0 {
+            counts[i % tenants.len()] += 1;
+            assigned += 1;
+        }
+        i += 1;
+    }
+
+    let mut requests = Vec::with_capacity(total);
+    for (tenant, (spec, &count)) in tenants.iter().zip(&counts).enumerate() {
+        if count == 0 {
+            continue;
+        }
+        assert!(!spec.queries.is_empty(), "tenant `{}` has no queries", spec.name);
+        let mut rng = Rng::seed_from_u64(mix_seed(seed, &[tenant as u64]));
+        let period = spec.period_cycles.max(1);
+        let mut clock = 0u64;
+        for seq in 0..count {
+            clock = clock.saturating_add(1 + rng.gen_range(0..2 * period));
+            let query = spec.queries[rng.gen_range(0..spec.queries.len())];
+            requests.push(Request {
+                tenant,
+                seq: seq as u32,
+                query,
+                arrival: clock,
+                deadline: clock.saturating_add(spec.deadline_cycles),
+                seed: mix_seed(seed, &[0x5eed, tenant as u64, seq as u64]),
+            });
+        }
+    }
+    requests.sort_by_key(|r| (r.arrival, r.tenant, r.seq));
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                name: "interactive".into(),
+                period_cycles: 1000,
+                deadline_cycles: 5000,
+                queries: vec![0, 1],
+                weight: 2,
+            },
+            TenantSpec {
+                name: "batch".into(),
+                period_cycles: 4000,
+                deadline_cycles: 50_000,
+                queries: vec![2],
+                weight: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn split_respects_weights_and_total() {
+        let reqs = generate_requests(7, &tenants(), 91);
+        assert_eq!(reqs.len(), 91);
+        let t0 = reqs.iter().filter(|r| r.tenant == 0).count();
+        let t1 = reqs.iter().filter(|r| r.tenant == 1).count();
+        // weight 2:1 over 91 → 60/61 vs 30/31.
+        assert!((60..=61).contains(&t0), "t0 = {t0}");
+        assert_eq!(t0 + t1, 91);
+        // Batch only ever issues query 2.
+        assert!(reqs.iter().filter(|r| r.tenant == 1).all(|r| r.query == 2));
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_sorted() {
+        let a = generate_requests(42, &tenants(), 200);
+        let b = generate_requests(42, &tenants(), 200);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| (w[0].arrival, w[0].tenant) <= (w[1].arrival, w[1].tenant)));
+        let c = generate_requests(43, &tenants(), 200);
+        assert_ne!(a, c, "different seeds must yield different streams");
+        // Deadlines are arrival-relative and seeds are unique.
+        assert!(a.iter().all(|r| r.deadline > r.arrival));
+        let mut seeds: Vec<u64> = a.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 200, "per-request fault seeds must be unique");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_stream() {
+        assert!(generate_requests(1, &[], 100).is_empty());
+        assert!(generate_requests(1, &tenants(), 0).is_empty());
+    }
+
+    #[test]
+    fn mean_gap_tracks_period() {
+        let spec = vec![TenantSpec {
+            name: "t".into(),
+            period_cycles: 1000,
+            deadline_cycles: 1,
+            queries: vec![0],
+            weight: 1,
+        }];
+        let reqs = generate_requests(11, &spec, 2000);
+        let span = reqs.last().unwrap().arrival - reqs[0].arrival;
+        let mean = span as f64 / (reqs.len() - 1) as f64;
+        assert!((mean - 1000.0).abs() < 100.0, "mean gap {mean} should approximate the period");
+    }
+}

@@ -56,6 +56,7 @@ pub fn chrome_trace_json(
     bpc_to_gbps: f64,
 ) -> String {
     let tinst_pid = endpoint_names.len();
+    let serve_pid = endpoint_names.len() + 1;
     let mem_pid = endpoint_names.len().saturating_sub(1);
     let mut out = String::from("{\n\"traceEvents\": [");
 
@@ -77,8 +78,15 @@ pub fn chrome_trace_json(
              \"args\": {{\"name\": \"Temporal instructions\"}}"
         ),
     );
+    push_event(
+        &mut out,
+        &format!(
+            "\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {serve_pid}, \"tid\": 0, \
+             \"args\": {{\"name\": \"Serving\"}}"
+        ),
+    );
     for (tid, stream) in streams.iter().enumerate() {
-        for pid in 0..=endpoint_names.len() {
+        for pid in 0..=serve_pid {
             push_event(
                 &mut out,
                 &format!(
@@ -213,6 +221,18 @@ pub fn chrome_trace_json(
                 // One event per quantum would dwarf every other track;
                 // programmatic consumers read these from the recorder.
                 TraceEvent::DegradedQuantum { .. } => {}
+                TraceEvent::ServeRequest { cycle, end_cycle, tenant, query, disposition } => {
+                    push_event(
+                        &mut out,
+                        &format!(
+                            "\"ph\": \"X\", \"name\": \"serve.request\", \"pid\": {serve_pid}, \
+                             \"tid\": {tid}, \"ts\": {cycle}, \"dur\": {}, \
+                             \"args\": {{\"tenant\": {tenant}, \"query\": {query}, \
+                             \"disposition\": {disposition}}}",
+                            end_cycle.saturating_sub(cycle)
+                        ),
+                    );
+                }
                 TraceEvent::BlameSample { cycle, dt, cause, cycles, .. } => {
                     let c = usize::from(cause).min(BlameCause::COUNT - 1);
                     let name = format!("blame {}", BlameCause::ALL[c].name());
@@ -362,6 +382,35 @@ mod tests {
         assert!(text.contains("\"cycles\": 0.5"));
         assert!(text.contains("\"cycles\": 0.25"));
         assert_eq!(text.matches("\"cycles\": 0}").count(), 2);
+    }
+
+    #[test]
+    fn serve_requests_export_as_slices_on_the_serving_process() {
+        let s = TraceStream {
+            name: "service".into(),
+            events: vec![
+                TraceEvent::ServeRequest {
+                    cycle: 100,
+                    end_cycle: 900,
+                    tenant: 1,
+                    query: 4,
+                    disposition: 0,
+                },
+                TraceEvent::ServeRequest {
+                    cycle: 250,
+                    end_cycle: 4000,
+                    tenant: 0,
+                    query: 2,
+                    disposition: 3,
+                },
+            ],
+        };
+        let text = chrome_trace_json(&[s], &NAMES, 2.52);
+        validate_chrome_trace_json(&text).unwrap();
+        assert!(text.contains("\"name\": \"Serving\""));
+        assert!(text.contains("\"name\": \"serve.request\""));
+        assert!(text.contains("\"dur\": 800"));
+        assert!(text.contains("\"disposition\": 3"));
     }
 
     #[test]

@@ -118,6 +118,23 @@ pub enum TraceEvent {
         /// Quantum length in cycles.
         dt: u32,
     },
+    /// One request's lifetime through the serving layer
+    /// (`serve.request`): from arrival to final disposition on the
+    /// service's virtual clock. The Chrome exporter renders it as a
+    /// complete slice on a dedicated "Serving" process.
+    ServeRequest {
+        /// Arrival cycle on the service's virtual clock.
+        cycle: u64,
+        /// Cycle at which the request reached its final disposition.
+        end_cycle: u64,
+        /// Tenant index within the service's tenant table.
+        tenant: u16,
+        /// Query index within the service's query table.
+        query: u16,
+        /// Disposition code: 0 = completed on Q100, 1 = shed,
+        /// 2 = degraded to software, 3 = deadline missed.
+        disposition: u16,
+    },
     /// Stall-blame cycles attributed during one simulation quantum,
     /// aggregated over the running stage's nodes. Emitted only when a
     /// [`BlameRecorder`](crate::analyze) rides along a traced run; the
@@ -150,6 +167,7 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { cycle, .. }
             | TraceEvent::Reschedule { cycle, .. }
             | TraceEvent::DegradedQuantum { cycle, .. }
+            | TraceEvent::ServeRequest { cycle, .. }
             | TraceEvent::BlameSample { cycle, .. } => cycle,
         }
     }

@@ -1,0 +1,119 @@
+//! Serving a query stream: three tenants share one Q100 behind
+//! admission control, deadlines, retries, a circuit breaker, and
+//! graceful degradation to the software baseline.
+//!
+//! Builds a small TPC-H database, wraps the Pareto design in a
+//! [`q100::serve::Q100Device`], and pushes the same seeded multi-tenant
+//! request stream through it at two load levels — once fault-free, once
+//! with 20% injected faults. Everything runs on a virtual clock
+//! (simulated cycles), so the numbers below are byte-reproducible.
+//!
+//! Run with: `cargo run --release --example query_service`
+
+use q100::core::{execute_lean, SimConfig, FREQUENCY_MHZ};
+use q100::dbms::SoftwareCost;
+use q100::serve::{run_service, Q100Device, ServePolicy, ServiceQuery, TenantSpec};
+use q100::tpch::{queries, TpchData};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = TpchData::generate(0.01);
+
+    // Prepare a six-query menu: graph + functional run + the measured
+    // software-baseline cost each query falls back to.
+    let names = ["q1", "q3", "q6", "q12", "q14", "q19"];
+    let mut prepared = Vec::new();
+    for name in names {
+        let query = queries::by_name(name).expect("known query");
+        let graph = (query.q100)(&db)?;
+        let functional = execute_lean(&graph, &db)?;
+        let (_, stats) = q100::dbms::run(&(query.software)(), &db)?;
+        prepared.push((name, graph, functional, SoftwareCost::of(&stats)));
+    }
+    let queries: Vec<ServiceQuery<'_>> = prepared
+        .iter()
+        .map(|(name, graph, functional, software)| ServiceQuery {
+            name: (*name).to_string(),
+            graph,
+            functional,
+            software: *software,
+        })
+        .collect();
+
+    let device = Q100Device::new(SimConfig::pareto(), queries)?;
+    let mean = device.mean_baseline_cycles();
+    println!(
+        "device: Pareto design, {} queries, mean fault-free service {} cycles ({:.3} ms)",
+        device.queries().len(),
+        mean,
+        mean as f64 / (FREQUENCY_MHZ * 1e3)
+    );
+
+    // Three tenants: latency-sensitive dashboards, mid-horizon
+    // analytics, and deadline-tolerant batch reporting.
+    let tenants = |load_factor: f64| -> Vec<TenantSpec> {
+        let spec = |name: &str, weight: u32, deadline_x: u64, queries: Vec<usize>| TenantSpec {
+            name: name.to_string(),
+            // Offered rates sum to one request per `load_factor` mean
+            // service times, split by weight (total weight 4).
+            period_cycles: ((load_factor * mean as f64 * 4.0) as u64 / u64::from(weight)).max(1),
+            deadline_cycles: deadline_x * mean,
+            queries,
+            weight,
+        };
+        vec![
+            spec("interactive", 2, 4, vec![2, 5]),   // q6, q19: cheap scans
+            spec("analytics", 1, 10, vec![1, 3, 4]), // q3, q12, q14: joins
+            spec("batch", 1, 30, vec![0]),           // q1: the heavy aggregation
+        ]
+    };
+    let policy = |fault_rate: f64| ServePolicy {
+        backoff_base_cycles: mean / 8,
+        fail_cost_cycles: mean / 16,
+        breaker_cooldown_cycles: 8 * mean,
+        fault_rate,
+        ..ServePolicy::default()
+    };
+
+    for (load, load_factor) in [("light", 2.0), ("heavy", 0.6)] {
+        for fault_rate in [0.0, 0.2] {
+            let report = run_service(
+                &device,
+                &tenants(load_factor),
+                &policy(fault_rate),
+                42,
+                600,
+                None,
+                None,
+            );
+            report.check_invariants().map_err(std::io::Error::other)?;
+            println!(
+                "\n== {load} load (x{load_factor}), {:.0}% faults: {} offered -> \
+                 {} completed, {} shed, {} degraded, {} deadline-missed, {} retries ==",
+                fault_rate * 100.0,
+                report.offered,
+                report.completed,
+                report.shed,
+                report.degraded,
+                report.deadline_missed,
+                report.retries,
+            );
+            if report.fallback.runs > 0 {
+                println!("   software fallback absorbed {}", report.fallback);
+            }
+            for t in &report.tenants {
+                let ms = |cycles: u64| cycles as f64 / (FREQUENCY_MHZ * 1e3);
+                println!(
+                    "   {:<12} {:>4} offered  shed {:>5.1}%  degraded {:>5.1}%  \
+                     p50 {:>8.3} ms  p99 {:>8.3} ms",
+                    t.name,
+                    t.offered,
+                    100.0 * t.shed as f64 / t.offered.max(1) as f64,
+                    100.0 * t.degraded as f64 / t.offered.max(1) as f64,
+                    ms(t.p50_latency_cycles),
+                    ms(t.p99_latency_cycles),
+                );
+            }
+        }
+    }
+    Ok(())
+}

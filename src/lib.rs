@@ -16,6 +16,9 @@
 //! * [`compiler`] — lowers relational plans to Q100 graphs (the
 //!   compiler the paper lists as future work).
 //! * [`experiments`] — one runner per paper table/figure.
+//! * [`serve`] — a deterministic query-serving layer: admission
+//!   control, deadlines, retries, circuit breaking, and graceful
+//!   degradation to the software baseline.
 //!
 //! # Quickstart
 //!
@@ -47,4 +50,5 @@ pub use q100_compiler as compiler;
 pub use q100_core as core;
 pub use q100_dbms as dbms;
 pub use q100_experiments as experiments;
+pub use q100_serve as serve;
 pub use q100_tpch as tpch;
