@@ -3,7 +3,7 @@
 //! deterministic cycle count drifted beyond the tolerance.
 //!
 //! ```text
-//! compare-bench <baseline.json> <fresh.json> [--tolerance <pct>]
+//! compare-bench <baseline.json> <fresh.json> [--tolerance <pct>] [--verbose]
 //! ```
 //!
 //! Compared keys, all `--jobs`-independent:
@@ -139,7 +139,7 @@ fn render(deltas: &[Delta], tol_pct: f64) -> String {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: compare-bench <baseline.json> <fresh.json> [--tolerance <pct>]");
+    eprintln!("usage: compare-bench <baseline.json> <fresh.json> [--tolerance <pct>] [--verbose]");
     ExitCode::from(2)
 }
 
@@ -147,10 +147,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tol_pct = DEFAULT_TOLERANCE_PCT;
+    let mut verbose = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => return usage(),
+            "--verbose" => verbose = true,
             "--tolerance" => {
                 let Some(v) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
                     eprintln!("compare-bench: --tolerance requires a percentage");
@@ -184,6 +186,12 @@ fn main() -> ExitCode {
         Ok((deltas, new_keys, true)) => {
             for key in &new_keys {
                 println!("compare-bench: new key `{key}`, skipped (not in baseline)");
+            }
+            if verbose {
+                // Signed per-key deltas even when everything is within
+                // tolerance, so CI logs show how close each key sits to
+                // the gate without failing a run to find out.
+                print!("{}", render(&deltas, tol_pct));
             }
             println!("compare-bench: {} keys within +/-{tol_pct}% of {base_path}", deltas.len());
             if !new_keys.is_empty() {
@@ -281,6 +289,20 @@ mod tests {
             {"name": "design:Pareto", "sim_cycles": 9000, "wall_ms": 1.0}]}"#;
         assert!(verdict(legacy, &doc(5000, 9000), 10.0));
         assert!(!verdict(legacy, &doc(5000, 11_000), 10.0));
+    }
+
+    #[test]
+    fn delta_table_shows_signed_deltas_within_tolerance() {
+        // The --verbose success path renders the same table: every key
+        // gets its signed relative delta even when nothing failed.
+        let b = extract(&doc(5000, 9000), "base").unwrap();
+        let f = extract(&doc(5250, 8900), "fresh").unwrap();
+        let table = render(&diff(&b, &f), 10.0);
+        assert!(table.contains("+5.00%"));
+        assert!(table.contains("-1.11%"));
+        assert!(table.contains("+0.00%"));
+        assert!(table.contains(" ok"));
+        assert!(!table.contains("FAIL"));
     }
 
     #[test]

@@ -486,6 +486,8 @@ mod tests {
         }
         assert_eq!(plans.len(), 2, "capacity must bound resident plans");
         assert_eq!(plans.evictions(), 3);
+        // Evicted plans still count as the compile-misses they were.
+        assert_eq!(plans.stats(), crate::sched::CacheStats { hits: 0, misses: 5 });
         // An evicted-then-revisited key recompiles rather than erroring.
         let _ = plans
             .get_or_compile(
@@ -501,6 +503,42 @@ mod tests {
         assert_eq!(plans.evictions(), 0);
         // Default-capacity caches never evict at sweep scales.
         assert_eq!(PlanCache::new().evictions(), 0);
+    }
+
+    #[test]
+    fn plan_cache_single_flight_keeps_sched_call_count_deterministic() {
+        use crate::config::SchedulerKind;
+        use crate::sched::{CacheStats, ScheduleCache};
+
+        let (g, cat) = fixture();
+        let functional = functional::execute(&g, &cat).unwrap();
+        let sched_cache = ScheduleCache::new();
+        let plans = PlanCache::new();
+        let n = 8;
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    plans
+                        .get_or_compile(
+                            0,
+                            SchedulerKind::DataAware,
+                            &g,
+                            &TileMix::uniform(1),
+                            &functional.profile,
+                            &sched_cache,
+                        )
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(plans.stats(), CacheStats { hits: n - 1, misses: 1 });
+        // The schedule cache was consulted exactly once no matter how
+        // the threads interleaved: late arrivals for an in-flight key
+        // wait for its compile instead of re-issuing it. (Before
+        // single-flight, a racing pair issued two schedule lookups and
+        // the per-figure `schedule cache:` stdout line became
+        // timing-dependent.)
+        assert_eq!(sched_cache.stats(), CacheStats { hits: 0, misses: 1 });
     }
 
     #[test]

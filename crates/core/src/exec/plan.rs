@@ -361,6 +361,54 @@ impl StagePlan {
     pub fn schedule(&self) -> &Arc<Schedule> {
         &self.schedule
     }
+
+    /// The largest per-stream byte demand each provisioned bandwidth
+    /// cap could ever have to carry per cycle, as
+    /// `(noc_w_max, read_w_max, write_w_max)`:
+    ///
+    /// * `noc_w_max` — max byte width over every in-stage input stream
+    ///   and every output port with an in-stage consumer (a NoC cap of
+    ///   at least this many bytes/cycle can never clamp any stream's
+    ///   advance below its nominal one-record-per-cycle rate);
+    /// * `read_w_max` — max over stages of the summed byte widths of
+    ///   memory-sourced inputs (the per-quantum read demand is bounded
+    ///   by `dt ×` that sum);
+    /// * `write_w_max` — max over stages of the summed byte widths of
+    ///   to-memory outputs.
+    ///
+    /// Peer-to-peer links are ignored (treated as NoC-capped), which
+    /// only ever *raises* the thresholds — sound for callers proving a
+    /// derated cap invisible. Used by scenario canonicalization in
+    /// [`crate::resilience`].
+    #[must_use]
+    pub fn cap_thresholds(&self) -> (f64, f64, f64) {
+        let mut noc_w = 0.0_f64;
+        let mut read_w = 0.0_f64;
+        let mut write_w = 0.0_f64;
+        for stage in &self.stages {
+            let mut stage_read = 0.0_f64;
+            let mut stage_write = 0.0_f64;
+            for node in &stage.nodes {
+                for input in &node.inputs {
+                    match input.source {
+                        PlanSource::InStage { .. } => noc_w = noc_w.max(input.width),
+                        PlanSource::Memory => stage_read += input.width,
+                    }
+                }
+                for output in &node.outputs {
+                    if !output.consumers.is_empty() {
+                        noc_w = noc_w.max(output.width);
+                    }
+                    if output.to_memory {
+                        stage_write += output.width;
+                    }
+                }
+            }
+            read_w = read_w.max(stage_read);
+            write_w = write_w.max(stage_write);
+        }
+        (noc_w, read_w, write_w)
+    }
 }
 
 /// Caller-owned mutable state of a plan-driven simulation.
@@ -466,9 +514,16 @@ impl SimScratch {
 /// configuration of a sweep reuses the compiled artifact.
 ///
 /// Compilation runs outside the map lock, so concurrent sweep workers
-/// never serialize on it — at worst two workers race to fill the same
-/// key and one result wins. Hit/miss counters follow the same
-/// deterministic definition as [`CacheStats`].
+/// never serialize on it. First sight of a key is *single-flight*: late
+/// arrivals for a key whose plan is still compiling wait for the result
+/// instead of compiling again, so the compile path — and with it the
+/// number of calls this cache issues into the backing
+/// [`ScheduleCache`] — runs exactly once per key regardless of worker
+/// timing. (Without this, two workers racing the same fresh key would
+/// both take the miss path and the schedule cache's lookup count would
+/// depend on the interleaving, breaking the byte-identical stdout
+/// guarantee.) Hit/miss counters follow the same deterministic
+/// definition as [`CacheStats`].
 ///
 /// Like [`ScheduleCache`], the cache is bounded: inserting a fresh key
 /// at capacity evicts one resident entry (arbitrary victim — plans are
@@ -476,13 +531,24 @@ impl SimScratch {
 /// recompilation) and bumps the eviction counter plus the
 /// `cache.evictions` registry metric.
 #[derive(Debug)]
+enum PlanSlot {
+    /// A compiled, resident plan.
+    Ready(Arc<StagePlan>),
+    /// The first caller is compiling this key right now; wait on
+    /// [`PlanCache::compiled`] instead of compiling it again.
+    Pending,
+}
+
+#[derive(Debug)]
 pub struct PlanCache {
-    map: std::sync::Mutex<std::collections::HashMap<(u64, SchedulerKind, TileMix), Arc<StagePlan>>>,
+    map: std::sync::Mutex<std::collections::HashMap<(u64, SchedulerKind, TileMix), PlanSlot>>,
+    /// Notified whenever a pending slot resolves (ready or failed).
+    compiled: std::sync::Condvar,
     /// Successful lookups since the last reset (call count, which is
     /// independent of worker interleaving).
     lookups: std::sync::atomic::AtomicU64,
-    /// Map size at the last reset; `len - base_len` is the
-    /// deterministic miss count.
+    /// Inserts (map size plus evictions) at the last reset;
+    /// `len + evictions - base_len` is the deterministic miss count.
     base_len: std::sync::atomic::AtomicU64,
     /// Maximum resident entries before eviction kicks in.
     capacity: usize,
@@ -496,6 +562,7 @@ impl Default for PlanCache {
     fn default() -> Self {
         PlanCache {
             map: std::sync::Mutex::default(),
+            compiled: std::sync::Condvar::new(),
             lookups: std::sync::atomic::AtomicU64::new(0),
             base_len: std::sync::atomic::AtomicU64::new(0),
             capacity: Self::DEFAULT_CAPACITY,
@@ -557,22 +624,71 @@ impl PlanCache {
         sched_cache: &ScheduleCache,
     ) -> Result<Arc<StagePlan>> {
         let key = (tag, kind, *mix);
-        if let Some(p) = self.map.lock().unwrap().get(&key) {
-            self.note_lookup();
-            return Ok(Arc::clone(p));
-        }
-        let schedule = sched_cache.get_or_schedule(tag, kind, graph, mix, profile)?;
-        let fresh = Arc::new(StagePlan::compile(graph, schedule, profile)?);
-        self.note_lookup();
-        let mut map = self.map.lock().unwrap();
-        if !map.contains_key(&key) && map.len() >= self.capacity {
-            if let Some(victim) = map.keys().next().copied() {
-                map.remove(&victim);
-                self.note_eviction();
+        {
+            let mut map = self.map.lock().unwrap();
+            loop {
+                match map.get(&key) {
+                    Some(PlanSlot::Ready(p)) => {
+                        let p = Arc::clone(p);
+                        drop(map);
+                        self.note_lookup();
+                        return Ok(p);
+                    }
+                    Some(PlanSlot::Pending) => {
+                        map = self.compiled.wait(map).unwrap();
+                    }
+                    None => {
+                        map.insert(key, PlanSlot::Pending);
+                        break;
+                    }
+                }
             }
         }
-        let entry = map.entry(key).or_insert(fresh);
-        Ok(Arc::clone(entry))
+        // Compile outside the lock; this caller owns the pending slot,
+        // so no other thread can be compiling the same key. The guard
+        // releases the slot if the compile unwinds, so waiters retry
+        // instead of hanging.
+        let guard = PendingGuard { cache: self, key };
+        let result = sched_cache
+            .get_or_schedule(tag, kind, graph, mix, profile)
+            .and_then(|schedule| StagePlan::compile(graph, schedule, profile).map(Arc::new));
+        let mut map = self.map.lock().unwrap();
+        match result {
+            Ok(fresh) => {
+                if Self::ready_len(&map) >= self.capacity {
+                    let victim = map
+                        .iter()
+                        .find(|(k, slot)| **k != key && matches!(slot, PlanSlot::Ready(_)))
+                        .map(|(k, _)| *k);
+                    if let Some(victim) = victim {
+                        map.remove(&victim);
+                        self.note_eviction();
+                    }
+                }
+                map.insert(key, PlanSlot::Ready(Arc::clone(&fresh)));
+                drop(map);
+                std::mem::forget(guard);
+                self.compiled.notify_all();
+                self.note_lookup();
+                Ok(fresh)
+            }
+            Err(e) => {
+                // Failures are not cached: release the pending slot so
+                // waiters (and retries) attempt the compile themselves.
+                map.remove(&key);
+                drop(map);
+                std::mem::forget(guard);
+                self.compiled.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Resident (compiled) plans in `map`, ignoring pending slots.
+    fn ready_len(
+        map: &std::collections::HashMap<(u64, SchedulerKind, TileMix), PlanSlot>,
+    ) -> usize {
+        map.values().filter(|slot| matches!(slot, PlanSlot::Ready(_))).count()
     }
 
     fn note_lookup(&self) {
@@ -605,8 +721,9 @@ impl PlanCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         use std::sync::atomic::Ordering;
-        let len = self.map.lock().unwrap().len() as u64;
-        let misses = len.saturating_sub(self.base_len.load(Ordering::Relaxed));
+        let len = Self::ready_len(&self.map.lock().unwrap()) as u64;
+        let inserted = len + self.evictions.load(Ordering::Relaxed);
+        let misses = inserted.saturating_sub(self.base_len.load(Ordering::Relaxed));
         let lookups = self.lookups.load(Ordering::Relaxed);
         CacheStats { hits: lookups.saturating_sub(misses), misses }
     }
@@ -619,8 +736,9 @@ impl PlanCache {
     /// Panics if the cache mutex was poisoned by a panicking thread.
     pub fn reset_stats(&self) {
         use std::sync::atomic::Ordering;
-        let len = self.map.lock().unwrap().len() as u64;
-        self.base_len.store(len, Ordering::Relaxed);
+        let len = Self::ready_len(&self.map.lock().unwrap()) as u64;
+        let inserted = len + self.evictions.load(Ordering::Relaxed);
+        self.base_len.store(inserted, Ordering::Relaxed);
         self.lookups.store(0, Ordering::Relaxed);
     }
 
@@ -637,19 +755,37 @@ impl PlanCache {
         self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// Number of distinct memoized plans.
+    /// Number of distinct memoized plans (pending compiles excluded).
     ///
     /// # Panics
     ///
     /// Panics if the cache mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        Self::ready_len(&self.map.lock().unwrap())
     }
 
     /// Whether the cache holds no plans.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Releases a pending [`PlanSlot`] if the owning compile unwinds, so
+/// waiters blocked on [`PlanCache::compiled`] retry instead of hanging
+/// forever. The normal success/error paths `mem::forget` this guard
+/// after resolving the slot themselves.
+struct PendingGuard<'a> {
+    cache: &'a PlanCache,
+    key: (u64, SchedulerKind, TileMix),
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut map) = self.cache.map.lock() {
+            map.remove(&self.key);
+        }
+        self.cache.compiled.notify_all();
     }
 }

@@ -37,7 +37,9 @@ pub use exec::{
 pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
 pub use power::DesignBudget;
 pub use resilience::{
-    estimate_service_cycles, run_resilient, Derate, Fault, FaultScenario, ResilientOutcome,
+    estimate_class_cycles, estimate_service_cycles, run_resilient, CostKey, Derate, Fault,
+    FaultScenario, ResilientOutcome, ScenarioClass, ScenarioClassifier, ServiceCost,
+    ServiceCostCache,
 };
 pub use sched::{check_feasible, schedule, CacheStats, Schedule, ScheduleCache, Tinst};
 pub use tiles::{TileKind, TileSpec, FREQUENCY_MHZ, SORTER_BATCH};

@@ -23,14 +23,21 @@
 //! An empty scenario applies to *no change at all* (`derate: None`),
 //! so a fault-rate-0 run reproduces baseline cycle counts exactly.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use q100_trace::{Registry, TraceEvent, TraceSink};
 use q100_xrand::Rng;
 
-use crate::config::{SimConfig, TileMix};
+use crate::config::{SchedulerKind, SimConfig, TileMix};
 use crate::error::Result;
-use crate::exec::{FunctionalRun, PlanCache, SimOutcome, SimScratch, Simulator, MEMORY_ENDPOINT};
+use crate::exec::{
+    gbps_to_bytes_per_cycle, FunctionalRun, GraphProfile, PlanCache, SimOutcome, SimScratch,
+    Simulator, StagePlan, MEMORY_ENDPOINT,
+};
 use crate::isa::QueryGraph;
-use crate::sched::ScheduleCache;
+use crate::sched::{CacheStats, ScheduleCache};
 use crate::tiles::TileKind;
 
 /// Maximum temporal-instruction slots considered for transient stalls
@@ -240,9 +247,20 @@ impl FaultScenario {
     /// yields the same scenario; `rate == 0.0` yields an empty one.
     #[must_use]
     pub fn generate(seed: u64, rate: f64, mix: &TileMix) -> Self {
+        let mut scenario = FaultScenario::default();
+        scenario.generate_into(seed, rate, mix);
+        scenario
+    }
+
+    /// [`FaultScenario::generate`] into a reused scenario: clears the
+    /// fault list and redraws it with the exact same draw sequence, so
+    /// hot loops (one scenario per request attempt) keep one buffer
+    /// alive instead of allocating per attempt.
+    pub fn generate_into(&mut self, seed: u64, rate: f64, mix: &TileMix) {
         let rate = rate.clamp(0.0, 1.0);
         let mut rng = Rng::seed_from_u64(seed);
-        let mut faults = Vec::new();
+        let faults = &mut self.faults;
+        faults.clear();
         for kind in TileKind::ALL {
             for _ in 0..mix.count(kind) {
                 if rng.gen_bool(rate / 2.0) {
@@ -271,7 +289,6 @@ impl FaultScenario {
                 faults.push(Fault::TinstStall { slot: slot as u32, cycles });
             }
         }
-        FaultScenario { faults }
     }
 
     /// Whether no fault was injected.
@@ -485,6 +502,522 @@ pub fn estimate_service_cycles(
         .map(|run| run.outcome.cycles)
 }
 
+/// The bit pattern of `1.0f64` — the "no derating" factor encoding in a
+/// [`CostKey`].
+fn one_bits() -> u64 {
+    1.0f64.to_bits()
+}
+
+/// The cost-relevant identity of a derated simulation: the canonical
+/// tile mix plus the derate factors *as the timing simulator would
+/// actually feel them*, encoded as `f64` bit patterns so the key is
+/// `Eq + Hash` without tolerating NaNs.
+///
+/// Two [`FaultScenario`]s mapping to the same `CostKey` (plus the same
+/// stall set, see [`ScenarioClass`]) are guaranteed to simulate to the
+/// same cycle count, so service layers can memoize cycles per key
+/// instead of per scenario. Produced by [`ScenarioClassifier::classify`];
+/// turned back into a runnable configuration by
+/// [`estimate_class_cycles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostKey {
+    /// The canonical tile mix: kills folded in, then clamped to the
+    /// query's per-kind node demand (capacity beyond demand never
+    /// changes a schedule, see [`ScenarioClassifier`]).
+    pub mix: TileMix,
+    /// Per-kind throughput factor bits; `1.0` for kinds the query does
+    /// not use (their factor is never read by the quantum loop).
+    pub tile_bits: [u64; TileKind::COUNT],
+    /// NoC bandwidth factor bits; `1.0` when the cap stays slack.
+    pub noc_bits: u64,
+    /// Memory read bandwidth factor bits; `1.0` when slack.
+    pub read_bits: u64,
+    /// Memory write bandwidth factor bits; `1.0` when slack.
+    pub write_bits: u64,
+}
+
+impl CostKey {
+    /// The all-healthy key for `mix`: every factor exactly `1.0`.
+    #[must_use]
+    pub fn healthy(mix: TileMix) -> Self {
+        CostKey {
+            mix,
+            tile_bits: [one_bits(); TileKind::COUNT],
+            noc_bits: one_bits(),
+            read_bits: one_bits(),
+            write_bits: one_bits(),
+        }
+    }
+
+    /// Whether any factor differs from `1.0`.
+    #[must_use]
+    pub fn is_derated(&self) -> bool {
+        let one = one_bits();
+        self.tile_bits.iter().any(|&b| b != one)
+            || self.noc_bits != one
+            || self.read_bits != one
+            || self.write_bits != one
+    }
+
+    /// The [`Derate`] this key encodes — `None` when every factor is
+    /// `1.0`, which keeps the exact (quantum-jump-eligible) fault-free
+    /// timing path. Stall cycles are deliberately absent: they are
+    /// charged arithmetically by the caller (see
+    /// [`ScenarioClass::stall_extra`]), never re-simulated.
+    #[must_use]
+    pub fn derate(&self) -> Option<Derate> {
+        if !self.is_derated() {
+            return None;
+        }
+        let mut d = Derate::none();
+        for (slot, &bits) in d.tile_factor.iter_mut().zip(&self.tile_bits) {
+            *slot = f64::from_bits(bits);
+        }
+        d.noc_factor = f64::from_bits(self.noc_bits);
+        d.mem_read_factor = f64::from_bits(self.read_bits);
+        d.mem_write_factor = f64::from_bits(self.write_bits);
+        Some(d)
+    }
+}
+
+/// The canonical equivalence class of a [`FaultScenario`] against one
+/// (design, query): the simulator-visible derate signature. Scenarios
+/// with different seeds but identical signatures compare (and hash)
+/// equal; any kill, derate, or stall the simulator could feel produces
+/// a distinct class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioClass {
+    /// The simulation-relevant key (mix + factors).
+    pub key: CostKey,
+    /// Per-stage stall cycles, truncated to the plan's stage count with
+    /// trailing zeros trimmed (stalls beyond the schedule never fire).
+    pub stalls: Vec<u64>,
+    /// Whether the canonical mix can still host the query. Infeasible
+    /// classes map to [`ServiceCost::Failed`] without simulating.
+    pub feasible: bool,
+}
+
+impl ScenarioClass {
+    /// Total extra cycles the stall set charges — stage stalls are
+    /// exactly additive on the simulated total (each stage's cycle
+    /// count is an independent `u64` sum), so callers add this to the
+    /// stall-free cost instead of re-simulating per stall pattern.
+    #[must_use]
+    pub fn stall_extra(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+}
+
+/// The memoized cost of serving one query under one [`CostKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceCost {
+    /// Device cycles of the (stall-free) simulation.
+    Cycles(u64),
+    /// The class cannot produce an answer (unschedulable canonical mix
+    /// or a simulation error) — the caller's signal to fall back.
+    Failed,
+}
+
+/// Per-canonical-mix facts the classifier memoizes: the compiled plan
+/// (shared with cost simulation) and the cap-slack thresholds derived
+/// from its topology; `None` marks an unschedulable mix.
+#[derive(Debug, Clone)]
+struct MixMeta {
+    plan: Arc<StagePlan>,
+    stages: usize,
+    noc_w_max: f64,
+    read_w_max: f64,
+    write_w_max: f64,
+}
+
+/// Relative slack margin when proving a derated bandwidth cap
+/// invisible: the cap must clear the worst-case per-cycle demand by
+/// this factor, absorbing the float roundings between the threshold
+/// computation and the quantum loop's own arithmetic.
+const CAP_SLACK_MARGIN: f64 = 1.0 + 1e-9;
+
+/// Canonicalizes [`FaultScenario`]s into [`ScenarioClass`]es for one
+/// query on one device configuration.
+///
+/// The classifier exploits four exactness properties of the timing
+/// model, each keeping the class→cycles mapping *bit-identical* to a
+/// fresh [`estimate_service_cycles`] run:
+///
+/// 1. **Stall exclusion** — per-stage stall cycles are added to the
+///    total after the stage drains, with no feedback into flow rates,
+///    so `cost(scenario) = cost(class sans stalls) + Σ stalls`.
+/// 2. **Tile-factor masking** — the quantum loop reads
+///    `tile_factor[kind]` only for kinds present in the plan; factors
+///    on unused kinds are canonicalized to `1.0`.
+/// 3. **Cap-slack masking** — a derated NoC/memory cap that still
+///    clears the plan's worst-case per-cycle demand
+///    ([`StagePlan::cap_thresholds`], with [`CAP_SLACK_MARGIN`]) can
+///    never clamp any advance: every `min` against it is an identity
+///    for the derated and the healthy cap alike, so the factor
+///    canonicalizes to `1.0`. Ideal (uncapped) designs canonicalize
+///    every such factor away.
+/// 4. **Kill clamping** — schedulers only evaluate `used < count`
+///    predicates with `used` bounded by the query's per-kind node
+///    count, so capacity beyond that demand never alters a schedule;
+///    the canonical mix is `min(base − kills, demand)` per demanded
+///    kind (undemanded kinds keep their base count).
+///
+/// `classify` is deterministic and thread-safe; the per-mix memo
+/// compiles plans *inside* its lock so the backing [`PlanCache`] sees
+/// exactly one `get_or_compile` per new canonical mix (keeping cache
+/// counters job-count independent).
+#[derive(Debug)]
+pub struct ScenarioClassifier {
+    demand: [u32; TileKind::COUNT],
+    base_mix: TileMix,
+    noc_bpc: Option<f64>,
+    read_bpc: Option<f64>,
+    write_bpc: Option<f64>,
+    meta: Mutex<HashMap<TileMix, Option<MixMeta>>>,
+}
+
+impl ScenarioClassifier {
+    /// Builds a classifier for `graph` served on `base` (only the mix
+    /// and bandwidth caps are read; derates on `base` are ignored —
+    /// the device baseline is assumed healthy).
+    #[must_use]
+    pub fn new(graph: &QueryGraph, base: &SimConfig) -> Self {
+        let hist = graph.kind_histogram();
+        let mut demand = [0u32; TileKind::COUNT];
+        for (d, &h) in demand.iter_mut().zip(&hist) {
+            *d = u32::try_from(h).unwrap_or(u32::MAX);
+        }
+        ScenarioClassifier {
+            demand,
+            base_mix: base.mix,
+            noc_bpc: base.bandwidth.noc_gbps.map(gbps_to_bytes_per_cycle),
+            read_bpc: base.bandwidth.mem_read_gbps.map(gbps_to_bytes_per_cycle),
+            write_bpc: base.bandwidth.mem_write_gbps.map(gbps_to_bytes_per_cycle),
+            meta: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The canonical mix `scenario`'s kills leave for this query.
+    fn canonical_mix(&self, scenario: &FaultScenario) -> TileMix {
+        let mut counts = *self.base_mix.counts();
+        for fault in &scenario.faults {
+            if let Fault::TileKilled { kind } = fault {
+                if self.demand[*kind as usize] > 0 {
+                    let c = &mut counts[*kind as usize];
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+        for (c, &d) in counts.iter_mut().zip(&self.demand) {
+            if d > 0 {
+                *c = (*c).min(d);
+            }
+        }
+        TileMix::new(counts)
+    }
+
+    /// The memoized per-mix facts, compiling the plan on first sight of
+    /// a canonical mix (`None` = unschedulable, also memoized).
+    #[allow(clippy::too_many_arguments)]
+    fn meta_for(
+        &self,
+        mix: TileMix,
+        graph: &QueryGraph,
+        profile: &GraphProfile,
+        scheduler: SchedulerKind,
+        sched_cache: &ScheduleCache,
+        plans: &PlanCache,
+        tag: u64,
+    ) -> Option<MixMeta> {
+        let mut map = self.meta.lock().unwrap();
+        if let Some(meta) = map.get(&mix) {
+            return meta.clone();
+        }
+        // Compiled under the lock on purpose: racing classifications of
+        // the same fresh mix would otherwise issue duplicate (and
+        // thread-count-dependent) plan-cache lookups. New canonical
+        // mixes are rare, so the serialization cost is negligible.
+        let meta = plans
+            .get_or_compile(tag, scheduler, graph, &mix, profile, sched_cache)
+            .ok()
+            .map(|plan| {
+                let (noc_w_max, read_w_max, write_w_max) = plan.cap_thresholds();
+                MixMeta { stages: plan.stages(), plan, noc_w_max, read_w_max, write_w_max }
+            });
+        map.insert(mix, meta.clone());
+        meta
+    }
+
+    /// The compiled plan of a previously classified canonical mix
+    /// (`None` when the mix is unschedulable or was never classified).
+    #[must_use]
+    pub fn plan(&self, mix: &TileMix) -> Option<Arc<StagePlan>> {
+        self.meta
+            .lock()
+            .unwrap()
+            .get(mix)
+            .and_then(|m| m.as_ref().map(|meta| Arc::clone(&meta.plan)))
+    }
+
+    /// A derated cap factor as the quantum loop would feel it: `1.0`
+    /// when the design has no cap at all, or when the derated cap still
+    /// clears the plan's worst-case per-cycle demand with margin.
+    fn canonical_factor(base_bpc: Option<f64>, factor: f64, threshold: f64) -> f64 {
+        match base_bpc {
+            None => 1.0,
+            Some(bpc) if bpc * factor >= threshold * CAP_SLACK_MARGIN => 1.0,
+            Some(_) => factor,
+        }
+    }
+
+    /// Canonicalizes `scenario` into its [`ScenarioClass`] for this
+    /// query. `scheduler`, `sched_cache`, `plans`, and `tag` mirror the
+    /// arguments a fresh [`estimate_service_cycles`] run would use —
+    /// they feed the per-canonical-mix plan memo.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn classify(
+        &self,
+        scenario: &FaultScenario,
+        graph: &QueryGraph,
+        profile: &GraphProfile,
+        scheduler: SchedulerKind,
+        sched_cache: &ScheduleCache,
+        plans: &PlanCache,
+        tag: u64,
+    ) -> ScenarioClass {
+        let mix = self.canonical_mix(scenario);
+        let Some(meta) = self.meta_for(mix, graph, profile, scheduler, sched_cache, plans, tag)
+        else {
+            // Every scenario whose kills reduce this query to the same
+            // infeasible canonical mix collapses into one failed class.
+            return ScenarioClass {
+                key: CostKey::healthy(mix),
+                stalls: Vec::new(),
+                feasible: false,
+            };
+        };
+        let mut key = CostKey::healthy(mix);
+        let mut stalls = Vec::new();
+        if let Some(d) = scenario.derate() {
+            for ((bits, &factor), &demand) in
+                key.tile_bits.iter_mut().zip(&d.tile_factor).zip(&self.demand)
+            {
+                if demand > 0 {
+                    *bits = factor.to_bits();
+                }
+            }
+            key.noc_bits =
+                Self::canonical_factor(self.noc_bpc, d.noc_factor, meta.noc_w_max).to_bits();
+            key.read_bits =
+                Self::canonical_factor(self.read_bpc, d.mem_read_factor, meta.read_w_max).to_bits();
+            key.write_bits =
+                Self::canonical_factor(self.write_bpc, d.mem_write_factor, meta.write_w_max)
+                    .to_bits();
+            stalls.extend(d.tinst_stall_cycles.iter().take(meta.stages));
+            while stalls.last() == Some(&0) {
+                stalls.pop();
+            }
+        }
+        ScenarioClass { key, stalls, feasible: true }
+    }
+}
+
+/// Simulates the cost of one [`CostKey`] on `plan` (the canonical-mix
+/// plan from [`ScenarioClassifier::plan`]): `base` with the key's mix
+/// and derate swapped in, run through the planned timing path. Stall
+/// cycles are *not* part of a key — add [`ScenarioClass::stall_extra`]
+/// to the returned cycles.
+///
+/// # Errors
+///
+/// Propagates simulation errors (callers typically map any error to
+/// [`ServiceCost::Failed`]).
+pub fn estimate_class_cycles(
+    plan: &StagePlan,
+    graph: &QueryGraph,
+    functional: &FunctionalRun,
+    base: &SimConfig,
+    key: &CostKey,
+) -> Result<u64> {
+    let mut cfg = base.clone();
+    cfg.mix = key.mix;
+    cfg.derate = key.derate();
+    let sim = Simulator::new(&cfg);
+    let mut scratch = SimScratch::new();
+    let outcome = sim.run_planned_traced(plan, functional, graph, &mut scratch, None)?;
+    Ok(outcome.cycles)
+}
+
+/// A thread-safe, bounded memo of [`ServiceCost`]s keyed by *query tag
+/// × [`CostKey`]* — the serving layer's twin of [`PlanCache`], with the
+/// same deterministic hit/miss definition (`misses = len + evictions −
+/// base_len`, independent of worker interleaving) and arbitrary-victim
+/// eviction.
+///
+/// Unlike [`PlanCache::get_or_compile`] this cache splits lookup and
+/// insertion: the two-phase serve engine batches lookups per
+/// deduplicated key, simulates the misses on a worker pool, and inserts
+/// the fresh costs afterwards.
+#[derive(Debug)]
+pub struct ServiceCostCache {
+    map: Mutex<HashMap<(u64, CostKey), ServiceCost>>,
+    /// Lookup call count since the last reset (job-count independent:
+    /// callers look each deduplicated key up exactly once).
+    lookups: AtomicU64,
+    /// Inserts (map size plus evictions) at the last reset;
+    /// `len + evictions - base_len` is the deterministic miss count.
+    base_len: AtomicU64,
+    capacity: usize,
+    evictions: AtomicU64,
+    registry: Option<Arc<Registry>>,
+}
+
+impl Default for ServiceCostCache {
+    fn default() -> Self {
+        ServiceCostCache {
+            map: Mutex::default(),
+            lookups: AtomicU64::new(0),
+            base_len: AtomicU64::new(0),
+            capacity: Self::DEFAULT_CAPACITY,
+            evictions: AtomicU64::new(0),
+            registry: None,
+        }
+    }
+}
+
+impl ServiceCostCache {
+    /// Default capacity. Costs are tiny (a key plus one `u64`), so the
+    /// bound is generous: a million-request soak at a 20% fault rate
+    /// populates high hundreds of thousands of classes (~0.9 per
+    /// request — measured; the quantized derate factors carry real
+    /// entropy) and must stay eviction-free for its unique-simulation
+    /// accounting to be exact, while a pathological stream still cannot
+    /// grow memory without bound (~200 B per entry → a ~400 MB ceiling).
+    pub const DEFAULT_CAPACITY: usize = 1 << 21;
+
+    /// An empty cache with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` resident entries (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ServiceCostCache { capacity: capacity.max(1), ..Self::default() }
+    }
+
+    /// An empty cache that additionally counts every lookup into
+    /// `registry` under `serve.cost_cache.lookups` (and evictions under
+    /// `serve.cost_cache.evictions`).
+    #[must_use]
+    pub fn with_metrics(registry: Arc<Registry>) -> Self {
+        ServiceCostCache { registry: Some(registry), ..Self::default() }
+    }
+
+    /// The memoized cost of `(tag, key)`, counting the lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn get(&self, tag: u64, key: &CostKey) -> Option<ServiceCost> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = &self.registry {
+            r.inc("serve.cost_cache.lookups", 1);
+        }
+        self.map.lock().unwrap().get(&(tag, *key)).copied()
+    }
+
+    /// Inserts a freshly computed cost, evicting an arbitrary resident
+    /// entry when at capacity (costs are pure functions of their keys,
+    /// so eviction only costs a re-simulation). An existing entry wins
+    /// over `cost` — concurrent fills of the same key stay consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn insert(&self, tag: u64, key: CostKey, cost: ServiceCost) {
+        let mut map = self.map.lock().unwrap();
+        let full_key = (tag, key);
+        if !map.contains_key(&full_key) && map.len() >= self.capacity {
+            if let Some(victim) = map.keys().next().copied() {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(r) = &self.registry {
+                    r.inc("serve.cost_cache.evictions", 1);
+                }
+            }
+        }
+        map.entry(full_key).or_insert(cost);
+    }
+
+    /// Entries evicted to respect the capacity bound since construction
+    /// (or the last [`ServiceCostCache::clear`]).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Current hit/miss counters (see [`CacheStats`] for the
+    /// deterministic definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let len = self.map.lock().unwrap().len() as u64;
+        let inserted = len + self.evictions.load(Ordering::Relaxed);
+        let misses = inserted.saturating_sub(self.base_len.load(Ordering::Relaxed));
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        CacheStats { hits: lookups.saturating_sub(misses), misses }
+    }
+
+    /// Zeroes the counters while keeping every memoized cost (e.g.
+    /// after seeding baselines, so reported misses count only real
+    /// serving-time simulations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn reset_stats(&self) {
+        let len = self.map.lock().unwrap().len() as u64;
+        let inserted = len + self.evictions.load(Ordering::Relaxed);
+        self.base_len.store(inserted, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every memoized cost and zeroes the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.base_len.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of distinct memoized costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no costs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,5 +1201,163 @@ mod tests {
         assert!(run.rescheduled);
         assert_eq!(run.degraded_mix.count(TileKind::ColSelect), 1);
         assert_eq!(cache.len(), 2, "degraded mix must get its own cache entry");
+    }
+
+    /// Classifier + caches bundled for the canonicalization tests.
+    struct Bench {
+        g: crate::isa::QueryGraph,
+        functional: FunctionalRun,
+        base: SimConfig,
+        cache: ScheduleCache,
+        plans: PlanCache,
+        classifier: ScenarioClassifier,
+    }
+
+    impl Bench {
+        fn new(base: SimConfig) -> Self {
+            let g = graph();
+            let functional = crate::exec::execute(&g, &catalog()).unwrap();
+            let classifier = ScenarioClassifier::new(&g, &base);
+            Bench {
+                g,
+                functional,
+                base,
+                cache: ScheduleCache::new(),
+                plans: PlanCache::new(),
+                classifier,
+            }
+        }
+
+        fn classify(&self, scenario: &FaultScenario) -> ScenarioClass {
+            self.classifier.classify(
+                scenario,
+                &self.g,
+                &self.functional.profile,
+                self.base.scheduler,
+                &self.cache,
+                &self.plans,
+                0,
+            )
+        }
+    }
+
+    #[test]
+    fn invisible_faults_collapse_onto_the_healthy_class() {
+        // The test graph demands ColSelect/BoolGen/ColFilter/Stitch
+        // only; faults on tiles the query never touches cannot change
+        // its timing, so they must canonicalize away.
+        let b = Bench::new(SimConfig::pareto());
+        let healthy = b.classify(&FaultScenario::default());
+        assert!(healthy.feasible);
+        assert!(healthy.stalls.is_empty());
+
+        let invisible = FaultScenario {
+            faults: vec![
+                Fault::TileKilled { kind: TileKind::Sorter },
+                Fault::TileKilled { kind: TileKind::Joiner },
+                Fault::TileDerated { kind: TileKind::Sorter, factor: 0.5 },
+                Fault::TileDerated { kind: TileKind::Partitioner, factor: 0.6 },
+            ],
+        };
+        assert_eq!(b.classify(&invisible), healthy);
+
+        // A stall-only scenario keeps the healthy cost key (one cached
+        // simulation serves both) and carries the stalls separately.
+        let stall_only = FaultScenario { faults: vec![Fault::TinstStall { slot: 0, cycles: 97 }] };
+        let class = b.classify(&stall_only);
+        assert_eq!(class.key, healthy.key);
+        assert_eq!(class.stall_extra(), 97);
+    }
+
+    #[test]
+    fn different_seeds_with_equal_signatures_collapse() {
+        // Generated scenarios are seed-unique as fault lists, but many
+        // share a derate signature; the classifier must collapse them.
+        let b = Bench::new(SimConfig::pareto());
+        let mut by_class: HashMap<ScenarioClass, FaultScenario> = HashMap::new();
+        let mut collapsed = 0u32;
+        for seed in 0..200u64 {
+            let s = FaultScenario::generate(seed, 0.1, &b.base.mix);
+            let class = b.classify(&s);
+            if let Some(prev) = by_class.get(&class) {
+                if *prev != s {
+                    collapsed += 1;
+                }
+            } else {
+                by_class.insert(class, s);
+            }
+        }
+        assert!(
+            collapsed > 0,
+            "expected distinct scenarios sharing a class among 200 seeds \
+             ({} classes seen)",
+            by_class.len()
+        );
+    }
+
+    #[test]
+    fn visible_differences_produce_distinct_classes() {
+        let b = Bench::new(SimConfig::new(TileMix::uniform(2)));
+        let derated = FaultScenario {
+            faults: vec![Fault::TileDerated { kind: TileKind::ColFilter, factor: 0.5 }],
+        };
+        let a = b.classify(&derated);
+        assert!(a.feasible);
+
+        // A different factor on a demanded tile is a different class.
+        let mut other = derated.clone();
+        other.faults[0] = Fault::TileDerated { kind: TileKind::ColFilter, factor: 0.51 };
+        assert_ne!(b.classify(&other).key, a.key);
+
+        // A kill that bites into the demanded capacity changes the mix.
+        let mut killed = derated.clone();
+        killed.faults.push(Fault::TileKilled { kind: TileKind::ColFilter });
+        let k = b.classify(&killed);
+        assert_ne!(k.key.mix, a.key.mix);
+
+        // A stall on a live stage changes the class but not the cost key.
+        let mut stalled = derated.clone();
+        stalled.faults.push(Fault::TinstStall { slot: 0, cycles: 64 });
+        let s = b.classify(&stalled);
+        assert_eq!(s.key, a.key);
+        assert_ne!(s, a);
+    }
+
+    #[test]
+    fn cached_class_cost_reproduces_fresh_estimates() {
+        // Property: for any generated scenario, simulating its canonical
+        // class (plus the stall carry) gives exactly the cycles a fresh
+        // per-scenario estimate produces — on a capped and an uncapped
+        // design, across feasible and infeasible draws.
+        for base in [SimConfig::new(TileMix::uniform(2)), SimConfig::pareto()] {
+            let b = Bench::new(base);
+            for seed in 0..48u64 {
+                let scenario = FaultScenario::generate(seed, 0.35, &b.base.mix);
+                let fresh = estimate_service_cycles(
+                    &b.g,
+                    &b.functional,
+                    &b.base,
+                    &scenario,
+                    &b.cache,
+                    &b.plans,
+                    0,
+                );
+                let class = b.classify(&scenario);
+                if class.feasible {
+                    let plan = b.classifier.plan(&class.key.mix).expect("feasible class has plan");
+                    let cycles =
+                        estimate_class_cycles(&plan, &b.g, &b.functional, &b.base, &class.key)
+                            .unwrap()
+                            + class.stall_extra();
+                    assert_eq!(
+                        fresh.as_ref().copied().unwrap(),
+                        cycles,
+                        "seed {seed}: cached class cost diverged from fresh estimate"
+                    );
+                } else {
+                    assert!(fresh.is_err(), "seed {seed}: infeasible class but fresh estimate ran");
+                }
+            }
+        }
     }
 }

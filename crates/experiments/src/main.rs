@@ -384,8 +384,7 @@ fn main() -> ExitCode {
             println!(
                 "== Serve: chaos soak (Pareto, heavy load, 20% faults, {requests} requests) =="
             );
-            let cell = serve::soak(&workload, seed, requests);
-            serve::ServeStudy { seed, requests, rates: vec![cell.rate], cells: vec![cell] }
+            serve::soak(&workload, seed, requests)
         } else {
             println!("== Serve: multi-tenant streams over load x fault rate ==");
             serve::study(&workload, seed, requests, &serve::DEFAULT_RATES)

@@ -177,8 +177,8 @@ pub fn run() -> PerfReport {
     // policies or the resilient timing path lands in the same gate as
     // the sweeps.
     let t = Instant::now();
-    let cell = crate::serve::soak(&workload, 42, PINNED_SERVE_REQUESTS);
-    let sim_cycles = cell.report.outcomes.iter().map(|o| o.finish - o.arrival).sum();
+    let soak = crate::serve::soak(&workload, 42, PINNED_SERVE_REQUESTS);
+    let sim_cycles = soak.cells[0].report.outcomes.iter().map(|o| o.finish - o.arrival).sum();
     figures.push(FigureBench {
         name: "serve:soak".to_string(),
         sim_cycles,

@@ -12,11 +12,24 @@ use std::fmt::Write as _;
 
 use q100_dbms::SoftwareCost;
 use q100_serve::{
-    mix_seed, run_service, Q100Device, ServePolicy, ServeReport, ServiceQuery, TenantSpec,
+    mix_seed, run_service, run_service_on, Parallelism, Q100Device, ServePolicy, ServeReport,
+    ServiceQuery, TenantSpec,
 };
 
 use crate::pool;
 use crate::runner::{paper_designs, Workload};
+
+/// Phase-1 cost resolution fanned over the experiment worker pool.
+/// Only the soak path uses it — the 18-cell grid is already
+/// pool-parallel across cells, so its cells resolve costs serially.
+struct PoolParallelism;
+
+impl Parallelism for PoolParallelism {
+    fn run(&self, n: usize, f: &(dyn Fn(usize) -> u64 + Sync)) -> Vec<u64> {
+        let indices: Vec<usize> = (0..n).collect();
+        pool::parallel_map(&indices, |&i| f(i))
+    }
+}
 
 /// Default injected-fault rates: a fault-free control plus two failure
 /// regimes.
@@ -46,6 +59,78 @@ pub struct ServeCell {
     pub report: ServeReport,
 }
 
+/// Aggregate cache statistics over a study's devices, captured after
+/// every cell has run. All counts are deterministic at any `--jobs`
+/// setting: hit/miss splits are length-based and classifier plan
+/// compilation is serialized per canonical mix (see
+/// [`q100_core::ScenarioClassifier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeCaches {
+    /// Service-cost cache hits (attempt classes answered without
+    /// simulating).
+    pub cost_hits: u64,
+    /// Service-cost cache misses — each one is a unique timing
+    /// simulation the study actually ran.
+    pub cost_misses: u64,
+    /// Service-cost cache evictions.
+    pub cost_evictions: u64,
+    /// Distinct `(query, class)` costs resident at the end.
+    pub cost_entries: u64,
+    /// Stage-plan cache hits / misses / evictions.
+    pub plan_hits: u64,
+    /// Stage-plan cache misses.
+    pub plan_misses: u64,
+    /// Stage-plan cache evictions.
+    pub plan_evictions: u64,
+    /// Schedule cache hits / misses / evictions.
+    pub sched_hits: u64,
+    /// Schedule cache misses.
+    pub sched_misses: u64,
+    /// Schedule cache evictions.
+    pub sched_evictions: u64,
+}
+
+impl ServeCaches {
+    /// Sums the cache counters of every device in the study.
+    fn collect(devices: &[(&'static str, Q100Device<'_>)]) -> ServeCaches {
+        let mut c = ServeCaches::default();
+        for (_, device) in devices {
+            let cost = device.cost_cache().stats();
+            c.cost_hits += cost.hits;
+            c.cost_misses += cost.misses;
+            c.cost_evictions += device.cost_cache().evictions();
+            c.cost_entries += device.cost_cache().len() as u64;
+            let plan = device.plan_cache().stats();
+            c.plan_hits += plan.hits;
+            c.plan_misses += plan.misses;
+            c.plan_evictions += device.plan_cache().evictions();
+            let sched = device.sched_cache().stats();
+            c.sched_hits += sched.hits;
+            c.sched_misses += sched.misses;
+            c.sched_evictions += device.sched_cache().evictions();
+        }
+        c
+    }
+
+    /// The one-line summary the `serve` subcommand prints, in the same
+    /// style as the per-figure `plan cache:` lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "cost cache: {} hits, {} misses (unique sims), {} entries, {} evictions; \
+             plan cache: {} hits, {} misses; schedule cache: {} hits, {} misses\n",
+            self.cost_hits,
+            self.cost_misses,
+            self.cost_entries,
+            self.cost_evictions,
+            self.plan_hits,
+            self.plan_misses,
+            self.sched_hits,
+            self.sched_misses,
+        )
+    }
+}
+
 /// A complete serving study.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeStudy {
@@ -57,6 +142,9 @@ pub struct ServeStudy {
     pub rates: Vec<f64>,
     /// All cells, in `(design, load, rate)` order.
     pub cells: Vec<ServeCell>,
+    /// Aggregate device cache statistics (`cost_misses` is the number
+    /// of unique timing simulations the whole study ran).
+    pub caches: ServeCaches,
 }
 
 impl ServeStudy {
@@ -102,6 +190,7 @@ impl ServeStudy {
                 p99,
             );
         }
+        out.push_str(&self.caches.render());
         out
     }
 
@@ -145,6 +234,11 @@ impl ServeStudy {
                  \"fallback_energy_mj\": {:.6},",
                 r.fallback.runs, r.fallback.runtime_ms, r.fallback.energy_mj
             );
+            let _ = writeln!(
+                out,
+                "     \"cost_attempts\": {}, \"cost_unique_classes\": {},",
+                r.cost_attempts, r.cost_unique_classes
+            );
             out.push_str("     \"tenants\": [");
             for (j, t) in r.tenants.iter().enumerate() {
                 let _ = write!(
@@ -166,7 +260,27 @@ impl ServeStudy {
             out.push_str("]}");
             out.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let c = &self.caches;
+        let _ = writeln!(out, "  \"unique_sims\": {},", c.cost_misses);
+        let _ = writeln!(
+            out,
+            "  \"caches\": {{\"cost\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
+             \"evictions\": {}}}, \"plan\": {{\"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}}}, \"sched\": {{\"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}}}}}",
+            c.cost_hits,
+            c.cost_misses,
+            c.cost_entries,
+            c.cost_evictions,
+            c.plan_hits,
+            c.plan_misses,
+            c.plan_evictions,
+            c.sched_hits,
+            c.sched_misses,
+            c.sched_evictions
+        );
+        out.push_str("}\n");
         out
     }
 }
@@ -300,25 +414,29 @@ pub fn study(workload: &Workload, seed: u64, requests: usize, rates: &[f64]) -> 
         Some(workload.metrics()),
     );
     let cells = cells.into_iter().map(|c| c.expect("one cell per grid slot")).collect();
-    ServeStudy { seed, requests, rates: rates.to_vec(), cells }
+    let caches = ServeCaches::collect(&devices);
+    ServeStudy { seed, requests, rates: rates.to_vec(), cells, caches }
 }
 
 /// The chaos-soak cell the CI smoke runs: the Pareto design under heavy
 /// load at a 20% fault rate, with the invariants checked on every run.
+/// Returned as a one-cell study so the JSON carries the cache and
+/// unique-simulation statistics; phase-1 cost misses are simulated on
+/// the worker pool (the report is byte-identical at any `--jobs`).
 ///
 /// # Panics
 ///
 /// Panics when the no-silent-drop invariants are violated — that is the
 /// point of the soak.
 #[must_use]
-pub fn soak(workload: &Workload, seed: u64, requests: usize) -> ServeCell {
+pub fn soak(workload: &Workload, seed: u64, requests: usize) -> ServeStudy {
     let devices = build_devices(workload);
     let (design, device) = &devices[1]; // Pareto
     let (load, load_factor) = LOADS[1]; // heavy
     let rate = 0.2;
     let mean = device.mean_baseline_cycles();
     let specs = tenants(mean, device.queries().len(), load_factor);
-    let report = run_service(
+    let report = run_service_on(
         device,
         &specs,
         &policy(mean, rate),
@@ -326,9 +444,12 @@ pub fn soak(workload: &Workload, seed: u64, requests: usize) -> ServeCell {
         requests,
         None,
         Some(workload.metrics()),
+        &PoolParallelism,
     );
     report.check_invariants().unwrap_or_else(|e| panic!("soak invariant violated: {e}"));
-    ServeCell { design, load, load_factor, rate, report }
+    let cell = ServeCell { design, load, load_factor, rate, report };
+    let caches = ServeCaches::collect(&devices);
+    ServeStudy { seed, requests, rates: vec![rate], cells: vec![cell], caches }
 }
 
 #[cfg(test)]
@@ -401,9 +522,16 @@ mod tests {
     #[test]
     fn soak_cell_upholds_invariants_and_reports_pareto() {
         let w = Workload::prepare_subset(0.002, &["q6"]);
-        let cell = soak(&w, 7, 150);
+        let study = soak(&w, 7, 150);
+        let cell = &study.cells[0];
         assert_eq!(cell.design, "Pareto");
         assert_eq!(cell.report.offered, 150);
         cell.report.check_invariants().unwrap();
+        // The soak must deduplicate aggressively: far fewer unique
+        // simulations than resolved attempts, and every probe accounted.
+        assert!(cell.report.cost_attempts >= cell.report.offered);
+        assert!(cell.report.cost_unique_classes > 0);
+        assert!(study.caches.cost_misses <= cell.report.cost_unique_classes);
+        assert!(study.to_json().contains("\"unique_sims\""));
     }
 }

@@ -1,8 +1,9 @@
 //! The served device: a Q100 design plus the query table it serves.
 
 use q100_core::{
-    estimate_service_cycles, FaultScenario, FunctionalRun, PlanCache, QueryGraph, Result,
-    ScheduleCache, SimConfig, FREQUENCY_MHZ,
+    estimate_class_cycles, estimate_service_cycles, CostKey, FaultScenario, FunctionalRun,
+    PlanCache, QueryGraph, Result, ScenarioClassifier, ScheduleCache, ServiceCost,
+    ServiceCostCache, SimConfig, FREQUENCY_MHZ,
 };
 use q100_dbms::SoftwareCost;
 
@@ -21,9 +22,21 @@ pub struct ServiceQuery<'w> {
     pub software: SoftwareCost,
 }
 
+/// One resolved cost probe (see [`Q100Device::probe_cost`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProbe {
+    /// The canonical cost key the scenario collapsed to.
+    pub key: CostKey,
+    /// Stall cycles to add on top of the key's memoized cost.
+    pub stall_extra: u64,
+    /// `Some` when the cost is already decided without consulting the
+    /// cost cache: the fault-free baseline, or an infeasible class.
+    pub known: Option<ServiceCost>,
+}
+
 /// A Q100 design wrapped behind a fallible cycle-estimate interface,
-/// owning its own bounded schedule/plan caches so repeated requests for
-/// the same query are cheap.
+/// owning its own bounded schedule/plan/cost caches so repeated
+/// requests for the same query are cheap.
 #[derive(Debug)]
 pub struct Q100Device<'w> {
     config: SimConfig,
@@ -31,13 +44,17 @@ pub struct Q100Device<'w> {
     sched_cache: ScheduleCache,
     plans: PlanCache,
     baseline_cycles: Vec<u64>,
+    classifiers: Vec<ScenarioClassifier>,
+    healthy_keys: Vec<CostKey>,
+    costs: ServiceCostCache,
 }
 
 impl<'w> Q100Device<'w> {
     /// Builds a device for `config`, validating it and precomputing the
     /// fault-free baseline cycle count of every query (this also warms
-    /// the schedule/plan caches, so serving-time estimates only pay for
-    /// fault-specific rescheduling).
+    /// the schedule/plan caches and seeds the cost cache with each
+    /// query's healthy class, so serving-time estimates only pay for
+    /// fault-specific simulation).
     ///
     /// # Errors
     ///
@@ -60,7 +77,40 @@ impl<'w> Q100Device<'w> {
                 tag as u64,
             )?);
         }
-        Ok(Q100Device { config, queries, sched_cache, plans, baseline_cycles })
+        // Seed the cost cache with the canonical healthy class of every
+        // query: scenarios whose faults are invisible to the simulator
+        // (masked derates, clamped-away kills, stall-only scenarios)
+        // collapse onto these keys and never simulate. The stats reset
+        // keeps seeded entries out of the reported miss counts.
+        let costs = ServiceCostCache::new();
+        let mut classifiers = Vec::with_capacity(queries.len());
+        let mut healthy_keys = Vec::with_capacity(queries.len());
+        for (tag, q) in queries.iter().enumerate() {
+            let classifier = ScenarioClassifier::new(q.graph, &config);
+            let class = classifier.classify(
+                &empty,
+                q.graph,
+                &q.functional.profile,
+                config.scheduler,
+                &sched_cache,
+                &plans,
+                tag as u64,
+            );
+            costs.insert(tag as u64, class.key, ServiceCost::Cycles(baseline_cycles[tag]));
+            healthy_keys.push(class.key);
+            classifiers.push(classifier);
+        }
+        costs.reset_stats();
+        Ok(Q100Device {
+            config,
+            queries,
+            sched_cache,
+            plans,
+            baseline_cycles,
+            classifiers,
+            healthy_keys,
+            costs,
+        })
     }
 
     /// Device cycles to run query `query` under `scenario`. An empty
@@ -86,6 +136,66 @@ impl<'w> Q100Device<'w> {
             &self.plans,
             query as u64,
         )
+    }
+
+    /// Canonicalizes `scenario` against `query` without simulating: the
+    /// returned probe either carries the decided cost (fault-free
+    /// baseline, infeasible class) or the [`CostKey`] to resolve via
+    /// [`Q100Device::cost_cache`] / [`Q100Device::class_cost`], plus
+    /// the stall cycles to add on top of the keyed cost.
+    #[must_use]
+    pub fn probe_cost(&self, query: usize, scenario: &FaultScenario) -> CostProbe {
+        if scenario.is_empty() {
+            return CostProbe {
+                key: self.healthy_keys[query],
+                stall_extra: 0,
+                known: Some(ServiceCost::Cycles(self.baseline_cycles[query])),
+            };
+        }
+        let q = &self.queries[query];
+        let class = self.classifiers[query].classify(
+            scenario,
+            q.graph,
+            &q.functional.profile,
+            self.config.scheduler,
+            &self.sched_cache,
+            &self.plans,
+            query as u64,
+        );
+        let known = if class.feasible { None } else { Some(ServiceCost::Failed) };
+        CostProbe { key: class.key, stall_extra: class.stall_extra(), known }
+    }
+
+    /// Simulates the cost of one canonical class (a cost-cache miss).
+    /// Pure in `(query, key)` and safe to call from worker threads.
+    #[must_use]
+    pub fn class_cost(&self, query: usize, key: &CostKey) -> ServiceCost {
+        let Some(plan) = self.classifiers[query].plan(&key.mix) else {
+            return ServiceCost::Failed;
+        };
+        let q = &self.queries[query];
+        match estimate_class_cycles(&plan, q.graph, q.functional, &self.config, key) {
+            Ok(cycles) => ServiceCost::Cycles(cycles),
+            Err(_) => ServiceCost::Failed,
+        }
+    }
+
+    /// The scenario-keyed service-cost cache (tags are query indices).
+    #[must_use]
+    pub fn cost_cache(&self) -> &ServiceCostCache {
+        &self.costs
+    }
+
+    /// The schedule cache backing plan compilation.
+    #[must_use]
+    pub fn sched_cache(&self) -> &ScheduleCache {
+        &self.sched_cache
+    }
+
+    /// The compiled-plan cache.
+    #[must_use]
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// Cycles the software baseline needs for `query`, expressed on the

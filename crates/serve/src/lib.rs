@@ -34,10 +34,11 @@ mod policy;
 mod service;
 mod tenant;
 
-pub use device::{Q100Device, ServiceQuery};
+pub use device::{CostProbe, Q100Device, ServiceQuery};
 pub use policy::{BreakerState, CircuitBreaker, ServePolicy};
 pub use service::{
-    run_service, Backend, Disposition, RequestOutcome, ServeReport, ShedReason, TenantReport,
+    run_service, run_service_on, Backend, Disposition, Parallelism, RequestOutcome, Serial,
+    ServeReport, ShedReason, TenantReport,
 };
 pub use tenant::{generate_requests, Request, TenantSpec};
 

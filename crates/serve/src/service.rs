@@ -1,13 +1,33 @@
-//! The deterministic serving loop.
+//! The deterministic serving loop, split into two phases.
+//!
+//! **Phase 1 — cost resolution.** Every attempt's [`FaultScenario`] is
+//! canonicalized into its cost class (see
+//! [`q100_core::ScenarioClassifier`]); the distinct `(query, class)`
+//! pairs of the whole request stream are resolved through the device's
+//! [`q100_core::ServiceCostCache`], and only the cache misses are
+//! simulated — fanned out through a caller-supplied [`Parallelism`].
+//! An attempt's cycle cost is a pure function of `(design, query,
+//! effective derate)`, independent of queue/breaker state, so costs can
+//! be resolved out of order and in parallel without changing anything.
+//!
+//! **Phase 2 — policy replay.** The virtual-clock
+//! admission/deadline/retry/breaker/degradation loop runs unchanged,
+//! but every `service_cycles` call becomes a table lookup into the
+//! phase-1 cost matrix. The replay is serial and cheap, and — because
+//! phase 1 resolves a (deterministic) superset of the attempts the
+//! policy consumes — byte-identical to the original one-phase loop at
+//! any worker count.
+
+use std::collections::{HashMap, HashSet};
 
 use q100_dbms::FallbackAccount;
-use q100_trace::{Registry, TraceEvent, TraceSink};
+use q100_trace::{Histogram, Registry, TraceEvent, TraceSink, DEFAULT_BOUNDS};
 
 use crate::device::Q100Device;
 use crate::mix_seed;
 use crate::policy::{CircuitBreaker, ServePolicy};
 use crate::tenant::{generate_requests, TenantSpec};
-use q100_core::FaultScenario;
+use q100_core::{CostKey, FaultScenario, ServiceCost};
 
 /// Why an arrival was shed before reaching the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +144,15 @@ pub struct ServeReport {
     pub retries: u64,
     /// Times the circuit breaker opened.
     pub breaker_opens: u64,
+    /// Attempt costs resolved by phase 1 (a deterministic superset of
+    /// the attempts phase 2 consumes: every request's first attempt,
+    /// plus follow-ups for each attempt that resolved as failed).
+    pub cost_attempts: u64,
+    /// Distinct `(query, cost class)` pairs among the resolved attempts
+    /// — the stream's canonical cost entropy. Both this and
+    /// `cost_attempts` depend only on the inputs, never on cache warmth
+    /// or worker count.
+    pub cost_unique_classes: u64,
     /// Aggregate software-baseline work absorbed by fallbacks.
     pub fallback: FallbackAccount,
     /// Per-tenant slices, in tenant-table order.
@@ -196,6 +225,136 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// How phase 1 fans uncached class simulations out. Implementations
+/// must return `f(0), f(1), …, f(n-1)` in input order; whether the
+/// calls run serially or on a worker pool is invisible to the caller
+/// (class costs are pure), so the report is byte-identical either way.
+pub trait Parallelism: Sync {
+    /// Computes `f` over `0..n`, preserving input order.
+    fn run(&self, n: usize, f: &(dyn Fn(usize) -> u64 + Sync)) -> Vec<u64>;
+}
+
+/// The in-thread executor — [`run_service`]'s default. Callers with a
+/// worker pool (e.g. the experiments crate) supply their own
+/// [`Parallelism`] via [`run_service_on`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Serial;
+
+impl Parallelism for Serial {
+    fn run(&self, n: usize, f: &(dyn Fn(usize) -> u64 + Sync)) -> Vec<u64> {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Cost-matrix encoding: a failed attempt (infeasible class or
+/// simulation error).
+const COST_FAILED: u64 = u64::MAX;
+/// Cost-matrix encoding: an attempt phase 1 never resolved (phase 2
+/// must never read one — `debug_assert`ed).
+const COST_UNRESOLVED: u64 = u64::MAX - 1;
+
+/// Phase 1: resolves the cost of every attempt the policy could
+/// consume into a flat `requests.len() × max_attempts` matrix
+/// (cycles-with-stalls, or [`COST_FAILED`]).
+///
+/// Round `k` probes attempt `k` of every still-live request (round 1:
+/// all of them; later rounds: those whose previous attempt failed — a
+/// superset of what phase 2 consumes, since costs are pure). Each
+/// round canonicalizes its scenarios, deduplicates the keys, looks
+/// each distinct key up in the device cost cache exactly once, and
+/// simulates only the misses through `par`.
+fn resolve_costs(
+    device: &Q100Device<'_>,
+    requests: &[crate::tenant::Request],
+    policy: &ServePolicy,
+    par: &dyn Parallelism,
+) -> (Vec<u64>, u64, u64) {
+    let max_attempts = policy.max_attempts.max(1) as usize;
+    let n = requests.len();
+    let mut costs = vec![COST_UNRESOLVED; n * max_attempts];
+    let mut cost_attempts = 0u64;
+    let mut seen_classes: HashSet<(usize, CostKey)> = HashSet::new();
+
+    // Reused across every attempt of every request (satellite of the
+    // two-phase split: no per-attempt allocations).
+    let mut scenario = FaultScenario::default();
+    let mut candidates: Vec<usize> = (0..n).collect();
+    let mut next_candidates: Vec<usize> = Vec::new();
+    let mut round: Vec<(usize, crate::device::CostProbe)> = Vec::new();
+    let mut round_cost: HashMap<(usize, CostKey), ServiceCost> = HashMap::new();
+    let mut misses: Vec<(usize, CostKey)> = Vec::new();
+
+    for attempt in 1..=max_attempts {
+        if candidates.is_empty() {
+            break;
+        }
+        round.clear();
+        round_cost.clear();
+        misses.clear();
+
+        for &i in &candidates {
+            let req = &requests[i];
+            scenario.generate_into(
+                mix_seed(req.seed, &[attempt as u64]),
+                policy.fault_rate,
+                &device.config().mix,
+            );
+            let probe = device.probe_cost(req.query, &scenario);
+            seen_classes.insert((req.query, probe.key));
+            cost_attempts += 1;
+            round.push((i, probe));
+        }
+
+        // One cache lookup per distinct (query, key) this round; the
+        // leftovers are this round's misses, simulated in parallel.
+        for &(i, ref probe) in &round {
+            if probe.known.is_some() {
+                continue;
+            }
+            let qk = (requests[i].query, probe.key);
+            if round_cost.contains_key(&qk) || misses.contains(&qk) {
+                continue;
+            }
+            match device.cost_cache().get(qk.0 as u64, &probe.key) {
+                Some(cost) => {
+                    round_cost.insert(qk, cost);
+                }
+                None => misses.push(qk),
+            }
+        }
+        let fresh = par.run(misses.len(), &|j: usize| {
+            let (query, key) = misses[j];
+            match device.class_cost(query, &key) {
+                ServiceCost::Cycles(c) => c.min(COST_UNRESOLVED - 1),
+                ServiceCost::Failed => COST_FAILED,
+            }
+        });
+        for (&(query, key), &enc) in misses.iter().zip(&fresh) {
+            let cost =
+                if enc == COST_FAILED { ServiceCost::Failed } else { ServiceCost::Cycles(enc) };
+            device.cost_cache().insert(query as u64, key, cost);
+            round_cost.insert((query, key), cost);
+        }
+
+        next_candidates.clear();
+        for &(i, ref probe) in &round {
+            let cost = probe.known.unwrap_or_else(|| round_cost[&(requests[i].query, probe.key)]);
+            let enc = match cost {
+                ServiceCost::Failed => COST_FAILED,
+                ServiceCost::Cycles(c) => {
+                    c.saturating_add(probe.stall_extra).min(COST_UNRESOLVED - 1)
+                }
+            };
+            costs[i * max_attempts + (attempt - 1)] = enc;
+            if enc == COST_FAILED {
+                next_candidates.push(i);
+            }
+        }
+        std::mem::swap(&mut candidates, &mut next_candidates);
+    }
+    (costs, cost_attempts, seen_classes.len() as u64)
+}
+
 /// Runs the serving loop: `total` requests generated from
 /// `(seed, tenants)` via [`generate_requests`], pushed through `device`
 /// under `policy`. Everything — arrivals, faults, backoff, deadlines —
@@ -219,12 +378,32 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 ///    unschedulable degraded mix degrade it to software and feed the
 ///    circuit breaker.
 ///
+/// Attempt costs are resolved up front through the device's
+/// scenario-keyed cost cache (see the module docs); this entry point
+/// simulates cache misses in the calling thread — use
+/// [`run_service_on`] to fan them out on a worker pool.
+///
 /// When `sink` is given, every request emits a
 /// [`TraceEvent::ServeRequest`] slice; when `registry` is given, the
 /// `serve.*` counters and the `serve.latency.cycles` histogram are
 /// populated.
-#[allow(clippy::too_many_lines)]
 pub fn run_service(
+    device: &Q100Device<'_>,
+    tenants: &[TenantSpec],
+    policy: &ServePolicy,
+    seed: u64,
+    total: usize,
+    sink: Option<&mut dyn TraceSink>,
+    registry: Option<&Registry>,
+) -> ServeReport {
+    run_service_on(device, tenants, policy, seed, total, sink, registry, &Serial)
+}
+
+/// [`run_service`] with an explicit phase-1 [`Parallelism`]. The
+/// executor only affects wall-clock: the report is byte-identical for
+/// any implementation.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn run_service_on(
     device: &Q100Device<'_>,
     tenants: &[TenantSpec],
     policy: &ServePolicy,
@@ -232,10 +411,16 @@ pub fn run_service(
     total: usize,
     mut sink: Option<&mut dyn TraceSink>,
     registry: Option<&Registry>,
+    par: &dyn Parallelism,
 ) -> ServeReport {
     let requests = generate_requests(seed, tenants, total);
-    let mut breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown_cycles);
     let max_attempts = policy.max_attempts.max(1);
+
+    // Phase 1: cost resolution (the only expensive part, parallel).
+    let (costs, cost_attempts, cost_unique_classes) = resolve_costs(device, &requests, policy, par);
+
+    // Phase 2: policy replay on the virtual clock, pure table lookups.
+    let mut breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown_cycles);
 
     // The device runs admitted requests FIFO; `device_free` is when it
     // next idles, `inflight` holds the release cycles of admitted
@@ -248,7 +433,7 @@ pub fn run_service(
     let mut retries = 0u64;
     let (mut shed_queue_full, mut shed_breaker) = (0u64, 0u64);
 
-    for req in &requests {
+    for (i, req) in requests.iter().enumerate() {
         let now = req.arrival;
         inflight.retain(|&free| free > now);
 
@@ -273,38 +458,32 @@ pub fn run_service(
                 inflight.push(req.deadline);
                 (Disposition::DeadlineMissed, Backend::Software, req.deadline + software_cycles, 0)
             } else {
-                // Attempt loop on the device.
+                // Attempt loop on the device, replayed against the
+                // phase-1 cost matrix.
                 let mut t = start;
                 let mut attempts = 0u32;
                 let mut success = None;
                 let mut deadline_stop = false;
                 loop {
                     attempts += 1;
-                    let scenario = FaultScenario::generate(
-                        mix_seed(req.seed, &[u64::from(attempts)]),
-                        policy.fault_rate,
-                        &device.config().mix,
-                    );
-                    match device.service_cycles(req.query, &scenario) {
-                        Ok(cycles) => {
-                            success = Some(cycles);
-                            break;
-                        }
-                        Err(_) => {
-                            t += policy.fail_cost_cycles;
-                            if attempts >= max_attempts {
-                                break;
-                            }
-                            if t >= req.deadline {
-                                deadline_stop = true;
-                                break;
-                            }
-                            t += policy.backoff_base_cycles << (attempts - 1).min(32);
-                            if t >= req.deadline {
-                                deadline_stop = true;
-                                break;
-                            }
-                        }
+                    let enc = costs[i * max_attempts as usize + (attempts as usize - 1)];
+                    debug_assert_ne!(enc, COST_UNRESOLVED, "phase 1 must cover every attempt");
+                    if enc != COST_FAILED {
+                        success = Some(enc);
+                        break;
+                    }
+                    t += policy.fail_cost_cycles;
+                    if attempts >= max_attempts {
+                        break;
+                    }
+                    if t >= req.deadline {
+                        deadline_stop = true;
+                        break;
+                    }
+                    t += policy.backoff_base_cycles << (attempts - 1).min(32);
+                    if t >= req.deadline {
+                        deadline_stop = true;
+                        break;
                     }
                 }
                 retries += u64::from(attempts - 1);
@@ -373,13 +552,40 @@ pub fn run_service(
         });
     }
 
-    let count = |pred: &dyn Fn(&RequestOutcome) -> bool| -> u64 {
-        outcomes.iter().filter(|o| pred(o)).count() as u64
-    };
+    // Aggregation: one pass over the outcomes feeds the per-tenant
+    // counters, the latency vectors (pre-sized from the per-tenant
+    // request counts), and a locally batched latency histogram merged
+    // into the registry once — no per-outcome registry locking, no
+    // per-tenant re-scans.
+    let mut tenant_counts = vec![0usize; tenants.len()];
+    for req in &requests {
+        tenant_counts[req.tenant] += 1;
+    }
+    let mut t_shed = vec![0u64; tenants.len()];
+    let mut t_completed = vec![0u64; tenants.len()];
+    let mut t_degraded = vec![0u64; tenants.len()];
+    let mut t_missed = vec![0u64; tenants.len()];
+    let mut t_latencies: Vec<Vec<u64>> =
+        tenant_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    let mut latency_hist = registry.map(|_| Histogram::new(&DEFAULT_BOUNDS));
+    for o in &outcomes {
+        let latency = o.finish - o.arrival;
+        t_latencies[o.tenant].push(latency);
+        match o.disposition {
+            Disposition::Completed => t_completed[o.tenant] += 1,
+            Disposition::Shed(_) => t_shed[o.tenant] += 1,
+            Disposition::Degraded => t_degraded[o.tenant] += 1,
+            Disposition::DeadlineMissed => t_missed[o.tenant] += 1,
+        }
+        if let Some(h) = latency_hist.as_mut() {
+            h.observe(latency as f64);
+        }
+    }
+
     let shed = shed_queue_full + shed_breaker;
-    let completed = count(&|o| o.disposition == Disposition::Completed);
-    let degraded = count(&|o| o.disposition == Disposition::Degraded);
-    let deadline_missed = count(&|o| o.disposition == Disposition::DeadlineMissed);
+    let completed: u64 = t_completed.iter().sum();
+    let degraded: u64 = t_degraded.iter().sum();
+    let deadline_missed: u64 = t_missed.iter().sum();
     let offered = outcomes.len() as u64;
     let admitted = offered - shed;
 
@@ -387,27 +593,18 @@ pub fn run_service(
         .iter()
         .enumerate()
         .map(|(idx, spec)| {
-            let mine: Vec<&RequestOutcome> = outcomes.iter().filter(|o| o.tenant == idx).collect();
-            let mut latencies: Vec<u64> = mine.iter().map(|o| o.finish - o.arrival).collect();
+            let latencies = &mut t_latencies[idx];
             latencies.sort_unstable();
-            let shed_here =
-                mine.iter().filter(|o| matches!(o.disposition, Disposition::Shed(_))).count()
-                    as u64;
             TenantReport {
                 name: spec.name.clone(),
-                offered: mine.len() as u64,
-                admitted: mine.len() as u64 - shed_here,
-                shed: shed_here,
-                completed: mine.iter().filter(|o| o.disposition == Disposition::Completed).count()
-                    as u64,
-                degraded: mine.iter().filter(|o| o.disposition == Disposition::Degraded).count()
-                    as u64,
-                deadline_missed: mine
-                    .iter()
-                    .filter(|o| o.disposition == Disposition::DeadlineMissed)
-                    .count() as u64,
-                p50_latency_cycles: percentile(&latencies, 50.0),
-                p99_latency_cycles: percentile(&latencies, 99.0),
+                offered: latencies.len() as u64,
+                admitted: latencies.len() as u64 - t_shed[idx],
+                shed: t_shed[idx],
+                completed: t_completed[idx],
+                degraded: t_degraded[idx],
+                deadline_missed: t_missed[idx],
+                p50_latency_cycles: percentile(latencies, 50.0),
+                p99_latency_cycles: percentile(latencies, 99.0),
             }
         })
         .collect();
@@ -424,8 +621,10 @@ pub fn run_service(
         reg.inc("serve.retries", retries);
         reg.inc("serve.fallback.runs", fallback.runs);
         reg.inc("serve.breaker.opens", breaker.opens());
-        for o in &outcomes {
-            reg.observe("serve.latency.cycles", (o.finish - o.arrival) as f64);
+        reg.inc("serve.cost.attempts", cost_attempts);
+        reg.inc("serve.cost.unique_classes", cost_unique_classes);
+        if let Some(h) = &latency_hist {
+            reg.merge_histogram("serve.latency.cycles", h);
         }
     }
 
@@ -440,6 +639,8 @@ pub fn run_service(
         deadline_missed,
         retries,
         breaker_opens: breaker.opens(),
+        cost_attempts,
+        cost_unique_classes,
         fallback,
         tenants: tenant_reports,
         outcomes,

@@ -172,6 +172,43 @@ fn soak_is_deterministic_in_its_inputs() {
     assert_ne!(a, c, "a different seed must change the outcome stream");
 }
 
+/// The cached cost path the two-phase engine relies on: for random
+/// scenarios on both a redundant and a minimal device,
+/// `probe_cost`/`class_cost` plus the stall carry reproduce
+/// `service_cycles` exactly (or agree the scenario is unschedulable).
+#[test]
+fn probed_costs_match_direct_service_cycles() {
+    let w = Workload::new();
+    for config in [SimConfig::pareto(), SimConfig::new(TileMix::uniform(1))] {
+        let device = Q100Device::new(config, w.queries()).unwrap();
+        for query in 0..device.queries().len() {
+            for seed in 0..64u64 {
+                let scenario = FaultScenario::generate(seed, 0.3, &device.config().mix);
+                let direct = device.service_cycles(query, &scenario);
+                let probe = device.probe_cost(query, &scenario);
+                let cost = match probe.known {
+                    Some(c) => c,
+                    None => match device.cost_cache().get(query as u64, &probe.key) {
+                        Some(c) => c,
+                        None => {
+                            let c = device.class_cost(query, &probe.key);
+                            device.cost_cache().insert(query as u64, probe.key, c);
+                            c
+                        }
+                    },
+                };
+                match (direct, cost) {
+                    (Ok(cycles), q100_core::ServiceCost::Cycles(c)) => {
+                        assert_eq!(cycles, c + probe.stall_extra, "query {query} seed {seed}");
+                    }
+                    (Err(_), q100_core::ServiceCost::Failed) => {}
+                    (d, c) => panic!("query {query} seed {seed}: direct {d:?} vs cached {c:?}"),
+                }
+            }
+        }
+    }
+}
+
 /// The `Unschedulable` path: on a minimal mix, a kill fault surfaces as
 /// the typed error through the device, and the serving loop turns it
 /// into a software degradation rather than a drop or a panic.

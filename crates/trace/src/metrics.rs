@@ -118,6 +118,25 @@ impl Registry {
             .observe(v);
     }
 
+    /// Merges a locally accumulated histogram into histogram `key`
+    /// (created over `local`'s bounds on first use). Hot loops batch
+    /// observations into their own [`Histogram`] and merge once, paying
+    /// one registry lock instead of one per observation; counts and the
+    /// (integer-valued) sums land identical to per-value [`Registry::observe`]
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already exists with different bucket bounds.
+    pub fn merge_histogram(&self, key: &str, local: &Histogram) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(key.to_string())
+            .or_insert_with(|| Histogram::new(&local.bounds))
+            .merge(local);
+    }
+
     /// Records `v` into histogram `key`, creating it over `bounds` on
     /// first use (existing bounds are kept).
     pub fn observe_with_bounds(&self, key: &str, v: f64, bounds: &[f64]) {
