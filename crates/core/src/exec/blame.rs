@@ -24,9 +24,14 @@
 //! graphs × random mixes.
 //!
 //! Like trace sinks, recording is strictly opt-in: every hot-path hook
-//! sits behind an `Option` that costs an untaken branch when disabled,
-//! and the quantum-jump fast path only engages when no recorder is
-//! attached.
+//! sits behind an `Option` that costs an untaken branch when disabled.
+//! The quantum-jump fast path stays armed while recording: every hook
+//! also captures the quantum's per-(node, cause) amounts, and when the
+//! event-horizon solver certifies a segment of identical quanta,
+//! [`BlameRecorder::fold_quantum`] replays those amounts once per
+//! skipped quantum — bit-identical to stepping, because each ledger
+//! slot receives at most one addition per quantum and slots accumulate
+//! independently.
 
 use q100_trace::{BlameCause, BlameReport, NodeBlame};
 
@@ -47,11 +52,19 @@ pub struct BlameRecorder {
     stage_base: Vec<usize>,
     /// `stage_base` entry of the stage currently being stepped.
     cur_base: usize,
+    /// Node count of the stage currently being stepped.
+    cur_len: usize,
     /// Pass-1 binding clamp per in-stage node (index within the stage).
     pass_causes: Vec<BlameCause>,
     /// Blamed cycles per cause accumulated during the current quantum,
     /// for trace-sample emission.
     quantum_causes: [f64; BlameCause::COUNT],
+    /// Per-(in-stage node, cause) blamed cycles of the current quantum —
+    /// the amounts [`BlameRecorder::fold_quantum`] replays when the
+    /// event-horizon solver skips identical quanta.
+    quantum_node: Vec<[f64; BlameCause::COUNT]>,
+    /// Per-in-stage-node active cycles of the current quantum.
+    quantum_active: Vec<f64>,
 }
 
 impl BlameRecorder {
@@ -80,16 +93,27 @@ impl BlameRecorder {
             }
         }
         self.pass_causes.resize(plan.max_nodes, BlameCause::InputStarvation);
+        self.quantum_node.resize(plan.max_nodes, [0.0; BlameCause::COUNT]);
+        self.quantum_active.resize(plan.max_nodes, 0.0);
     }
 
     /// Selects the stage whose quanta subsequent hooks attribute.
     pub(crate) fn begin_stage(&mut self, stage: usize) {
         self.cur_base = self.stage_base.get(stage).copied().unwrap_or(0);
+        let next = self.stage_base.get(stage + 1).copied().unwrap_or(self.nodes.len());
+        self.cur_len = next - self.cur_base;
     }
 
-    /// Zeroes the per-quantum cause aggregate (trace emission).
+    /// Zeroes the per-quantum aggregates (trace emission and jump
+    /// folding).
     pub(crate) fn begin_quantum(&mut self) {
         self.quantum_causes = [0.0; BlameCause::COUNT];
+        for slots in &mut self.quantum_node[..self.cur_len] {
+            *slots = [0.0; BlameCause::COUNT];
+        }
+        for active in &mut self.quantum_active[..self.cur_len] {
+            *active = 0.0;
+        }
     }
 
     /// Blamed cycles per cause recorded during the current quantum.
@@ -106,6 +130,35 @@ impl BlameRecorder {
         if cycles > 0.0 {
             self.nodes[self.cur_base + idx].blamed[cause.index()] += cycles;
             self.quantum_causes[cause.index()] += cycles;
+            self.quantum_node[idx][cause.index()] += cycles;
+        }
+    }
+
+    /// Replays the current quantum's per-(node, cause) amounts `k` more
+    /// times — the blame half of a quantum jump. Exact because within a
+    /// certified segment every quantum records the same amounts (the
+    /// horizon monitors pin the phase flags, pass causes, and clamp
+    /// values), each hook touches each (node, cause) slot at most once
+    /// per quantum, and slots accumulate independently — so `k` replays
+    /// of the captured addition reproduce `k` stepped quanta
+    /// bit-identically.
+    pub(crate) fn fold_quantum(&mut self, k: u64) {
+        for idx in 0..self.cur_len {
+            let active = self.quantum_active[idx];
+            if active != 0.0 {
+                let cell = &mut self.nodes[self.cur_base + idx].active_cycles;
+                for _ in 0..k {
+                    *cell += active;
+                }
+            }
+            for (cause, &amt) in self.quantum_node[idx].iter().enumerate() {
+                if amt > 0.0 {
+                    let cell = &mut self.nodes[self.cur_base + idx].blamed[cause];
+                    for _ in 0..k {
+                        *cell += amt;
+                    }
+                }
+            }
         }
     }
 
@@ -124,6 +177,7 @@ impl BlameRecorder {
     ) {
         let node = &mut self.nodes[self.cur_base + idx];
         node.active_cycles += applied;
+        self.quantum_active[idx] += applied;
         let cause = self.pass_causes[idx];
         self.add(idx, BlameCause::FaultDerate, dt - adv0);
         self.add(idx, cause, adv0 - desired);
@@ -147,6 +201,7 @@ impl BlameRecorder {
     ) {
         let active = produced.min(adv0).max(0.0);
         self.nodes[self.cur_base + idx].active_cycles += active;
+        self.quantum_active[idx] += active;
         self.add(idx, BlameCause::FaultDerate, dt - adv0);
         let mut residual = (adv0 - active).max(0.0);
         if let Some(write_factor) = write_throttle {

@@ -13,9 +13,9 @@ pub use data::{Catalog, Data, MemoryCatalog};
 pub use functional::{execute, execute_lean, FunctionalRun, GraphProfile, NodeProfile};
 pub use plan::{PlanCache, SimScratch, StagePlan};
 pub use timing::{
-    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, simulate, simulate_plan,
-    simulate_plan_blamed, simulate_plan_traced, simulate_traced, BwStats, ConnMatrix, TimingResult,
-    ENDPOINTS, MEMORY_ENDPOINT,
+    bytes_per_cycle_to_gbps, endpoint_name, gbps_to_bytes_per_cycle, jump_enabled,
+    set_jump_enabled, simulate, simulate_plan, simulate_plan_blamed, simulate_plan_traced,
+    simulate_traced, BwStats, ConnMatrix, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
 };
 
 use q100_trace::{BlameReport, TraceSink};
@@ -304,8 +304,9 @@ impl<'a> Simulator<'a> {
 
     /// [`run_planned_traced`](Self::run_planned_traced) with an optional
     /// stall-blame recorder (see [`timing::simulate_plan_blamed`]).
-    /// Cycle counts are identical with or without the recorder; only the
-    /// quantum-jump fast path is bypassed while recording.
+    /// Cycle counts and blame totals are identical with or without the
+    /// quantum-jump fast path, which stays armed while recording: jumped
+    /// segments bulk-fold their per-quantum blame into the ledger.
     ///
     /// # Errors
     ///

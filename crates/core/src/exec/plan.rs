@@ -427,10 +427,9 @@ pub struct SimScratch {
     pub(crate) desired: Vec<f64>,
     /// `out_available` per output stream id, shared within a pass.
     pub(crate) allowed: Vec<f64>,
-    /// Per-stream advance of the current quantum (jump detection).
+    /// Per-stream advance of the current quantum (the certified segment
+    /// rates the event-horizon solver folds).
     pub(crate) deltas: Vec<f64>,
-    /// Per-stream advance of the previous quantum.
-    pub(crate) prev_deltas: Vec<f64>,
     /// Per-node derated quantum advance (`dt * tile_factor`).
     pub(crate) adv0: Vec<f64>,
     /// Per-input-stream NoC cap in records (`+inf` when uncapped).
@@ -439,6 +438,16 @@ pub struct SimScratch {
     pub(crate) noc_out: Vec<f64>,
     /// Whether each output stream has a NoC-capped consumer link.
     pub(crate) out_capped: Vec<bool>,
+    /// Per-stream lock kind for the event-horizon fold: `0` unlocked
+    /// (constant-delta), `1` strictly availability-locked (`done ==
+    /// allowed` bitwise, re-verified every replayed quantum), `2`
+    /// availability-tracking (replayed without re-verification —
+    /// certified by clamp-floor clearance instead), `3` owned by a
+    /// replayed node (advance recomputed exactly each quantum).
+    pub(crate) locked: Vec<u8>,
+    /// Per-node flag: the fold replays this node's full pass-1 + pass-2
+    /// computation each quantum instead of assuming constant deltas.
+    pub(crate) replay: Vec<bool>,
     /// Whether the quantum-jump fast path may engage (`true` by
     /// default; clear it to force pure stepping, e.g. for A/B
     /// validation of the fused update).
@@ -458,11 +467,12 @@ impl Default for SimScratch {
             desired: Vec::new(),
             allowed: Vec::new(),
             deltas: Vec::new(),
-            prev_deltas: Vec::new(),
             adv0: Vec::new(),
             noc_in: Vec::new(),
             noc_out: Vec::new(),
             out_capped: Vec::new(),
+            locked: Vec::new(),
+            replay: Vec::new(),
             jump_enabled: true,
             jumped_quanta: 0,
             stepped_quanta: 0,
@@ -485,14 +495,15 @@ impl SimScratch {
             self.done.resize(s, 0.0);
             self.allowed.resize(s, 0.0);
             self.deltas.resize(s, 0.0);
-            self.prev_deltas.resize(s, 0.0);
             self.noc_in.resize(s, 0.0);
             self.noc_out.resize(s, 0.0);
             self.out_capped.resize(s, false);
+            self.locked.resize(s, 0);
         }
         if self.desired.len() < plan.max_nodes {
             self.desired.resize(plan.max_nodes, 0.0);
             self.adv0.resize(plan.max_nodes, 0.0);
+            self.replay.resize(plan.max_nodes, false);
         }
         self.jumped_quanta = 0;
         self.stepped_quanta = 0;

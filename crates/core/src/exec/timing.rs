@@ -27,12 +27,16 @@
 //! [`simulate_plan`] / [`simulate_plan_traced`]. [`simulate`] and
 //! [`simulate_traced`] remain as compile-then-run conveniences.
 //!
-//! When a stage's per-quantum advance pattern repeats exactly (every
-//! bandwidth cap disabled, no fault derating, no trace sink), the
-//! quantum loop takes a *quantum jump*: it computes how many quanta the
-//! current per-stream rates provably persist and applies them in one
-//! fused update that is bit-identical to stepping (see [`jump_horizon`]
-//! for the invariants).
+//! The quantum loop carries an *analytic event-horizon solver*: after
+//! every quantum that made progress it solves, in closed form, for how
+//! many further quanta the binding-constraint set provably persists —
+//! until a stream drains, a stage finishes filling or spilling, a queue
+//! saturates, a memory budget phase shifts, or any clamp rebinds — and
+//! advances that many quanta in one fused update that is bit-identical
+//! to stepping (see [`jump_horizon`] for the segment math). The solver
+//! handles bandwidth caps, fault derating, and attached blame
+//! recorders; only a trace sink forces pure stepping (jumped quanta
+//! emit no per-quantum events).
 
 use std::sync::Arc;
 
@@ -181,6 +185,25 @@ pub fn gbps_to_bytes_per_cycle(gbps: f64) -> f64 {
     gbps * 1e9 / (FREQUENCY_MHZ * 1e6)
 }
 
+/// Process-wide kill switch for the quantum-jump fast path. Defaults
+/// to enabled; `--no-jump` (or tests) flip it to force pure stepping on
+/// every simulation path — including the internally-scratched derated
+/// runs (`run_resilient`) that callers cannot reach through a
+/// [`SimScratch`]. The jump is bit-identical by construction, so this
+/// only trades wall-clock time; CI byte-compares both settings.
+static JUMP_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enables or disables the quantum-jump fast path process-wide.
+pub fn set_jump_enabled(enabled: bool) {
+    JUMP_ENABLED.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether the quantum-jump fast path is enabled process-wide.
+#[must_use]
+pub fn jump_enabled() -> bool {
+    JUMP_ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Per-edge backpressure window: a producer may run at most this many
 /// records ahead of its slowest in-stage consumer (the tiles' stream
 /// queues).
@@ -280,11 +303,11 @@ pub fn simulate_plan_traced(
 /// [`simulate_plan_traced`], additionally classifying every node's
 /// cycles into the exhaustive [`BlameCause`] taxonomy through `blame`
 /// (see [`crate::exec::blame`]). With `blame == None` this is exactly
-/// [`simulate_plan_traced`]: the hot loop pays untaken branches only,
-/// and the quantum-jump fast path stays armed. With a recorder
-/// attached, jumping is disabled (mirroring the trace-sink guard) so
-/// every quantum is observed; the simulated cycle counts are unchanged
-/// either way.
+/// [`simulate_plan_traced`]: the hot loop pays untaken branches only.
+/// The quantum-jump fast path stays armed either way — jumped segments
+/// bulk-fold their per-quantum blame into the recorder's counters
+/// ([`BlameRecorder::fold_quantum`]), so the attributed ledger and the
+/// simulated cycle counts are bit-identical to pure stepping.
 ///
 /// # Errors
 ///
@@ -466,29 +489,20 @@ fn run_stage(
     // plan compile time from the stage's largest stream).
     let dt = topo.dt;
     let streams = topo.streams;
-    // The fused fast path only engages when every quantum is provably
-    // identical work: no bandwidth caps, no fault derating (both can
-    // make rate patterns config-dependent in ways the monitors don't
-    // model), no trace sink (jumped quanta emit no events), and no
-    // blame recorder (jumped quanta are never classified).
-    let jump_ok = scratch.jump_enabled
-        && noc_bpc.is_none()
-        && read_bpc.is_none()
-        && write_bpc.is_none()
-        && derate.is_none()
-        && sink.is_none()
-        && blame.is_none();
+    // The event-horizon solver handles bandwidth caps, derates and
+    // blame recorders (their per-quantum effects are constant within a
+    // certified segment); only a trace sink forces pure stepping, since
+    // jumped quanta emit no per-quantum events.
+    let jump_ok = scratch.jump_enabled && jump_enabled() && sink.is_none();
     if let Some(b) = blame.as_deref_mut() {
         b.begin_stage(stage_idx as usize);
     }
 
     {
         // Per-(stage, run) reset and hoisted per-node/per-stream rates.
-        let SimScratch { done, prev_deltas, adv0, noc_in, noc_out, out_capped, .. } = &mut *scratch;
-        for sid in 0..streams {
-            done[sid] = 0.0;
-            // Sentinel: no quantum matches until one has been stepped.
-            prev_deltas[sid] = -1.0;
+        let SimScratch { done, adv0, noc_in, noc_out, out_capped, .. } = &mut *scratch;
+        for d in done[..streams].iter_mut() {
+            *d = 0.0;
         }
         for (idx, node) in topo.nodes.iter().enumerate() {
             let dst = node.kind as usize;
@@ -524,6 +538,17 @@ fn run_stage(
     let mut cycles = 0.0_f64;
     let mut stalls = 0u32;
     let mut busy_scratch = [0u16; TileKind::COUNT];
+    // Deterministic solver-attempt throttle: after a quantum where the
+    // horizon certifies nothing (or the fold declines), skip the next
+    // `jump_backoff` attempts and double the window, resetting on any
+    // successful fold. Phases that never certify (derated drains,
+    // replay-refused shapes) then pay the horizon on ~1/64th of their
+    // quanta instead of every one. Folds are bit-exact, so *which*
+    // quanta get attempted cannot change results — the throttle is
+    // per-stage local state, identical at any `--jobs`.
+    let mut jump_cooldown = 0u64;
+    let mut jump_backoff = 1u64;
+    const JUMP_BACKOFF_CAP: u64 = 64;
 
     loop {
         let unfinished = topo.nodes.iter().any(|n| {
@@ -629,43 +654,107 @@ fn run_stage(
             }
         } else {
             stalls = 0;
-            if jump_ok && rates_stable(scratch, streams) {
-                let k = jump_horizon(topo, scratch, dt);
-                if k >= 1 {
-                    fold_jump(topo, scratch, k, dt, &stepped, result, read_samples, write_samples);
-                    cycles += k as f64 * dt;
+            if jump_ok {
+                if jump_cooldown > 0 {
+                    jump_cooldown -= 1;
+                } else {
+                    let k = jump_horizon(
+                        topo,
+                        scratch,
+                        dt,
+                        read_bpc,
+                        write_bpc,
+                        &stepped,
+                        blame.is_some(),
+                    );
+                    let q = if k >= 1 {
+                        fold_jump(
+                            topo,
+                            scratch,
+                            k,
+                            dt,
+                            &stepped,
+                            result,
+                            read_samples,
+                            write_samples,
+                        )
+                    } else {
+                        0
+                    };
+                    if q >= 1 {
+                        if let Some(b) = blame.as_deref_mut() {
+                            b.fold_quantum(q);
+                        }
+                        cycles += q as f64 * dt;
+                        jump_backoff = 1;
+                    } else {
+                        jump_cooldown = jump_backoff;
+                        jump_backoff = (jump_backoff * 2).min(JUMP_BACKOFF_CAP);
+                    }
                 }
             }
         }
-        // This quantum's deltas become the reference pattern; the old
-        // reference buffer is recycled as next quantum's delta scratch.
-        let SimScratch { deltas, prev_deltas, .. } = &mut *scratch;
-        std::mem::swap(deltas, prev_deltas);
     }
     Ok(cycles.round() as u64)
 }
 
-/// Whether the quantum just stepped repeated the previous quantum's
-/// per-stream advances exactly, with every advance and every progress
-/// counter integral (so fused multiples stay exact in f64).
-fn rates_stable(scratch: &SimScratch, streams: usize) -> bool {
-    let d = &scratch.deltas[..streams];
-    d == &scratch.prev_deltas[..streams]
-        && d.iter().all(|x| x.fract() == 0.0)
-        && scratch.done[..streams].iter().all(|x| x.fract() == 0.0)
+/// Advances one stream's progress counter by `k` quanta of `d` records,
+/// bit-identical to `k` sequential `done += d` additions. Streams are
+/// independent (each stream id receives exactly one addition per
+/// quantum), so per-stream folding preserves the stepped accumulation
+/// order. Integral counters far below 2^53 fold with one exact
+/// multiply; anything else replays the additions (`k` is bounded by the
+/// quantum sizing to ~8192, so the replay stays far cheaper than
+/// re-running the constraint passes).
+fn fold_stream(done: &mut f64, d: f64, k: u64) {
+    if d == 0.0 {
+        return;
+    }
+    if d.fract() == 0.0 && done.fract() == 0.0 {
+        *done += k as f64 * d;
+    } else {
+        for _ in 0..k {
+            *done += d;
+        }
+    }
 }
 
-/// Applies `k` quanta of the current (validated-stable) per-stream
-/// rates in one fused update, bit-identical to stepping `k` times.
+/// Applies up to `k` quanta of the current (horizon-certified)
+/// per-stream rates in one fused update, bit-identical to stepping that
+/// many times; returns the number of quanta actually folded.
 ///
-/// Exactness: all deltas and progress counters are integral (checked by
-/// [`rates_stable`]) and far below 2^53, so `done + k·δ` equals `k`
-/// sequential additions; `dt` is integral so the cycle and busy-cycle
-/// accumulators fold the same way. Bandwidth peaks are max-updates of a
-/// repeated value (idempotent), and the byte accumulators replay `k`
-/// additions of the repeated per-quantum byte counts to preserve the
-/// exact floating-point accumulation order.
+/// Three regimes compose inside a fold, per the horizon's
+/// classification:
+///
+///   * **constant streams** — repeat the stepped quantum's delta
+///     exactly; [`fold_stream`] folds integral counters with one exact
+///     multiply and replays the additions otherwise;
+///   * **locked ports** (strict / tracking, on otherwise-constant
+///     nodes) — the port's advance is the first difference of its
+///     availability; the fold recomputes [`out_available`] and the
+///     apply clamp chain per quantum with the same operations the
+///     stepped quantum would execute. Strict locks re-verify
+///     `done == allowed` after every quantum and stop the fold early
+///     when the equality breaks;
+///   * **replayed nodes** — the fold reruns the node's full pass-1
+///     ([`desired_advance`]) and pass-2 ([`apply_advance`]) computation
+///     each quantum. With both shared memory budget factors pinned at
+///     exactly 1.0 (a certification precondition) the node's step is a
+///     pure function of neighbor stream progress, so the replay *is*
+///     the stepped computation, op for op — including stream
+///     completion, sorter batch boundaries and sequential input-slot
+///     switches, which therefore need no horizon margin on replayed
+///     nodes.
+///
+/// Byte accumulators rebuild the stepped summation tree (per-node
+/// subtotals folded in node order — f64 addition is not associative);
+/// busy cycles are accounted per quantum from actual movement;
+/// bandwidth peaks are max-updates (idempotent on repeats, recomputed
+/// on replays). A quantum that moves nothing mutates nothing and ends
+/// the fold uncounted: the stepping loop re-runs it and detects
+/// completion or stall exactly as pure stepping would.
 #[allow(clippy::too_many_arguments)]
+#[inline(never)]
 fn fold_jump(
     topo: &StageTopo,
     scratch: &mut SimScratch,
@@ -675,217 +764,723 @@ fn fold_jump(
     result: &mut TimingResult,
     read_samples: &mut TraceAccum,
     write_samples: &mut TraceAccum,
-) {
-    let kf = k as f64;
-    for node in &topo.nodes {
-        let mut m = 0.0_f64;
-        for input in &node.inputs {
-            let d = scratch.deltas[input.sid];
-            scratch.done[input.sid] += kf * d;
-            m += d;
+) -> u64 {
+    let n = topo.nodes.len();
+    let any_replay = scratch.replay[..n].iter().any(|&r| r);
+    let any_locked = any_replay
+        || topo
+            .nodes
+            .iter()
+            .any(|node| node.outputs.iter().any(|o| scratch.locked[o.sid] != LOCK_NONE));
+    if !any_locked {
+        let kf = k as f64;
+        for node in &topo.nodes {
+            let mut m = 0.0_f64;
+            for input in &node.inputs {
+                let d = scratch.deltas[input.sid];
+                fold_stream(&mut scratch.done[input.sid], d, k);
+                m += d;
+            }
+            for output in &node.outputs {
+                let d = scratch.deltas[output.sid];
+                fold_stream(&mut scratch.done[output.sid], d, k);
+                m += d;
+            }
+            if m > 0.0 {
+                result.busy_cycles[node.kind as usize] += kf * dt;
+            }
         }
-        for output in &node.outputs {
-            let d = scratch.deltas[output.sid];
-            scratch.done[output.sid] += kf * d;
-            m += d;
+        if stepped.read_bytes > 0.0 {
+            for _ in 0..k {
+                read_samples.total_bytes += stepped.read_bytes;
+            }
         }
-        if m > 0.0 {
-            result.busy_cycles[node.kind as usize] += kf * dt;
+        if stepped.write_bytes > 0.0 {
+            for _ in 0..k {
+                write_samples.total_bytes += stepped.write_bytes;
+            }
         }
+        scratch.jumped_quanta += k;
+        scratch.jumps += 1;
+        return k;
     }
-    if stepped.read_bytes > 0.0 {
-        for _ in 0..k {
-            read_samples.total_bytes += stepped.read_bytes;
-        }
-    }
-    if stepped.write_bytes > 0.0 {
-        for _ in 0..k {
-            write_samples.total_bytes += stepped.write_bytes;
-        }
-    }
-    scratch.jumped_quanta += k;
-    scratch.jumps += 1;
-}
 
-/// How many further quanta the current per-stream rate pattern provably
-/// persists (0 = don't jump).
-///
-/// The per-quantum step is piecewise-affine in the progress vector:
-/// every `min`/`max` clamp in [`desired_advance`] / [`apply_advance`]
-/// is a kink, and between kinks repeating the same rates is exact. Each
-/// monitor below bounds the number of quanta until one clamp could
-/// newly engage (or disengage), with a safety margin `M = 2·dt + 2`
-/// records so boundary roundoff can never flip a comparison inside the
-/// horizon:
-///
-/// 1. **completion** — an advancing stream must stay `M` short of its
-///    total, so `remaining`-clamps and finished-flags cannot trip;
-/// 2. **producer gap** — an in-stage consumer's availability window
-///    (`done_src − done_in`) must stay clear of the margin unless it is
-///    exactly constant;
-/// 3. **sorter batch** — a filling sorter must not cross its next
-///    1024-record batch boundary (availability is a step function);
-/// 4. **apply target** — `produced = min(allowed, done+dt, records) −
-///    done` must keep the same branch: either `allowed` stays ≥ 1
-///    record clear above `done+dt`, or it is binding and drifts at
-///    exactly the output's rate;
-/// 5. **desired backpressure** — the `out_cap/ratio` terms (buffer
-///    slack and consumer queue headroom) must stay strictly above the
-///    node's input advance `A` (plus one record), or be exactly
-///    constant/synchronous.
-fn jump_horizon(topo: &StageTopo, scratch: &SimScratch, dt: f64) -> u64 {
-    let done = &scratch.done[..];
-    let delta = &scratch.deltas[..];
-    let allowed = &scratch.allowed[..];
-    let margin = 2.0 * dt + 2.0;
-    let mut k = f64::INFINITY;
-
-    for node in &topo.nodes {
-        // (1) completion.
-        for input in &node.inputs {
-            let d = delta[input.sid];
-            if d > 0.0 {
-                k = k.min(((input.records - done[input.sid] - margin) / d).floor());
+    // Replay mode: per-quantum re-execution for replayed nodes and
+    // locked ports, constant-delta advance for everything else.
+    let mut folded = 0_u64;
+    let mut unlocked = false;
+    while folded < k && !unlocked {
+        // Pass 1 for replayed nodes: desired advances against the
+        // pre-advance progress vector, exactly as `step` computes them
+        // (no other node's desired is read, so the constant nodes'
+        // stale entries are harmless).
+        {
+            let SimScratch {
+                done,
+                desired,
+                allowed,
+                adv0,
+                noc_in,
+                noc_out,
+                out_capped,
+                replay,
+                ..
+            } = &mut *scratch;
+            for (idx, node) in topo.nodes.iter().enumerate() {
+                if replay[idx] {
+                    desired[idx] = desired_advance(
+                        node,
+                        adv0[idx],
+                        dt,
+                        done,
+                        allowed,
+                        noc_in,
+                        noc_out,
+                        out_capped,
+                        &mut NoTrack,
+                    );
+                }
             }
         }
-        for output in &node.outputs {
-            let d = delta[output.sid];
-            if d > 0.0 {
-                k = k.min(((output.records - done[output.sid] - margin) / d).floor());
-            }
-        }
-        if k < 1.0 {
-            return 0;
-        }
-
-        // (2) producer gap, on the inputs the consume mode actually
-        // reads this quantum (lockstep: all unfinished; sequential:
-        // the active slot — (1) keeps it active across the horizon).
-        let gap_bound = |input: &PlanInput, k: f64| -> f64 {
-            let PlanSource::InStage { src_sid, .. } = input.source else {
-                return k;
-            };
-            let gap = done[src_sid] - done[input.sid];
-            let drift = delta[src_sid] - delta[input.sid];
-            if drift == 0.0 {
-                // Constant gap: the same clamp value recomputes.
-                return k;
-            }
-            if gap <= margin {
-                return 0.0;
-            }
-            if drift < 0.0 {
-                return k.min(((gap - margin) / -drift).floor());
-            }
-            // Widening gap already clear of the margin: stays clear.
-            k
-        };
-        match node.mode {
-            ConsumeMode::Lockstep => {
+        // Pass 2 in node order (the byte subtotals fold in this order).
+        let mut read_bytes = 0.0_f64;
+        let mut write_bytes = 0.0_f64;
+        let mut quantum_moved = 0.0_f64;
+        for (idx, node) in topo.nodes.iter().enumerate() {
+            let mut moved = 0.0_f64;
+            let mut node_read = 0.0_f64;
+            // Matches the stepped summation tree: per-node subtotal
+            // (as `apply_advance` returns), then fold into the quantum
+            // total — f64 addition is not associative.
+            let mut node_write = 0.0_f64;
+            if scratch.replay[idx] {
+                // Budget factors are pinned at exactly 1.0 (certified),
+                // so the pass-2 `adv *= read_factor` scaling is a
+                // bitwise identity and the write factor passes through.
+                let adv = scratch.desired[idx].max(0.0);
+                let SimScratch { done, allowed, deltas, adv0, .. } = &mut *scratch;
+                let (r, w, m, _) = apply_advance(
+                    topo, idx, adv, dt, adv0[idx], 1.0, done, allowed, deltas, result,
+                );
+                node_read = r;
+                node_write = w;
+                moved = m;
+            } else {
+                let SimScratch { done, deltas, allowed, adv0, locked, .. } = &mut *scratch;
                 for input in &node.inputs {
-                    if done[input.sid] < input.records {
-                        k = gap_bound(input, k);
+                    let d = deltas[input.sid];
+                    if d != 0.0 {
+                        done[input.sid] += d;
+                        moved += d;
+                        if matches!(input.source, PlanSource::Memory) {
+                            node_read += d * input.width;
+                        }
+                    }
+                }
+                for (port, output) in node.outputs.iter().enumerate() {
+                    let sid = output.sid;
+                    let lk = locked[sid];
+                    if lk != LOCK_NONE {
+                        // The stepped apply path, port-local:
+                        // availability from the just-advanced inputs,
+                        // then the same min/max clamp chain
+                        // `apply_advance` executes.
+                        let avail = out_available(node, port, done);
+                        let stream_cap = if output.to_memory {
+                            adv0[idx] * stepped.write_factor
+                        } else {
+                            adv0[idx]
+                        };
+                        let target = avail.min(done[sid] + stream_cap).min(output.records);
+                        let produced = (target - done[sid]).max(0.0);
+                        if produced > 0.0 {
+                            let bytes = produced * output.width;
+                            let gbps = bytes_per_cycle_to_gbps(bytes / dt);
+                            if output.to_memory {
+                                node_write += bytes;
+                                result.peak_gbps.max_in(node.kind as usize, MEMORY_ENDPOINT, gbps);
+                            }
+                            for &(c, _) in &output.consumers {
+                                let ck = topo.nodes[c].kind as usize;
+                                result.peak_gbps.max_in(node.kind as usize, ck, gbps);
+                            }
+                            done[sid] += produced;
+                            moved += produced;
+                        }
+                        allowed[sid] = avail;
+                        if lk == LOCK_STRICT && done[sid] != avail {
+                            // This quantum was still exact; the next
+                            // one's pass-1 slack would differ from
+                            // zero, so stop after it. (Tracking locks
+                            // are certified by clamp floors, not by
+                            // this equality.)
+                            unlocked = true;
+                        }
+                    } else {
+                        let d = deltas[sid];
+                        if d != 0.0 {
+                            done[sid] += d;
+                            moved += d;
+                            if output.to_memory {
+                                node_write += d * output.width;
+                            }
+                        }
                     }
                 }
             }
-            ConsumeMode::Sequential => {
-                if let Some(input) = node.inputs.iter().find(|i| done[i.sid] < i.records) {
+            read_bytes += node_read;
+            write_bytes += node_write;
+            if moved > 0.0 {
+                result.busy_cycles[node.kind as usize] += dt;
+            }
+            quantum_moved += moved;
+        }
+        if quantum_moved == 0.0 {
+            // Nothing moved, so nothing above mutated any state: hand
+            // the quantum back to the stepping loop, which detects
+            // completion or stall exactly as pure stepping would.
+            break;
+        }
+        read_samples.sample(read_bytes, dt);
+        write_samples.sample(write_bytes, dt);
+        folded += 1;
+    }
+    if folded > 0 {
+        scratch.jumped_quanta += folded;
+        scratch.jumps += 1;
+    }
+    folded
+}
+
+/// The analytic event-horizon solver: how many further quanta the
+/// binding-constraint set provably persists (0 = don't jump), computed
+/// in closed form from the quantum just stepped.
+///
+/// The per-quantum step is piecewise-affine in the progress vector:
+/// every `min`/`max` clamp in [`desired_advance`] / [`apply_advance`] /
+/// [`memory_demand`] is a kink, and between kinks every quantum repeats
+/// the same per-stream additions exactly. The solver classifies each
+/// node into one of two fold regimes and bounds the horizon
+/// accordingly:
+///
+///   * **constant** — every clamp operand the node recomputes is either
+///     *exactly constant* (bit-identical recomputation — NoC caps,
+///     derated tile rates, budget factors over constant demand) or
+///     *drifts affinely while staying strictly clear of the binding
+///     level* (so the `min` result is unchanged). The monitors below
+///     bound the quanta until an operand could cross, with a safety
+///     margin `M = 2·dt + 2` records so boundary roundoff can never
+///     flip a comparison inside the horizon. Ports whose availability
+///     binds their apply clamp get *strict* or *tracking* locks (see
+///     the classification pass) and are replayed port-locally by
+///     [`fold_jump`].
+///   * **replayed** — any node whose behavior cannot be certified
+///     constant is, when replay is available, re-executed exactly each
+///     folded quantum, making every one of its own events (clamp branch
+///     flips, completion, sorter batches, sequential slot switches)
+///     exact by construction. Replay requires: no blame recorder (a
+///     replayed quantum has no constant attribution for
+///     `fold_quantum` to replicate), and both shared memory budget
+///     factors *pinned* — ceilings over every unfinished
+///     memory-touching stream show demand cannot reach budget, so each
+///     factor recomputes to exactly 1.0 and pass 2 scales by bitwise
+///     identities.
+///
+/// The two regimes interact through the promotion fixpoint: a constant
+/// node's clamps that read a replayed neighbor's stream can only be
+/// certified against the *envelope* — a replayed stream advances
+/// anywhere in `[0, dt]` per quantum — and a constant node that cannot
+/// certify (binding too near, or its own completion within the margin)
+/// is promoted to replay itself. Promotion is monotone, so the loop
+/// converges; the final clean round's minimum bound is the horizon.
+///
+/// Monitors for constant nodes:
+///
+/// 1. **completion** — an advancing stream must stay `M` short of its
+///    total, so `remaining`-clamps, finished-flags, memory-demand
+///    gates, and blame phase flags cannot trip;
+/// 2. **producer gap** — an in-stage consumer's availability window
+///    (`done_src − done_in`) must stay clear of the margin unless it is
+///    exactly constant; against a replayed producer the window shrinks
+///    at up to the consumer's own constant rate;
+/// 3. **sorter batch** — a filling sorter must not cross its next
+///    1024-record batch boundary (availability is a step function);
+/// 4. **apply / demand target** — `produced = min(allowed, done + c,
+///    records) − done` must keep the same branch for every cap `c` the
+///    step consults: the apply-side streaming cap (`adv0`, scaled by
+///    the write-budget factor on memory-bound ports) and the
+///    demand-side cap (`dt`, [`memory_demand`]'s write estimate).
+///    Either `allowed` stays ≥ 1 record clear above `done + c`, or it
+///    is binding and drifts at exactly the output's rate, or the port
+///    locks (strict / tracking — see the classification pass);
+/// 5. **desired backpressure** — the `out_cap/ratio` terms (buffer
+///    slack over the effective streaming base — `min(dt, noc_out)` on
+///    NoC-capped ports — and consumer queue headroom) must stay
+///    strictly above the node's pass-1 desired advance `A` (plus one
+///    record), or be exactly constant/synchronous; a replayed consumer
+///    moves the headroom anywhere in `[−d_out, dt − d_out]` per
+///    quantum, so the clearance is consumed at the producer's rate.
+///
+/// `A` is the stepped quantum's final pass-1 `desired` (not the applied
+/// delta): under a read-budget factor the applied advance is smaller
+/// than what the desired-side clamps compete against, and any drifting
+/// operand must stay above the *final min value* for that min to keep
+/// recomputing to the same result.
+/// Lock kinds for the event-horizon fold (see the classification pass
+/// in [`jump_horizon`]). `LOCK_REPLAY` marks every stream owned by a
+/// replayed node: consumers certify against the `[0, dt]` envelope.
+/// `LOCK_APPLY` marks a non-binding port with non-integral progress:
+/// the stepped apply computes `produced = fl(fl(done + cap) − done)`,
+/// whose value wobbles by ULPs as `done` crosses exponent boundaries,
+/// so the fold recomputes the port's apply chain per quantum instead of
+/// replaying a constant delta (integral ports replay exactly — every
+/// operation is exact integer f64 arithmetic, as in the pre-solver
+/// `rates_stable` guard).
+const LOCK_NONE: u8 = 0;
+const LOCK_STRICT: u8 = 1;
+const LOCK_TRACK: u8 = 2;
+const LOCK_REPLAY: u8 = 3;
+const LOCK_APPLY: u8 = 4;
+
+/// Upper bound on quanta folded per jump: keeps a single replay loop
+/// (and the unbounded all-replay case) from monopolizing the stepping
+/// loop's bookkeeping; the next stepped quantum simply re-certifies.
+const JUMP_CAP: u64 = 1 << 20;
+
+/// Immutable view of the per-quantum state the horizon monitors read.
+struct HorizonView<'a> {
+    done: &'a [f64],
+    delta: &'a [f64],
+    allowed: &'a [f64],
+    adv0: &'a [f64],
+    noc_out: &'a [f64],
+    out_capped: &'a [bool],
+    desired: &'a [f64],
+    locked: &'a [u8],
+    dt: f64,
+    margin: f64,
+    write_factor: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn jump_horizon(
+    topo: &StageTopo,
+    scratch: &mut SimScratch,
+    dt: f64,
+    read_bpc: Option<f64>,
+    write_bpc: Option<f64>,
+    stepped: &StepStats,
+    blamed: bool,
+) -> u64 {
+    let n = topo.nodes.len();
+    let SimScratch {
+        done,
+        deltas,
+        allowed,
+        adv0,
+        noc_out,
+        out_capped,
+        desired,
+        locked,
+        replay,
+        ..
+    } = &mut *scratch;
+    let done = &done[..];
+    let delta = &deltas[..];
+    let allowed = &allowed[..];
+    let adv0 = &adv0[..];
+    let noc_out = &noc_out[..];
+    let out_capped = &out_capped[..];
+    let desired = &desired[..];
+    let margin = 2.0 * dt + 2.0;
+
+    // Global preconditions for node replay. The ceilings are
+    // conservative — every unfinished memory-touching stream moving a
+    // full quantum — and monotone decreasing as streams finish, so a
+    // pin certified here holds for the whole fold.
+    let mut read_ceiling = 0.0_f64;
+    let mut write_ceiling = 0.0_f64;
+    for node in &topo.nodes {
+        for input in &node.inputs {
+            if matches!(input.source, PlanSource::Memory) && done[input.sid] < input.records {
+                read_ceiling += dt * input.width;
+            }
+        }
+        for output in &node.outputs {
+            if output.to_memory && done[output.sid] < output.records {
+                write_ceiling += dt * output.width;
+            }
+        }
+    }
+    let pinned = |bpc: Option<f64>, ceiling: f64| match bpc.map(|b| b * dt) {
+        None => true,
+        Some(budget) => ceiling + 1.0 <= budget,
+    };
+    let demand_pin = pinned(write_bpc, write_ceiling);
+    let replay_ok = !blamed && demand_pin && pinned(read_bpc, read_ceiling);
+
+    // Classification: per output port, decide how the fold must treat
+    // it. A binding port that is not perfectly synchronous can still
+    // fold when the replay recomputes its apply recurrence op-for-op:
+    //
+    //   * *strict* lock — `allowed == done` bitwise, so pass 1's clamp
+    //     operand is exactly `dt + 0` and the memory-demand term
+    //     exactly 0 every quantum; the replay re-verifies the equality
+    //     after each quantum and stops when it breaks;
+    //   * *tracking* lock — `done` chases `allowed` to within f64
+    //     rounding (the `a + (b − a) ≠ b` residue of the apply fold).
+    //     Pass-1 constancy is certified structurally instead: the
+    //     port's buffer-slack clamp keeps a strict floor clearance
+    //     above the node's desired advance, the write-budget factor is
+    //     pinned at 1.0 for any demand the segment can produce, the
+    //     node is streaming (so blame records only pass-1 constants),
+    //     and the port's rate is settled (drift within 1e-6 of the
+    //     availability rate, progress within a record of availability);
+    //   * otherwise the node is *replayed* in full (or, with replay
+    //     unavailable, the jump is refused).
+    for (idx, node) in topo.nodes.iter().enumerate() {
+        replay[idx] = false;
+        let a = desired[idx].max(0.0);
+        for (port, output) in node.outputs.iter().enumerate() {
+            let sid = output.sid;
+            let mut sink_k = f64::INFINITY;
+            let (da, exact) = allowed_drift(node, port, done, delta, &mut sink_k);
+            let d = da - delta[sid];
+            let mut lock = LOCK_NONE;
+            if done[sid] < output.records {
+                let apply_cap =
+                    if output.to_memory { adv0[idx] * stepped.write_factor } else { adv0[idx] };
+                let caps = [Some(apply_cap), output.to_memory.then_some(dt)];
+                let binding =
+                    caps.into_iter().flatten().any(|cap| allowed[sid] - done[sid] - cap < 1.0);
+                if binding && !(d == 0.0 && exact) {
+                    if allowed[sid] == done[sid] {
+                        lock = LOCK_STRICT;
+                    } else {
+                        let streaming = node.inputs.iter().any(|i| done[i.sid] < i.records);
+                        let slack_a = allowed[sid] - done[sid];
+                        let floor_clear = output.ratio <= 0.0 || output.records <= 0.0 || {
+                            let eff = if out_capped[sid] { dt.min(noc_out[sid]) } else { dt };
+                            eff / output.ratio > a + 2.0
+                        };
+                        if streaming
+                            && d.abs() <= 1e-6
+                            && slack_a.abs() < 1.0
+                            && floor_clear
+                            && (!output.to_memory || demand_pin)
+                        {
+                            lock = LOCK_TRACK;
+                        } else if replay_ok {
+                            replay[idx] = true;
+                        } else {
+                            return 0;
+                        }
+                    }
+                }
+                if lock == LOCK_NONE
+                    && delta[sid] != 0.0
+                    && !(done[sid].fract() == 0.0 && delta[sid].fract() == 0.0)
+                {
+                    // Moving with non-integral progress: the constant-
+                    // delta replay diverges from apply's rounding
+                    // residue, so recompute the port per quantum.
+                    if blamed && !node.inputs.iter().any(|i| done[i.sid] < i.records) {
+                        // Drain-phase blame records the wobbling
+                        // `produced` itself each quantum; replicating
+                        // the stepped quantum's ledger would diverge.
+                        return 0;
+                    }
+                    lock = LOCK_APPLY;
+                }
+            }
+            locked[sid] = lock;
+        }
+        if replay[idx] {
+            for input in &node.inputs {
+                locked[input.sid] = LOCK_REPLAY;
+            }
+            for output in &node.outputs {
+                locked[output.sid] = LOCK_REPLAY;
+            }
+        }
+    }
+
+    // Promotion fixpoint: a surviving constant node must certify every
+    // clamp it recomputes against its neighbors — including replayed
+    // streams, whose per-quantum advance is only bounded by the
+    // envelope. A node that cannot is promoted to replay itself (or
+    // the jump refused when replay is unavailable). Promotion only
+    // adds replayed streams, so the loop converges within `n` rounds;
+    // bounds computed in a round with a promotion are discarded.
+    loop {
+        let mut promoted = false;
+        let mut k = f64::INFINITY;
+        for (idx, node) in topo.nodes.iter().enumerate() {
+            if replay[idx] {
+                continue;
+            }
+            let view = HorizonView {
+                done,
+                delta,
+                allowed,
+                adv0,
+                noc_out,
+                out_capped,
+                desired,
+                locked,
+                dt,
+                margin,
+                write_factor: stepped.write_factor,
+            };
+            let b = node_bound(topo, idx, &view);
+            if b < 1.0 {
+                if replay_ok {
+                    replay[idx] = true;
+                    for input in &node.inputs {
+                        locked[input.sid] = LOCK_REPLAY;
+                    }
+                    for output in &node.outputs {
+                        locked[output.sid] = LOCK_REPLAY;
+                    }
+                    promoted = true;
+                } else {
+                    return 0;
+                }
+            } else {
+                k = k.min(b);
+            }
+        }
+        if !promoted {
+            if k < 1.0 {
+                return 0;
+            }
+            if !k.is_finite() {
+                // Unbounded: only sound when replayed nodes carry the
+                // whole fold (the replay loop stops itself on
+                // completion); otherwise nothing moves — refuse
+                // defensively.
+                if replay[..n].iter().any(|&r| r) {
+                    return JUMP_CAP;
+                }
+                return 0;
+            }
+            return (k as u64).min(JUMP_CAP);
+        }
+    }
+}
+
+/// The horizon bound for one *constant* node: how many quanta monitors
+/// (1)–(5) certify its recomputation stays bit-identical (see
+/// [`jump_horizon`]); `< 1.0` means it cannot be certified at all and
+/// must be promoted to replay (or the jump refused).
+#[inline(never)]
+fn node_bound(topo: &StageTopo, idx: usize, v: &HorizonView) -> f64 {
+    let node = &topo.nodes[idx];
+    let (done, delta, allowed) = (v.done, v.delta, v.allowed);
+    let (dt, margin) = (v.dt, v.margin);
+    let mut k = f64::INFINITY;
+
+    // (1) completion.
+    for input in &node.inputs {
+        let d = delta[input.sid];
+        if d > 0.0 {
+            k = k.min(((input.records - done[input.sid] - margin) / d).floor());
+        }
+    }
+    for output in &node.outputs {
+        let d = delta[output.sid];
+        if d > 0.0 {
+            k = k.min(((output.records - done[output.sid] - margin) / d).floor());
+        }
+    }
+
+    // (3) sorter batch boundary.
+    if node.is_sorter {
+        if let Some(input0) = node.inputs.first() {
+            let d0 = done[input0.sid];
+            let dl = delta[input0.sid];
+            if d0 < input0.records && dl > 0.0 {
+                let batch = SORTER_BATCH as f64;
+                let next = (d0 / batch).floor() * batch + batch;
+                k = k.min(((next - 1.0 - d0) / dl).floor());
+            }
+        }
+    }
+    if k < 1.0 {
+        return 0.0;
+    }
+
+    // (2) producer gap, on the inputs the consume mode actually reads
+    // this quantum (lockstep: all unfinished; sequential: the active
+    // slot — (1) keeps it active across the horizon).
+    let gap_bound = |input: &PlanInput, k: f64| -> f64 {
+        let PlanSource::InStage { src_sid, .. } = input.source else {
+            return k;
+        };
+        let gap = done[src_sid] - done[input.sid];
+        if v.locked[src_sid] == LOCK_REPLAY {
+            // Envelope: the replayed producer advances anywhere in
+            // [0, dt] per quantum, so the window shrinks at up to this
+            // input's own constant rate.
+            if gap <= margin {
+                return 0.0;
+            }
+            let din = delta[input.sid];
+            if din > 0.0 {
+                return k.min(((gap - margin) / din).floor());
+            }
+            return k;
+        }
+        let drift = delta[src_sid] - delta[input.sid];
+        if drift == 0.0 {
+            // Constant gap: the same clamp value recomputes — but only
+            // if the producer is not replay-wobbling while the gap is
+            // close enough to bind.
+            if v.locked[src_sid] != LOCK_NONE && gap <= margin {
+                return 0.0;
+            }
+            return k;
+        }
+        if gap <= margin {
+            return 0.0;
+        }
+        if drift < 0.0 {
+            return k.min(((gap - margin) / -drift).floor());
+        }
+        // Widening gap already clear of the margin: stays clear.
+        k
+    };
+    match node.mode {
+        ConsumeMode::Lockstep => {
+            for input in &node.inputs {
+                if done[input.sid] < input.records {
                     k = gap_bound(input, k);
                 }
             }
         }
-        if k < 1.0 {
-            return 0;
-        }
-
-        // (3) sorter batch boundary.
-        if node.is_sorter {
-            if let Some(input0) = node.inputs.first() {
-                let d0 = done[input0.sid];
-                let dl = delta[input0.sid];
-                if d0 < input0.records && dl > 0.0 {
-                    let batch = SORTER_BATCH as f64;
-                    let next = (d0 / batch).floor() * batch + batch;
-                    k = k.min(((next - 1.0 - d0) / dl).floor());
-                }
-            }
-        }
-        if k < 1.0 {
-            return 0;
-        }
-
-        // (4)+(5) output-side clamps. `a` over-approximates the input
-        // advance the output caps compete against.
-        let a = node.inputs.iter().map(|i| delta[i.sid]).fold(0.0_f64, f64::max);
-        for (port, output) in node.outputs.iter().enumerate() {
-            let sid = output.sid;
-            let d_out = delta[sid];
-            let (da, exact) = allowed_drift(node, port, done, delta, &mut k);
-            if k < 1.0 {
-                return 0;
-            }
-            let d = da - d_out;
-
-            // (4) apply target (finished outputs always produce 0 via
-            // the `records` clamp — nothing to monitor).
-            if done[sid] < output.records {
-                let slack_b = allowed[sid] - done[sid] - dt;
-                if slack_b >= 1.0 {
-                    if d < -1e-9 {
-                        k = k.min(((slack_b - 1.0) / -d).floor());
-                    }
-                } else if !(d == 0.0 && exact) {
-                    return 0;
-                }
-            }
-
-            // (5) desired-side caps only exist on ports the desired
-            // loop doesn't skip.
-            if output.records > 0.0 && output.ratio > 0.0 {
-                let slack_a = allowed[sid] - done[sid];
-                let t_a = (dt + slack_a.max(0.0)) / output.ratio;
-                if t_a <= a + 1.0 {
-                    if !(d == 0.0 && exact) {
-                        return 0;
-                    }
-                } else if slack_a > 0.0 && d < -1e-9 {
-                    k = k.min(((t_a - a - 1.0) / (-d / output.ratio)).floor());
-                }
-
-                for &(_, cons_sid) in &output.consumers {
-                    let h = done[cons_sid] + QUEUE_RECORDS - done[sid];
-                    let dh = delta[cons_sid] - d_out;
-                    if dh == 0.0 {
-                        // Constant headroom recomputes identically.
-                        continue;
-                    }
-                    if h > 0.0 {
-                        let t_h = (h + dt) / output.ratio;
-                        if t_h <= a + 1.0 {
-                            return 0;
-                        }
-                        if dh < 0.0 {
-                            k = k.min(((t_h - a - 1.0) / (-dh / output.ratio)).floor());
-                            // Also stay on this side of the max(0) kink.
-                            k = k.min(((h - 1.0) / -dh).floor());
-                        }
-                    } else if dh > 0.0 {
-                        // Saturated queue (cap = dt): keep it saturated.
-                        k = k.min((-h / dh).floor());
-                    }
-                }
-            }
-            if k < 1.0 {
-                return 0;
+        ConsumeMode::Sequential => {
+            if let Some(input) = node.inputs.iter().find(|i| done[i.sid] < i.records) {
+                k = gap_bound(input, k);
             }
         }
     }
-    if k < 1.0 || !k.is_finite() {
-        // Infinite means nothing moved, which the caller's progress
-        // check already excludes — refuse defensively.
-        return 0;
+    if k < 1.0 {
+        return 0.0;
     }
-    k as u64
+
+    // (4) apply / demand caps and (5) desired-side caps. The streaming
+    // base of the buffer-slack term is `min(dt, noc_out)` on NoC-capped
+    // ports (the two clamp operands share the `+slack` addend, so their
+    // min reduces to the min of the bases).
+    let a = v.desired[idx].max(0.0);
+    for (port, output) in node.outputs.iter().enumerate() {
+        let sid = output.sid;
+        let d_out = delta[sid];
+        let (da, exact) = allowed_drift(node, port, done, delta, &mut k);
+        if k < 1.0 {
+            return 0.0;
+        }
+        let d = da - d_out;
+
+        if done[sid] < output.records {
+            let apply_cap =
+                if output.to_memory { v.adv0[idx] * v.write_factor } else { v.adv0[idx] };
+            let caps = [Some(apply_cap), output.to_memory.then_some(dt)];
+            for cap in caps.into_iter().flatten() {
+                let slack_b = allowed[sid] - done[sid] - cap;
+                if slack_b >= 1.0 && d < -1e-9 {
+                    k = k.min(((slack_b - 1.0) / -d).floor());
+                }
+                // Binding caps were resolved by the classification
+                // pass (synchronous, locked, or the node replayed).
+            }
+        }
+
+        if output.records <= 0.0 || output.ratio <= 0.0 {
+            continue;
+        }
+        let lk = v.locked[sid];
+        if lk == LOCK_NONE || lk == LOCK_APPLY {
+            // An apply-locked port's own slack wobbles by ULPs each
+            // quantum, so its clearance needs one extra record and the
+            // exactly-synchronous escape is unavailable.
+            let eff = if v.out_capped[sid] { dt.min(v.noc_out[sid]) } else { dt };
+            let slack_a = allowed[sid] - done[sid];
+            let t_a = (eff + slack_a.max(0.0)) / output.ratio;
+            let clear = if lk == LOCK_APPLY { a + 2.0 } else { a + 1.0 };
+            if t_a <= clear {
+                if !(d == 0.0 && exact && lk == LOCK_NONE) {
+                    return 0.0;
+                }
+            } else if slack_a > 0.0 && d < -1e-9 {
+                k = k.min(((t_a - clear) / (-d / output.ratio)).floor());
+            }
+        }
+
+        for &(_, cons_sid) in &output.consumers {
+            let h = done[cons_sid] + QUEUE_RECORDS - done[sid];
+            if v.locked[cons_sid] == LOCK_REPLAY {
+                // Envelope: the replayed consumer's progress moves the
+                // headroom anywhere in [−d_out, dt − d_out] per
+                // quantum.
+                if h > 0.0 {
+                    let t_h = (h + dt) / output.ratio;
+                    if t_h <= a + 2.0 || h <= 1.0 {
+                        return 0.0;
+                    }
+                    if d_out > 0.0 {
+                        k = k.min((((t_h - a - 2.0) * output.ratio) / d_out).floor());
+                        k = k.min(((h - 1.0) / d_out).floor());
+                    }
+                } else {
+                    // Saturated: the headroom term is exactly `dt`
+                    // while the queue stays full; it can refill at up
+                    // to `dt − d_out` per quantum.
+                    let grow = dt - d_out;
+                    if grow > 0.0 {
+                        k = k.min(((-h - 1.0) / grow).floor());
+                    }
+                }
+                continue;
+            }
+            let dh = delta[cons_sid] - d_out;
+            if dh == 0.0 && v.locked[sid] == LOCK_NONE {
+                // Constant headroom recomputes identically.
+                continue;
+            }
+            if h > 0.0 {
+                let t_h = (h + dt) / output.ratio;
+                if t_h <= a + 1.0 {
+                    return 0.0;
+                }
+                if dh < 0.0 {
+                    k = k.min(((t_h - a - 1.0) / (-dh / output.ratio)).floor());
+                    // Also stay on this side of the max(0) kink.
+                    k = k.min(((h - 1.0) / -dh).floor());
+                } else if v.locked[sid] != LOCK_NONE {
+                    // Wobbling producer: keep a record of clearance
+                    // above the binding level and the kink.
+                    if t_h <= a + 2.0 || h <= 1.0 {
+                        return 0.0;
+                    }
+                }
+            } else if dh > 0.0 {
+                // Saturated queue (cap = dt): keep it saturated — with
+                // a record of slack when the producer wobbles.
+                let clear = if v.locked[sid] != LOCK_NONE { -h - 1.0 } else { -h };
+                k = k.min((clear / dh).floor());
+            } else if v.locked[sid] != LOCK_NONE {
+                // Saturated on a wobbling producer: the max(0) kink
+                // could flip either way.
+                return 0.0;
+            }
+        }
+        if k < 1.0 {
+            return 0.0;
+        }
+    }
+    k.max(0.0)
 }
 
 /// Per-quantum drift of one output port's availability
@@ -937,19 +1532,34 @@ fn allowed_drift(
                     // Stay where min(in_done, records) picks in_done.
                     *k = k.min(((output.records - 1.0 - in_done) / drift).floor());
                 }
-                (drift, true)
+                // The availability sum only advances bit-exactly when
+                // every operand is an integer (f64 adds of integers
+                // below 2^53 are exact); fractional progress makes the
+                // sum's first differences wobble at ulp scale, which
+                // the locked-port replay absorbs but a constant fold
+                // must not claim.
+                let exact = drift == 0.0
+                    || node
+                        .inputs
+                        .iter()
+                        .all(|i| done[i.sid].fract() == 0.0 && delta[i.sid].fract() == 0.0);
+                (drift, exact)
             }
         }
     }
 }
 
-/// What one quantum moved: total records plus the memory bytes it
-/// transferred (also sampled into the bandwidth accumulators).
-#[derive(Debug, Clone, Copy, Default)]
+/// What one quantum moved: total records, the memory bytes it
+/// transferred (also sampled into the bandwidth accumulators), and the
+/// shared write-budget factor it applied — [`jump_horizon`] needs the
+/// factor's value to monitor the scaled apply cap, and [`fold_jump`]
+/// replays the byte counts.
+#[derive(Debug, Clone, Copy)]
 struct StepStats {
     moved: f64,
     read_bytes: f64,
     write_bytes: f64,
+    write_factor: f64,
 }
 
 /// Output records currently allowed on `port`, given input progress and
@@ -1118,7 +1728,7 @@ fn step(
     }
     read_samples.sample(read_bytes, dt);
     write_samples.sample(write_bytes, dt);
-    StepStats { moved, read_bytes, write_bytes }
+    StepStats { moved, read_bytes, write_bytes, write_factor }
 }
 
 fn factor(demand: f64, budget: Option<f64>) -> f64 {

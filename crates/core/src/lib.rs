@@ -30,9 +30,10 @@ pub use config::{Bandwidth, SchedulerKind, SimConfig, TileMix};
 pub use error::{CoreError, Result};
 pub use exec::report::render_report;
 pub use exec::{
-    execute, execute_lean, simulate, simulate_traced, BlameRecorder, BwStats, Catalog, ConnMatrix,
-    Data, FunctionalRun, GraphProfile, MemoryCatalog, PlanCache, SimOutcome, SimScratch, Simulator,
-    StagePlan, TimingResult, ENDPOINTS, MEMORY_ENDPOINT,
+    execute, execute_lean, jump_enabled, set_jump_enabled, simulate, simulate_traced,
+    BlameRecorder, BwStats, Catalog, ConnMatrix, Data, FunctionalRun, GraphProfile, MemoryCatalog,
+    PlanCache, SimOutcome, SimScratch, Simulator, StagePlan, TimingResult, ENDPOINTS,
+    MEMORY_ENDPOINT,
 };
 pub use isa::{AggOp, AluOp, CmpOp, GraphBuilder, NodeId, PortRef, QueryGraph, SpatialOp};
 pub use power::DesignBudget;

@@ -404,7 +404,10 @@ pub struct ResilientOutcome {
 /// Emits [`TraceEvent::FaultInjected`] per fault and
 /// [`TraceEvent::Reschedule`] when kills changed the mix into `sink`,
 /// and bumps `resilience.faults.injected` / `resilience.reschedules` /
-/// `resilience.runs.degraded` counters on `registry`.
+/// `resilience.runs.degraded` counters on `registry`, plus the
+/// `sim.jumps` / `sim.jumped_quanta` / `sim.stepped_quanta` counters
+/// reporting how much of the derated run the event-horizon solver
+/// skipped.
 ///
 /// # Errors
 ///
@@ -466,6 +469,11 @@ pub fn run_resilient(
     let sim = Simulator::new(&degraded);
     let mut scratch = SimScratch::new();
     let outcome = sim.run_planned_traced(&plan, functional, graph, &mut scratch, sink)?;
+    if let Some(r) = registry {
+        r.inc("sim.jumps", scratch.jumps);
+        r.inc("sim.jumped_quanta", scratch.jumped_quanta);
+        r.inc("sim.stepped_quanta", scratch.stepped_quanta);
+    }
     Ok(ResilientOutcome {
         outcome,
         faults: scenario.faults.len(),

@@ -375,6 +375,92 @@ fn quantum_jump_matches_pure_stepping_on_random_graphs() {
     assert!(jumped_quanta > 0, "no case engaged the quantum-jump fast path");
 }
 
+/// The quantum-jump fast path stays invisible under fault derating and
+/// blame attribution: on random executable graphs × random derates
+/// (slowed tiles, throttled NoC/memory, per-stage fault stalls), a
+/// jumped run is bit-identical to pure stepping — with and without a
+/// [`q100_core::BlameRecorder`] attached — and the folded blame ledgers
+/// match the stepped ones entry for entry.
+#[test]
+fn quantum_jump_matches_pure_stepping_with_derates_and_blame() {
+    use std::sync::Arc;
+
+    let mut compared = 0u64;
+    let mut jumped_quanta = 0u64;
+    for_each_case(|rng| {
+        let g = random_graph(rng);
+        let values = rng.gen_vec(1..3000, |r| r.gen_range(-1000i64..1000));
+        let cat = catalog_of(&values);
+        let Ok(run) = execute(&g, &cat) else { return };
+        let mut mix = TileMix::uniform(0);
+        for kind in TileKind::ALL {
+            mix = mix.with_count(kind, rng.gen_range(1u32..4));
+        }
+        if check_feasible(&g, &mix).is_err() {
+            return;
+        }
+        let mut derate = q100_core::Derate::none();
+        for f in &mut derate.tile_factor {
+            *f = 0.5 + rng.gen_range(0u32..500) as f64 / 1000.0;
+        }
+        derate.noc_factor = 0.5 + rng.gen_range(0u32..500) as f64 / 1000.0;
+        derate.mem_read_factor = 0.5 + rng.gen_range(0u32..500) as f64 / 1000.0;
+        derate.mem_write_factor = 0.5 + rng.gen_range(0u32..500) as f64 / 1000.0;
+        derate.tinst_stall_cycles =
+            (0..rng.gen_range(0usize..4)).map(|_| rng.gen_range(0u64..200)).collect();
+        let mut config = SimConfig::new(mix);
+        // Derating only throttles provisioned caps; draw caps half the
+        // time so the derated-bandwidth jump paths engage.
+        if rng.gen_range(0u32..2) == 0 {
+            let cap = 1.0 + rng.gen_range(0u32..20_000) as f64 / 1000.0;
+            config = config.with_bandwidth(Bandwidth {
+                noc_gbps: Some(cap),
+                mem_read_gbps: Some(cap),
+                mem_write_gbps: Some(cap),
+            });
+        }
+        config.derate = Some(derate);
+        let sched = schedule(config.scheduler, &g, &config.mix, &run.profile).unwrap();
+        let plan = q100_core::StagePlan::compile(&g, Arc::new(sched), &run.profile).unwrap();
+
+        let mut scratch = q100_core::SimScratch::new();
+        let jumped = q100_core::exec::simulate_plan(&plan, &config, &mut scratch).unwrap();
+        jumped_quanta += scratch.jumped_quanta;
+        let mut jumped_rec = q100_core::BlameRecorder::new();
+        let jumped_blamed = q100_core::exec::simulate_plan_blamed(
+            &plan,
+            &config,
+            &mut scratch,
+            None,
+            Some(&mut jumped_rec),
+        )
+        .unwrap();
+        jumped_quanta += scratch.jumped_quanta;
+
+        scratch.jump_enabled = false;
+        let stepped = q100_core::exec::simulate_plan(&plan, &config, &mut scratch).unwrap();
+        let mut stepped_rec = q100_core::BlameRecorder::new();
+        let stepped_blamed = q100_core::exec::simulate_plan_blamed(
+            &plan,
+            &config,
+            &mut scratch,
+            None,
+            Some(&mut stepped_rec),
+        )
+        .unwrap();
+
+        assert_eq!(jumped, stepped, "derated jumped and stepped timing must agree bit-for-bit");
+        assert_eq!(jumped_blamed, stepped_blamed, "blame must not perturb the derated jump");
+        let jumped_report = jumped_rec.report(&jumped_blamed, &config.mix);
+        let stepped_report = stepped_rec.report(&stepped_blamed, &config.mix);
+        assert_eq!(jumped_report, stepped_report, "folded blame ledgers must match stepping");
+        jumped_report.check_invariant().unwrap_or_else(|e| panic!("blame invariant violated: {e}"));
+        compared += 1;
+    });
+    assert!(compared >= CASES / 4, "only {compared} executable cases out of {CASES}");
+    assert!(jumped_quanta > 0, "no derated case engaged the quantum-jump fast path");
+}
+
 /// Stall-blame accounting is exhaustive: on random executable graphs ×
 /// random undersized mixes (half of them with tight bandwidth caps so
 /// the NoC and memory causes engage), every node's ledger balances —

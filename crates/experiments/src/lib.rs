@@ -43,4 +43,4 @@ pub mod sensitivity;
 pub mod serve;
 pub mod software_cmp;
 
-pub use runner::{paper_designs, Workload, DEFAULT_SCALE};
+pub use runner::{paper_designs, JumpStats, Workload, DEFAULT_SCALE};

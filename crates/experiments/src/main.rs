@@ -29,9 +29,10 @@
 //! under the Pareto design (open in `chrome://tracing` or Perfetto);
 //! `--metrics` dumps the deterministic metrics registry as JSON (or CSV
 //! when the path ends in `.csv`). Each figure's sweep prints a
-//! `schedule cache:` hits/misses line and resets the counters, so the
-//! numbers are per-figure; figures that never consult the shared caches
-//! print no cache lines at all.
+//! `schedule cache:` hits/misses line plus a `quantum jumps:` coverage
+//! line and resets/snapshots the counters, so the numbers are
+//! per-figure; figures that never consult the shared caches (or never
+//! run the fluid timing layer) print no such lines at all.
 
 use std::collections::BTreeSet;
 use std::env;
@@ -49,6 +50,8 @@ fn usage_text() -> String {
      \x20                       all | tableN ... figN ... | analyze | perf-report | resilience | serve [--out <f>]\n\
      regenerates the tables and figures of the Q100 paper (see DESIGN.md);\n\
      --jobs (or Q100_JOBS) caps the sweep worker count;\n\
+     --no-jump disables the quantum-jump fast path (pure stepping,\n\
+     bit-identical output — slower; used by CI to cross-check);\n\
      --seed picks the resilience fault campaign and serve streams (default 42);\n\
      --trace writes a Chrome trace_event JSON, --metrics a metrics JSON/CSV dump;\n\
      analyze attributes every stall cycle to a cause per query x design\n\
@@ -152,6 +155,7 @@ fn main() -> ExitCode {
                 requests = v;
             }
             "--soak" => soak = true,
+            "--no-jump" => q100_core::set_jump_enabled(false),
             "--all" | "all" => {
                 wants.insert("ablation".to_string());
                 for t in 1..=4 {
@@ -220,10 +224,12 @@ fn main() -> ExitCode {
 
     eprintln!("preparing workload at SF {scale} ({} sweep workers) ...", pool::jobs());
     let workload = Workload::prepare(scale);
-    // Per-figure schedule-cache summary: print, then reset so the next
-    // figure's line covers only its own sweep. The counts are
-    // deterministic at any --jobs setting (see `CacheStats`).
-    let cache_line = |label: &str| {
+    // Per-figure schedule-cache and quantum-jump summary: print, then
+    // reset (caches) or snapshot (jump counters) so the next figure's
+    // lines cover only its own sweep. The counts are deterministic at
+    // any --jobs setting (see `CacheStats` and `JumpStats`).
+    let mut jump_mark = q100_experiments::JumpStats::default();
+    let mut cache_line = |label: &str| {
         let sched = workload.sched_cache_stats();
         let plan = workload.plan_cache_stats();
         // Suppress the lines when nothing consulted the shared caches
@@ -235,6 +241,18 @@ fn main() -> ExitCode {
             println!("{label} plan cache: {plan}");
         }
         workload.reset_sched_cache_stats();
+        let now = workload.jump_stats();
+        let jump = now.since(&jump_mark);
+        jump_mark = now;
+        if jump.jumped_quanta + jump.stepped_quanta > 0 {
+            println!(
+                "{label} quantum jumps: {} jumps skipped {}/{} quanta ({:.1}% coverage)",
+                jump.jumps,
+                jump.jumped_quanta,
+                jump.jumped_quanta + jump.stepped_quanta,
+                jump.coverage() * 100.0,
+            );
+        }
     };
 
     if wants.contains("table2") {

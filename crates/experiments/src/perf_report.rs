@@ -80,6 +80,11 @@ pub struct PerfReport {
     /// simulation — numerically what the schedule cache reported before
     /// compiled plans existed, so the JSON schema is unchanged).
     pub cache: q100_core::CacheStats,
+    /// Event-horizon solver counters over the whole report: fused jumps
+    /// taken, quanta they skipped, and quanta stepped one by one. The
+    /// simulations are deterministic, so these are byte-identical at
+    /// any `--jobs` setting.
+    pub jump: crate::runner::JumpStats,
 }
 
 impl PerfReport {
@@ -127,8 +132,16 @@ impl PerfReport {
         let _ = writeln!(out, "  \"total_sim_cycles\": {},", self.total_sim_cycles());
         let _ = writeln!(
             out,
-            "  \"cache\": {{\"hits\": {}, \"misses\": {}}}",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}}},",
             self.cache.hits, self.cache.misses
+        );
+        let _ = writeln!(
+            out,
+            "  \"jump\": {{\"jumps\": {}, \"jumped_quanta\": {}, \"stepped_quanta\": {},              \"coverage\": {:.4}}}",
+            self.jump.jumps,
+            self.jump.jumped_quanta,
+            self.jump.stepped_quanta,
+            self.jump.coverage()
         );
         out.push_str("}\n");
         out
@@ -213,6 +226,7 @@ pub fn run() -> PerfReport {
         figures,
         blame,
         cache: workload.plan_cache_stats(),
+        jump: workload.jump_stats(),
     }
 }
 
@@ -277,7 +291,8 @@ mod tests {
 
     #[test]
     fn report_sim_cycles_are_job_count_independent() {
-        type Extracted = (Vec<(String, f64)>, Vec<(String, String, f64, String)>, f64, f64);
+        type Extracted =
+            (Vec<(String, f64)>, Vec<(String, String, f64, String)>, f64, f64, f64, f64);
         let extract = |text: &str| -> Extracted {
             let v = json::parse(text).unwrap();
             assert_eq!(v.get("schema").unwrap().as_str(), Some("q100-bench-v1"));
@@ -311,7 +326,13 @@ mod tests {
                 .collect();
             let hits = v.get("cache").unwrap().get("hits").unwrap().as_num().unwrap();
             let misses = v.get("cache").unwrap().get("misses").unwrap().as_num().unwrap();
-            (figs, blame, hits, misses)
+            let jump = v.get("jump").unwrap();
+            let jumped = jump.get("jumped_quanta").unwrap().as_num().unwrap();
+            let stepped = jump.get("stepped_quanta").unwrap().as_num().unwrap();
+            let coverage = jump.get("coverage").unwrap().as_num().unwrap();
+            assert!(jumped > 0.0, "the pinned sweep must take fused jumps");
+            assert!(coverage > 0.5, "jump coverage collapsed: {coverage}");
+            (figs, blame, hits, misses, jumped, stepped)
         };
 
         pool::set_jobs(Some(1));

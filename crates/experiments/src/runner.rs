@@ -42,6 +42,45 @@ pub struct PreparedQuery {
     pub index: usize,
 }
 
+/// Quantum-jump statistics accumulated by a workload's simulations:
+/// how much of the fluid timing work the analytic event-horizon solver
+/// skipped. Sums of per-simulation counters, so the totals are
+/// identical at any `--jobs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JumpStats {
+    /// Fused jumps taken.
+    pub jumps: u64,
+    /// Quanta skipped by fused folds.
+    pub jumped_quanta: u64,
+    /// Quanta executed step-by-step.
+    pub stepped_quanta: u64,
+}
+
+impl JumpStats {
+    /// Fraction of all quanta that were jumped rather than stepped
+    /// (zero when nothing ran).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.jumped_quanta + self.stepped_quanta;
+        if total == 0 {
+            0.0
+        } else {
+            self.jumped_quanta as f64 / total as f64
+        }
+    }
+
+    /// The counters accumulated since `earlier` — per-figure deltas for
+    /// stdout reporting.
+    #[must_use]
+    pub fn since(&self, earlier: &JumpStats) -> JumpStats {
+        JumpStats {
+            jumps: self.jumps - earlier.jumps,
+            jumped_quanta: self.jumped_quanta - earlier.jumped_quanta,
+            stepped_quanta: self.stepped_quanta - earlier.stepped_quanta,
+        }
+    }
+}
+
 /// A workload: a generated database plus every query prepared against
 /// it. Functional execution happens exactly once; configuration sweeps
 /// reuse the cached profiles, fan out across cores, and memoize
@@ -139,12 +178,15 @@ impl Workload {
         let plan = self.plan(prepared, config);
         let outcome = SCRATCH
             .with(|s| {
-                Simulator::new(config).run_planned(
+                let mut s = s.borrow_mut();
+                let r = Simulator::new(config).run_planned(
                     &plan,
                     &prepared.functional,
                     &prepared.graph,
-                    &mut s.borrow_mut(),
-                )
+                    &mut s,
+                );
+                self.record_jump_stats(&s);
+                r
             })
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
         self.metrics.inc("sim.runs", 1);
@@ -170,13 +212,16 @@ impl Workload {
         let mut recorder = RingRecorder::new();
         let outcome = SCRATCH
             .with(|s| {
-                Simulator::new(config).run_planned_traced(
+                let mut s = s.borrow_mut();
+                let r = Simulator::new(config).run_planned_traced(
                     &plan,
                     &prepared.functional,
                     &prepared.graph,
-                    &mut s.borrow_mut(),
+                    &mut s,
                     Some(&mut recorder),
-                )
+                );
+                self.record_jump_stats(&s);
+                r
             })
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
         self.metrics.inc("sim.runs", 1);
@@ -195,7 +240,7 @@ impl Workload {
     /// attribution, returning the outcome and the per-node cycle
     /// ledger. Uses the same memoized plan as [`simulate`], so the
     /// attributed cycle count is bit-identical to the sweeps (the
-    /// recorder only disables the quantum-jump fast path).
+    /// quantum-jump fast path stays armed and bulk-folds blame).
     ///
     /// # Panics
     ///
@@ -210,14 +255,17 @@ impl Workload {
         let mut recorder = q100_core::BlameRecorder::new();
         let outcome = SCRATCH
             .with(|s| {
-                Simulator::new(config).run_planned_blamed(
+                let mut s = s.borrow_mut();
+                let r = Simulator::new(config).run_planned_blamed(
                     &plan,
                     &prepared.functional,
                     &prepared.graph,
-                    &mut s.borrow_mut(),
+                    &mut s,
                     None,
                     Some(&mut recorder),
-                )
+                );
+                self.record_jump_stats(&s);
+                r
             })
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", prepared.query.name));
         self.metrics.inc("sim.runs", 1);
@@ -324,6 +372,27 @@ impl Workload {
     #[must_use]
     pub fn total_runtime_ms(&self, config: &SimConfig) -> f64 {
         self.simulate_all(config).iter().map(SimOutcome::runtime_ms).sum()
+    }
+
+    /// Folds one finished simulation's quantum-jump counters into the
+    /// metrics registry. Counter addition commutes, so the accumulated
+    /// totals are identical at any `--jobs`.
+    fn record_jump_stats(&self, s: &SimScratch) {
+        self.metrics.inc("sim.jumps", s.jumps);
+        self.metrics.inc("sim.jumped_quanta", s.jumped_quanta);
+        self.metrics.inc("sim.stepped_quanta", s.stepped_quanta);
+    }
+
+    /// Quantum-jump totals accumulated by every simulation this
+    /// workload has run (including resilient runs, which report through
+    /// the shared registry).
+    #[must_use]
+    pub fn jump_stats(&self) -> JumpStats {
+        JumpStats {
+            jumps: self.metrics.counter("sim.jumps"),
+            jumped_quanta: self.metrics.counter("sim.jumped_quanta"),
+            stepped_quanta: self.metrics.counter("sim.stepped_quanta"),
+        }
     }
 
     /// Schedule-cache hit/miss counters accumulated by this workload.

@@ -72,15 +72,43 @@ fn paper_design_blame_is_pinned() {
     assert_eq!(actual, GOLDEN_BLAME.to_vec(), "golden blame pins diverged; actuals: {actual:?}");
 }
 
+/// Derated golden pins: exact cycle counts for the pinned queries on
+/// the Pareto design under a 10%-rate fault scenario (seeded per
+/// query), running through the full resilience path — killed tiles
+/// reschedule, surviving tiles and links derate, and the event-horizon
+/// solver folds the derated quanta. Regenerate like `GOLDEN`.
+const GOLDEN_DERATED: [(&str, u64); 3] = [("q1", 582_302), ("q6", 61_988), ("q14", 77_826)];
+
+#[test]
+fn derated_pareto_cycles_are_pinned() {
+    let names: Vec<&str> = GOLDEN_DERATED.iter().map(|(q, _)| *q).collect();
+    let w = Workload::prepare_subset(SCALE, &names);
+    let (_, pareto) = &paper_designs()[1];
+    let mut actual = Vec::new();
+    for (qi, (prepared, (name, _))) in w.queries.iter().zip(&GOLDEN_DERATED).enumerate() {
+        let scenario = q100_core::FaultScenario::generate(0x9E37 + qi as u64, 0.10, &pareto.mix);
+        let out = w
+            .simulate_resilient(prepared, pareto, &scenario)
+            .unwrap_or_else(|e| panic!("{name}: derated run unschedulable: {e}"));
+        actual.push((*name, out.outcome.cycles));
+    }
+    assert_eq!(
+        actual,
+        GOLDEN_DERATED.to_vec(),
+        "derated golden cycle counts diverged; actuals: {actual:?}"
+    );
+    let jump = w.jump_stats();
+    assert!(jump.jumped_quanta > 0, "no derated run engaged the quantum-jump fast path");
+}
+
 /// On the real TPC-H workload, a jumped simulation must be
 /// bit-identical to pure stepping of the same compiled plan, and the
 /// fast path must actually engage somewhere in this workload. The
-/// paper designs run with provisioned bandwidth caps — where jumping
-/// deliberately never engages — so this check uses their mixes under
-/// ideal bandwidth, the fig6 design-space configuration, on the two
-/// queries whose long steady-state stages dominate fig6 engagement
-/// (q20 and q21; short-stage queries like q6 never settle into an
-/// integral repeating pattern, so they step every quantum).
+/// analytic event-horizon solver jumps under provisioned bandwidth
+/// caps too, but the longest certified segments come from the paper
+/// designs' mixes under ideal bandwidth — the fig6 design-space
+/// configuration — so this check uses those on the two queries whose
+/// long steady-state stages dominate fig6 engagement (q20 and q21).
 #[test]
 fn quantum_jump_is_bit_identical_on_tpch() {
     let w = Workload::prepare_subset(SCALE, &["q20", "q21"]);
